@@ -1,0 +1,38 @@
+// Ablation study over ChronoCache's design choices (DESIGN.md §3): loop
+// detection, per-loop-constant support, query combination, dependency-
+// graph subsumption, and the §5.1 redundancy check — each disabled in
+// isolation on TPC-E.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace chrono;
+  int runs = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  struct Variant {
+    const char* name;
+    void (*tweak)(core::MiddlewareConfig*);
+  };
+  const Variant kVariants[] = {
+      {"full", [](core::MiddlewareConfig*) {}},
+      {"-loops", [](core::MiddlewareConfig* c) { c->enable_loops = false; }},
+      {"-loopconst",
+       [](core::MiddlewareConfig* c) { c->enable_loop_constants = false; }},
+      {"-combining",
+       [](core::MiddlewareConfig* c) { c->enable_combining = false; }},
+      {"-subsumption",
+       [](core::MiddlewareConfig* c) { c->enable_subsumption = false; }},
+      {"-redundancy",
+       [](core::MiddlewareConfig* c) { c->enable_redundancy_check = false; }},
+  };
+
+  bench::PrintHeader("Ablation: ChronoCache design choices, TPC-E 10 clients");
+  for (const auto& variant : kVariants) {
+    auto config = bench::FigureConfig(core::SystemMode::kChrono, 10);
+    variant.tweak(&config.middleware);
+    auto result = harness::RunRepeated(bench::MakeTpce, config, runs);
+    std::printf("%-13s ", variant.name);
+    bench::PrintRow("ChronoCache", 10, result);
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 10a: SEATS workload response times. Conditional customer access
+// paths plus the FindFlights loop with a per-loop-constant travel date.
+//
+// Paper shape: ChronoCache leads (~60% hits) through per-loop-constant
+// support; Scalpel-CC (~45%) > Scalpel-E (~40%) > LRU/Apollo (~35%).
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace chrono;
+  int runs = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  bench::PrintHeader("Figure 10a: SEATS response time vs clients");
+  for (int clients : {5, 10, 20}) {
+    for (core::SystemMode mode : bench::AllSystems()) {
+      auto config = bench::FigureConfig(mode, clients);
+      auto result = harness::RunRepeated(bench::MakeSeats, config, runs);
+      bench::PrintRow(core::SystemModeName(mode), clients, result);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

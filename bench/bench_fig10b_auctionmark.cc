@@ -1,0 +1,24 @@
+// Figure 10b: AuctionMark workload response times over the measurement
+// interval. Queries rarely repeat and tables accessed in loops update
+// frequently.
+//
+// Paper shape: ChronoCache ~45% hit rate via CloseAuctions' per-loop
+// constant feedback query; Scalpel-CC/E ~10%; Apollo/LRU < 2%.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace chrono;
+  int runs = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  bench::PrintHeader("Figure 10b: AuctionMark response time vs clients");
+  for (int clients : {5, 10, 20}) {
+    for (core::SystemMode mode : bench::AllSystems()) {
+      auto config = bench::FigureConfig(mode, clients);
+      auto result = harness::RunRepeated(bench::MakeAuctionMark, config, runs);
+      bench::PrintRow(core::SystemModeName(mode), clients, result);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

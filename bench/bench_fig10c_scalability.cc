@@ -1,0 +1,27 @@
+// Figure 10c: ChronoCache scalability — one-node vs three-node deployment
+// on TPC-E while scaling clients.
+//
+// Paper shape: the one-node deployment wins at low client counts (shared
+// cache, laxer session rule); the three-node deployment wins at high
+// client counts by spreading middleware load — at 180 clients it nearly
+// halves the one-node response time.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace chrono;
+  int runs = argc > 1 ? std::atoi(argv[1]) : 2;
+
+  bench::PrintHeader("Figure 10c: TPC-E scalability, 1-node vs 3-node");
+  for (int clients : {10, 30, 60, 120, 180, 240}) {
+    for (int nodes : {1, 3}) {
+      auto config = bench::FigureConfig(core::SystemMode::kChrono, clients);
+      config.nodes = nodes;
+      auto result = harness::RunRepeated(bench::MakeTpce, config, runs);
+      std::printf("nodes=%d ", nodes);
+      bench::PrintRow("ChronoCache", clients, result);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

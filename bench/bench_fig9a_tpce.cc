@@ -1,0 +1,25 @@
+// Figure 9a: TPC-E average query response time (US-East edge, US-West
+// database, 70 ms WAN RTT) while scaling the number of clients, for
+// ChronoCache, Scalpel-CC, Scalpel-E, Apollo and LRU.
+//
+// Paper shape to reproduce: ChronoCache cuts average response time to
+// about 1/3 of LRU/Apollo and about 1/2 of Scalpel-CC/E; cache hit rates
+// around 75 / 50 / 45 / 20 / 20 %.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace chrono;
+  int runs = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  bench::PrintHeader("Figure 9a: TPC-E response time vs clients (WAN 70ms)");
+  for (int clients : {1, 2, 5, 10, 20, 40}) {
+    for (core::SystemMode mode : bench::AllSystems()) {
+      auto config = bench::FigureConfig(mode, clients);
+      auto result = harness::RunRepeated(bench::MakeTpce, config, runs);
+      bench::PrintRow(core::SystemModeName(mode), clients, result);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

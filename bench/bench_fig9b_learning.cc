@@ -1,0 +1,30 @@
+// Figure 9b: learning over time on TPC-E. Average query response time per
+// time bucket from a cold start, per system.
+//
+// Paper shape: ChronoCache converges within ~150 s to ~25 ms and stays
+// there; Scalpel variants converge to a higher plateau; Apollo/LRU improve
+// only slowly through shared-cache effects.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace chrono;
+  (void)argc;
+  (void)argv;
+
+  bench::PrintHeader("Figure 9b: TPC-E learning over time (10 clients)");
+  for (core::SystemMode mode : bench::AllSystems()) {
+    auto config = bench::FigureConfig(mode, 10);
+    config.warmup = 0;  // the learning curve IS the result
+    config.duration = 180 * kMicrosPerSecond;
+    config.timeline_bucket = 15 * kMicrosPerSecond;
+    auto result = harness::RunExperiment(bench::MakeTpce, config);
+    std::printf("%-12s ", core::SystemModeName(mode));
+    for (const auto& [sec, ms] : result.timeline) {
+      std::printf("t=%3.0fs:%6.1fms ", sec, ms);
+    }
+    std::printf(" (errors=%llu)\n",
+                static_cast<unsigned long long>(result.errors));
+  }
+  return 0;
+}

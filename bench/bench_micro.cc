@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark) for ChronoCache's hot paths:
+// parsing + template extraction, query combination, result splitting,
+// executor point lookups, and transition-graph updates.
+
+#include <benchmark/benchmark.h>
+
+#include "core/combiner_lateral.h"
+#include "core/middleware.h"
+#include "db/database.h"
+#include "sql/parser.h"
+#include "sql/template.h"
+#include "sql/writer.h"
+#include "workloads/tpce.h"
+
+namespace chrono {
+namespace {
+
+const char kPointQuery[] =
+    "SELECT s_name, s_num_out FROM security WHERE s_symb = 'SYM42'";
+
+void BM_ParseQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = sql::Parse(kPointQuery);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+void BM_AnalyzeTemplate(benchmark::State& state) {
+  for (auto _ : state) {
+    auto parsed = sql::AnalyzeQuery(kPointQuery);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_AnalyzeTemplate);
+
+void BM_WriteStatement(benchmark::State& state) {
+  auto stmt = sql::Parse(kPointQuery);
+  for (auto _ : state) {
+    std::string text = sql::WriteStatement(**stmt);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_WriteStatement);
+
+void BM_ExecutorPointLookup(benchmark::State& state) {
+  db::Database database;
+  workloads::TpceWorkload workload;
+  workload.Populate(&database);
+  for (auto _ : state) {
+    auto outcome = database.ExecuteText(kPointQuery);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_ExecutorPointLookup);
+
+void BM_ExecutorCombinedCteJoin(benchmark::State& state) {
+  db::Database database;
+  workloads::TpceWorkload workload;
+  workload.Populate(&database);
+  const char kCombined[] =
+      "WITH q1 AS (SELECT wi_s_symb AS c0, watch_item.__rowid AS ck0 FROM "
+      "watch_item WHERE wi_wl_id = 7), q2 AS (SELECT s_num_out AS c1, "
+      "s_symb AS jc0, security.__rowid AS ck1 FROM security) SELECT q1.c0, "
+      "q1.ck0, q2.c1, q2.ck1 FROM q1 LEFT JOIN q2 ON q2.jc0 = q1.c0";
+  for (auto _ : state) {
+    auto outcome = database.ExecuteText(kCombined);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_ExecutorCombinedCteJoin);
+
+void BM_TransitionGraphObserve(benchmark::State& state) {
+  core::TransitionGraph graph(200 * kMicrosPerMilli);
+  SimTime t = 0;
+  uint64_t tmpl = 0;
+  for (auto _ : state) {
+    graph.Observe(tmpl % 16, t);
+    t += 1000;
+    ++tmpl;
+  }
+}
+BENCHMARK(BM_TransitionGraphObserve);
+
+void BM_CombineCteGraph(benchmark::State& state) {
+  core::TemplateRegistry registry;
+  auto q1 = sql::AnalyzeQuery(
+      "SELECT wi_s_symb FROM watch_item WHERE wi_wl_id = 7");
+  auto q2 = sql::AnalyzeQuery(
+      "SELECT s_num_out FROM security WHERE s_symb = 'SYM1'");
+  registry.Register(q1->tmpl);
+  registry.Register(q2->tmpl);
+
+  core::DependencyGraph graph;
+  graph.nodes = {q1->tmpl->id, q2->tmpl->id};
+  std::sort(graph.nodes.begin(), graph.nodes.end());
+  graph.param_counts[q1->tmpl->id] = 1;
+  graph.param_counts[q2->tmpl->id] = 1;
+  graph.edges.push_back(
+      {q1->tmpl->id, q2->tmpl->id, {{"wi_s_symb", 0}}});
+
+  std::map<core::TemplateId, std::vector<sql::Value>> latest;
+  latest[q1->tmpl->id] = q1->params;
+  latest[q2->tmpl->id] = q2->params;
+  core::CombineInput input{&graph, &registry, &latest};
+
+  for (auto _ : state) {
+    auto combined = core::CombineGraph(input);
+    benchmark::DoNotOptimize(combined);
+  }
+}
+BENCHMARK(BM_CombineCteGraph);
+
+}  // namespace
+}  // namespace chrono
+
+BENCHMARK_MAIN();

@@ -1,0 +1,22 @@
+// Sensitivity analysis (§6.7): cache size on TPC-E with 10 clients.
+//
+// Paper shape: performance is insensitive to cache size unless the cache
+// is made extremely small (<10 MB of the paper's 3 GB); ChronoCache loads
+// results just before they are needed, so a small cache suffices.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace chrono;
+  int runs = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  bench::PrintHeader("Sensitivity (Sec 6.7): cache size, TPC-E 10 clients");
+  for (size_t kb : {16, 64, 256, 1024, 4096, 65536}) {
+    auto config = bench::FigureConfig(core::SystemMode::kChrono, 10);
+    config.middleware.cache_bytes = kb * 1024;
+    auto result = harness::RunRepeated(bench::MakeTpce, config, runs);
+    std::printf("cache=%-6zuKB ", kb);
+    bench::PrintRow("ChronoCache", 10, result);
+  }
+  return 0;
+}

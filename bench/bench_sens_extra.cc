@@ -1,0 +1,34 @@
+// Extended sensitivity analysis (beyond §6.7): the Δt temporal-correlation
+// window and the mapping-validation threshold, TPC-E with 10 clients.
+//
+// Expected: Δt only hurts at extremes (too small to see loop successors;
+// huge windows add spurious edges but τ filters them), and the validation
+// threshold trades a slightly slower warm-up for spurious-mapping safety.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace chrono;
+  int runs = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  bench::PrintHeader(
+      "Extended sensitivity: delta_t window, TPC-E 10 clients");
+  for (int64_t ms : {5, 20, 50, 200, 1000, 5000}) {
+    auto config = bench::FigureConfig(core::SystemMode::kChrono, 10);
+    config.middleware.delta_t = ms * kMicrosPerMilli;
+    auto result = harness::RunRepeated(bench::MakeTpce, config, runs);
+    std::printf("delta_t=%-6lldms ", static_cast<long long>(ms));
+    bench::PrintRow("ChronoCache", 10, result);
+  }
+
+  bench::PrintHeader(
+      "Extended sensitivity: mapping validation threshold, TPC-E 10 clients");
+  for (int v : {1, 2, 4, 8}) {
+    auto config = bench::FigureConfig(core::SystemMode::kChrono, 10);
+    config.middleware.min_validations = v;
+    auto result = harness::RunRepeated(bench::MakeTpce, config, runs);
+    std::printf("min_valid=%-4d ", v);
+    bench::PrintRow("ChronoCache", 10, result);
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Sensitivity analysis (§6.7): the temporal-correlation threshold tau on
+// TPC-E with 10 clients.
+//
+// Paper shape: only extreme values (tau <= 0.01, tau >= 0.95) move the
+// response time significantly; everything between performs alike.
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace chrono;
+  int runs = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  bench::PrintHeader("Sensitivity (Sec 6.7): tau threshold, TPC-E 10 clients");
+  for (double tau : {0.01, 0.1, 0.3, 0.5, 0.8, 0.9, 0.95, 0.99}) {
+    auto config = bench::FigureConfig(core::SystemMode::kChrono, 10);
+    config.middleware.tau = tau;
+    auto result = harness::RunRepeated(bench::MakeTpce, config, runs);
+    std::printf("tau=%-5.2f ", tau);
+    bench::PrintRow("ChronoCache", 10, result);
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Market-Watch walkthrough: the paper's running example (Figs. 1, 4, 7, 8)
+// at the library level — build the dependency graph by hand, run both
+// combination strategies, print the generated SQL, and decode the combined
+// result set back into per-iteration results.
+//
+//   ./build/examples/market_watch
+
+#include <cstdio>
+
+#include "core/combiner_cte.h"
+#include "core/combiner_lateral.h"
+#include "core/result_splitter.h"
+#include "db/database.h"
+#include "sql/template.h"
+
+using namespace chrono;
+using core::CombineInput;
+using core::DependencyGraph;
+using core::TemplateId;
+using sql::Value;
+
+namespace {
+
+TemplateId Register(core::TemplateRegistry* registry,
+                    std::map<TemplateId, std::vector<Value>>* latest,
+                    const std::string& text) {
+  auto parsed = sql::AnalyzeQuery(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().ToString().c_str());
+    std::exit(1);
+  }
+  (*latest)[parsed->tmpl->id] = parsed->params;
+  return registry->Register(parsed->tmpl);
+}
+
+void ShowSplit(const core::CombinedQuery& plan, const sql::ResultSet& result,
+               const core::TemplateRegistry& registry) {
+  auto split = core::SplitResult(plan, result, registry);
+  if (!split.ok()) {
+    std::fprintf(stderr, "split error: %s\n", split.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("decoded into %zu result sets:\n", split->size());
+  for (const auto& entry : *split) {
+    std::printf("--- key: %s\n%s", entry.key.c_str(),
+                entry.result.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  // The TPC-E Market-Watch tables from Fig. 1 / Fig. 4.
+  db::Database database;
+  (void)database.catalog()->CreateTable(
+      "watch_item", {db::ColumnDef{"wi_wl_id", Value::Type::kInt},
+                     db::ColumnDef{"wi_s_symb", Value::Type::kString}});
+  (void)database.catalog()->CreateTable(
+      "security", {db::ColumnDef{"s_symb", Value::Type::kString},
+                   db::ColumnDef{"s_num_out", Value::Type::kInt}});
+  (void)database.catalog()->CreateTable(
+      "daily_market", {db::ColumnDef{"dm_s_symb", Value::Type::kString},
+                       db::ColumnDef{"dm_date", Value::Type::kInt},
+                       db::ColumnDef{"dm_close", Value::Type::kDouble}});
+  (void)database.ExecuteText(
+      "INSERT INTO watch_item VALUES (1, 'ABC'), (1, 'DEF'), (1, 'HIJ')");
+  (void)database.ExecuteText(
+      "INSERT INTO security VALUES ('ABC', 300), ('DEF', 500), ('HIJ', 100)");
+  (void)database.ExecuteText(
+      "INSERT INTO daily_market VALUES ('ABC', 20201231, 30.1), "
+      "('DEF', 20201231, 50.7), ('HIJ', 20201231, 10.2)");
+
+  core::TemplateRegistry registry;
+  std::map<TemplateId, std::vector<Value>> latest;
+
+  // ---- Part 1: the Fig. 1 / Fig. 7 CTE-join combination ----------------
+  std::printf("================ CTE-join strategy (Fig. 7) ============\n");
+  TemplateId q1 = Register(&registry, &latest,
+                           "SELECT wi_s_symb FROM watch_item WHERE wi_wl_id "
+                           "= 1");
+  TemplateId q2 = Register(&registry, &latest,
+                           "SELECT s_num_out FROM security WHERE s_symb = "
+                           "'ABC'");
+  DependencyGraph fig1;
+  fig1.nodes = {q1, q2};
+  fig1.param_counts[q1] = 1;
+  fig1.param_counts[q2] = 1;
+  fig1.edges.push_back({q1, q2, {{"wi_s_symb", 0}}});
+  fig1.Normalize();
+
+  CombineInput input{&fig1, &registry, &latest};
+  auto combined = core::CteJoinCombiner::Combine(input);
+  if (!combined.ok()) {
+    std::fprintf(stderr, "combine error: %s\n",
+                 combined.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("combined query:\n  %s\n\n", combined->sql.c_str());
+  auto outcome = database.ExecuteText(combined->sql);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "execution error: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("combined result set (with candidate keys):\n%s\n",
+              outcome->result.ToString().c_str());
+  ShowSplit(*combined, outcome->result, registry);
+
+  // ---- Part 2: the Fig. 4 per-loop constant via the lateral strategy ---
+  std::printf("\n============ Lateral-union strategy (Sec. 4.2) ==========\n");
+  TemplateId q3 = Register(&registry, &latest,
+                           "SELECT avg(dm_close) FROM daily_market WHERE "
+                           "dm_s_symb = 'ABC' AND dm_date = 20201231");
+  DependencyGraph fig4;
+  fig4.nodes = {q1, q3};
+  fig4.param_counts[q1] = 1;
+  fig4.param_counts[q3] = 2;
+  fig4.edges.push_back({q1, q3, {{"wi_s_symb", 0}}});
+  fig4.loop_marked.insert(q3);  // dm_date is a per-loop constant (Fig. 4)
+  fig4.Normalize();
+
+  CombineInput input2{&fig4, &registry, &latest};
+  auto lateral = core::CombineGraph(input2);  // picks the lateral strategy
+  if (!lateral.ok()) {
+    std::fprintf(stderr, "combine error: %s\n",
+                 lateral.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("combined query:\n  %s\n\n", lateral->sql.c_str());
+  auto outcome2 = database.ExecuteText(lateral->sql);
+  if (!outcome2.ok()) {
+    std::fprintf(stderr, "execution error: %s\n",
+                 outcome2.status().ToString().c_str());
+    return 1;
+  }
+  ShowSplit(*lateral, outcome2->result, registry);
+
+  std::printf(
+      "\nEach decoded result set is cached under the text of the query that "
+      "would have\nproduced it; the client's upcoming loop queries become "
+      "edge cache hits.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+# Sample trace for `chronocache_sim --trace examples/traces/orders.sql`.
+# An order-details pattern: fetch an order, then its line items and the
+# product row per item — a loop ChronoCache learns and prefetches.
+
+-- SETUP
+CREATE TABLE orders (o_id bigint, o_customer bigint, o_total double);
+CREATE TABLE line_item (li_o_id bigint, li_product text, li_qty bigint);
+CREATE TABLE product (p_sku text, p_name text, p_price double);
+INSERT INTO orders VALUES (1, 10, 99.5), (2, 11, 12.0), (3, 10, 45.25);
+INSERT INTO line_item VALUES (1, 'SKU1', 2), (1, 'SKU2', 1), (2, 'SKU3', 5), (3, 'SKU1', 1), (3, 'SKU3', 2);
+INSERT INTO product VALUES ('SKU1', 'Widget', 9.99), ('SKU2', 'Gadget', 79.5), ('SKU3', 'Gizmo', 2.4);
+
+-- TXN
+SELECT o_customer, o_total FROM orders WHERE o_id = 1;
+SELECT li_product, li_qty FROM line_item WHERE li_o_id = 1;
+SELECT p_name, p_price FROM product WHERE p_sku = 'SKU1';
+SELECT p_name, p_price FROM product WHERE p_sku = 'SKU2';
+
+-- TXN
+SELECT o_customer, o_total FROM orders WHERE o_id = 3;
+SELECT li_product, li_qty FROM line_item WHERE li_o_id = 3;
+SELECT p_name, p_price FROM product WHERE p_sku = 'SKU1';
+SELECT p_name, p_price FROM product WHERE p_sku = 'SKU3';
+
+-- TXN
+SELECT o_customer, o_total FROM orders WHERE o_id = 2;
+SELECT li_product, li_qty FROM line_item WHERE li_o_id = 2;
+SELECT p_name, p_price FROM product WHERE p_sku = 'SKU3';

@@ -1,0 +1,73 @@
+#include "cache/lru_cache.h"
+
+namespace chrono::cache {
+
+LruCache::LruCache(size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
+
+const CachedResult* LruCache::Get(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->value;
+}
+
+const CachedResult* LruCache::Peek(const std::string& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  return &it->second->value;
+}
+
+void LruCache::Put(const std::string& key, CachedResult value) {
+  size_t bytes = EntryBytes(key, value);
+  if (bytes > capacity_bytes_) {
+    Erase(key);
+    return;
+  }
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    used_bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  EvictToFit(bytes);
+  lru_.push_front(Entry{key, std::move(value), bytes});
+  map_[key] = lru_.begin();
+  used_bytes_ += bytes;
+}
+
+bool LruCache::Erase(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  used_bytes_ -= it->second->bytes;
+  lru_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
+void LruCache::Clear() {
+  lru_.clear();
+  map_.clear();
+  used_bytes_ = 0;
+}
+
+size_t LruCache::EntryBytes(const std::string& key,
+                            const CachedResult& value) const {
+  return key.size() + value.result.ByteSize() +
+         value.version.size() * sizeof(value.version[0]) + 64;
+}
+
+void LruCache::EvictToFit(size_t incoming_bytes) {
+  while (!lru_.empty() && used_bytes_ + incoming_bytes > capacity_bytes_) {
+    const Entry& victim = lru_.back();
+    used_bytes_ -= victim.bytes;
+    map_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace chrono::cache

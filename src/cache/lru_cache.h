@@ -1,0 +1,85 @@
+#ifndef CHRONOCACHE_CACHE_LRU_CACHE_H_
+#define CHRONOCACHE_CACHE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sql/result_set.h"
+
+namespace chrono::cache {
+
+/// \brief Sparse version vector (§5.2): (relation id, observed version)
+/// pairs covering exactly the relations the cached query accessed.
+using VersionVector = std::vector<std::pair<int, uint64_t>>;
+
+/// \brief A cached query result plus the metadata the session-semantics and
+/// access-control layers need: the database version vector at caching time,
+/// the caching client's security group (§5.2.1), and the middleware node id
+/// (multi-node deployments must not share results across nodes, §5.2).
+struct CachedResult {
+  sql::ResultSet result;
+  VersionVector version;
+  int security_group = 0;
+  int node_id = 0;
+};
+
+/// \brief Byte-accounted LRU key-value store standing in for Memcached:
+/// the paper uses Memcached purely as a get/set result cache with a fixed
+/// memory budget.
+class LruCache {
+ public:
+  /// `capacity_bytes` caps the sum of entry footprints (key + result set).
+  explicit LruCache(size_t capacity_bytes);
+
+  /// Returns the entry or nullptr. A hit refreshes LRU recency.
+  const CachedResult* Get(const std::string& key);
+
+  /// Side-effect-free lookup: no recency update, no hit/miss accounting.
+  /// Used by the §5.1 redundancy check, which must not perturb the cache.
+  const CachedResult* Peek(const std::string& key) const;
+
+  bool Contains(const std::string& key) const { return map_.count(key) > 0; }
+
+  /// Inserts or replaces; evicts LRU entries to fit. An entry larger than
+  /// the whole cache is dropped immediately.
+  void Put(const std::string& key, CachedResult value);
+
+  /// Removes an entry if present; returns whether it existed.
+  bool Erase(const std::string& key);
+
+  void Clear();
+
+  size_t entry_count() const { return map_.size(); }
+  size_t used_bytes() const { return used_bytes_; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    CachedResult value;
+    size_t bytes;
+  };
+  using EntryList = std::list<Entry>;
+
+  size_t EntryBytes(const std::string& key, const CachedResult& value) const;
+  void EvictToFit(size_t incoming_bytes);
+
+  size_t capacity_bytes_;
+  size_t used_bytes_ = 0;
+  EntryList lru_;  // front = most recent
+  std::unordered_map<std::string, EntryList::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace chrono::cache
+
+#endif  // CHRONOCACHE_CACHE_LRU_CACHE_H_

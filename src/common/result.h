@@ -1,0 +1,63 @@
+#ifndef CHRONOCACHE_COMMON_RESULT_H_
+#define CHRONOCACHE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace chrono {
+
+/// \brief A value-or-Status holder (StatusOr idiom). Either holds a T
+/// (status is OK) or a non-OK Status describing the failure.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+  /*implicit*/ Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status to the caller.
+#define CHRONO_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto CHRONO_CONCAT_(res_, __LINE__) = (expr);     \
+  if (!CHRONO_CONCAT_(res_, __LINE__).ok())         \
+    return CHRONO_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(CHRONO_CONCAT_(res_, __LINE__)).value()
+
+#define CHRONO_CONCAT_INNER_(a, b) a##b
+#define CHRONO_CONCAT_(a, b) CHRONO_CONCAT_INNER_(a, b)
+
+}  // namespace chrono
+
+#endif  // CHRONOCACHE_COMMON_RESULT_H_

@@ -1,0 +1,58 @@
+#ifndef CHRONOCACHE_COMMON_RNG_H_
+#define CHRONOCACHE_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace chrono {
+
+/// \brief Deterministic pseudo-random number generator (xoshiro256**).
+/// Every simulated client and workload generator owns a seeded Rng so
+/// experiments are bit-reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform in [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double NextDouble();
+
+  /// Returns true with the given probability in [0, 1].
+  bool NextBool(double probability);
+
+  /// Picks an index according to non-negative weights (sum must be > 0).
+  size_t NextWeighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// \brief Zipf(rho) distribution over [0, n). Used for the Wikipedia
+/// workload's page popularity (paper uses Zipf with rho = 1).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double rho);
+
+  /// Draws a rank in [0, n); rank 0 is the most popular item.
+  uint64_t Next(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double rho_;
+  std::vector<double> cdf_;  // cumulative probabilities, size n (capped)
+};
+
+}  // namespace chrono
+
+#endif  // CHRONOCACHE_COMMON_RNG_H_

@@ -1,0 +1,64 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace chrono {
+
+namespace {
+
+// Two-sided 95% Student-t critical values for n-1 degrees of freedom,
+// index = dof (0 unused). Beyond 30 dof we use the normal approximation.
+constexpr double kT95[] = {0,     12.706, 4.303, 3.182, 2.776, 2.571, 2.447,
+                           2.365, 2.306,  2.262, 2.228, 2.201, 2.179, 2.160,
+                           2.145, 2.131,  2.120, 2.110, 2.101, 2.093, 2.086,
+                           2.080, 2.074,  2.069, 2.064, 2.060, 2.056, 2.052,
+                           2.048, 2.045,  2.042};
+
+}  // namespace
+
+double SampleStats::Mean() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleStats::Stddev() const {
+  if (samples_.size() < 2) return 0;
+  double mean = Mean();
+  double ss = 0;
+  for (double x : samples_) ss += (x - mean) * (x - mean);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleStats::Min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Percentile(double q) const {
+  if (samples_.empty()) return 0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+double SampleStats::ConfidenceInterval95() const {
+  size_t n = samples_.size();
+  if (n < 2) return 0;
+  size_t dof = n - 1;
+  double t = dof <= 30 ? kT95[dof] : 1.96;
+  return t * Stddev() / std::sqrt(static_cast<double>(n));
+}
+
+}  // namespace chrono

@@ -1,0 +1,36 @@
+#ifndef CHRONOCACHE_COMMON_STATS_H_
+#define CHRONOCACHE_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace chrono {
+
+/// \brief Streaming accumulator for latency samples: mean, min/max,
+/// percentiles and 95% confidence intervals across repeated runs.
+class SampleStats {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Mean() const;
+  double Stddev() const;  // sample standard deviation (n-1)
+  double Min() const;
+  double Max() const;
+
+  /// q in [0, 1]; e.g. 0.5 for the median, 0.99 for p99.
+  double Percentile(double q) const;
+
+  /// Half-width of the 95% confidence interval for the mean, using
+  /// Student's t critical values for small n (the paper reports 95% CIs
+  /// over five runs).
+  double ConfidenceInterval95() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace chrono
+
+#endif  // CHRONOCACHE_COMMON_STATS_H_

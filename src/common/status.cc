@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace chrono {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kParseError:
+      return "ParseError";
+    case Status::Code::kExecutionError:
+      return "ExecutionError";
+    case Status::Code::kUnsupported:
+      return "Unsupported";
+    case Status::Code::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace chrono

@@ -1,0 +1,69 @@
+#ifndef CHRONOCACHE_COMMON_STATUS_H_
+#define CHRONOCACHE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace chrono {
+
+/// \brief Lightweight status object used for error propagation across module
+/// boundaries (RocksDB idiom). Functions that can fail return a Status (or a
+/// Result<T>, see result.h) instead of throwing exceptions.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kParseError,
+    kExecutionError,
+    kUnsupported,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(Code::kParseError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(Code::kExecutionError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(Code::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" form for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define CHRONO_RETURN_NOT_OK(expr)             \
+  do {                                         \
+    ::chrono::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace chrono
+
+#endif  // CHRONOCACHE_COMMON_STATUS_H_

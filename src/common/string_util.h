@@ -1,0 +1,27 @@
+#ifndef CHRONOCACHE_COMMON_STRING_UTIL_H_
+#define CHRONOCACHE_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chrono {
+
+/// FNV-1a 64-bit hash; used for query-template fingerprints and cache keys.
+uint64_t Fnv1aHash(std::string_view s);
+
+/// Joins pieces with the given separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// ASCII lower-casing (SQL keywords are case-insensitive).
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// True if both strings are equal ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace chrono
+
+#endif  // CHRONOCACHE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,32 @@
+#ifndef CHRONOCACHE_CORE_COMBINER_LATERAL_H_
+#define CHRONOCACHE_CORE_COMBINER_LATERAL_H_
+
+#include "common/result.h"
+#include "core/combiner_cte.h"
+
+namespace chrono::core {
+
+/// \brief §4.2: combines a ready dependency graph using lateral derived
+/// tables. Handles the broader query class (aggregates, ORDER BY, LIMIT,
+/// DISTINCT) that the CTE-join strategy cannot: each query becomes a
+/// LATERAL subquery over its dependency queries with mapped parameters
+/// substituted by outer column references, and ChronoCache induces its own
+/// candidate keys by adding ROW_NUMBER() OVER () to every derived table.
+/// Queries at the same topological height are aligned by joining on their
+/// row numbers.
+class LateralUnionCombiner {
+ public:
+  /// Applicability: SELECT-only nodes with explicit select lists and a
+  /// single dependency root.
+  static bool CanHandle(const CombineInput& in);
+
+  static Result<CombinedQuery> Combine(const CombineInput& in);
+};
+
+/// Strategy selection (§4): CTE-join wherever possible, lateral union as
+/// the fallback for the broader query class.
+Result<CombinedQuery> CombineGraph(const CombineInput& in);
+
+}  // namespace chrono::core
+
+#endif  // CHRONOCACHE_CORE_COMBINER_LATERAL_H_

@@ -1,0 +1,99 @@
+#ifndef CHRONOCACHE_CORE_DEPENDENCY_GRAPH_H_
+#define CHRONOCACHE_CORE_DEPENDENCY_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/transition_graph.h"
+
+namespace chrono::core {
+
+/// \brief One column-to-parameter mapping carried by a dependency edge:
+/// the value of `src_column` in the source query's result set supplies the
+/// destination query's parameter at position `dst_param` (§2.1.1).
+struct ParamBinding {
+  std::string src_column;
+  int dst_param = 0;
+
+  bool operator==(const ParamBinding& o) const {
+    return src_column == o.src_column && dst_param == o.dst_param;
+  }
+  bool operator<(const ParamBinding& o) const {
+    if (src_column != o.src_column) return src_column < o.src_column;
+    return dst_param < o.dst_param;
+  }
+};
+
+/// \brief A directed dependency edge: src's result set provides input
+/// parameter(s) of dst.
+struct DepEdge {
+  TemplateId src = 0;
+  TemplateId dst = 0;
+  std::vector<ParamBinding> bindings;  // kept sorted
+};
+
+/// \brief Role of a node within a dependency graph.
+enum class NodeRole {
+  /// Text must arrive from the client before the graph can fire (§3):
+  /// some parameters are not determined by other queries in the graph.
+  kDependency,
+  /// All parameters are covered by in-graph mappings; predicted and
+  /// prefetched by the combiner.
+  kPredicted,
+  /// In-loop query with per-loop constants (§2.2): parameters not covered
+  /// by mappings become known from the loop's first observed iteration.
+  kLoopConstant,
+};
+
+/// \brief A dependency graph (§2.1.1): templates plus parameter-sharing
+/// edges, with loop-constant markings from the loop detector (§2.2).
+struct DependencyGraph {
+  std::vector<TemplateId> nodes;            // sorted, unique
+  std::vector<DepEdge> edges;               // sorted by (src, dst)
+  std::map<TemplateId, int> param_counts;   // per node
+  std::set<TemplateId> loop_marked;         // per-loop-constant queries
+
+  /// Parameter positions of `node` covered by incoming edges.
+  std::set<int> CoveredParams(TemplateId node) const;
+
+  NodeRole RoleOf(TemplateId node) const;
+
+  /// Nodes whose text must be supplied by the client before firing:
+  /// kDependency nodes plus kLoopConstant nodes (the latter must observe
+  /// one loop iteration, §2.2).
+  std::vector<TemplateId> TextDependencies() const;
+
+  /// kDependency nodes only (the roots the table is keyed by).
+  std::vector<TemplateId> DependencyQueries() const;
+
+  /// Topological order over edges (dependencies first). Returns empty if
+  /// the graph is cyclic (invalid).
+  std::vector<TemplateId> TopologicalOrder() const;
+
+  /// Containment-based subsumption (§3): this graph subsumes `other` iff it
+  /// contains all of other's nodes, edges and bindings — except that a graph
+  /// with loop-constant dependencies never subsumes (nor is subsumed by) one
+  /// without, because loop-constant graphs must wait for a loop iteration.
+  bool Subsumes(const DependencyGraph& other) const;
+
+  /// Stable identity used for exact-duplicate detection in the manager.
+  std::string CanonicalKey() const;
+
+  /// Sorts nodes/edges/bindings into canonical order. Call after building.
+  void Normalize();
+
+  bool ContainsNode(TemplateId node) const;
+
+  /// Graphviz rendering for debugging/inspection: nodes labelled with their
+  /// role (loop-constant nodes dashed), edges with their column->parameter
+  /// bindings. `labels` optionally maps template ids to display names.
+  std::string ToDot(
+      const std::map<TemplateId, std::string>& labels = {}) const;
+};
+
+}  // namespace chrono::core
+
+#endif  // CHRONOCACHE_CORE_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,62 @@
+#ifndef CHRONOCACHE_CORE_LOOP_DETECTOR_H_
+#define CHRONOCACHE_CORE_LOOP_DETECTOR_H_
+
+#include <vector>
+
+#include "core/dependency_graph.h"
+#include "core/param_mapper.h"
+#include "core/template_registry.h"
+#include "core/transition_graph.h"
+
+namespace chrono::core {
+
+/// Tarjan's strongly-connected-components algorithm [41] over an explicit
+/// edge list. Returns components in reverse topological order; every node
+/// appears in exactly one component (singletons included).
+std::vector<std::vector<TemplateId>> StronglyConnectedComponents(
+    const std::vector<TemplateId>& nodes,
+    const std::vector<std::pair<TemplateId, TemplateId>>& edges);
+
+/// \brief Extracts dependency graphs from a client's query transition graph
+/// and confirmed parameter mappings — both the simple chains of §2.1 and
+/// the loop structures of §2.2 (SCCs over the τ-pruned graph whose nodes
+/// each take a mapping from a source query outside the component).
+class GraphExtractor {
+ public:
+  struct Options {
+    double tau = 0.8;
+    /// Minimum occurrences of the destination template before extraction;
+    /// keeps one-off coincidental matches out of the dependency table.
+    uint64_t min_occurrences = 3;
+    /// Disable to model Apollo/Scalpel variants that cannot exploit loops.
+    bool enable_loops = true;
+    /// Disable to model Scalpel variants without per-loop-constant support:
+    /// a loop whose member needs an unmapped constant is rejected outright.
+    bool enable_loop_constants = true;
+    /// Safety cap on graph size.
+    size_t max_nodes = 8;
+  };
+
+  explicit GraphExtractor(Options options) : options_(options) {}
+
+  /// Extracts all currently visible dependency graphs for one client.
+  std::vector<DependencyGraph> Extract(const TransitionGraph& transitions,
+                                       const ParamMapper& mapper,
+                                       const TemplateRegistry& registry) const;
+
+ private:
+  void ExtractSimple(const TransitionGraph& transitions,
+                     const ParamMapper& mapper,
+                     const TemplateRegistry& registry,
+                     std::vector<DependencyGraph>* out) const;
+  void ExtractLoops(const TransitionGraph& transitions,
+                    const ParamMapper& mapper,
+                    const TemplateRegistry& registry,
+                    std::vector<DependencyGraph>* out) const;
+
+  Options options_;
+};
+
+}  // namespace chrono::core
+
+#endif  // CHRONOCACHE_CORE_LOOP_DETECTOR_H_

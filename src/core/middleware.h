@@ -1,0 +1,258 @@
+#ifndef CHRONOCACHE_CORE_MIDDLEWARE_H_
+#define CHRONOCACHE_CORE_MIDDLEWARE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/lru_cache.h"
+#include "core/combiner_lateral.h"
+#include "core/dependency_manager.h"
+#include "core/loop_detector.h"
+#include "core/param_mapper.h"
+#include "core/result_splitter.h"
+#include "core/session.h"
+#include "core/template_registry.h"
+#include "core/transition_graph.h"
+#include "db/database.h"
+#include "net/latency_model.h"
+#include "sim/event_queue.h"
+#include "sim/resource.h"
+
+namespace chrono::core {
+
+/// \brief The systems compared in the paper's evaluation (§6), implemented
+/// as configurations of the same middleware — exactly the paper's
+/// apples-to-apples methodology.
+enum class SystemMode {
+  kLru,       // plain LRU result cache, no prediction
+  kApollo,    // online learning, sequential (uncombined) predictions, no loops
+  kScalpelE,  // combining + loops, no per-loop constants, per-client cache
+  kScalpelCC, // Scalpel-E plus ChronoCache's shared client caching
+  kChrono,    // the full system
+};
+
+const char* SystemModeName(SystemMode mode);
+
+/// \brief Tuning and ablation knobs for one middleware node.
+struct MiddlewareConfig {
+  SystemMode mode = SystemMode::kChrono;
+  double tau = 0.8;                           // temporal correlation threshold
+  SimTime delta_t = 200 * kMicrosPerMilli;    // Δt correlation window
+  size_t cache_bytes = 64ull << 20;
+  int node_id = 0;
+  bool multi_node = false;                    // §5.2 multi-node session rule
+  int workers = 8;                            // middleware worker pool
+  uint64_t min_occurrences = 3;               // extraction threshold
+  int min_validations = 2;                    // mapping confirmation threshold
+  size_t extract_every = 4;                   // model-mining cadence
+  bool enable_subsumption = true;             // §3 redundancy elimination
+  bool enable_redundancy_check = true;        // §5.1 cached-prediction skip
+
+  // Capability switches derived from `mode` by Finalize(); individual
+  // flags can be overridden afterwards for ablation studies.
+  bool enable_learning = true;
+  bool enable_loops = true;
+  bool enable_loop_constants = true;
+  bool enable_combining = true;
+  bool share_across_clients = true;
+
+  /// Applies the capability profile of `mode` to the switches.
+  void Finalize();
+};
+
+/// \brief The simulated remote database server: the shared SQL engine
+/// fronted by a WAN link and a finite worker pool. Statements execute at
+/// dispatch time (virtual order) and are charged service time proportional
+/// to rows touched.
+class RemoteDbServer {
+ public:
+  RemoteDbServer(EventQueue* events, db::Database* database,
+                 const net::LatencyModel& latency, int workers);
+
+  using DbCallback = std::function<void(SimTime, Result<db::ExecOutcome>)>;
+
+  /// Submits SQL text from a middleware node; `done` fires when the
+  /// response arrives back at the node (WAN + queue + service).
+  void Submit(std::string sql_text, DbCallback done);
+
+  uint64_t requests() const { return requests_; }
+  uint64_t rows_scanned() const { return rows_scanned_; }
+  SimTime busy_time() const { return busy_time_; }
+
+ private:
+  struct Job {
+    std::string sql;
+    DbCallback done;
+  };
+  void TryDispatch();
+
+  EventQueue* events_;
+  db::Database* database_;
+  net::LatencyModel latency_;
+  int workers_;
+  int busy_ = 0;
+  std::deque<Job> waiting_;
+  uint64_t requests_ = 0;
+  uint64_t rows_scanned_ = 0;
+  SimTime busy_time_ = 0;
+};
+
+/// \brief Per-node middleware metrics surfaced to the experiment harness.
+struct MiddlewareMetrics {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t cache_hits = 0;          // client reads answered from the cache
+  uint64_t cache_rejects = 0;       // present but failed session/security
+  uint64_t remote_plain = 0;        // uncombined remote reads
+  uint64_t remote_combined = 0;     // combined queries submitted
+  uint64_t predictions_cached = 0;  // result sets cached ahead of time
+  uint64_t prediction_fallbacks = 0;  // combined result missed our query
+  uint64_t redundant_skips = 0;     // §5.1 suppressed combinations
+  uint64_t inflight_joins = 0;      // §5.1 duplicate-request coalescing
+  uint64_t sequential_prefetches = 0;  // Apollo-style predictions
+  uint64_t cascaded_fires = 0;      // graphs fired by split_mark_text_avail
+
+  double CacheHitRate() const {
+    return reads == 0 ? 0 : static_cast<double>(cache_hits) /
+                                static_cast<double>(reads);
+  }
+};
+
+/// \brief One ChronoCache middleware node (Fig. 2): accepts client query
+/// text, learns the client's query patterns online, predictively combines
+/// and prefetches query results, and serves results from the edge cache
+/// under session semantics. Runs entirely in virtual time on the shared
+/// EventQueue.
+class Middleware {
+ public:
+  using ResponseCallback =
+      std::function<void(SimTime now, const Result<sql::ResultSet>&)>;
+
+  Middleware(EventQueue* events, RemoteDbServer* remote,
+             const net::LatencyModel& latency, MiddlewareConfig config);
+
+  /// Client entry point: submit one SQL statement. `done` fires when the
+  /// response reaches the client (includes all edge/WAN latency).
+  void SubmitQuery(ClientId client, int security_group, std::string sql_text,
+                   ResponseCallback done);
+
+  const MiddlewareMetrics& metrics() const { return metrics_; }
+  const cache::LruCache& cache() const { return *cache_; }
+  const MiddlewareConfig& config() const { return config_; }
+  SessionManager* sessions() { return &sessions_; }
+
+  /// Dependency-graph count across clients (learning progress probe).
+  size_t TotalGraphs() const;
+
+  /// Graphviz renderings of one client's learned dependency graphs, with
+  /// nodes labelled by their template text (inspection/debugging surface).
+  std::vector<std::string> DumpDependencyGraphs(ClientId client) const;
+
+ private:
+  struct ClientState {
+    std::unique_ptr<TransitionGraph> transitions;
+    ParamMapper mapper;
+    DependencyManager manager;
+    std::map<TemplateId, std::vector<sql::Value>> latest_params;
+    uint64_t observations = 0;
+
+    ClientState(const MiddlewareConfig& config);
+  };
+
+  struct PendingRequest {
+    ClientId client;
+    ResponseCallback done;
+  };
+
+  /// Bookkeeping for an in-flight request key: what query it stands for.
+  struct InflightInfo {
+    TemplateId tmpl = 0;
+    std::string bound_text;
+    int security_group = 0;
+  };
+
+  ClientState* StateFor(ClientId client);
+  std::string CacheKey(ClientId client, const std::string& bound_text) const;
+
+  void Process(SimTime now, ClientId client, int security_group,
+               std::string sql_text, ResponseCallback done);
+  void HandleWrite(ClientId client, sql::ParsedQuery parsed,
+                   ResponseCallback done);
+  void HandleRead(SimTime now, ClientId client, int security_group,
+                  sql::ParsedQuery parsed, ResponseCallback done);
+
+  /// Fires one ready dependency graph (combined strategy). Returns true if
+  /// a combined query was launched and will satisfy `wait_key` (when
+  /// non-empty the arriving client waits for it). `cascade_depth` tracks
+  /// Algorithm 1's split_mark_text_avail recursion: prefetched results may
+  /// make further graphs ready (§5 asynchronous execution), bounded to
+  /// avoid self-sustaining cascades.
+  bool FireGraph(ClientId client, int security_group,
+                 const DependencyGraph& graph, const std::string& wait_key,
+                 int cascade_depth = 0);
+
+  /// Algorithm 1 line 7: a prefetched result's text/params arrived — mark
+  /// readiness and fire any graphs it completed.
+  void SplitMarkTextAvail(ClientId client, int security_group,
+                          TemplateId tmpl,
+                          const std::vector<sql::Value>& params,
+                          int cascade_depth);
+
+  /// Apollo-style sequential prediction: uncombined background queries.
+  void FireSequential(ClientId client, int security_group,
+                      const DependencyGraph& graph);
+
+  /// §5.1: true if every result the graph would prefetch is already cached.
+  bool PredictionsCached(ClientId client, int security_group,
+                         const DependencyGraph& graph);
+
+  /// Answers (or re-issues) the waiters parked under an in-flight key
+  /// after a combined query completes.
+  void ResolveInflight(const std::string& key);
+
+  /// Executes `sql` remotely and caches it under `key` for the client.
+  void RemotePlain(ClientId client, int security_group, TemplateId tmpl,
+                   std::string bound_text, ResponseCallback done);
+
+  void Respond(ClientId client, TemplateId tmpl, const sql::ResultSet& result,
+               const ResponseCallback& done);
+
+  /// Cache write with session/security tagging.
+  void CachePut(ClientId client, int security_group, TemplateId tmpl,
+                const std::string& bound_text, const sql::ResultSet& result);
+
+  /// Cache read honouring session semantics + security groups. Returns
+  /// nullptr on miss or rejection.
+  const cache::CachedResult* CacheGet(ClientId client, int security_group,
+                                      const std::string& bound_text);
+
+  void Learn(SimTime now, ClientId client, const sql::ParsedQuery& parsed);
+
+  EventQueue* events_;
+  RemoteDbServer* remote_;
+  net::LatencyModel latency_;
+  MiddlewareConfig config_;
+  std::unique_ptr<cache::LruCache> cache_;
+  Resource mw_pool_;
+  SessionManager sessions_;
+  TemplateRegistry registry_;
+  GraphExtractor extractor_;
+  std::unordered_map<ClientId, std::unique_ptr<ClientState>> clients_;
+  // §5.1 duplicate-request coalescing: cache key -> waiters.
+  std::unordered_map<std::string, std::vector<PendingRequest>> inflight_;
+  std::unordered_map<std::string, InflightInfo> inflight_tmpl_;
+  // Sequential (Apollo-style) predictions deferred until the in-flight
+  // query they bind from completes: cache key -> (security group, graph).
+  std::unordered_map<std::string, std::vector<std::pair<int, DependencyGraph>>>
+      deferred_seq_;
+  MiddlewareMetrics metrics_;
+};
+
+}  // namespace chrono::core
+
+#endif  // CHRONOCACHE_CORE_MIDDLEWARE_H_

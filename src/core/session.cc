@@ -1,0 +1,83 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+namespace chrono::core {
+
+int SessionManager::RelationId(const std::string& name) {
+  auto it = relation_ids_.find(name);
+  if (it != relation_ids_.end()) return it->second;
+  int id = static_cast<int>(vd_.size());
+  relation_ids_.emplace(name, id);
+  vd_.push_back(1);  // §5.2: versions start at 1
+  return id;
+}
+
+std::vector<uint64_t>& SessionManager::ClientVector(ClientId client) {
+  auto& vc = vc_[client];
+  if (vc.size() < vd_.size()) vc.resize(vd_.size(), 0);
+  return vc;
+}
+
+void SessionManager::OnClientWrite(ClientId client,
+                                   const std::vector<std::string>& writes) {
+  auto& vc = ClientVector(client);
+  for (const auto& rel : writes) {
+    int id = RelationId(rel);
+    ++vd_[static_cast<size_t>(id)];
+    if (vc.size() < vd_.size()) vc.resize(vd_.size(), 0);
+    vc[static_cast<size_t>(id)] = vd_[static_cast<size_t>(id)];
+  }
+}
+
+void SessionManager::OnRemoteAccess() {
+  if (!multi_node_) return;
+  for (auto& v : vd_) ++v;
+}
+
+cache::VersionVector SessionManager::SnapshotFor(
+    const std::vector<std::string>& reads) {
+  cache::VersionVector out;
+  out.reserve(reads.size());
+  for (const auto& rel : reads) {
+    int id = RelationId(rel);
+    out.emplace_back(id, vd_[static_cast<size_t>(id)]);
+  }
+  return out;
+}
+
+void SessionManager::SyncClientToDb(ClientId client) {
+  auto& vc = ClientVector(client);
+  vc = vd_;
+}
+
+bool SessionManager::CanUse(ClientId client,
+                            const cache::VersionVector& vr) const {
+  auto it = vc_.find(client);
+  if (it == vc_.end()) return true;  // fresh client: any snapshot works
+  const auto& vc = it->second;
+  for (const auto& [rel, version] : vr) {
+    uint64_t client_v =
+        static_cast<size_t>(rel) < vc.size() ? vc[static_cast<size_t>(rel)] : 0;
+    if (version < client_v) return false;
+  }
+  return true;
+}
+
+void SessionManager::AbsorbResult(ClientId client,
+                                  const cache::VersionVector& vr) {
+  auto& vc = ClientVector(client);
+  for (const auto& [rel, version] : vr) {
+    if (static_cast<size_t>(rel) >= vc.size()) vc.resize(vd_.size(), 0);
+    vc[static_cast<size_t>(rel)] =
+        std::max(vc[static_cast<size_t>(rel)], version);
+  }
+}
+
+uint64_t SessionManager::VersionOf(const std::string& relation) const {
+  auto it = relation_ids_.find(relation);
+  if (it == relation_ids_.end()) return 0;
+  return vd_[static_cast<size_t>(it->second)];
+}
+
+}  // namespace chrono::core

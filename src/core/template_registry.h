@@ -1,0 +1,38 @@
+#ifndef CHRONOCACHE_CORE_TEMPLATE_REGISTRY_H_
+#define CHRONOCACHE_CORE_TEMPLATE_REGISTRY_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/transition_graph.h"
+#include "sql/template.h"
+
+namespace chrono::core {
+
+/// \brief Shared store of query templates seen by a middleware node, keyed
+/// by template id. Templates are immutable once registered.
+class TemplateRegistry {
+ public:
+  /// Registers (or re-uses) the template; returns its id.
+  TemplateId Register(std::shared_ptr<const sql::QueryTemplate> tmpl) {
+    TemplateId id = tmpl->id;
+    templates_.emplace(id, std::move(tmpl));
+    return id;
+  }
+
+  /// Returns the template or nullptr.
+  const sql::QueryTemplate* Find(TemplateId id) const {
+    auto it = templates_.find(id);
+    return it == templates_.end() ? nullptr : it->second.get();
+  }
+
+  size_t size() const { return templates_.size(); }
+
+ private:
+  std::unordered_map<TemplateId, std::shared_ptr<const sql::QueryTemplate>>
+      templates_;
+};
+
+}  // namespace chrono::core
+
+#endif  // CHRONOCACHE_CORE_TEMPLATE_REGISTRY_H_

@@ -1,0 +1,102 @@
+#include "core/transition_graph.h"
+
+#include <algorithm>
+
+namespace chrono::core {
+
+TransitionGraph::TransitionGraph(SimTime delta_t, size_t window_cap)
+    : delta_t_(delta_t), window_cap_(window_cap) {}
+
+void TransitionGraph::Observe(TemplateId tmpl, SimTime now) {
+  // Expire occurrences that fell out of the Δt window.
+  while (!recent_.empty() && (recent_.front().time < now - delta_t_ ||
+                              recent_.size() >= window_cap_)) {
+    recent_.pop_front();
+  }
+  // Credit this submission as a successor of each live prior occurrence,
+  // at most once per (occurrence, template) pair.
+  for (auto& occ : recent_) {
+    if (std::find(occ.counted.begin(), occ.counted.end(), tmpl) !=
+        occ.counted.end()) {
+      continue;
+    }
+    occ.counted.push_back(tmpl);
+    auto& count = edges_[occ.tmpl][tmpl];
+    if (count == 0) {
+      auto& preds = preds_[tmpl];
+      if (std::find(preds.begin(), preds.end(), occ.tmpl) == preds.end()) {
+        preds.push_back(occ.tmpl);
+      }
+    }
+    ++count;
+  }
+  ++occurrences_[tmpl];
+  recent_.push_back(Occurrence{tmpl, now, {}});
+}
+
+double TransitionGraph::Probability(TemplateId from, TemplateId to) const {
+  auto occ_it = occurrences_.find(from);
+  if (occ_it == occurrences_.end() || occ_it->second == 0) return 0;
+  auto from_it = edges_.find(from);
+  if (from_it == edges_.end()) return 0;
+  auto to_it = from_it->second.find(to);
+  if (to_it == from_it->second.end()) return 0;
+  return static_cast<double>(to_it->second) /
+         static_cast<double>(occ_it->second);
+}
+
+uint64_t TransitionGraph::Occurrences(TemplateId tmpl) const {
+  auto it = occurrences_.find(tmpl);
+  return it == occurrences_.end() ? 0 : it->second;
+}
+
+std::vector<TemplateId> TransitionGraph::CorrelatedSuccessors(
+    TemplateId from, double tau) const {
+  std::vector<TemplateId> out;
+  auto it = edges_.find(from);
+  if (it == edges_.end()) return out;
+  for (const auto& [to, count] : it->second) {
+    (void)count;
+    if (Probability(from, to) >= tau) out.push_back(to);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TemplateId> TransitionGraph::CorrelatedPredecessors(
+    TemplateId tmpl, double tau) const {
+  std::vector<TemplateId> out;
+  auto it = preds_.find(tmpl);
+  if (it == preds_.end()) return out;
+  for (TemplateId p : it->second) {
+    if (Probability(p, tmpl) >= tau) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TemplateId> TransitionGraph::Nodes() const {
+  std::vector<TemplateId> out;
+  out.reserve(occurrences_.size());
+  for (const auto& [tmpl, count] : occurrences_) {
+    (void)count;
+    out.push_back(tmpl);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<TemplateId, TemplateId>> TransitionGraph::TauEdges(
+    double tau) const {
+  std::vector<std::pair<TemplateId, TemplateId>> out;
+  for (const auto& [from, targets] : edges_) {
+    for (const auto& [to, count] : targets) {
+      (void)count;
+      if (Probability(from, to) >= tau) out.emplace_back(from, to);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace chrono::core

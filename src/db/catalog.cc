@@ -1,0 +1,33 @@
+#include "db/catalog.h"
+
+namespace chrono::db {
+
+Result<Table*> Catalog::CreateTable(const std::string& name,
+                                    std::vector<ColumnDef> columns) {
+  if (tables_.count(name) > 0) {
+    return Status::InvalidArgument("table already exists: " + name);
+  }
+  auto table = std::make_unique<Table>(name, std::move(columns));
+  Table* ptr = table.get();
+  relation_ids_[name] = static_cast<int>(names_.size());
+  names_.push_back(name);
+  tables_.emplace(name, std::move(table));
+  return ptr;
+}
+
+Table* Catalog::FindTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+int Catalog::RelationId(const std::string& name) const {
+  auto it = relation_ids_.find(name);
+  return it == relation_ids_.end() ? -1 : it->second;
+}
+
+}  // namespace chrono::db

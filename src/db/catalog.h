@@ -1,0 +1,46 @@
+#ifndef CHRONOCACHE_DB_CATALOG_H_
+#define CHRONOCACHE_DB_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "db/table.h"
+
+namespace chrono::db {
+
+/// \brief Owns the database's tables and assigns each relation a dense
+/// integer id. Relation ids index the version vectors that ChronoCache's
+/// session-semantics layer maintains (§5.2 gives Vd dimension = number of
+/// relations in the schema).
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates a table; fails if the name is taken.
+  Result<Table*> CreateTable(const std::string& name,
+                             std::vector<ColumnDef> columns);
+
+  /// Returns the table or nullptr.
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+
+  /// Dense id of a relation, or -1 if unknown.
+  int RelationId(const std::string& name) const;
+
+  size_t table_count() const { return tables_.size(); }
+  const std::vector<std::string>& table_names() const { return names_; }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, int> relation_ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace chrono::db
+
+#endif  // CHRONOCACHE_DB_CATALOG_H_

@@ -1,0 +1,14 @@
+#include "db/database.h"
+
+#include "sql/parser.h"
+
+namespace chrono::db {
+
+Result<ExecOutcome> Database::ExecuteText(std::string_view sql) {
+  CHRONO_ASSIGN_OR_RETURN(std::unique_ptr<sql::Statement> stmt,
+                          sql::Parse(sql));
+  ++statements_executed_;
+  return executor_.Execute(*stmt);
+}
+
+}  // namespace chrono::db

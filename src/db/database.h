@@ -1,0 +1,46 @@
+#ifndef CHRONOCACHE_DB_DATABASE_H_
+#define CHRONOCACHE_DB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "db/catalog.h"
+#include "db/executor.h"
+
+namespace chrono::db {
+
+/// \brief The "remote database server" role from the paper's architecture:
+/// an ANSI-SQL-subset engine that parses and executes query text. In the
+/// simulation it stands in for PostgreSQL; ChronoCache only ever interacts
+/// with it through SQL strings, exactly as it would over JDBC.
+class Database {
+ public:
+  Database() : executor_(&catalog_) {}
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog* catalog() { return &catalog_; }
+  const Catalog* catalog() const { return &catalog_; }
+
+  /// Parses and executes one SQL statement.
+  Result<ExecOutcome> ExecuteText(std::string_view sql);
+
+  /// Executes a pre-parsed, fully bound statement.
+  Result<ExecOutcome> Execute(const sql::Statement& stmt) {
+    return executor_.Execute(stmt);
+  }
+
+  /// Total statements executed (for load accounting in experiments).
+  uint64_t statements_executed() const { return statements_executed_; }
+
+ private:
+  Catalog catalog_;
+  Executor executor_;
+  uint64_t statements_executed_ = 0;
+};
+
+}  // namespace chrono::db
+
+#endif  // CHRONOCACHE_DB_DATABASE_H_

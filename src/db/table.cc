@@ -1,0 +1,110 @@
+#include "db/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace chrono::db {
+
+Table::Table(std::string name, std::vector<ColumnDef> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    column_index_[columns_[i].name] = static_cast<int>(i);
+  }
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  auto it = column_index_.find(name);
+  return it == column_index_.end() ? -1 : it->second;
+}
+
+Result<int64_t> Table::Insert(sql::Row values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "insert into " + name_ + ": expected " +
+        std::to_string(columns_.size()) + " values, got " +
+        std::to_string(values.size()));
+  }
+  int64_t rowid = next_rowid_++;
+  size_t slot_index = slots_.size();
+  slots_.push_back(Slot{rowid, true, std::move(values)});
+  ++live_count_;
+  ++version_;
+  for (auto& [col, index] : indexes_) {
+    index[IndexKey(slots_[slot_index].values[static_cast<size_t>(col)])]
+        .push_back(slot_index);
+  }
+  return rowid;
+}
+
+void Table::UpdateSlot(size_t slot_index,
+                       const std::vector<std::pair<int, sql::Value>>& changes) {
+  assert(slot_index < slots_.size() && slots_[slot_index].live);
+  Slot& slot = slots_[slot_index];
+  for (const auto& [col, value] : changes) {
+    auto idx_it = indexes_.find(col);
+    if (idx_it != indexes_.end()) {
+      IndexErase(&idx_it->second, IndexKey(slot.values[static_cast<size_t>(col)]),
+                 slot_index);
+      idx_it->second[IndexKey(value)].push_back(slot_index);
+    }
+    slot.values[static_cast<size_t>(col)] = value;
+  }
+  ++version_;
+}
+
+void Table::DeleteSlot(size_t slot_index) {
+  assert(slot_index < slots_.size() && slots_[slot_index].live);
+  Slot& slot = slots_[slot_index];
+  for (auto& [col, index] : indexes_) {
+    IndexErase(&index, IndexKey(slot.values[static_cast<size_t>(col)]),
+               slot_index);
+  }
+  slot.live = false;
+  --live_count_;
+  ++version_;
+}
+
+const std::vector<size_t>& Table::Probe(int column, const sql::Value& key) {
+  EnsureIndex(column);
+  const Index& index = indexes_[column];
+  auto it = index.find(IndexKey(key));
+  if (it == index.end()) return empty_;
+  return it->second;
+}
+
+std::string Table::IndexKey(const sql::Value& v) {
+  // Normalise numerically equal ints/doubles to one key so that index
+  // probes agree with Value::EqualsSql.
+  if (v.type() == sql::Value::Type::kDouble) {
+    double d = v.AsDouble();
+    int64_t i = static_cast<int64_t>(d);
+    if (static_cast<double>(i) == d) return "i:" + std::to_string(i);
+    return "d:" + std::to_string(d);
+  }
+  if (v.type() == sql::Value::Type::kInt) {
+    return "i:" + std::to_string(v.AsInt());
+  }
+  if (v.type() == sql::Value::Type::kString) return "s:" + v.AsString();
+  return "null";
+}
+
+void Table::EnsureIndex(int column) {
+  if (indexes_.count(column) > 0) return;
+  Index index;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].live) continue;
+    index[IndexKey(slots_[i].values[static_cast<size_t>(column)])].push_back(i);
+  }
+  indexes_.emplace(column, std::move(index));
+}
+
+void Table::IndexErase(Index* index, const std::string& key,
+                       size_t slot_index) {
+  auto it = index->find(key);
+  if (it == index->end()) return;
+  auto& vec = it->second;
+  vec.erase(std::remove(vec.begin(), vec.end(), slot_index), vec.end());
+  if (vec.empty()) index->erase(it);
+}
+
+}  // namespace chrono::db

@@ -1,0 +1,87 @@
+#ifndef CHRONOCACHE_DB_TABLE_H_
+#define CHRONOCACHE_DB_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sql/result_set.h"
+#include "sql/value.h"
+
+namespace chrono::db {
+
+/// \brief Column definition. The engine is dynamically typed at execution
+/// time; declared types document intent and validate inserts.
+struct ColumnDef {
+  std::string name;
+  sql::Value::Type type = sql::Value::Type::kInt;
+};
+
+/// \brief An in-memory heap table with stable row slots, monotonically
+/// assigned rowids (exposed to SQL as the hidden `__rowid` column — the
+/// CTE-join combiner uses them as candidate keys, §4.1), and incrementally
+/// maintained per-column hash indexes for point lookups.
+class Table {
+ public:
+  Table(std::string name, std::vector<ColumnDef> columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  int ColumnIndex(const std::string& name) const;
+
+  /// Appends a row; returns its rowid. Row arity must match the schema.
+  Result<int64_t> Insert(sql::Row values);
+
+  /// Number of live rows.
+  size_t row_count() const { return live_count_; }
+
+  /// Monotone version, bumped on every mutation; used by scans/tests.
+  uint64_t version() const { return version_; }
+
+  struct Slot {
+    int64_t rowid;
+    bool live;
+    sql::Row values;
+  };
+  /// All slots (including dead ones — check `live`). Iteration order is
+  /// insertion order, which keeps query results deterministic.
+  const std::vector<Slot>& slots() const { return slots_; }
+
+  /// Updates column values of the slot at `slot_index` (must be live).
+  void UpdateSlot(size_t slot_index,
+                  const std::vector<std::pair<int, sql::Value>>& changes);
+
+  /// Tombstones the slot at `slot_index`.
+  void DeleteSlot(size_t slot_index);
+
+  /// Returns slot indexes whose `column` equals `key` (exact SQL equality).
+  /// Builds the index on first use; maintained incrementally afterwards.
+  const std::vector<size_t>& Probe(int column, const sql::Value& key);
+
+  /// True if an index exists for the column (test/introspection hook).
+  bool HasIndex(int column) const { return indexes_.count(column) > 0; }
+
+ private:
+  using Index = std::unordered_map<std::string, std::vector<size_t>>;
+
+  static std::string IndexKey(const sql::Value& v);
+  void EnsureIndex(int column);
+  void IndexErase(Index* index, const std::string& key, size_t slot_index);
+
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, int> column_index_;
+  std::vector<Slot> slots_;
+  size_t live_count_ = 0;
+  int64_t next_rowid_ = 1;
+  uint64_t version_ = 0;
+  std::unordered_map<int, Index> indexes_;
+  std::vector<size_t> empty_;
+};
+
+}  // namespace chrono::db
+
+#endif  // CHRONOCACHE_DB_TABLE_H_

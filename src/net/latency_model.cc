@@ -1,0 +1,4 @@
+#include "net/latency_model.h"
+
+// LatencyModel is a header-only aggregate; this translation unit exists so
+// the module has a home in the library and a place for future logic.

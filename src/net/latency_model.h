@@ -1,0 +1,43 @@
+#ifndef CHRONOCACHE_NET_LATENCY_MODEL_H_
+#define CHRONOCACHE_NET_LATENCY_MODEL_H_
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+
+namespace chrono::net {
+
+/// \brief Virtual-time latency constants for the simulated deployment.
+/// Defaults mirror the paper's testbed: clients, middleware and Memcached
+/// co-located on the edge (sub-millisecond hops) with the database across a
+/// trans-continental WAN (70 ms round trip, §6.1).
+struct LatencyModel {
+  /// Client <-> middleware/memcached round trip on the edge LAN.
+  SimTime edge_rtt = 500;  // 0.5 ms
+
+  /// Middleware <-> remote database round trip over the WAN.
+  SimTime wan_rtt = 70 * kMicrosPerMilli;  // 70 ms
+
+  /// Database service time: fixed per-statement cost plus per-row cost
+  /// proportional to rows touched by the executor.
+  SimTime db_base_service = 300;   // 0.3 ms
+  SimTime db_per_row = 2;          // 2 us per row scanned
+
+  /// Middleware service time per request (parse, lookup, bookkeeping) and
+  /// per combined-query generation/split. Calibrated to the paper's
+  /// middleware (ANTLR parsing + JDBC marshalling on an m4.4xlarge): a few
+  /// hundred microseconds per request. These charge a middleware node's
+  /// worker pool and produce the saturation behaviour behind Fig. 10c —
+  /// one node saturates near ~150 clients, three nodes spread the load.
+  SimTime mw_base_service = 1000;    // 1 ms
+  SimTime mw_combine_service = 4000;  // 4 ms to combine + split
+
+  /// Database service time for a statement that scanned `rows` rows.
+  SimTime DbServiceTime(uint64_t rows) const {
+    return db_base_service + static_cast<SimTime>(rows) * db_per_row;
+  }
+};
+
+}  // namespace chrono::net
+
+#endif  // CHRONOCACHE_NET_LATENCY_MODEL_H_

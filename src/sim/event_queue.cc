@@ -1,0 +1,39 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace chrono {
+
+void EventQueue::ScheduleAt(SimTime when, Callback cb) {
+  if (when < now_) when = now_;
+  heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::ScheduleAfter(SimTime delay, Callback cb) {
+  assert(delay >= 0);
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+void EventQueue::RunUntil(SimTime until) {
+  while (!heap_.empty() && heap_.top().when <= until) {
+    // priority_queue::top() is const; move out via const_cast on the
+    // callback only after copying the header fields.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ev.cb(now_);
+  }
+  if (now_ < until) now_ = until;
+}
+
+void EventQueue::RunAll() {
+  while (!heap_.empty()) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ev.cb(now_);
+  }
+}
+
+}  // namespace chrono

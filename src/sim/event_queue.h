@@ -1,0 +1,66 @@
+#ifndef CHRONOCACHE_SIM_EVENT_QUEUE_H_
+#define CHRONOCACHE_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace chrono {
+
+/// Virtual time in microseconds since the start of a simulation run.
+using SimTime = int64_t;
+
+constexpr SimTime kMicrosPerMilli = 1000;
+constexpr SimTime kMicrosPerSecond = 1000 * 1000;
+
+/// \brief Deterministic discrete-event simulator core. Events are closures
+/// scheduled at virtual timestamps; ties are broken by insertion order so
+/// runs are bit-reproducible.
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime now)>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` to fire at absolute virtual time `when` (clamped to now).
+  void ScheduleAt(SimTime when, Callback cb);
+
+  /// Schedules `cb` to fire `delay` microseconds from now.
+  void ScheduleAfter(SimTime delay, Callback cb);
+
+  /// Runs events until the queue is empty or virtual time reaches `until`.
+  /// Events scheduled at exactly `until` are executed.
+  void RunUntil(SimTime until);
+
+  /// Runs all pending events to completion.
+  void RunAll();
+
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // tie-break: FIFO among same-time events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace chrono
+
+#endif  // CHRONOCACHE_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,38 @@
+#include "sim/resource.h"
+
+#include <cassert>
+#include <utility>
+
+namespace chrono {
+
+Resource::Resource(EventQueue* queue, int workers)
+    : queue_(queue), workers_(workers) {
+  assert(workers > 0);
+}
+
+void Resource::Submit(SimTime service_time,
+                      std::function<void(SimTime)> done) {
+  Job job{service_time, std::move(done)};
+  if (busy_ < workers_) {
+    StartJob(std::move(job));
+  } else {
+    waiting_.push_back(std::move(job));
+  }
+}
+
+void Resource::StartJob(Job job) {
+  ++busy_;
+  total_busy_time_ += job.service_time;
+  auto done = std::move(job.done);
+  queue_->ScheduleAfter(job.service_time, [this, done](SimTime now) {
+    --busy_;
+    if (!waiting_.empty()) {
+      Job next = std::move(waiting_.front());
+      waiting_.pop_front();
+      StartJob(std::move(next));
+    }
+    done(now);
+  });
+}
+
+}  // namespace chrono

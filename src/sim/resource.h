@@ -1,0 +1,49 @@
+#ifndef CHRONOCACHE_SIM_RESOURCE_H_
+#define CHRONOCACHE_SIM_RESOURCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/event_queue.h"
+
+namespace chrono {
+
+/// \brief A finite-capacity server pool in virtual time (e.g. the database's
+/// worker threads or a middleware node's CPU). Work items queue FIFO when all
+/// workers are busy; this is what produces the contention behaviour behind
+/// the paper's scalability experiment (Fig. 10c).
+class Resource {
+ public:
+  /// `workers` parallel servers draining a shared FIFO queue.
+  Resource(EventQueue* queue, int workers);
+
+  /// Submits a job requiring `service_time` microseconds of a worker.
+  /// `done` fires when the job completes (after queueing + service).
+  void Submit(SimTime service_time, std::function<void(SimTime now)> done);
+
+  int workers() const { return workers_; }
+  int busy() const { return busy_; }
+  size_t queue_length() const { return waiting_.size(); }
+
+  /// Total busy time accumulated across workers (for utilisation reports).
+  SimTime total_busy_time() const { return total_busy_time_; }
+
+ private:
+  struct Job {
+    SimTime service_time;
+    std::function<void(SimTime)> done;
+  };
+
+  void StartJob(Job job);
+
+  EventQueue* queue_;
+  int workers_;
+  int busy_ = 0;
+  SimTime total_busy_time_ = 0;
+  std::deque<Job> waiting_;
+};
+
+}  // namespace chrono
+
+#endif  // CHRONOCACHE_SIM_RESOURCE_H_

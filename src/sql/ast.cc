@@ -1,0 +1,290 @@
+#include "sql/ast.h"
+
+namespace chrono::sql {
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->table = table;
+  out->column = column;
+  out->param_index = param_index;
+  out->bin_op = bin_op;
+  out->un_op = un_op;
+  out->func_name = func_name;
+  out->is_not = is_not;
+  out->children.reserve(children.size());
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+ExprPtr Expr::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::MakeParam(int index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kParam;
+  e->param_index = index;
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->bin_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::MakeUnary(UnOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kUnary;
+  e->un_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Expr::MakeFuncCall(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kFuncCall;
+  e->func_name = std::move(name);
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::MakeStar() {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kStar;
+  return e;
+}
+
+ExprPtr Expr::MakeIsNull(ExprPtr operand, bool is_not) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kIsNull;
+  e->is_not = is_not;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Expr::MakeInList(ExprPtr needle, std::vector<ExprPtr> haystack,
+                         bool is_not) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kInList;
+  e->is_not = is_not;
+  e->children.push_back(std::move(needle));
+  for (auto& h : haystack) e->children.push_back(std::move(h));
+  return e;
+}
+
+ExprPtr Expr::MakeRowNumber() {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kRowNumber;
+  return e;
+}
+
+ExprPtr Expr::MakeCase(std::vector<ExprPtr> branches, ExprPtr otherwise) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kCase;
+  e->children = std::move(branches);
+  if (otherwise) {
+    e->is_not = true;  // marks the trailing ELSE child
+    e->children.push_back(std::move(otherwise));
+  }
+  return e;
+}
+
+TableRef TableRef::Clone() const {
+  TableRef out;
+  out.kind = kind;
+  out.table_name = table_name;
+  out.alias = alias;
+  if (subquery) out.subquery = subquery->Clone();
+  return out;
+}
+
+JoinClause JoinClause::Clone() const {
+  JoinClause out;
+  out.type = type;
+  out.ref = ref.Clone();
+  if (on) out.on = on->Clone();
+  return out;
+}
+
+SelectItem SelectItem::Clone() const {
+  SelectItem out;
+  out.is_star = is_star;
+  out.star_qualifier = star_qualifier;
+  if (expr) out.expr = expr->Clone();
+  out.alias = alias;
+  return out;
+}
+
+OrderItem OrderItem::Clone() const {
+  OrderItem out;
+  out.expr = expr->Clone();
+  out.desc = desc;
+  return out;
+}
+
+CteDef CteDef::Clone() const {
+  CteDef out;
+  out.name = name;
+  out.query = query->Clone();
+  return out;
+}
+
+std::unique_ptr<SelectStmt> SelectStmt::Clone() const {
+  auto out = std::make_unique<SelectStmt>();
+  out->ctes.reserve(ctes.size());
+  for (const auto& c : ctes) out->ctes.push_back(c.Clone());
+  out->distinct = distinct;
+  out->items.reserve(items.size());
+  for (const auto& i : items) out->items.push_back(i.Clone());
+  out->from = from.Clone();
+  out->joins.reserve(joins.size());
+  for (const auto& j : joins) out->joins.push_back(j.Clone());
+  if (where) out->where = where->Clone();
+  out->group_by.reserve(group_by.size());
+  for (const auto& g : group_by) out->group_by.push_back(g->Clone());
+  if (having) out->having = having->Clone();
+  out->order_by.reserve(order_by.size());
+  for (const auto& o : order_by) out->order_by.push_back(o.Clone());
+  out->limit = limit;
+  return out;
+}
+
+std::unique_ptr<InsertStmt> InsertStmt::Clone() const {
+  auto out = std::make_unique<InsertStmt>();
+  out->table = table;
+  out->columns = columns;
+  out->rows.reserve(rows.size());
+  for (const auto& r : rows) {
+    std::vector<ExprPtr> row;
+    row.reserve(r.size());
+    for (const auto& e : r) row.push_back(e->Clone());
+    out->rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::unique_ptr<UpdateStmt> UpdateStmt::Clone() const {
+  auto out = std::make_unique<UpdateStmt>();
+  out->table = table;
+  out->assignments.reserve(assignments.size());
+  for (const auto& [col, e] : assignments) {
+    out->assignments.emplace_back(col, e->Clone());
+  }
+  if (where) out->where = where->Clone();
+  return out;
+}
+
+std::unique_ptr<DeleteStmt> DeleteStmt::Clone() const {
+  auto out = std::make_unique<DeleteStmt>();
+  out->table = table;
+  if (where) out->where = where->Clone();
+  return out;
+}
+
+std::unique_ptr<CreateTableStmt> CreateTableStmt::Clone() const {
+  auto out = std::make_unique<CreateTableStmt>();
+  out->table = table;
+  out->columns = columns;
+  return out;
+}
+
+std::unique_ptr<Statement> Statement::Clone() const {
+  auto out = std::make_unique<Statement>();
+  out->kind = kind;
+  if (select) out->select = select->Clone();
+  if (insert) out->insert = insert->Clone();
+  if (update) out->update = update->Clone();
+  if (del) out->del = del->Clone();
+  if (create) out->create = create->Clone();
+  return out;
+}
+
+std::vector<const Expr*> CollectConjuncts(const Expr* expr) {
+  std::vector<const Expr*> out;
+  if (expr == nullptr) return out;
+  if (expr->kind == Expr::Kind::kBinary && expr->bin_op == BinOp::kAnd) {
+    auto lhs = CollectConjuncts(expr->children[0].get());
+    auto rhs = CollectConjuncts(expr->children[1].get());
+    out.insert(out.end(), lhs.begin(), lhs.end());
+    out.insert(out.end(), rhs.begin(), rhs.end());
+    return out;
+  }
+  out.push_back(expr);
+  return out;
+}
+
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts) {
+  ExprPtr out;
+  for (auto& c : conjuncts) {
+    if (!out) {
+      out = std::move(c);
+    } else {
+      out = Expr::MakeBinary(BinOp::kAnd, std::move(out), std::move(c));
+    }
+  }
+  return out;
+}
+
+void VisitExpr(Expr* expr, const std::function<void(Expr*)>& fn) {
+  if (expr == nullptr) return;
+  fn(expr);
+  for (auto& c : expr->children) VisitExpr(c.get(), fn);
+}
+
+void VisitExprs(SelectStmt* stmt, const std::function<void(Expr*)>& fn) {
+  if (stmt == nullptr) return;
+  for (auto& cte : stmt->ctes) VisitExprs(cte.query.get(), fn);
+  for (auto& item : stmt->items) VisitExpr(item.expr.get(), fn);
+  if (stmt->from.subquery) VisitExprs(stmt->from.subquery.get(), fn);
+  for (auto& join : stmt->joins) {
+    if (join.ref.subquery) VisitExprs(join.ref.subquery.get(), fn);
+    VisitExpr(join.on.get(), fn);
+  }
+  VisitExpr(stmt->where.get(), fn);
+  for (auto& g : stmt->group_by) VisitExpr(g.get(), fn);
+  VisitExpr(stmt->having.get(), fn);
+  for (auto& o : stmt->order_by) VisitExpr(o.expr.get(), fn);
+}
+
+void VisitExprs(Statement* stmt, const std::function<void(Expr*)>& fn) {
+  if (stmt == nullptr) return;
+  switch (stmt->kind) {
+    case Statement::Kind::kSelect:
+      VisitExprs(stmt->select.get(), fn);
+      break;
+    case Statement::Kind::kInsert:
+      for (auto& row : stmt->insert->rows) {
+        for (auto& e : row) VisitExpr(e.get(), fn);
+      }
+      break;
+    case Statement::Kind::kUpdate:
+      for (auto& [col, e] : stmt->update->assignments) {
+        (void)col;
+        VisitExpr(e.get(), fn);
+      }
+      VisitExpr(stmt->update->where.get(), fn);
+      break;
+    case Statement::Kind::kDelete:
+      VisitExpr(stmt->del->where.get(), fn);
+      break;
+  }
+}
+
+}  // namespace chrono::sql

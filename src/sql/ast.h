@@ -1,0 +1,225 @@
+#ifndef CHRONOCACHE_SQL_AST_H_
+#define CHRONOCACHE_SQL_AST_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sql/value.h"
+
+namespace chrono::sql {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+enum class UnOp { kNot, kNeg };
+
+/// \brief A SQL scalar expression node. A single tagged struct (rather than a
+/// class hierarchy) keeps cloning and structural traversal — which the
+/// template extractor and query combiners rely on heavily — simple.
+struct Expr {
+  enum class Kind {
+    kLiteral,    // literal value
+    kColumnRef,  // [table.]column
+    kParam,      // `?` placeholder inside a query template
+    kUnary,      // NOT e, -e
+    kBinary,     // e op e
+    kFuncCall,   // name(args) — aggregates and scalar functions
+    kStar,       // `*` inside COUNT(*)
+    kIsNull,     // e IS [NOT] NULL
+    kInList,     // e IN (v1, v2, ...)
+    kRowNumber,  // ROW_NUMBER() OVER ()
+    kCase,       // CASE WHEN c THEN v ... [ELSE v] END; children are
+                 // (when, then) pairs followed by the optional else
+  };
+
+  Kind kind = Kind::kLiteral;
+  Value literal;                    // kLiteral
+  std::string table;                // kColumnRef qualifier (may be empty)
+  std::string column;               // kColumnRef
+  int param_index = -1;             // kParam: position in the template's
+                                    // ordered parameter list
+  BinOp bin_op = BinOp::kEq;        // kBinary
+  UnOp un_op = UnOp::kNot;          // kUnary
+  std::string func_name;            // kFuncCall (lower-cased)
+  bool is_not = false;              // kIsNull / kInList negation
+  std::vector<ExprPtr> children;    // operands / arguments / IN list
+
+  ExprPtr Clone() const;
+
+  // ---- Factory helpers -----------------------------------------------
+
+  static ExprPtr MakeLiteral(Value v);
+  static ExprPtr MakeColumnRef(std::string table, std::string column);
+  static ExprPtr MakeParam(int index);
+  static ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr MakeUnary(UnOp op, ExprPtr operand);
+  static ExprPtr MakeFuncCall(std::string name, std::vector<ExprPtr> args);
+  static ExprPtr MakeStar();
+  static ExprPtr MakeIsNull(ExprPtr operand, bool is_not);
+  static ExprPtr MakeInList(ExprPtr needle, std::vector<ExprPtr> haystack,
+                            bool is_not);
+  static ExprPtr MakeRowNumber();
+  /// `branches` alternates condition, value; `otherwise` may be null.
+  static ExprPtr MakeCase(std::vector<ExprPtr> branches, ExprPtr otherwise);
+};
+
+struct SelectStmt;
+
+/// \brief One entry in a FROM clause: a base table, a derived table
+/// (subquery), or a LATERAL derived table that may reference columns of
+/// earlier FROM entries.
+struct TableRef {
+  enum class Kind { kNone, kTable, kSubquery, kLateralSubquery };
+
+  Kind kind = Kind::kNone;
+  std::string table_name;  // kTable
+  std::string alias;       // effective name; defaults to table_name
+  std::unique_ptr<SelectStmt> subquery;  // kSubquery / kLateralSubquery
+
+  TableRef() = default;
+  TableRef Clone() const;
+
+  /// Name this relation is referred to by in expressions.
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+struct JoinClause {
+  enum class Type { kInner, kLeft, kCross };
+
+  Type type = Type::kInner;
+  TableRef ref;
+  ExprPtr on;  // null for kCross; LEFT JOIN LATERAL ... ON TRUE has literal
+
+  JoinClause Clone() const;
+};
+
+struct SelectItem {
+  bool is_star = false;          // `*` or `alias.*`
+  std::string star_qualifier;    // non-empty for `alias.*`
+  ExprPtr expr;                  // when !is_star
+  std::string alias;             // output column name override
+
+  SelectItem Clone() const;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool desc = false;
+
+  OrderItem Clone() const;
+};
+
+struct CteDef {
+  std::string name;
+  std::unique_ptr<SelectStmt> query;
+
+  CteDef Clone() const;
+};
+
+/// \brief A SELECT statement, including an optional WITH-clause prefix.
+struct SelectStmt {
+  std::vector<CteDef> ctes;
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  TableRef from;  // kind == kNone when the query has no FROM clause
+  std::vector<JoinClause> joins;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+
+  std::unique_ptr<SelectStmt> Clone() const;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;           // empty = all, in schema order
+  std::vector<std::vector<ExprPtr>> rows;
+
+  std::unique_ptr<InsertStmt> Clone() const;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+
+  std::unique_ptr<UpdateStmt> Clone() const;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;
+
+  std::unique_ptr<DeleteStmt> Clone() const;
+};
+
+/// \brief CREATE TABLE t (col TYPE, ...). Types: INT/BIGINT (integer),
+/// DOUBLE/FLOAT/DECIMAL (floating), TEXT/VARCHAR/STRING (string).
+struct CreateTableStmt {
+  struct Column {
+    std::string name;
+    Value::Type type = Value::Type::kInt;
+  };
+  std::string table;
+  std::vector<Column> columns;
+
+  std::unique_ptr<CreateTableStmt> Clone() const;
+};
+
+/// \brief Any parsed SQL statement.
+struct Statement {
+  enum class Kind { kSelect, kInsert, kUpdate, kDelete, kCreateTable };
+
+  Kind kind = Kind::kSelect;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> del;
+  std::unique_ptr<CreateTableStmt> create;
+
+  std::unique_ptr<Statement> Clone() const;
+
+  bool IsReadOnly() const { return kind == Kind::kSelect; }
+};
+
+/// Splits an AND-conjunction tree into its conjunct list (used by the
+/// combiner to strip/reattach filter predicates). The returned pointers
+/// alias nodes owned by `expr`.
+std::vector<const Expr*> CollectConjuncts(const Expr* expr);
+
+/// Rebuilds an AND tree from owned conjuncts; returns null for empty input.
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts);
+
+/// Visits every expression in the statement (select list, where, group by,
+/// having, order by, nested subqueries/CTEs) in a deterministic left-to-right
+/// order. `fn` may mutate nodes but not reshape the tree.
+void VisitExprs(SelectStmt* stmt, const std::function<void(Expr*)>& fn);
+void VisitExprs(Statement* stmt, const std::function<void(Expr*)>& fn);
+void VisitExpr(Expr* expr, const std::function<void(Expr*)>& fn);
+
+}  // namespace chrono::sql
+
+#endif  // CHRONOCACHE_SQL_AST_H_

@@ -1,0 +1,147 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace chrono::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",   "WHERE",    "AND",    "OR",     "NOT",   "JOIN",
+      "LEFT",   "INNER",  "CROSS",    "ON",     "AS",     "WITH",  "GROUP",
+      "BY",     "ORDER",  "ASC",      "DESC",   "LIMIT",  "LATERAL",
+      "NULL",   "INSERT", "INTO",     "VALUES", "UPDATE", "SET",   "DELETE",
+      "IN",     "IS",     "DISTINCT", "HAVING", "OVER",   "TRUE",  "FALSE",
+      "BETWEEN", "CREATE", "TABLE", "CASE", "WHEN", "THEN", "ELSE", "END",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      std::string word(input.substr(start, i - start));
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        tok.kind = Token::Kind::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.kind = Token::Kind::kIdentifier;
+        tok.text = ToLower(word);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      std::string text(input.substr(start, i - start));
+      if (is_double) {
+        tok.kind = Token::Kind::kDouble;
+        tok.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.kind = Token::Kind::kInt;
+        tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string contents;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {
+            contents += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        contents += input[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.offset));
+      }
+      tok.kind = Token::Kind::kString;
+      tok.text = std::move(contents);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Symbols, longest match first.
+    auto two = input.substr(i, 2);
+    if (two == "<>" || two == "<=" || two == ">=" || two == "!=" ||
+        two == "||") {
+      tok.kind = Token::Kind::kSymbol;
+      tok.text = (two == "!=") ? "<>" : std::string(two);
+      i += 2;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    static const std::string kSingles = "=<>+-*/(),.?;";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.kind = Token::Kind::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      if (tok.text == ";") continue;  // statement terminators are ignored
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.kind = Token::Kind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace chrono::sql

@@ -1,0 +1,24 @@
+#ifndef CHRONOCACHE_SQL_PARSER_H_
+#define CHRONOCACHE_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace chrono::sql {
+
+/// Parses one SQL statement (SELECT / INSERT / UPDATE / DELETE, with optional
+/// WITH prefix on SELECT). Supports the subset ChronoCache's workloads issue
+/// and its combiners generate: select-project-join with inner/left/lateral
+/// joins, aggregates, GROUP BY/HAVING, ORDER BY, LIMIT, CTEs,
+/// ROW_NUMBER() OVER (), IN lists, `?` parameter placeholders, and DML.
+Result<std::unique_ptr<Statement>> Parse(std::string_view sql);
+
+/// Convenience wrapper when the statement is known to be a SELECT.
+Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view sql);
+
+}  // namespace chrono::sql
+
+#endif  // CHRONOCACHE_SQL_PARSER_H_

@@ -1,0 +1,72 @@
+#include "sql/result_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace chrono::sql {
+
+int ResultSet::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const Value& ResultSet::At(size_t row, const std::string& column) const {
+  int idx = ColumnIndex(column);
+  assert(idx >= 0);
+  return rows_[row][static_cast<size_t>(idx)];
+}
+
+size_t ResultSet::ByteSize() const {
+  size_t total = sizeof(ResultSet);
+  for (const auto& c : columns_) total += c.size() + sizeof(std::string);
+  for (const auto& r : rows_) {
+    for (const auto& v : r) total += v.ByteSize();
+  }
+  return total;
+}
+
+bool ResultSet::operator==(const ResultSet& other) const {
+  if (columns_ != other.columns_) return false;
+  if (rows_.size() != other.rows_.size()) return false;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].size() != other.rows_[i].size()) return false;
+    for (size_t j = 0; j < rows_[i].size(); ++j) {
+      if (rows_[i][j] != other.rows_[i][j]) return false;
+    }
+  }
+  return true;
+}
+
+std::string ResultSet::ToString() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& r : rows_) {
+    std::vector<std::string> line;
+    line.reserve(r.size());
+    for (size_t i = 0; i < r.size(); ++i) {
+      line.push_back(r[i].ToDisplayString());
+      if (i < widths.size()) widths[i] = std::max(widths[i], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    out += columns_[i];
+    out.append(widths[i] - columns_[i].size() + 2, ' ');
+  }
+  out += "\n";
+  for (const auto& line : cells) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      out += line[i];
+      if (i < widths.size()) out.append(widths[i] - line[i].size() + 2, ' ');
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace chrono::sql

@@ -1,0 +1,54 @@
+#ifndef CHRONOCACHE_SQL_RESULT_SET_H_
+#define CHRONOCACHE_SQL_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/value.h"
+
+namespace chrono::sql {
+
+/// \brief A materialised query result: named columns plus rows. This is what
+/// the database returns, what ChronoCache caches, and what the result-set
+/// splitter decodes combined results into.
+class ResultSet {
+ public:
+  ResultSet() = default;
+  explicit ResultSet(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::vector<std::string>* mutable_columns() { return &columns_; }
+
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t row_count() const { return rows_.size(); }
+  size_t column_count() const { return columns_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  void AddRow(Row row) { rows_.push_back(std::move(row)); }
+  const Row& row(size_t i) const { return rows_[i]; }
+
+  /// Index of the named column, or -1 if absent. Name match is exact.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Value at (row, named column); asserts the column exists.
+  const Value& At(size_t row, const std::string& column) const;
+
+  /// Approximate footprint in bytes, used for cache size accounting.
+  size_t ByteSize() const;
+
+  /// Structural equality: same columns (names and order) and same rows.
+  bool operator==(const ResultSet& other) const;
+  bool operator!=(const ResultSet& other) const { return !(*this == other); }
+
+  /// Debug rendering as an aligned text table.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace chrono::sql
+
+#endif  // CHRONOCACHE_SQL_RESULT_SET_H_

@@ -1,0 +1,110 @@
+#include "sql/template.h"
+
+#include <set>
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+#include "sql/writer.h"
+
+namespace chrono::sql {
+
+namespace {
+
+void CollectFrom(const SelectStmt& stmt, std::set<std::string>* reads,
+                 std::set<std::string>* cte_names) {
+  std::set<std::string> local_ctes = *cte_names;
+  for (const auto& cte : stmt.ctes) {
+    CollectFrom(*cte.query, reads, &local_ctes);
+    local_ctes.insert(cte.name);
+  }
+  auto visit_ref = [&](const TableRef& ref) {
+    if (ref.kind == TableRef::Kind::kTable) {
+      if (local_ctes.count(ref.table_name) == 0) reads->insert(ref.table_name);
+    } else if (ref.subquery) {
+      CollectFrom(*ref.subquery, reads, &local_ctes);
+    }
+  };
+  if (stmt.from.kind != TableRef::Kind::kNone) visit_ref(stmt.from);
+  for (const auto& join : stmt.joins) visit_ref(join.ref);
+}
+
+}  // namespace
+
+Result<ParsedQuery> AnalyzeQuery(std::string_view text) {
+  CHRONO_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt, Parse(text));
+
+  // Extract literals into parameters, in deterministic traversal order.
+  auto templ_ast = stmt->Clone();
+  std::vector<Value> params;
+  VisitExprs(templ_ast.get(), [&params](Expr* e) {
+    if (e->kind == Expr::Kind::kLiteral) {
+      Value v = std::move(e->literal);
+      e->kind = Expr::Kind::kParam;
+      e->param_index = static_cast<int>(params.size());
+      e->literal = Value();
+      params.push_back(std::move(v));
+    }
+  });
+
+  auto tmpl = std::make_shared<QueryTemplate>();
+  tmpl->canonical_text = WriteStatement(*templ_ast);
+  tmpl->id = Fnv1aHash(tmpl->canonical_text);
+  tmpl->param_count = static_cast<int>(params.size());
+  tmpl->read_only = templ_ast->IsReadOnly();
+  tmpl->ast = std::shared_ptr<const Statement>(std::move(templ_ast));
+
+  ParsedQuery out;
+  out.bound_text = RenderBoundText(*tmpl, params);
+  out.tmpl = std::move(tmpl);
+  out.params = std::move(params);
+  return out;
+}
+
+std::unique_ptr<Statement> BindParams(const Statement& templ,
+                                      const std::vector<Value>& params) {
+  auto bound = templ.Clone();
+  VisitExprs(bound.get(), [&params](Expr* e) {
+    if (e->kind == Expr::Kind::kParam && e->param_index >= 0 &&
+        static_cast<size_t>(e->param_index) < params.size()) {
+      e->literal = params[static_cast<size_t>(e->param_index)];
+      e->kind = Expr::Kind::kLiteral;
+      e->param_index = -1;
+    }
+  });
+  return bound;
+}
+
+std::string RenderBoundText(const QueryTemplate& tmpl,
+                            const std::vector<Value>& params) {
+  auto bound = BindParams(*tmpl.ast, params);
+  return WriteStatement(*bound);
+}
+
+TableAccess CollectTableAccess(const Statement& stmt) {
+  TableAccess out;
+  std::set<std::string> reads;
+  std::set<std::string> empty_ctes;
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      CollectFrom(*stmt.select, &reads, &empty_ctes);
+      break;
+    case Statement::Kind::kInsert:
+      out.writes.push_back(stmt.insert->table);
+      break;
+    case Statement::Kind::kUpdate:
+      out.writes.push_back(stmt.update->table);
+      reads.insert(stmt.update->table);
+      break;
+    case Statement::Kind::kDelete:
+      out.writes.push_back(stmt.del->table);
+      reads.insert(stmt.del->table);
+      break;
+    case Statement::Kind::kCreateTable:
+      out.writes.push_back(stmt.create->table);
+      break;
+  }
+  out.reads.assign(reads.begin(), reads.end());
+  return out;
+}
+
+}  // namespace chrono::sql

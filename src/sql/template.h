@@ -1,0 +1,61 @@
+#ifndef CHRONOCACHE_SQL_TEMPLATE_H_
+#define CHRONOCACHE_SQL_TEMPLATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace chrono::sql {
+
+/// \brief A constant-agnostic representation of a query (§2 of the paper):
+/// the parse tree with every literal replaced by an ordered `?` parameter.
+/// Two query submissions that differ only in constants share a template.
+struct QueryTemplate {
+  uint64_t id = 0;              // FNV-1a hash of canonical_text
+  std::string canonical_text;   // deterministic text with ? placeholders
+  std::shared_ptr<const Statement> ast;  // parameterised parse tree
+  int param_count = 0;
+  bool read_only = true;
+};
+
+/// \brief One concrete query submission: its template plus the literal
+/// values, in template parameter order.
+struct ParsedQuery {
+  std::shared_ptr<const QueryTemplate> tmpl;
+  std::vector<Value> params;
+  /// Canonical bound text — the combiner-independent identity of this exact
+  /// query instance. Cached result sets are keyed by this string (§4.1.1:
+  /// "cached result sets are keyed by the string of the query that would
+  /// have generated them").
+  std::string bound_text;
+};
+
+/// Parses client-submitted SQL and extracts its template: literals become
+/// ordered parameters, the canonical text is rendered and hashed.
+Result<ParsedQuery> AnalyzeQuery(std::string_view text);
+
+/// Replaces kParam nodes with the given literal values (by param_index).
+/// Params beyond the vector's size are left in place.
+std::unique_ptr<Statement> BindParams(const Statement& templ,
+                                      const std::vector<Value>& params);
+
+/// Deterministic text for a template bound with the given parameters.
+std::string RenderBoundText(const QueryTemplate& tmpl,
+                            const std::vector<Value>& params);
+
+/// Base relations a statement reads / writes (used by the session-semantics
+/// version vectors, §5.2). Reads include tables inside CTEs and subqueries.
+struct TableAccess {
+  std::vector<std::string> reads;
+  std::vector<std::string> writes;
+};
+TableAccess CollectTableAccess(const Statement& stmt);
+
+}  // namespace chrono::sql
+
+#endif  // CHRONOCACHE_SQL_TEMPLATE_H_

@@ -1,0 +1,89 @@
+#include "sql/value.h"
+
+#include <cstdio>
+
+namespace chrono::sql {
+
+double Value::AsDouble() const {
+  if (type() == Type::kInt) return static_cast<double>(std::get<int64_t>(data_));
+  return std::get<double>(data_);
+}
+
+bool Value::EqualsSql(const Value& other) const {
+  if (is_null() || other.is_null()) return false;
+  if (type() == Type::kString || other.type() == Type::kString) {
+    if (type() != Type::kString || other.type() != Type::kString) return false;
+    return AsString() == other.AsString();
+  }
+  return AsDouble() == other.AsDouble();
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  if (type() == Type::kString && other.type() == Type::kString) {
+    int c = AsString().compare(other.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (type() == Type::kString) return 1;   // strings sort after numbers
+  if (other.type() == Type::kString) return -1;
+  double a = AsDouble();
+  double b = other.AsDouble();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type() != other.type()) {
+    // Numeric cross-type equality (2 == 2.0) keeps test expectations sane.
+    if ((type() == Type::kInt && other.type() == Type::kDouble) ||
+        (type() == Type::kDouble && other.type() == Type::kInt)) {
+      return AsDouble() == other.AsDouble();
+    }
+    return false;
+  }
+  return data_ == other.data_;
+}
+
+std::string Value::ToSqlLiteral() const {
+  switch (type()) {
+    case Type::kNull:
+      return "NULL";
+    case Type::kInt:
+      return std::to_string(std::get<int64_t>(data_));
+    case Type::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", std::get<double>(data_));
+      std::string s(buf);
+      // Keep a decimal marker so the literal round-trips as a double.
+      if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case Type::kString: {
+      std::string out = "'";
+      for (char c : AsString()) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+  }
+  return "NULL";
+}
+
+std::string Value::ToDisplayString() const {
+  if (type() == Type::kString) return AsString();
+  return ToSqlLiteral();
+}
+
+size_t Value::ByteSize() const {
+  size_t base = sizeof(Value);
+  if (type() == Type::kString) base += AsString().size();
+  return base;
+}
+
+}  // namespace chrono::sql

@@ -1,0 +1,63 @@
+#ifndef CHRONOCACHE_SQL_VALUE_H_
+#define CHRONOCACHE_SQL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace chrono::sql {
+
+/// \brief A single SQL scalar: NULL, 64-bit integer, double, or string.
+/// Dates are represented as integer day numbers by the workloads; the SQL
+/// layer treats them as plain integers.
+class Value {
+ public:
+  enum class Type { kNull = 0, kInt, kDouble, kString };
+
+  Value() : data_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+
+  Type type() const { return static_cast<Type>(data_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const;  // promotes kInt to double
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// True if both values are non-null and equal under SQL `=` semantics
+  /// (ints and doubles compare numerically; strings compare exactly).
+  bool EqualsSql(const Value& other) const;
+
+  /// Three-way comparison for ORDER BY; NULLs sort first. Returns -1/0/1.
+  int Compare(const Value& other) const;
+
+  /// Exact structural equality (NULL == NULL); used by tests and cache keys.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Renders the value as a SQL literal ('quoted' strings, NULL keyword).
+  std::string ToSqlLiteral() const;
+
+  /// Renders the value for display (unquoted strings).
+  std::string ToDisplayString() const;
+
+  /// Approximate in-memory footprint in bytes (for cache accounting).
+  size_t ByteSize() const;
+
+ private:
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+using Row = std::vector<Value>;
+
+}  // namespace chrono::sql
+
+#endif  // CHRONOCACHE_SQL_VALUE_H_

@@ -1,0 +1,21 @@
+#ifndef CHRONOCACHE_SQL_WRITER_H_
+#define CHRONOCACHE_SQL_WRITER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace chrono::sql {
+
+/// Renders an AST back to canonical SQL text. The output is parseable by
+/// Parse() and is deterministic for a given tree, which makes it usable as
+/// both the combined-query text submitted to the database and the canonical
+/// form for query-template fingerprints (`?` placeholders are written for
+/// kParam nodes).
+std::string WriteExpr(const Expr& expr);
+std::string WriteSelect(const SelectStmt& stmt);
+std::string WriteStatement(const Statement& stmt);
+
+}  // namespace chrono::sql
+
+#endif  // CHRONOCACHE_SQL_WRITER_H_

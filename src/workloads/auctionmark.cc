@@ -1,0 +1,164 @@
+#include "workloads/auctionmark.h"
+
+#include <cassert>
+
+namespace chrono::workloads {
+
+using sql::Value;
+
+AuctionMarkWorkload::AuctionMarkWorkload(Config config) : config_(config) {}
+
+void AuctionMarkWorkload::Populate(db::Database* db) {
+  auto* catalog = db->catalog();
+  auto must = [](auto&& result) {
+    assert(result.ok());
+    return std::forward<decltype(result)>(result).value();
+  };
+  using db::ColumnDef;
+  using VT = Value::Type;
+
+  auto* users = must(catalog->CreateTable(
+      "users", {ColumnDef{"u_id", VT::kInt}, ColumnDef{"u_name", VT::kString},
+                ColumnDef{"u_rating", VT::kInt},
+                ColumnDef{"u_balance", VT::kDouble}}));
+  auto* item = must(catalog->CreateTable(
+      "item", {ColumnDef{"i_id", VT::kInt}, ColumnDef{"i_seller", VT::kInt},
+               ColumnDef{"i_name", VT::kString},
+               ColumnDef{"i_current_price", VT::kDouble},
+               ColumnDef{"i_status", VT::kString},
+               ColumnDef{"i_end_date", VT::kInt}}));
+  auto* bid = must(catalog->CreateTable(
+      "bid", {ColumnDef{"b_id", VT::kInt}, ColumnDef{"b_i_id", VT::kInt},
+              ColumnDef{"b_bidder", VT::kInt},
+              ColumnDef{"b_amount", VT::kDouble}}));
+  auto* feedback = must(catalog->CreateTable(
+      "feedback",
+      {ColumnDef{"f_id", VT::kInt}, ColumnDef{"f_seller", VT::kInt},
+       ColumnDef{"f_rating", VT::kInt}, ColumnDef{"f_date", VT::kInt}}));
+
+  Rng rng(config_.seed);
+  for (int64_t u = 0; u < config_.users; ++u) {
+    (void)users->Insert({Value::Int(u),
+                         Value::String("User " + std::to_string(u)),
+                         Value::Int(rng.NextInt(0, 100)),
+                         Value::Double(rng.NextDouble() * 1000)});
+    for (int64_t f = 0; f < config_.feedback_per_user; ++f) {
+      (void)feedback->Insert(
+          {Value::Int(u * config_.feedback_per_user + f), Value::Int(u),
+           Value::Int(rng.NextInt(1, 5)),
+           Value::Int(rng.NextInt(0, 60))});  // day number
+    }
+  }
+  int64_t next_bid = 0;
+  for (int64_t i = 0; i < config_.items; ++i) {
+    (void)item->Insert(
+        {Value::Int(i), Value::Int(rng.NextInt(0, config_.users - 1)),
+         Value::String("Item " + std::to_string(i)),
+         Value::Double(1 + rng.NextDouble() * 100),
+         Value::String(rng.NextBool(0.3) ? "CLOSING" : "OPEN"),
+         Value::Int(rng.NextInt(0, config_.end_dates - 1))});
+    for (int64_t b = 0; b < config_.bids_per_item; ++b) {
+      (void)bid->Insert({Value::Int(next_bid++), Value::Int(i),
+                         Value::Int(rng.NextInt(0, config_.users - 1)),
+                         Value::Double(1 + rng.NextDouble() * 120)});
+    }
+  }
+}
+
+std::unique_ptr<TransactionProgram> AuctionMarkWorkload::NextTransaction(
+    Rng* rng) {
+  // ~85% read mix (§6.5), with queries that rarely repeat exactly.
+  static const std::vector<double> kWeights = {
+      35,  // GetItem
+      20,  // GetUserInfo
+      15,  // SearchItemsBySeller
+      15,  // CloseAuctions (loop + aggregate + per-loop constant)
+      10,  // NewBid (write)
+      5,   // UpdateItem (write)
+  };
+  size_t pick = rng->NextWeighted(kWeights);
+
+  switch (pick) {
+    case 0: {
+      int64_t i = rng->NextInt(0, config_.items - 1);
+      return std::make_unique<LoopTransaction>(
+          "GetItem",
+          Subst("SELECT i_id, i_seller, i_name, i_current_price FROM item "
+                "WHERE i_id = $0",
+                {Lit(i)}),
+          std::vector<LoopTransaction::PerRowQuery>{
+              {"SELECT u_name, u_rating FROM users WHERE u_id = $1",
+               {"i_id", "i_seller"}},
+          });
+    }
+    case 1: {
+      int64_t u = rng->NextInt(0, config_.users - 1);
+      return std::make_unique<LoopTransaction>(
+          "GetUserInfo",
+          Subst("SELECT u_id, u_name, u_rating, u_balance FROM users WHERE "
+                "u_id = $0",
+                {Lit(u)}),
+          std::vector<LoopTransaction::PerRowQuery>{
+              {"SELECT f_rating, f_date FROM feedback WHERE f_seller = $0",
+               {"u_id"}},
+          });
+    }
+    case 2: {
+      int64_t u = rng->NextInt(0, config_.users - 1);
+      return std::make_unique<LoopTransaction>(
+          "SearchItemsBySeller",
+          Subst("SELECT i_id, i_name, i_current_price FROM item WHERE "
+                "i_seller = $0",
+                {Lit(u)}),
+          std::vector<LoopTransaction::PerRowQuery>{});
+    }
+    case 3: {
+      // CloseAuctions: loop over closing items; per item the winning bid
+      // (aggregate) and — per the paper's extension — the seller's average
+      // feedback over the last 30 days (aggregate + per-loop constant).
+      int64_t today = rng->NextInt(30, 60);
+      int64_t end_date = rng->NextInt(0, config_.end_dates - 1);
+      return std::make_unique<LoopTransaction>(
+          "CloseAuctions",
+          Subst("SELECT i_id, i_seller FROM item WHERE i_status = 'CLOSING' "
+                "AND i_end_date = $0",
+                {Lit(end_date)}),
+          std::vector<LoopTransaction::PerRowQuery>{
+              {"SELECT max(b_amount) FROM bid WHERE b_i_id = $0",
+               {"i_id", "i_seller"}},
+              {"SELECT avg(f_rating) FROM feedback WHERE f_seller = $1 AND "
+               "f_date >= $2",
+               {"i_id", "i_seller"}},
+          },
+          std::vector<std::string>{Lit(today - 30)});
+    }
+    case 4: {
+      // NewBid (write): read current price, insert the bid, bump the item.
+      int64_t i = rng->NextInt(0, config_.items - 1);
+      int64_t bidder = rng->NextInt(0, config_.users - 1);
+      int64_t b = 10000000 + rng->NextInt(0, 1000000000);
+      std::string amount = Lit(Value::Double(1 + rng->NextDouble() * 150));
+      return std::make_unique<LoopTransaction>(
+          "NewBid",
+          Subst("SELECT i_current_price FROM item WHERE i_id = $0", {Lit(i)}),
+          std::vector<LoopTransaction::PerRowQuery>{},
+          std::vector<std::string>{},
+          std::vector<std::string>{
+              Subst("INSERT INTO bid (b_id, b_i_id, b_bidder, b_amount) "
+                    "VALUES ($0, $1, $2, $3)",
+                    {Lit(b), Lit(i), Lit(bidder), amount}),
+              Subst("UPDATE item SET i_current_price = $0 WHERE i_id = $1",
+                    {amount, Lit(i)})});
+    }
+    default: {
+      int64_t i = rng->NextInt(0, config_.items - 1);
+      return std::make_unique<LoopTransaction>(
+          "UpdateItem",
+          Subst("UPDATE item SET i_status = 'CLOSING' WHERE i_id = $0",
+                {Lit(i)}),
+          std::vector<LoopTransaction::PerRowQuery>{});
+    }
+  }
+}
+
+}  // namespace chrono::workloads

@@ -1,0 +1,42 @@
+#ifndef CHRONOCACHE_WORKLOADS_AUCTIONMARK_H_
+#define CHRONOCACHE_WORKLOADS_AUCTIONMARK_H_
+
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace chrono::workloads {
+
+/// \brief AuctionMark workload [18]: an online auction site with an 85%
+/// read mix, infrequently repeated point queries (low LRU hit rates,
+/// §6.5), frequent item/bid updates, and the CloseAuctions transaction
+/// extended — as in the paper — with a per-seller average-feedback query
+/// over the last 30 days: an aggregate with a per-loop constant, the
+/// pattern only full ChronoCache can prefetch.
+class AuctionMarkWorkload : public Workload {
+ public:
+  struct Config {
+    int64_t users = 2000;
+    int64_t items = 30000;
+    int64_t bids_per_item = 3;
+    int64_t feedback_per_user = 8;
+    int64_t end_dates = 600;
+    uint64_t seed = 17;
+  };
+
+  AuctionMarkWorkload() : AuctionMarkWorkload(Config{}) {}
+  explicit AuctionMarkWorkload(Config config);
+
+  std::string name() const override { return "auctionmark"; }
+  void Populate(db::Database* db) override;
+  std::unique_ptr<TransactionProgram> NextTransaction(Rng* rng) override;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace chrono::workloads
+
+#endif  // CHRONOCACHE_WORKLOADS_AUCTIONMARK_H_

@@ -1,0 +1,189 @@
+#include "workloads/seats.h"
+
+#include <cassert>
+
+namespace chrono::workloads {
+
+using sql::Value;
+
+SeatsWorkload::SeatsWorkload(Config config) : config_(config) {}
+
+void SeatsWorkload::Populate(db::Database* db) {
+  auto* catalog = db->catalog();
+  auto must = [](auto&& result) {
+    assert(result.ok());
+    return std::forward<decltype(result)>(result).value();
+  };
+  using db::ColumnDef;
+  using VT = Value::Type;
+
+  auto* customer = must(catalog->CreateTable(
+      "customer", {ColumnDef{"c_id", VT::kInt},
+                   ColumnDef{"c_ff_number", VT::kString},
+                   ColumnDef{"c_login", VT::kString},
+                   ColumnDef{"c_balance", VT::kDouble}}));
+  auto* airline = must(catalog->CreateTable(
+      "airline",
+      {ColumnDef{"al_id", VT::kInt}, ColumnDef{"al_name", VT::kString}}));
+  auto* flight = must(catalog->CreateTable(
+      "flight", {ColumnDef{"f_id", VT::kInt}, ColumnDef{"f_route_id", VT::kInt},
+                 ColumnDef{"f_al_id", VT::kInt},
+                 ColumnDef{"f_depart_ap", VT::kString},
+                 ColumnDef{"f_arrive_ap", VT::kString}}));
+  auto* flight_avail = must(catalog->CreateTable(
+      "flight_avail",
+      {ColumnDef{"fa_f_id", VT::kInt}, ColumnDef{"fa_seats_left", VT::kInt}}));
+  auto* flight_price = must(catalog->CreateTable(
+      "flight_price", {ColumnDef{"fp_f_id", VT::kInt},
+                       ColumnDef{"fp_date", VT::kInt},
+                       ColumnDef{"fp_price", VT::kDouble}}));
+  auto* reservation = must(catalog->CreateTable(
+      "reservation", {ColumnDef{"r_id", VT::kInt}, ColumnDef{"r_c_id", VT::kInt},
+                      ColumnDef{"r_f_id", VT::kInt},
+                      ColumnDef{"r_seat", VT::kInt}}));
+  (void)reservation;
+
+  Rng rng(config_.seed);
+  for (int64_t a = 0; a < config_.airlines; ++a) {
+    (void)airline->Insert(
+        {Value::Int(a), Value::String("Airline " + std::to_string(a))});
+  }
+  for (int64_t c = 0; c < config_.customers; ++c) {
+    (void)customer->Insert(
+        {Value::Int(c), Value::String("FF" + std::to_string(c)),
+         Value::String("user" + std::to_string(c)),
+         Value::Double(rng.NextDouble() * 1000)});
+  }
+  for (int64_t f = 0; f < config_.flights; ++f) {
+    int64_t route = f % config_.routes;
+    (void)flight->Insert(
+        {Value::Int(f), Value::Int(route),
+         Value::Int(rng.NextInt(0, config_.airlines - 1)),
+         Value::String("AP" + std::to_string(route * 2)),
+         Value::String("AP" + std::to_string(route * 2 + 1))});
+    (void)flight_avail->Insert(
+        {Value::Int(f), Value::Int(rng.NextInt(10, 200))});
+    for (int64_t d = 0; d < config_.days; ++d) {
+      (void)flight_price->Insert(
+          {Value::Int(f), Value::Int(d),
+           Value::Double(50 + rng.NextDouble() * 400)});
+    }
+  }
+}
+
+std::unique_ptr<TransactionProgram> SeatsWorkload::NextTransaction(Rng* rng) {
+  static const std::vector<double> kWeights = {
+      30,  // FindFlights (loop + per-loop constant date)
+      20,  // CustomerLookup (conditional access paths)
+      15,  // FlightStatus
+      15,  // FindOpenSeats
+      15,  // NewReservation (write)
+      5,   // UpdateCustomer (write)
+  };
+  size_t pick = rng->NextWeighted(kWeights);
+
+  switch (pick) {
+    case 0: {
+      // FindFlights: loop over a route's flights; availability lookup per
+      // flight plus a priced lookup with the per-loop constant date.
+      int64_t route = rng->NextInt(0, config_.routes - 1);
+      int64_t date = rng->NextInt(0, config_.days - 1);
+      return std::make_unique<LoopTransaction>(
+          "FindFlights",
+          Subst("SELECT f_id, f_al_id FROM flight WHERE f_route_id = $0",
+                {Lit(route)}),
+          std::vector<LoopTransaction::PerRowQuery>{
+              {"SELECT fa_seats_left FROM flight_avail WHERE fa_f_id = $0",
+               {"f_id"}},
+              {"SELECT fp_price FROM flight_price WHERE fp_f_id = $0 AND "
+               "fp_date = $2",
+               {"f_id", "f_al_id"}},
+              {"SELECT al_name FROM airline WHERE al_id = $1",
+               {"f_id", "f_al_id"}},
+          },
+          std::vector<std::string>{Lit(date)});
+    }
+    case 1: {
+      // CustomerLookup with conditional access paths (§6.4): the same
+      // logical transaction reaches the customer row three different ways.
+      int64_t c = rng->NextInt(0, config_.customers - 1);
+      double path = rng->NextDouble();
+      std::string driver;
+      if (path < 0.5) {
+        driver = Subst("SELECT c_id, c_balance FROM customer WHERE c_id = $0",
+                       {Lit(c)});
+      } else if (path < 0.8) {
+        driver = Subst(
+            "SELECT c_id, c_balance FROM customer WHERE c_ff_number = $0",
+            {Lit("FF" + std::to_string(c))});
+      } else {
+        driver =
+            Subst("SELECT c_id, c_balance FROM customer WHERE c_login = $0",
+                  {Lit("user" + std::to_string(c))});
+      }
+      return std::make_unique<LoopTransaction>(
+          "CustomerLookup", std::move(driver),
+          std::vector<LoopTransaction::PerRowQuery>{
+              {"SELECT r_f_id, r_seat FROM reservation WHERE r_c_id = $0",
+               {"c_id"}},
+          });
+    }
+    case 2: {
+      int64_t f = rng->NextInt(0, config_.flights - 1);
+      return std::make_unique<LoopTransaction>(
+          "FlightStatus",
+          Subst("SELECT f_id, f_al_id, f_depart_ap, f_arrive_ap FROM flight "
+                "WHERE f_id = $0",
+                {Lit(f)}),
+          std::vector<LoopTransaction::PerRowQuery>{
+              {"SELECT fa_seats_left FROM flight_avail WHERE fa_f_id = $0",
+               {"f_id"}},
+              {"SELECT al_name FROM airline WHERE al_id = $1",
+               {"f_id", "f_al_id"}},
+          });
+    }
+    case 3: {
+      // FindOpenSeats: list a flight's reservations to compute free seats.
+      int64_t f = rng->NextInt(0, config_.flights - 1);
+      return std::make_unique<LoopTransaction>(
+          "FindOpenSeats",
+          Subst("SELECT f_id FROM flight WHERE f_id = $0", {Lit(f)}),
+          std::vector<LoopTransaction::PerRowQuery>{
+              {"SELECT r_seat FROM reservation WHERE r_f_id = $0", {"f_id"}},
+              {"SELECT fa_seats_left FROM flight_avail WHERE fa_f_id = $0",
+               {"f_id"}},
+          });
+    }
+    case 4: {
+      // NewReservation (write): frequent updates to flight availability —
+      // the effect the paper notes reduces shared-caching gains (§6.4).
+      int64_t f = rng->NextInt(0, config_.flights - 1);
+      int64_t c = rng->NextInt(0, config_.customers - 1);
+      int64_t r = 1000000 + rng->NextInt(0, 1000000000);
+      return std::make_unique<LoopTransaction>(
+          "NewReservation",
+          Subst("SELECT fa_seats_left FROM flight_avail WHERE fa_f_id = $0",
+                {Lit(f)}),
+          std::vector<LoopTransaction::PerRowQuery>{},
+          std::vector<std::string>{},
+          std::vector<std::string>{
+              Subst("INSERT INTO reservation (r_id, r_c_id, r_f_id, r_seat) "
+                    "VALUES ($0, $1, $2, $3)",
+                    {Lit(r), Lit(c), Lit(f), Lit(rng->NextInt(1, 200))}),
+              Subst("UPDATE flight_avail SET fa_seats_left = fa_seats_left - "
+                    "1 WHERE fa_f_id = $0",
+                    {Lit(f)})});
+    }
+    default: {
+      int64_t c = rng->NextInt(0, config_.customers - 1);
+      return std::make_unique<LoopTransaction>(
+          "UpdateCustomer",
+          Subst("UPDATE customer SET c_balance = c_balance + $0 WHERE c_id = "
+                "$1",
+                {Lit(Value::Double(rng->NextDouble() * 100)), Lit(c)}),
+          std::vector<LoopTransaction::PerRowQuery>{});
+    }
+  }
+}
+
+}  // namespace chrono::workloads

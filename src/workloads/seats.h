@@ -1,0 +1,41 @@
+#ifndef CHRONOCACHE_WORKLOADS_SEATS_H_
+#define CHRONOCACHE_WORKLOADS_SEATS_H_
+
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace chrono::workloads {
+
+/// \brief SEATS airline-ticketing workload [18]: conditional customer
+/// access paths (id / frequent-flyer / login — the branching patterns of
+/// §6.4), the FindFlights loop over candidate flights with a per-loop
+/// constant travel date, and a 20% booking write mix that frequently
+/// updates the flight-availability table.
+class SeatsWorkload : public Workload {
+ public:
+  struct Config {
+    int64_t customers = 4000;
+    int64_t flights = 4000;
+    int64_t routes = 400;
+    int64_t airlines = 50;
+    int64_t days = 30;
+    uint64_t seed = 13;
+  };
+
+  SeatsWorkload() : SeatsWorkload(Config{}) {}
+  explicit SeatsWorkload(Config config);
+
+  std::string name() const override { return "seats"; }
+  void Populate(db::Database* db) override;
+  std::unique_ptr<TransactionProgram> NextTransaction(Rng* rng) override;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace chrono::workloads
+
+#endif  // CHRONOCACHE_WORKLOADS_SEATS_H_

@@ -1,0 +1,263 @@
+#include "workloads/tpce.h"
+
+#include <cassert>
+
+namespace chrono::workloads {
+
+using sql::Value;
+
+TpceWorkload::TpceWorkload(Config config) : config_(config) {}
+
+void TpceWorkload::Populate(db::Database* db) {
+  auto* catalog = db->catalog();
+  auto must = [](auto&& result) {
+    assert(result.ok());
+    return std::forward<decltype(result)>(result).value();
+  };
+  using db::ColumnDef;
+  using VT = Value::Type;
+
+  auto* security = must(catalog->CreateTable(
+      "security", {ColumnDef{"s_symb", VT::kString},
+                   ColumnDef{"s_name", VT::kString},
+                   ColumnDef{"s_num_out", VT::kInt},
+                   ColumnDef{"s_ex_id", VT::kInt}}));
+  auto* watch_list = must(catalog->CreateTable(
+      "watch_list",
+      {ColumnDef{"wl_id", VT::kInt}, ColumnDef{"wl_c_id", VT::kInt}}));
+  auto* watch_item = must(catalog->CreateTable(
+      "watch_item",
+      {ColumnDef{"wi_wl_id", VT::kInt}, ColumnDef{"wi_s_symb", VT::kString}}));
+  auto* last_trade = must(catalog->CreateTable(
+      "last_trade", {ColumnDef{"lt_s_symb", VT::kString},
+                     ColumnDef{"lt_price", VT::kDouble},
+                     ColumnDef{"lt_vol", VT::kInt}}));
+  auto* daily_market = must(catalog->CreateTable(
+      "daily_market", {ColumnDef{"dm_s_symb", VT::kString},
+                       ColumnDef{"dm_date", VT::kInt},
+                       ColumnDef{"dm_close", VT::kDouble}}));
+  auto* customer = must(catalog->CreateTable(
+      "customer", {ColumnDef{"c_id", VT::kInt}, ColumnDef{"c_name", VT::kString},
+                   ColumnDef{"c_tier", VT::kInt}}));
+  auto* customer_account = must(catalog->CreateTable(
+      "customer_account",
+      {ColumnDef{"ca_id", VT::kInt}, ColumnDef{"ca_c_id", VT::kInt},
+       ColumnDef{"ca_bal", VT::kDouble}}));
+  auto* holding_summary = must(catalog->CreateTable(
+      "holding_summary",
+      {ColumnDef{"hs_ca_id", VT::kInt}, ColumnDef{"hs_s_symb", VT::kString},
+       ColumnDef{"hs_qty", VT::kInt}}));
+  auto* broker = must(catalog->CreateTable(
+      "broker", {ColumnDef{"b_id", VT::kInt}, ColumnDef{"b_name", VT::kString},
+                 ColumnDef{"b_num_trades", VT::kInt},
+                 ColumnDef{"b_comm", VT::kDouble}}));
+  auto* trade = must(catalog->CreateTable(
+      "trade", {ColumnDef{"t_id", VT::kInt}, ColumnDef{"t_ca_id", VT::kInt},
+                ColumnDef{"t_s_symb", VT::kString},
+                ColumnDef{"t_qty", VT::kInt}, ColumnDef{"t_price", VT::kDouble},
+                ColumnDef{"t_status", VT::kString}}));
+
+  Rng rng(config_.seed);
+  auto symb = [](int64_t i) { return "SYM" + std::to_string(i); };
+
+  for (int64_t i = 0; i < config_.securities; ++i) {
+    (void)security->Insert({Value::String(symb(i)),
+                            Value::String("Security " + std::to_string(i)),
+                            Value::Int(1000 + rng.NextInt(0, 100000)),
+                            Value::Int(rng.NextInt(1, 4))});
+    (void)last_trade->Insert({Value::String(symb(i)),
+                              Value::Double(10 + rng.NextDouble() * 90),
+                              Value::Int(rng.NextInt(100, 100000))});
+    for (int64_t d = 0; d < config_.market_days; ++d) {
+      (void)daily_market->Insert({Value::String(symb(i)), Value::Int(d),
+                                  Value::Double(10 + rng.NextDouble() * 90)});
+    }
+  }
+  for (int64_t c = 0; c < config_.customers; ++c) {
+    (void)customer->Insert({Value::Int(c),
+                            Value::String("Customer " + std::to_string(c)),
+                            Value::Int(rng.NextInt(1, 3))});
+    for (int64_t a = 0; a < config_.accounts_per_customer; ++a) {
+      int64_t ca_id = c * config_.accounts_per_customer + a;
+      (void)customer_account->Insert(
+          {Value::Int(ca_id), Value::Int(c),
+           Value::Double(1000 + rng.NextDouble() * 100000)});
+      for (int64_t h = 0; h < config_.holdings_per_account; ++h) {
+        (void)holding_summary->Insert(
+            {Value::Int(ca_id),
+             Value::String(symb(rng.NextInt(0, config_.securities - 1))),
+             Value::Int(rng.NextInt(1, 500))});
+      }
+    }
+  }
+  for (int64_t w = 0; w < config_.watch_lists; ++w) {
+    (void)watch_list->Insert(
+        {Value::Int(w), Value::Int(rng.NextInt(0, config_.customers - 1))});
+    for (int64_t i = 0; i < config_.watch_items_per_list; ++i) {
+      (void)watch_item->Insert(
+          {Value::Int(w),
+           Value::String(symb(rng.NextInt(0, config_.securities - 1)))});
+    }
+  }
+  for (int64_t b = 0; b < config_.brokers; ++b) {
+    (void)broker->Insert({Value::Int(b),
+                          Value::String("Broker " + std::to_string(b)),
+                          Value::Int(rng.NextInt(10, 1000)),
+                          Value::Double(rng.NextDouble() * 100000)});
+  }
+  for (int64_t t = 0; t < config_.trades; ++t) {
+    (void)trade->Insert(
+        {Value::Int(t),
+         Value::Int(rng.NextInt(
+             0, config_.customers * config_.accounts_per_customer - 1)),
+         Value::String(symb(rng.NextInt(0, config_.securities - 1))),
+         Value::Int(rng.NextInt(1, 500)),
+         Value::Double(10 + rng.NextDouble() * 90),
+         Value::String("CMPT")});
+  }
+}
+
+std::unique_ptr<TransactionProgram> TpceWorkload::NextTransaction(Rng* rng) {
+  // Approximate TPC-E mix: ~75% read-only (§6 "Workloads").
+  static const std::vector<double> kWeights = {
+      18,  // MarketWatch
+      15,  // CustomerPosition
+      20,  // TradeStatus
+      12,  // BrokerVolume
+      10,  // SecurityDetail
+      10,  // TradeOrder (write)
+      8,   // MarketFeed (write)
+      7,   // TradeUpdate (write)
+  };
+  size_t pick = rng->NextWeighted(kWeights);
+  auto symb = [this, rng]() {
+    return Lit("SYM" + std::to_string(rng->NextInt(0, config_.securities - 1)));
+  };
+
+  switch (pick) {
+    case 0: {
+      // Market-Watch (Figs. 1 and 4): watch-list loop with the per-loop
+      // constant dm_date predicate.
+      int64_t wl = rng->NextInt(0, config_.watch_lists - 1);
+      int64_t date = rng->NextInt(0, config_.market_days - 1);
+      return std::make_unique<LoopTransaction>(
+          "MarketWatch",
+          Subst("SELECT wi_s_symb FROM watch_item WHERE wi_wl_id = $0",
+                {Lit(wl)}),
+          std::vector<LoopTransaction::PerRowQuery>{
+              {"SELECT s_num_out FROM security WHERE s_symb = $0",
+               {"wi_s_symb"}},
+              {"SELECT dm_close FROM daily_market WHERE dm_s_symb = $0 AND "
+               "dm_date = $1",
+               {"wi_s_symb"}},
+          },
+          std::vector<std::string>{Lit(date)});
+    }
+    case 1: {
+      // Customer-Position: accounts -> holdings -> last-trade price, a
+      // two-level loop hierarchy (§2.1's hierarchical dependency graphs).
+      int64_t c = rng->NextInt(0, config_.customers - 1);
+      return std::make_unique<NestedLoopTransaction>(
+          "CustomerPosition",
+          Subst("SELECT ca_id, ca_bal FROM customer_account WHERE ca_c_id = "
+                "$0",
+                {Lit(c)}),
+          LoopTransaction::PerRowQuery{
+              "SELECT hs_s_symb, hs_qty FROM holding_summary WHERE hs_ca_id "
+              "= $0",
+              {"ca_id"}},
+          std::vector<LoopTransaction::PerRowQuery>{
+              {"SELECT lt_price FROM last_trade WHERE lt_s_symb = $0",
+               {"hs_s_symb"}},
+          });
+    }
+    case 2: {
+      // Trade-Status: ORDER BY/LIMIT driver — only combinable via the
+      // lateral-union strategy (§4.2).
+      int64_t ca = rng->NextInt(
+          0, config_.customers * config_.accounts_per_customer - 1);
+      return std::make_unique<LoopTransaction>(
+          "TradeStatus",
+          Subst("SELECT t_id, t_s_symb, t_qty, t_status FROM trade WHERE "
+                "t_ca_id = $0 ORDER BY t_id DESC LIMIT 5",
+                {Lit(ca)}),
+          std::vector<LoopTransaction::PerRowQuery>{
+              {"SELECT s_name FROM security WHERE s_symb = $0", {"t_s_symb"}},
+          });
+    }
+    case 3: {
+      int64_t b = rng->NextInt(0, config_.brokers - 1);
+      return std::make_unique<LoopTransaction>(
+          "BrokerVolume",
+          Subst("SELECT b_name, b_num_trades, b_comm FROM broker WHERE b_id "
+                "= $0",
+                {Lit(b)}),
+          std::vector<LoopTransaction::PerRowQuery>{});
+    }
+    case 4: {
+      // Security-Detail: point lookups plus a bounded history scan.
+      std::string s = symb();
+      return std::make_unique<LoopTransaction>(
+          "SecurityDetail",
+          Subst("SELECT s_name, s_num_out, s_ex_id FROM security WHERE "
+                "s_symb = $0",
+                {s}),
+          std::vector<LoopTransaction::PerRowQuery>{},
+          std::vector<std::string>{},
+          std::vector<std::string>{
+              Subst("SELECT dm_date, dm_close FROM daily_market WHERE "
+                    "dm_s_symb = $0 AND dm_date >= 0 ORDER BY dm_date LIMIT 5",
+                    {s}),
+              Subst("SELECT lt_price, lt_vol FROM last_trade WHERE lt_s_symb "
+                    "= $0",
+                    {s})});
+    }
+    case 5: {
+      // Trade-Order (write): reads then an insert + balance update.
+      int64_t ca = rng->NextInt(
+          0, config_.customers * config_.accounts_per_customer - 1);
+      std::string s = symb();
+      int64_t tid = 1000000 + rng->NextInt(0, 1000000000);
+      return std::make_unique<LoopTransaction>(
+          "TradeOrder",
+          Subst("SELECT ca_bal FROM customer_account WHERE ca_id = $0",
+                {Lit(ca)}),
+          std::vector<LoopTransaction::PerRowQuery>{},
+          std::vector<std::string>{},
+          std::vector<std::string>{
+              Subst("SELECT lt_price FROM last_trade WHERE lt_s_symb = $0",
+                    {s}),
+              Subst("INSERT INTO trade (t_id, t_ca_id, t_s_symb, t_qty, "
+                    "t_price, t_status) VALUES ($0, $1, $2, $3, $4, 'PNDG')",
+                    {Lit(tid), Lit(ca), s, Lit(rng->NextInt(1, 200)),
+                     Lit(Value::Double(10 + rng->NextDouble() * 90))}),
+              Subst("UPDATE customer_account SET ca_bal = ca_bal - $0 WHERE "
+                    "ca_id = $1",
+                    {Lit(Value::Double(rng->NextDouble() * 500)), Lit(ca)})});
+    }
+    case 6: {
+      // Market-Feed (write): ticker update.
+      return std::make_unique<LoopTransaction>(
+          "MarketFeed",
+          Subst("UPDATE last_trade SET lt_price = $0, lt_vol = lt_vol + $1 "
+                "WHERE lt_s_symb = $2",
+                {Lit(Value::Double(10 + rng->NextDouble() * 90)),
+                 Lit(rng->NextInt(1, 100)), symb()}),
+          std::vector<LoopTransaction::PerRowQuery>{});
+    }
+    default: {
+      // Trade-Update (write): status flip on a recent trade.
+      int64_t t = rng->NextInt(0, config_.trades - 1);
+      return std::make_unique<LoopTransaction>(
+          "TradeUpdate",
+          Subst("SELECT t_qty, t_price FROM trade WHERE t_id = $0", {Lit(t)}),
+          std::vector<LoopTransaction::PerRowQuery>{},
+          std::vector<std::string>{},
+          std::vector<std::string>{
+              Subst("UPDATE trade SET t_status = 'CMPT' WHERE t_id = $0",
+                    {Lit(t)})});
+    }
+  }
+}
+
+}  // namespace chrono::workloads

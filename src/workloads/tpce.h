@@ -1,0 +1,46 @@
+#ifndef CHRONOCACHE_WORKLOADS_TPCE_H_
+#define CHRONOCACHE_WORKLOADS_TPCE_H_
+
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace chrono::workloads {
+
+/// \brief Scaled-down TPC-E brokerage workload [15] reproducing the query
+/// patterns the paper exploits: the Market-Watch transaction's loop over a
+/// watch list (Fig. 1) including the per-loop-constant `dm_date` predicate
+/// (Fig. 4), Customer-Position's two-level loop hierarchy, Trade-Status's
+/// ORDER BY/LIMIT driver (exercising the lateral-union strategy), plus a
+/// ~25% write mix (Trade-Order, Market-Feed, Trade-Update).
+class TpceWorkload : public Workload {
+ public:
+  struct Config {
+    int64_t customers = 1000;
+    int64_t securities = 5000;
+    int64_t watch_lists = 2000;
+    int64_t watch_items_per_list = 12;  // loop length (paper: ~100)
+    int64_t accounts_per_customer = 2;
+    int64_t holdings_per_account = 4;
+    int64_t trades = 8000;
+    int64_t brokers = 50;
+    int64_t market_days = 30;
+    uint64_t seed = 7;
+  };
+
+  TpceWorkload() : TpceWorkload(Config{}) {}
+  explicit TpceWorkload(Config config);
+
+  std::string name() const override { return "tpce"; }
+  void Populate(db::Database* db) override;
+  std::unique_ptr<TransactionProgram> NextTransaction(Rng* rng) override;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace chrono::workloads
+
+#endif  // CHRONOCACHE_WORKLOADS_TPCE_H_

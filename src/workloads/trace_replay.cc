@@ -1,0 +1,121 @@
+#include "workloads/trace_replay.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace chrono::workloads {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+/// Replays a fixed statement list.
+class ReplayTransaction : public TransactionProgram {
+ public:
+  explicit ReplayTransaction(const std::vector<std::string>* statements)
+      : statements_(statements) {}
+
+  std::optional<std::string> Next(const sql::ResultSet* /*prev*/) override {
+    if (index_ >= statements_->size()) return std::nullopt;
+    return (*statements_)[index_++];
+  }
+  const char* name() const override { return "TraceReplay"; }
+
+ private:
+  const std::vector<std::string>* statements_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<TraceReplayWorkload>> TraceReplayWorkload::FromString(
+    const std::string& trace_text) {
+  auto workload =
+      std::unique_ptr<TraceReplayWorkload>(new TraceReplayWorkload());
+
+  enum class Section { kNone, kSetup, kTxn };
+  Section section = Section::kNone;
+  std::istringstream in(trace_text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed.rfind("--", 0) == 0) {
+      std::string directive = Trim(trimmed.substr(2));
+      if (directive == "SETUP") {
+        section = Section::kSetup;
+      } else if (directive == "TXN") {
+        section = Section::kTxn;
+        workload->transactions_.emplace_back();
+      } else {
+        // Plain SQL comment: ignore.
+      }
+      continue;
+    }
+    // Strip a trailing semicolon; the lexer also tolerates it.
+    if (!trimmed.empty() && trimmed.back() == ';') {
+      trimmed = Trim(trimmed.substr(0, trimmed.size() - 1));
+      if (trimmed.empty()) continue;
+    }
+    switch (section) {
+      case Section::kNone:
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": statement before any -- SETUP / -- TXN directive");
+      case Section::kSetup:
+        workload->setup_.push_back(trimmed);
+        break;
+      case Section::kTxn:
+        workload->transactions_.back().push_back(trimmed);
+        break;
+    }
+  }
+  // Drop empty transaction blocks.
+  auto& txns = workload->transactions_;
+  txns.erase(std::remove_if(txns.begin(), txns.end(),
+                            [](const auto& t) { return t.empty(); }),
+             txns.end());
+  if (txns.empty()) {
+    return Status::InvalidArgument("trace contains no -- TXN blocks");
+  }
+  return workload;
+}
+
+Result<std::unique_ptr<TraceReplayWorkload>> TraceReplayWorkload::FromFile(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open trace file: " + path);
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return FromString(contents.str());
+}
+
+void TraceReplayWorkload::Populate(db::Database* db) {
+  for (const auto& stmt : setup_) {
+    auto outcome = db->ExecuteText(stmt);
+    if (!outcome.ok()) {
+      // Setup failures are programming errors in the trace; surface loudly.
+      std::fprintf(stderr, "trace setup failed: %s\n  %s\n",
+                   outcome.status().ToString().c_str(), stmt.c_str());
+    }
+  }
+}
+
+std::unique_ptr<TransactionProgram> TraceReplayWorkload::NextTransaction(
+    Rng* rng) {
+  size_t pick = static_cast<size_t>(rng->NextBounded(transactions_.size()));
+  return std::make_unique<ReplayTransaction>(&transactions_[pick]);
+}
+
+}  // namespace chrono::workloads

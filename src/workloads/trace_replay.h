@@ -1,0 +1,56 @@
+#ifndef CHRONOCACHE_WORKLOADS_TRACE_REPLAY_H_
+#define CHRONOCACHE_WORKLOADS_TRACE_REPLAY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workloads/workload.h"
+
+namespace chrono::workloads {
+
+/// \brief Bring-your-own-workload: replays SQL transaction traces through
+/// the middleware. Trace format (one statement per line, `;` optional):
+///
+///     # comment
+///     -- SETUP            (DDL + initial data, executed once by Populate)
+///     CREATE TABLE t (id bigint, name text);
+///     INSERT INTO t VALUES (1, 'a');
+///     -- TXN              (each block is one transaction type)
+///     SELECT name FROM t WHERE id = 1;
+///     SELECT id FROM t WHERE name = 'a';
+///     -- TXN
+///     UPDATE t SET name = 'b' WHERE id = 1;
+///
+/// NextTransaction draws transaction blocks uniformly at random. Statements
+/// replay verbatim (no result-driven parameters), which is exactly what a
+/// captured production trace provides; ChronoCache's learning still
+/// discovers the data dependencies between the recorded statements.
+class TraceReplayWorkload : public Workload {
+ public:
+  /// Parses trace text. Fails if no `-- TXN` block is present.
+  static Result<std::unique_ptr<TraceReplayWorkload>> FromString(
+      const std::string& trace_text);
+
+  /// Reads and parses a trace file.
+  static Result<std::unique_ptr<TraceReplayWorkload>> FromFile(
+      const std::string& path);
+
+  std::string name() const override { return "trace_replay"; }
+  void Populate(db::Database* db) override;
+  std::unique_ptr<TransactionProgram> NextTransaction(Rng* rng) override;
+
+  size_t transaction_type_count() const { return transactions_.size(); }
+  size_t setup_statement_count() const { return setup_.size(); }
+
+ private:
+  TraceReplayWorkload() = default;
+
+  std::vector<std::string> setup_;
+  std::vector<std::vector<std::string>> transactions_;
+};
+
+}  // namespace chrono::workloads
+
+#endif  // CHRONOCACHE_WORKLOADS_TRACE_REPLAY_H_

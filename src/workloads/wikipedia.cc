@@ -1,0 +1,150 @@
+#include "workloads/wikipedia.h"
+
+#include <cassert>
+
+namespace chrono::workloads {
+
+using sql::Value;
+
+WikipediaWorkload::WikipediaWorkload(Config config)
+    : config_(config),
+      zipf_(static_cast<uint64_t>(config.pages), config.zipf_rho) {}
+
+void WikipediaWorkload::Populate(db::Database* db) {
+  auto* catalog = db->catalog();
+  auto must = [](auto&& result) {
+    assert(result.ok());
+    return std::forward<decltype(result)>(result).value();
+  };
+  using db::ColumnDef;
+  using VT = Value::Type;
+
+  auto* page = must(catalog->CreateTable(
+      "page", {ColumnDef{"page_id", VT::kInt},
+               ColumnDef{"page_namespace", VT::kInt},
+               ColumnDef{"page_title", VT::kString},
+               ColumnDef{"page_latest", VT::kInt}}));
+  auto* page_restrictions = must(catalog->CreateTable(
+      "page_restrictions",
+      {ColumnDef{"pr_page", VT::kInt}, ColumnDef{"pr_type", VT::kString}}));
+  auto* revision = must(catalog->CreateTable(
+      "revision", {ColumnDef{"rev_id", VT::kInt},
+                   ColumnDef{"rev_page", VT::kInt},
+                   ColumnDef{"rev_text_id", VT::kInt},
+                   ColumnDef{"rev_user", VT::kInt}}));
+  auto* text = must(catalog->CreateTable(
+      "text", {ColumnDef{"old_id", VT::kInt},
+               ColumnDef{"old_text", VT::kString}}));
+  auto* useracct = must(catalog->CreateTable(
+      "useracct", {ColumnDef{"user_id", VT::kInt},
+                   ColumnDef{"user_name", VT::kString},
+                   ColumnDef{"user_touched", VT::kInt}}));
+  auto* watchlist = must(catalog->CreateTable(
+      "watchlist",
+      {ColumnDef{"wl_user", VT::kInt}, ColumnDef{"wl_title", VT::kString}}));
+
+  Rng rng(config_.seed);
+  for (int64_t p = 0; p < config_.pages; ++p) {
+    int64_t rev_id = p * 10 + 1;
+    int64_t text_id = rev_id;
+    (void)page->Insert({Value::Int(p), Value::Int(0),
+                        Value::String("Page_" + std::to_string(p)),
+                        Value::Int(rev_id)});
+    (void)revision->Insert({Value::Int(rev_id), Value::Int(p),
+                            Value::Int(text_id), Value::Int(rng.NextInt(
+                                0, config_.users - 1))});
+    (void)text->Insert({Value::Int(text_id),
+                        Value::String("Lorem ipsum content of page " +
+                                      std::to_string(p))});
+    if (rng.NextBool(0.1)) {
+      (void)page_restrictions->Insert(
+          {Value::Int(p), Value::String("edit=sysop")});
+    }
+  }
+  for (int64_t u = 0; u < config_.users; ++u) {
+    (void)useracct->Insert({Value::Int(u),
+                            Value::String("User_" + std::to_string(u)),
+                            Value::Int(rng.NextInt(0, 1000000))});
+    if (u % 5 == 0) {
+      (void)watchlist->Insert(
+          {Value::Int(u),
+           Value::String("Page_" + std::to_string(
+                             rng.NextInt(0, config_.pages - 1)))});
+    }
+  }
+}
+
+std::unique_ptr<TransactionProgram> WikipediaWorkload::NextTransaction(
+    Rng* rng) {
+  // 92% read-only (GetPageAnonymous dominates, with a slice of
+  // authenticated page views), 8% UpdatePage (§6.3 / [18]).
+  double pick = rng->NextDouble();
+  bool update = pick < 0.08;
+  bool authenticated = pick >= 0.08 && pick < 0.20;
+  int64_t p = static_cast<int64_t>(zipf_.Next(rng));
+  std::string title = Lit("Page_" + std::to_string(p));
+
+  if (authenticated) {
+    // GetPageAuthenticated: the page chain plus the logged-in user's row
+    // and watchlist check — an extra dependency root per transaction.
+    int64_t u = rng->NextInt(0, config_.users - 1);
+    return std::make_unique<LoopTransaction>(
+        "GetPageAuthenticated",
+        Subst("SELECT page_id, page_latest FROM page WHERE page_namespace = "
+              "0 AND page_title = $0",
+              {title}),
+        std::vector<LoopTransaction::PerRowQuery>{
+            {"SELECT rev_id, rev_text_id, rev_user FROM revision WHERE "
+             "rev_page = $0 AND rev_id = $1",
+             {"page_id", "page_latest"}},
+            {"SELECT old_text FROM text WHERE old_id = $1",
+             {"page_id", "page_latest"}},
+        },
+        std::vector<std::string>{},
+        std::vector<std::string>{
+            Subst("SELECT user_name, user_touched FROM useracct WHERE "
+                  "user_id = $0",
+                  {Lit(u)}),
+            Subst("SELECT wl_title FROM watchlist WHERE wl_user = $0",
+                  {Lit(u)})});
+  }
+  if (!update) {
+    // GetPageAnonymous: page lookup, restrictions, then the dependent
+    // revision + text chain (a three-level dependency hierarchy).
+    return std::make_unique<LoopTransaction>(
+        "GetPageAnonymous",
+        Subst("SELECT page_id, page_latest FROM page WHERE page_namespace = "
+              "0 AND page_title = $0",
+              {title}),
+        std::vector<LoopTransaction::PerRowQuery>{
+            {"SELECT pr_type FROM page_restrictions WHERE pr_page = $0",
+             {"page_id"}},
+            {"SELECT rev_id, rev_text_id, rev_user FROM revision WHERE "
+             "rev_page = $0 AND rev_id = $1",
+             {"page_id", "page_latest"}},
+            {"SELECT old_text FROM text WHERE old_id = $1",
+             {"page_id", "page_latest"}},
+        });
+  }
+
+  // UpdatePage: bump page_latest and insert the new revision + text.
+  int64_t new_rev = 10000000 + rng->NextInt(0, 1000000000);
+  int64_t user = rng->NextInt(0, config_.users - 1);
+  return std::make_unique<LoopTransaction>(
+      "UpdatePage",
+      Subst("SELECT page_id, page_latest FROM page WHERE page_namespace = 0 "
+            "AND page_title = $0",
+            {title}),
+      std::vector<LoopTransaction::PerRowQuery>{},
+      std::vector<std::string>{},
+      std::vector<std::string>{
+          Subst("INSERT INTO text (old_id, old_text) VALUES ($0, 'edit')",
+                {Lit(new_rev)}),
+          Subst("INSERT INTO revision (rev_id, rev_page, rev_text_id, "
+                "rev_user) VALUES ($0, $1, $0, $2)",
+                {Lit(new_rev), Lit(p), Lit(user)}),
+          Subst("UPDATE page SET page_latest = $0 WHERE page_id = $1",
+                {Lit(new_rev), Lit(p)})});
+}
+
+}  // namespace chrono::workloads

@@ -1,0 +1,39 @@
+#ifndef CHRONOCACHE_WORKLOADS_WIKIPEDIA_H_
+#define CHRONOCACHE_WORKLOADS_WIKIPEDIA_H_
+
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace chrono::workloads {
+
+/// \brief Wikipedia workload [18]: dominated (92%) by the
+/// GetPageAnonymous transaction — a chain of dependent point lookups
+/// (page -> restrictions/revision -> text) over pages drawn from a
+/// Zipf(rho=1) popularity distribution, plus an 8% page-update write mix.
+class WikipediaWorkload : public Workload {
+ public:
+  struct Config {
+    int64_t pages = 20000;  // paper: 100,000 (scaled)
+    int64_t users = 10000;  // paper: 200,000 (scaled)
+    double zipf_rho = 1.0;
+    uint64_t seed = 11;
+  };
+
+  WikipediaWorkload() : WikipediaWorkload(Config{}) {}
+  explicit WikipediaWorkload(Config config);
+
+  std::string name() const override { return "wikipedia"; }
+  void Populate(db::Database* db) override;
+  std::unique_ptr<TransactionProgram> NextTransaction(Rng* rng) override;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  ZipfGenerator zipf_;
+};
+
+}  // namespace chrono::workloads
+
+#endif  // CHRONOCACHE_WORKLOADS_WIKIPEDIA_H_

@@ -1,0 +1,181 @@
+#include "workloads/workload.h"
+
+#include <cassert>
+
+namespace chrono::workloads {
+
+std::string Lit(const sql::Value& v) { return v.ToSqlLiteral(); }
+std::string Lit(int64_t v) { return std::to_string(v); }
+std::string Lit(const std::string& v) {
+  return sql::Value::String(v).ToSqlLiteral();
+}
+
+std::string Subst(const std::string& pattern,
+                  const std::vector<std::string>& args) {
+  std::string out;
+  out.reserve(pattern.size() + 16);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i] == '$' && i + 1 < pattern.size() &&
+        pattern[i + 1] >= '0' && pattern[i + 1] <= '9') {
+      size_t idx = static_cast<size_t>(pattern[i + 1] - '0');
+      assert(idx < args.size());
+      out += args[idx];
+      ++i;
+      continue;
+    }
+    out += pattern[i];
+  }
+  return out;
+}
+
+LoopTransaction::LoopTransaction(const char* name, std::string driver_sql,
+                                 std::vector<PerRowQuery> per_row,
+                                 std::vector<std::string> loop_constants,
+                                 std::vector<std::string> trailing)
+    : name_(name),
+      driver_sql_(std::move(driver_sql)),
+      per_row_(std::move(per_row)),
+      loop_constants_(std::move(loop_constants)),
+      trailing_(std::move(trailing)) {}
+
+std::optional<std::string> LoopTransaction::Next(const sql::ResultSet* prev) {
+  switch (phase_) {
+    case Phase::kDriver:
+      phase_ = Phase::kLoop;
+      return driver_sql_;
+    case Phase::kLoop: {
+      if (row_ == 0 && query_in_row_ == 0) {
+        // `prev` is the driver's result set.
+        if (prev != nullptr) driver_result_ = *prev;
+      }
+      while (row_ < driver_result_.row_count()) {
+        if (query_in_row_ >= per_row_.size()) {
+          query_in_row_ = 0;
+          ++row_;
+          continue;
+        }
+        const PerRowQuery& q = per_row_[query_in_row_];
+        ++query_in_row_;
+        std::vector<std::string> args;
+        bool ok = true;
+        for (const auto& col : q.driver_columns) {
+          int idx = driver_result_.ColumnIndex(col);
+          if (idx < 0) {
+            ok = false;
+            break;
+          }
+          args.push_back(
+              Lit(driver_result_.row(row_)[static_cast<size_t>(idx)]));
+        }
+        if (!ok) continue;
+        for (const auto& c : loop_constants_) args.push_back(c);
+        return Subst(q.pattern, args);
+      }
+      phase_ = Phase::kTrailing;
+      [[fallthrough]];
+    }
+    case Phase::kTrailing:
+      if (trailing_index_ < trailing_.size()) {
+        return trailing_[trailing_index_++];
+      }
+      phase_ = Phase::kDone;
+      return std::nullopt;
+    case Phase::kDone:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+NestedLoopTransaction::NestedLoopTransaction(
+    const char* name, std::string driver_sql,
+    LoopTransaction::PerRowQuery level1,
+    std::vector<LoopTransaction::PerRowQuery> level2,
+    std::vector<std::string> loop_constants)
+    : name_(name),
+      driver_sql_(std::move(driver_sql)),
+      level1_(std::move(level1)),
+      level2_(std::move(level2)),
+      loop_constants_(std::move(loop_constants)) {}
+
+std::optional<std::string> NestedLoopTransaction::IssueLevel1() {
+  while (driver_row_ < driver_result_.row_count()) {
+    std::vector<std::string> args;
+    bool ok = true;
+    for (const auto& col : level1_.driver_columns) {
+      int idx = driver_result_.ColumnIndex(col);
+      if (idx < 0) {
+        ok = false;
+        break;
+      }
+      args.push_back(
+          Lit(driver_result_.row(driver_row_)[static_cast<size_t>(idx)]));
+    }
+    if (!ok) {
+      ++driver_row_;
+      continue;
+    }
+    for (const auto& c : loop_constants_) args.push_back(c);
+    phase_ = Phase::kLevel2;
+    level1_row_ = 0;
+    level2_query_ = 0;
+    return Subst(level1_.pattern, args);
+  }
+  phase_ = Phase::kDone;
+  return std::nullopt;
+}
+
+std::optional<std::string> NestedLoopTransaction::AdvanceLevel2() {
+  while (level1_row_ < level1_result_.row_count()) {
+    if (level2_query_ >= level2_.size()) {
+      level2_query_ = 0;
+      ++level1_row_;
+      continue;
+    }
+    const auto& q = level2_[level2_query_];
+    ++level2_query_;
+    std::vector<std::string> args;
+    bool ok = true;
+    for (const auto& col : q.driver_columns) {
+      int idx = level1_result_.ColumnIndex(col);
+      if (idx < 0) {
+        ok = false;
+        break;
+      }
+      args.push_back(
+          Lit(level1_result_.row(level1_row_)[static_cast<size_t>(idx)]));
+    }
+    if (!ok) continue;
+    for (const auto& c : loop_constants_) args.push_back(c);
+    return Subst(q.pattern, args);
+  }
+  // This level-1 row's inner loop is exhausted; move to the next.
+  ++driver_row_;
+  phase_ = Phase::kLevel1;
+  return IssueLevel1();
+}
+
+std::optional<std::string> NestedLoopTransaction::Next(
+    const sql::ResultSet* prev) {
+  switch (phase_) {
+    case Phase::kDriver:
+      phase_ = Phase::kLevel1;
+      driver_row_ = 0;
+      return driver_sql_;
+    case Phase::kLevel1:
+      if (!driver_captured_ && prev != nullptr) {
+        driver_result_ = *prev;
+        driver_captured_ = true;
+      }
+      return IssueLevel1();
+    case Phase::kLevel2:
+      if (level1_row_ == 0 && level2_query_ == 0 && prev != nullptr) {
+        level1_result_ = *prev;
+      }
+      return AdvanceLevel2();
+    case Phase::kDone:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace chrono::workloads

@@ -1,0 +1,130 @@
+#ifndef CHRONOCACHE_WORKLOADS_WORKLOAD_H_
+#define CHRONOCACHE_WORKLOADS_WORKLOAD_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "db/database.h"
+#include "sql/result_set.h"
+#include "sql/value.h"
+
+namespace chrono::workloads {
+
+/// \brief A resumable transaction: the experiment harness calls Next() with
+/// the previous statement's result set (nullptr on the first call) and
+/// submits the returned SQL; nullopt ends the transaction. This models a
+/// client application whose later queries are computed from earlier
+/// results — the query patterns ChronoCache learns and exploits.
+class TransactionProgram {
+ public:
+  virtual ~TransactionProgram() = default;
+
+  virtual std::optional<std::string> Next(const sql::ResultSet* prev) = 0;
+
+  /// Transaction type label for metrics.
+  virtual const char* name() const = 0;
+};
+
+/// \brief A benchmark workload: schema + data population plus a stream of
+/// transaction programs drawn according to the workload mix.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Creates tables and loads the initial data set (deterministic).
+  virtual void Populate(db::Database* db) = 0;
+
+  /// Draws the next transaction for one client.
+  virtual std::unique_ptr<TransactionProgram> NextTransaction(Rng* rng) = 0;
+};
+
+// ---- SQL text helpers used by all workload generators -------------------
+
+/// Renders a value as a SQL literal.
+std::string Lit(const sql::Value& v);
+std::string Lit(int64_t v);
+std::string Lit(const std::string& v);
+
+/// Substitutes "$0".."$9" in `pattern` with the given pre-rendered pieces.
+std::string Subst(const std::string& pattern,
+                  const std::vector<std::string>& args);
+
+/// \brief Generic scripted transaction: an initial query, then for each row
+/// of its result a fixed set of per-row queries (parameterised by row
+/// column values and optional per-loop constants), then optional trailing
+/// statements. Covers the loop patterns of Figs. 1 and 4; transactions
+/// with bespoke control flow implement TransactionProgram directly.
+class LoopTransaction : public TransactionProgram {
+ public:
+  struct PerRowQuery {
+    /// Pattern with $0..$k substituted by the named driver columns, then
+    /// per-loop constants appended to the argument list.
+    std::string pattern;
+    std::vector<std::string> driver_columns;
+  };
+
+  LoopTransaction(const char* name, std::string driver_sql,
+                  std::vector<PerRowQuery> per_row,
+                  std::vector<std::string> loop_constants = {},
+                  std::vector<std::string> trailing = {});
+
+  std::optional<std::string> Next(const sql::ResultSet* prev) override;
+  const char* name() const override { return name_; }
+
+ private:
+  const char* name_;
+  std::string driver_sql_;
+  std::vector<PerRowQuery> per_row_;
+  std::vector<std::string> loop_constants_;  // pre-rendered literals
+  std::vector<std::string> trailing_;
+
+  enum class Phase { kDriver, kLoop, kTrailing, kDone };
+  Phase phase_ = Phase::kDriver;
+  sql::ResultSet driver_result_;
+  size_t row_ = 0;
+  size_t query_in_row_ = 0;
+  size_t trailing_index_ = 0;
+};
+
+/// \brief Two-level nested loop: a driver query, one level-1 query per
+/// driver row, and a set of level-2 queries per row of each level-1 result
+/// (TPC-E Customer-Position's accounts -> holdings -> last-trade chain).
+/// Exercises ChronoCache's hierarchical dependency graphs (§2.1).
+class NestedLoopTransaction : public TransactionProgram {
+ public:
+  NestedLoopTransaction(const char* name, std::string driver_sql,
+                        LoopTransaction::PerRowQuery level1,
+                        std::vector<LoopTransaction::PerRowQuery> level2,
+                        std::vector<std::string> loop_constants = {});
+
+  std::optional<std::string> Next(const sql::ResultSet* prev) override;
+  const char* name() const override { return name_; }
+
+ private:
+  const char* name_;
+  std::string driver_sql_;
+  LoopTransaction::PerRowQuery level1_;
+  std::vector<LoopTransaction::PerRowQuery> level2_;
+  std::vector<std::string> loop_constants_;
+
+  enum class Phase { kDriver, kLevel1, kLevel2, kDone };
+  Phase phase_ = Phase::kDriver;
+  bool driver_captured_ = false;
+  sql::ResultSet driver_result_;
+  sql::ResultSet level1_result_;
+  size_t driver_row_ = 0;
+  size_t level1_row_ = 0;
+  size_t level2_query_ = 0;
+
+  std::optional<std::string> IssueLevel1();
+  std::optional<std::string> AdvanceLevel2();
+};
+
+}  // namespace chrono::workloads
+
+#endif  // CHRONOCACHE_WORKLOADS_WORKLOAD_H_

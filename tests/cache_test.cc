@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "cache/lru_cache.h"
+
+namespace chrono::cache {
+namespace {
+
+using sql::ResultSet;
+using sql::Value;
+
+CachedResult MakeEntry(int rows = 1) {
+  CachedResult entry;
+  entry.result = ResultSet({"a"});
+  for (int i = 0; i < rows; ++i) {
+    entry.result.AddRow({Value::Int(i)});
+  }
+  entry.version = {{0, 1}};
+  return entry;
+}
+
+TEST(LruCache, PutGetRoundTrip) {
+  LruCache cache(1 << 20);
+  cache.Put("k", MakeEntry());
+  const CachedResult* hit = cache.Get("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->result.row_count(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(LruCache, MissCounts) {
+  LruCache cache(1 << 20);
+  EXPECT_EQ(cache.Get("nope"), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCache, ReplaceUpdatesValueAndBytes) {
+  LruCache cache(1 << 20);
+  cache.Put("k", MakeEntry(1));
+  size_t small = cache.used_bytes();
+  cache.Put("k", MakeEntry(100));
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_GT(cache.used_bytes(), small);
+  EXPECT_EQ(cache.Get("k")->result.row_count(), 100u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  // Size the cache to hold about 3 entries.
+  CachedResult probe = MakeEntry(10);
+  size_t entry_bytes = probe.result.ByteSize() + 100;
+  LruCache cache(entry_bytes * 3);
+  cache.Put("a", MakeEntry(10));
+  cache.Put("b", MakeEntry(10));
+  cache.Put("c", MakeEntry(10));
+  (void)cache.Get("a");  // refresh a; b becomes LRU
+  cache.Put("d", MakeEntry(10));
+  EXPECT_NE(cache.Peek("a"), nullptr);
+  EXPECT_EQ(cache.Peek("b"), nullptr);
+  EXPECT_GE(cache.evictions(), 1u);
+}
+
+TEST(LruCache, OversizedEntryDropped) {
+  LruCache cache(64);
+  cache.Put("big", MakeEntry(1000));
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.Get("big"), nullptr);
+}
+
+TEST(LruCache, OversizedReplacementErasesOldEntry) {
+  CachedResult small = MakeEntry(1);
+  LruCache cache(small.result.ByteSize() + 200);
+  cache.Put("k", MakeEntry(1));
+  ASSERT_NE(cache.Peek("k"), nullptr);
+  cache.Put("k", MakeEntry(100000));  // larger than the whole cache
+  EXPECT_EQ(cache.Peek("k"), nullptr);
+}
+
+TEST(LruCache, PeekDoesNotTouchRecencyOrCounters) {
+  CachedResult probe = MakeEntry(10);
+  size_t entry_bytes = probe.result.ByteSize() + 100;
+  LruCache cache(entry_bytes * 2);
+  cache.Put("a", MakeEntry(10));
+  cache.Put("b", MakeEntry(10));
+  uint64_t hits_before = cache.hits();
+  (void)cache.Peek("a");  // does NOT refresh recency
+  cache.Put("c", MakeEntry(10));
+  EXPECT_EQ(cache.Peek("a"), nullptr);  // a was LRU, evicted
+  EXPECT_EQ(cache.hits(), hits_before);
+}
+
+TEST(LruCache, EraseRemoves) {
+  LruCache cache(1 << 20);
+  cache.Put("k", MakeEntry());
+  EXPECT_TRUE(cache.Erase("k"));
+  EXPECT_FALSE(cache.Erase("k"));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(LruCache, ClearResetsContents) {
+  LruCache cache(1 << 20);
+  cache.Put("a", MakeEntry());
+  cache.Put("b", MakeEntry());
+  cache.Clear();
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(LruCache, ByteAccountingConsistent) {
+  LruCache cache(1 << 20);
+  cache.Put("a", MakeEntry(5));
+  cache.Put("b", MakeEntry(7));
+  size_t used = cache.used_bytes();
+  EXPECT_GT(used, 0u);
+  cache.Erase("a");
+  cache.Erase("b");
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(LruCache, MetadataPreserved) {
+  LruCache cache(1 << 20);
+  CachedResult entry = MakeEntry();
+  entry.version = {{3, 42}, {5, 7}};
+  entry.security_group = 9;
+  entry.node_id = 2;
+  cache.Put("k", std::move(entry));
+  const CachedResult* hit = cache.Get("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->version, (VersionVector{{3, 42}, {5, 7}}));
+  EXPECT_EQ(hit->security_group, 9);
+  EXPECT_EQ(hit->node_id, 2);
+}
+
+TEST(LruCache, ManyEntriesStayWithinCapacity) {
+  LruCache cache(16 * 1024);
+  for (int i = 0; i < 1000; ++i) {
+    cache.Put("key" + std::to_string(i), MakeEntry(3));
+    EXPECT_LE(cache.used_bytes(), cache.capacity_bytes());
+  }
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+}  // namespace
+}  // namespace chrono::cache

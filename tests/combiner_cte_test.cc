@@ -1,0 +1,318 @@
+// CTE-join strategy (§4.1, Algorithm 2): combined-query generation and,
+// crucially, end-to-end equivalence — executing the combined query and
+// splitting its result must reproduce exactly what sequential execution of
+// the original queries would have returned.
+
+#include <gtest/gtest.h>
+
+#include "core/combiner_cte.h"
+#include "core/combiner_lateral.h"
+#include "core/result_splitter.h"
+#include "db/database.h"
+#include "sql/template.h"
+
+namespace chrono::core {
+namespace {
+
+using sql::Value;
+
+class CteCombinerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.catalog()
+                    ->CreateTable("watch_item",
+                                  {db::ColumnDef{"wi_wl_id", Value::Type::kInt},
+                                   db::ColumnDef{"wi_s_symb",
+                                                 Value::Type::kString}})
+                    .ok());
+    ASSERT_TRUE(db_.catalog()
+                    ->CreateTable("security",
+                                  {db::ColumnDef{"s_symb", Value::Type::kString},
+                                   db::ColumnDef{"s_num_out", Value::Type::kInt},
+                                   db::ColumnDef{"s_ex", Value::Type::kInt}})
+                    .ok());
+    ASSERT_TRUE(db_.catalog()
+                    ->CreateTable("daily_market",
+                                  {db::ColumnDef{"dm_s_symb",
+                                                 Value::Type::kString},
+                                   db::ColumnDef{"dm_date", Value::Type::kInt},
+                                   db::ColumnDef{"dm_close",
+                                                 Value::Type::kDouble}})
+                    .ok());
+    Exec("INSERT INTO watch_item VALUES (1, 'AAA'), (1, 'BBB'), (1, 'CCC'), "
+         "(2, 'DDD')");
+    Exec("INSERT INTO security VALUES ('AAA', 100, 1), ('BBB', 200, 1), "
+         "('CCC', 300, 2), ('DDD', 400, 2)");
+    Exec("INSERT INTO daily_market VALUES ('AAA', 5, 10.5), ('AAA', 6, 11.0), "
+         "('BBB', 5, 20.5), ('CCC', 5, 30.5), ('DDD', 5, 40.5)");
+  }
+
+  sql::ResultSet Exec(const std::string& sql) {
+    auto outcome = db_.ExecuteText(sql);
+    EXPECT_TRUE(outcome.ok()) << sql << " -> " << outcome.status().ToString();
+    return outcome.ok() ? outcome->result : sql::ResultSet();
+  }
+
+  TemplateId Register(const std::string& sql) {
+    auto parsed = sql::AnalyzeQuery(sql);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    latest_[parsed->tmpl->id] = parsed->params;
+    return registry_.Register(parsed->tmpl);
+  }
+
+  CombineInput Input(const DependencyGraph* g) {
+    return CombineInput{g, &registry_, &latest_};
+  }
+
+  /// Builds the Fig. 1 graph: Q1 (watch list) -> Q2 (security lookup).
+  DependencyGraph Fig1Graph(TemplateId* q1_out = nullptr,
+                            TemplateId* q2_out = nullptr) {
+    TemplateId q1 =
+        Register("SELECT wi_s_symb FROM watch_item WHERE wi_wl_id = 1");
+    TemplateId q2 =
+        Register("SELECT s_num_out FROM security WHERE s_symb = 'AAA'");
+    DependencyGraph g;
+    g.nodes = {q1, q2};
+    g.param_counts[q1] = 1;
+    g.param_counts[q2] = 1;
+    g.edges.push_back({q1, q2, {{"wi_s_symb", 0}}});
+    g.Normalize();
+    if (q1_out) *q1_out = q1;
+    if (q2_out) *q2_out = q2;
+    return g;
+  }
+
+  db::Database db_;
+  TemplateRegistry registry_;
+  std::map<TemplateId, std::vector<Value>> latest_;
+};
+
+TEST_F(CteCombinerTest, CanHandlePlainSpj) {
+  DependencyGraph g = Fig1Graph();
+  EXPECT_TRUE(CteJoinCombiner::CanHandle(Input(&g)));
+}
+
+TEST_F(CteCombinerTest, RejectsAggregates) {
+  TemplateId q1 =
+      Register("SELECT wi_s_symb FROM watch_item WHERE wi_wl_id = 1");
+  TemplateId q2 =
+      Register("SELECT max(s_num_out) FROM security WHERE s_symb = 'AAA'");
+  DependencyGraph g;
+  g.nodes = {q1, q2};
+  g.param_counts = {{q1, 1}, {q2, 1}};
+  g.edges.push_back({q1, q2, {{"wi_s_symb", 0}}});
+  g.Normalize();
+  EXPECT_FALSE(CteJoinCombiner::CanHandle(Input(&g)));
+}
+
+TEST_F(CteCombinerTest, RejectsOrderByAndLimit) {
+  TemplateId q1 =
+      Register("SELECT wi_s_symb FROM watch_item WHERE wi_wl_id = 1 ORDER BY "
+               "wi_s_symb LIMIT 2");
+  TemplateId q2 =
+      Register("SELECT s_num_out FROM security WHERE s_symb = 'AAA'");
+  DependencyGraph g;
+  g.nodes = {q1, q2};
+  g.param_counts = {{q1, 2}, {q2, 1}};
+  g.edges.push_back({q1, q2, {{"wi_s_symb", 0}}});
+  g.Normalize();
+  EXPECT_FALSE(CteJoinCombiner::CanHandle(Input(&g)));
+}
+
+TEST_F(CteCombinerTest, GeneratedSqlParsesAndExecutes) {
+  DependencyGraph g = Fig1Graph();
+  auto combined = CteJoinCombiner::Combine(Input(&g));
+  ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+  EXPECT_NE(combined->sql.find("WITH"), std::string::npos);
+  EXPECT_NE(combined->sql.find("LEFT JOIN"), std::string::npos);
+  auto outcome = db_.ExecuteText(combined->sql);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString() << "\n"
+                            << combined->sql;
+  EXPECT_EQ(outcome->result.row_count(), 3u);  // one per watch item
+}
+
+TEST_F(CteCombinerTest, SplitReproducesSequentialExecution) {
+  TemplateId q1, q2;
+  DependencyGraph g = Fig1Graph(&q1, &q2);
+  auto combined = CteJoinCombiner::Combine(Input(&g));
+  ASSERT_TRUE(combined.ok());
+  auto outcome = db_.ExecuteText(combined->sql);
+  ASSERT_TRUE(outcome.ok());
+  auto split = SplitResult(*combined, outcome->result, registry_);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+
+  // 1 result set for Q1 + 3 for Q2 (one per loop iteration).
+  ASSERT_EQ(split->size(), 4u);
+
+  for (const auto& entry : *split) {
+    sql::ResultSet direct = Exec(entry.key);
+    EXPECT_EQ(entry.result, direct) << entry.key;
+  }
+}
+
+TEST_F(CteCombinerTest, SplitHandlesUnmatchedRows) {
+  Exec("INSERT INTO watch_item VALUES (1, 'NOSEC')");
+  TemplateId q1, q2;
+  DependencyGraph g = Fig1Graph(&q1, &q2);
+  auto combined = CteJoinCombiner::Combine(Input(&g));
+  ASSERT_TRUE(combined.ok());
+  auto outcome = db_.ExecuteText(combined->sql);
+  ASSERT_TRUE(outcome.ok());
+  auto split = SplitResult(*combined, outcome->result, registry_);
+  ASSERT_TRUE(split.ok());
+  // Q1 (4 rows) + 4 Q2 iterations, one of which is empty.
+  ASSERT_EQ(split->size(), 5u);
+  for (const auto& entry : *split) {
+    EXPECT_EQ(entry.result, Exec(entry.key)) << entry.key;
+  }
+}
+
+TEST_F(CteCombinerTest, ThreeLevelChain) {
+  // Q1 -> Q2 (security) -> Q3 (daily market by exchange? use s_symb chain):
+  // Q3 takes the security symbol via Q2's output.
+  TemplateId q1 =
+      Register("SELECT wi_s_symb FROM watch_item WHERE wi_wl_id = 1");
+  TemplateId q2 = Register(
+      "SELECT s_symb, s_num_out FROM security WHERE s_symb = 'AAA'");
+  TemplateId q3 = Register(
+      "SELECT dm_close FROM daily_market WHERE dm_s_symb = 'AAA'");
+  latest_[q3] = {Value::String("AAA")};
+  DependencyGraph g;
+  g.nodes = {q1, q2, q3};
+  g.param_counts = {{q1, 1}, {q2, 1}, {q3, 1}};
+  g.edges.push_back({q1, q2, {{"wi_s_symb", 0}}});
+  g.edges.push_back({q2, q3, {{"s_symb", 0}}});
+  g.Normalize();
+
+  ASSERT_TRUE(CteJoinCombiner::CanHandle(Input(&g)));
+  auto combined = CteJoinCombiner::Combine(Input(&g));
+  ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+  auto outcome = db_.ExecuteText(combined->sql);
+  ASSERT_TRUE(outcome.ok()) << combined->sql;
+  auto split = SplitResult(*combined, outcome->result, registry_);
+  ASSERT_TRUE(split.ok());
+  // Q1 + 3 Q2 iterations + 3 Q3 iterations (AAA has two market rows but a
+  // single iteration result set).
+  EXPECT_EQ(split->size(), 7u);
+  for (const auto& entry : *split) {
+    EXPECT_EQ(entry.result, Exec(entry.key)) << entry.key;
+  }
+}
+
+TEST_F(CteCombinerTest, SiblingChildren) {
+  // Fig. 6 graph A shape: Q1 feeds both Q2 and Q3.
+  TemplateId q1 =
+      Register("SELECT wi_s_symb FROM watch_item WHERE wi_wl_id = 1");
+  TemplateId q2 =
+      Register("SELECT s_num_out FROM security WHERE s_symb = 'AAA'");
+  TemplateId q3 = Register(
+      "SELECT dm_close FROM daily_market WHERE dm_s_symb = 'AAA' AND dm_date "
+      "= 5");
+  latest_[q3] = {Value::String("AAA"), Value::Int(5)};
+  DependencyGraph g;
+  g.nodes = {q1, q2, q3};
+  g.param_counts = {{q1, 1}, {q2, 1}, {q3, 2}};
+  g.edges.push_back({q1, q2, {{"wi_s_symb", 0}}});
+  g.edges.push_back({q1, q3, {{"wi_s_symb", 0}}});
+  g.Normalize();
+
+  auto combined = CteJoinCombiner::Combine(Input(&g));
+  ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+  auto outcome = db_.ExecuteText(combined->sql);
+  ASSERT_TRUE(outcome.ok()) << combined->sql;
+  auto split = SplitResult(*combined, outcome->result, registry_);
+  ASSERT_TRUE(split.ok());
+  for (const auto& entry : *split) {
+    EXPECT_EQ(entry.result, Exec(entry.key)) << entry.key;
+  }
+}
+
+TEST_F(CteCombinerTest, PerLoopConstantBoundFromLatestText) {
+  // Fig. 4: Q3's dm_date comes from the observed first iteration.
+  TemplateId q1 =
+      Register("SELECT wi_s_symb FROM watch_item WHERE wi_wl_id = 1");
+  TemplateId q3 = Register(
+      "SELECT dm_close FROM daily_market WHERE dm_s_symb = 'AAA' AND dm_date "
+      "= 6");
+  latest_[q3] = {Value::String("AAA"), Value::Int(6)};
+  DependencyGraph g;
+  g.nodes = {q1, q3};
+  g.param_counts = {{q1, 1}, {q3, 2}};
+  g.edges.push_back({q1, q3, {{"wi_s_symb", 0}}});
+  g.loop_marked.insert(q3);
+  g.Normalize();
+
+  auto combined = CteJoinCombiner::Combine(Input(&g));
+  ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+  // dm_date = 6 (the per-loop constant) must appear in the combined SQL.
+  EXPECT_NE(combined->sql.find("= 6"), std::string::npos) << combined->sql;
+  auto outcome = db_.ExecuteText(combined->sql);
+  ASSERT_TRUE(outcome.ok());
+  auto split = SplitResult(*combined, outcome->result, registry_);
+  ASSERT_TRUE(split.ok());
+  for (const auto& entry : *split) {
+    EXPECT_EQ(entry.result, Exec(entry.key)) << entry.key;
+  }
+}
+
+TEST_F(CteCombinerTest, MissingConstantFails) {
+  TemplateId q1 =
+      Register("SELECT wi_s_symb FROM watch_item WHERE wi_wl_id = 1");
+  TemplateId q3 = Register(
+      "SELECT dm_close FROM daily_market WHERE dm_s_symb = 'AAA' AND dm_date "
+      "= 6");
+  latest_.erase(q3);  // no observed text for the loop constant
+  DependencyGraph g;
+  g.nodes = {q1, q3};
+  g.param_counts = {{q1, 1}, {q3, 2}};
+  g.edges.push_back({q1, q3, {{"wi_s_symb", 0}}});
+  g.loop_marked.insert(q3);
+  g.Normalize();
+  EXPECT_FALSE(CteJoinCombiner::Combine(Input(&g)).ok());
+}
+
+TEST_F(CteCombinerTest, DuplicateSourceRowsDeduplicatedByCandidateKey) {
+  // Two watch items with the SAME symbol: Q1's split result must keep both
+  // rows (distinct rowids) while Q2 fan-out stays deduplicated (§4.1.1).
+  Exec("INSERT INTO watch_item VALUES (1, 'AAA')");
+  TemplateId q1, q2;
+  DependencyGraph g = Fig1Graph(&q1, &q2);
+  auto combined = CteJoinCombiner::Combine(Input(&g));
+  ASSERT_TRUE(combined.ok());
+  auto outcome = db_.ExecuteText(combined->sql);
+  ASSERT_TRUE(outcome.ok());
+  auto split = SplitResult(*combined, outcome->result, registry_);
+  ASSERT_TRUE(split.ok());
+  for (const auto& entry : *split) {
+    EXPECT_EQ(entry.result, Exec(entry.key)) << entry.key;
+  }
+  // Q1's decoded result has 4 rows (duplicate symbol preserved).
+  for (const auto& entry : *split) {
+    if (entry.tmpl == q1) EXPECT_EQ(entry.result.row_count(), 4u);
+  }
+}
+
+TEST_F(CteCombinerTest, EmptyDriverStillCachesEmptyRoot) {
+  TemplateId q1, q2;
+  DependencyGraph g = Fig1Graph(&q1, &q2);
+  latest_[q1] = {Value::Int(99)};  // watch list with no items
+  auto combined = CteJoinCombiner::Combine(Input(&g));
+  ASSERT_TRUE(combined.ok());
+  auto outcome = db_.ExecuteText(combined->sql);
+  ASSERT_TRUE(outcome.ok());
+  auto split = SplitResult(*combined, outcome->result, registry_);
+  ASSERT_TRUE(split.ok());
+  ASSERT_EQ(split->size(), 1u);
+  EXPECT_EQ((*split)[0].tmpl, q1);
+  EXPECT_TRUE((*split)[0].result.empty());
+}
+
+TEST_F(CteCombinerTest, StrategySelectionPrefersCte) {
+  DependencyGraph g = Fig1Graph();
+  auto combined = CombineGraph(Input(&g));
+  ASSERT_TRUE(combined.ok());
+  EXPECT_NE(combined->sql.find("WITH"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chrono::core

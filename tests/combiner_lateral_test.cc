@@ -1,0 +1,205 @@
+// Lateral-union strategy (§4.2): aggregates, ORDER BY/LIMIT, induced
+// ROW_NUMBER candidate keys, and the same-topological-height join.
+
+#include <gtest/gtest.h>
+
+#include "core/combiner_lateral.h"
+#include "core/result_splitter.h"
+#include "db/database.h"
+#include "sql/template.h"
+
+namespace chrono::core {
+namespace {
+
+using sql::Value;
+
+class LateralCombinerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.catalog()
+                    ->CreateTable("item",
+                                  {db::ColumnDef{"i_id", Value::Type::kInt},
+                                   db::ColumnDef{"i_seller", Value::Type::kInt},
+                                   db::ColumnDef{"i_end", Value::Type::kInt}})
+                    .ok());
+    ASSERT_TRUE(db_.catalog()
+                    ->CreateTable("bid",
+                                  {db::ColumnDef{"b_i_id", Value::Type::kInt},
+                                   db::ColumnDef{"b_amount",
+                                                 Value::Type::kDouble}})
+                    .ok());
+    ASSERT_TRUE(db_.catalog()
+                    ->CreateTable("feedback",
+                                  {db::ColumnDef{"f_seller", Value::Type::kInt},
+                                   db::ColumnDef{"f_rating", Value::Type::kInt},
+                                   db::ColumnDef{"f_date", Value::Type::kInt}})
+                    .ok());
+    Exec("INSERT INTO item VALUES (1, 10, 5), (2, 11, 5), (3, 10, 5), "
+         "(4, 12, 6)");
+    Exec("INSERT INTO bid VALUES (1, 5.0), (1, 9.0), (2, 3.5), (3, 7.0), "
+         "(3, 8.0), (3, 2.0)");
+    Exec("INSERT INTO feedback VALUES (10, 4, 40), (10, 2, 10), (11, 5, 45), "
+         "(12, 1, 50)");
+  }
+
+  sql::ResultSet Exec(const std::string& sql) {
+    auto outcome = db_.ExecuteText(sql);
+    EXPECT_TRUE(outcome.ok()) << sql << " -> " << outcome.status().ToString();
+    return outcome.ok() ? outcome->result : sql::ResultSet();
+  }
+
+  TemplateId Register(const std::string& sql) {
+    auto parsed = sql::AnalyzeQuery(sql);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    latest_[parsed->tmpl->id] = parsed->params;
+    return registry_.Register(parsed->tmpl);
+  }
+
+  CombineInput Input(const DependencyGraph* g) {
+    return CombineInput{g, &registry_, &latest_};
+  }
+
+  void VerifySplitAgainstDirect(const CombinedQuery& combined) {
+    auto outcome = db_.ExecuteText(combined.sql);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString() << "\n"
+                              << combined.sql;
+    auto split = SplitResult(combined, outcome->result, registry_);
+    ASSERT_TRUE(split.ok()) << split.status().ToString();
+    ASSERT_FALSE(split->empty());
+    for (const auto& entry : *split) {
+      EXPECT_EQ(entry.result, Exec(entry.key)) << entry.key;
+    }
+  }
+
+  db::Database db_;
+  TemplateRegistry registry_;
+  std::map<TemplateId, std::vector<Value>> latest_;
+};
+
+TEST_F(LateralCombinerTest, AggregateChildEndToEnd) {
+  // CloseAuctions shape: loop over items, max bid per item.
+  TemplateId q1 = Register("SELECT i_id, i_seller FROM item WHERE i_end = 5");
+  TemplateId q2 = Register("SELECT max(b_amount) FROM bid WHERE b_i_id = 1");
+  DependencyGraph g;
+  g.nodes = {q1, q2};
+  g.param_counts = {{q1, 1}, {q2, 1}};
+  g.edges.push_back({q1, q2, {{"i_id", 0}}});
+  g.Normalize();
+
+  ASSERT_TRUE(LateralUnionCombiner::CanHandle(Input(&g)));
+  auto combined = LateralUnionCombiner::Combine(Input(&g));
+  ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+  EXPECT_NE(combined->sql.find("LATERAL"), std::string::npos);
+  EXPECT_NE(combined->sql.find("row_number()"), std::string::npos);
+  VerifySplitAgainstDirect(*combined);
+}
+
+TEST_F(LateralCombinerTest, PerLoopConstantAggregate) {
+  // The paper's CloseAuctions extension: avg feedback in the last 30 days.
+  TemplateId q1 = Register("SELECT i_id, i_seller FROM item WHERE i_end = 5");
+  TemplateId q3 = Register(
+      "SELECT avg(f_rating) FROM feedback WHERE f_seller = 10 AND f_date >= "
+      "30");
+  latest_[q3] = {Value::Int(10), Value::Int(30)};
+  DependencyGraph g;
+  g.nodes = {q1, q3};
+  g.param_counts = {{q1, 1}, {q3, 2}};
+  g.edges.push_back({q1, q3, {{"i_seller", 0}}});
+  g.loop_marked.insert(q3);
+  g.Normalize();
+
+  auto combined = LateralUnionCombiner::Combine(Input(&g));
+  ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+  VerifySplitAgainstDirect(*combined);
+}
+
+TEST_F(LateralCombinerTest, OrderByLimitDriver) {
+  // TradeStatus shape: the driver itself has ORDER BY/LIMIT.
+  TemplateId q1 =
+      Register("SELECT i_id FROM item WHERE i_end = 5 ORDER BY i_id DESC "
+               "LIMIT 2");
+  TemplateId q2 = Register("SELECT max(b_amount) FROM bid WHERE b_i_id = 1");
+  DependencyGraph g;
+  g.nodes = {q1, q2};
+  g.param_counts = {{q1, 2}, {q2, 1}};
+  g.edges.push_back({q1, q2, {{"i_id", 0}}});
+  g.Normalize();
+
+  auto combined = LateralUnionCombiner::Combine(Input(&g));
+  ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+  VerifySplitAgainstDirect(*combined);
+}
+
+TEST_F(LateralCombinerTest, SameHeightSiblingsJoinedByRowNumber) {
+  // Diamond prefix: Q1 feeds Q2 and Q3 at the same topological height.
+  TemplateId q1 = Register("SELECT i_id, i_seller FROM item WHERE i_end = 5");
+  TemplateId q2 = Register("SELECT max(b_amount) FROM bid WHERE b_i_id = 1");
+  TemplateId q3 = Register(
+      "SELECT avg(f_rating) FROM feedback WHERE f_seller = 10");
+  DependencyGraph g;
+  g.nodes = {q1, q2, q3};
+  g.param_counts = {{q1, 1}, {q2, 1}, {q3, 1}};
+  g.edges.push_back({q1, q2, {{"i_id", 0}}});
+  g.edges.push_back({q1, q3, {{"i_seller", 0}}});
+  g.Normalize();
+
+  auto combined = LateralUnionCombiner::Combine(Input(&g));
+  ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+  // The second same-height lateral must join on row numbers, not ON TRUE.
+  size_t rn_join = combined->sql.find("rn = d");
+  EXPECT_NE(rn_join, std::string::npos) << combined->sql;
+  VerifySplitAgainstDirect(*combined);
+}
+
+TEST_F(LateralCombinerTest, RejectsStarSelect) {
+  TemplateId q1 = Register("SELECT * FROM item WHERE i_end = 5");
+  TemplateId q2 = Register("SELECT max(b_amount) FROM bid WHERE b_i_id = 1");
+  DependencyGraph g;
+  g.nodes = {q1, q2};
+  g.param_counts = {{q1, 1}, {q2, 1}};
+  g.edges.push_back({q1, q2, {{"i_id", 0}}});
+  g.Normalize();
+  EXPECT_FALSE(LateralUnionCombiner::CanHandle(Input(&g)));
+}
+
+TEST_F(LateralCombinerTest, StrategySelectionFallsBackToLateral) {
+  TemplateId q1 = Register("SELECT i_id, i_seller FROM item WHERE i_end = 5");
+  TemplateId q2 = Register("SELECT max(b_amount) FROM bid WHERE b_i_id = 1");
+  DependencyGraph g;
+  g.nodes = {q1, q2};
+  g.param_counts = {{q1, 1}, {q2, 1}};
+  g.edges.push_back({q1, q2, {{"i_id", 0}}});
+  g.Normalize();
+  auto combined = CombineGraph(Input(&g));
+  ASSERT_TRUE(combined.ok());
+  EXPECT_NE(combined->sql.find("LATERAL"), std::string::npos);
+}
+
+TEST_F(LateralCombinerTest, EmptyIterationsPreserved) {
+  Exec("INSERT INTO item VALUES (9, 13, 5)");  // item with no bids
+  TemplateId q1 = Register("SELECT i_id, i_seller FROM item WHERE i_end = 5");
+  TemplateId q2 = Register("SELECT b_amount FROM bid WHERE b_i_id = 1");
+  DependencyGraph g;
+  g.nodes = {q1, q2};
+  g.param_counts = {{q1, 1}, {q2, 1}};
+  g.edges.push_back({q1, q2, {{"i_id", 0}}});
+  g.Normalize();
+
+  auto combined = LateralUnionCombiner::Combine(Input(&g));
+  ASSERT_TRUE(combined.ok());
+  auto outcome = db_.ExecuteText(combined->sql);
+  ASSERT_TRUE(outcome.ok());
+  auto split = SplitResult(*combined, outcome->result, registry_);
+  ASSERT_TRUE(split.ok());
+  // Q1 has 4 matching items -> 1 + 4 entries, one of them empty.
+  ASSERT_EQ(split->size(), 5u);
+  bool empty_found = false;
+  for (const auto& entry : *split) {
+    EXPECT_EQ(entry.result, Exec(entry.key)) << entry.key;
+    if (entry.result.empty() && entry.tmpl != q1) empty_found = true;
+  }
+  EXPECT_TRUE(empty_found);
+}
+
+}  // namespace
+}  // namespace chrono::core

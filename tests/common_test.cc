@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace chrono {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (auto code : {Status::Code::kInvalidArgument, Status::Code::kNotFound,
+                    Status::Code::kParseError, Status::Code::kExecutionError,
+                    Status::Code::kUnsupported, Status::Code::kInternal}) {
+    Status s = [&] {
+      switch (code) {
+        case Status::Code::kInvalidArgument: return Status::InvalidArgument("x");
+        case Status::Code::kNotFound: return Status::NotFound("x");
+        case Status::Code::kParseError: return Status::ParseError("x");
+        case Status::Code::kExecutionError: return Status::ExecutionError("x");
+        case Status::Code::kUnsupported: return Status::Unsupported("x");
+        default: return Status::Internal("x");
+      }
+    }();
+    EXPECT_NE(s.ToString().find(':'), std::string::npos);
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+Result<int> Doubled(Result<int> in) {
+  CHRONO_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_FALSE(Doubled(Status::Internal("boom")).ok());
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, WeightedRespectsZeroWeight) {
+  Rng rng(7);
+  std::vector<double> weights = {1.0, 0.0, 1.0};
+  for (int i = 0; i < 500; ++i) EXPECT_NE(rng.NextWeighted(weights), 1u);
+}
+
+TEST(Rng, BoolProbabilityRoughlyHolds) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(Zipf, RankZeroMostPopular) {
+  Rng rng(7);
+  ZipfGenerator zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) counts[zipf.Next(&rng)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+  // Zipf(1): p(0)/p(9) = 10.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[9], 10.0, 4.0);
+}
+
+TEST(Zipf, CoversFullRange) {
+  Rng rng(7);
+  ZipfGenerator zipf(10, 1.0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(zipf.Next(&rng));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Stats, MeanAndStddev) {
+  SampleStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.Stddev(), 2.138, 0.01);
+  EXPECT_EQ(s.Min(), 2.0);
+  EXPECT_EQ(s.Max(), 9.0);
+}
+
+TEST(Stats, Percentiles) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_NEAR(s.Percentile(0.5), 50.5, 0.01);
+  EXPECT_NEAR(s.Percentile(0.99), 99.01, 0.01);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 100.0);
+}
+
+TEST(Stats, ConfidenceIntervalSmallSample) {
+  SampleStats s;
+  // Five runs, as the paper uses. t(4) = 2.776.
+  for (double x : {10.0, 12.0, 11.0, 9.0, 13.0}) s.Add(x);
+  double ci = s.ConfidenceInterval95();
+  EXPECT_NEAR(ci, 2.776 * s.Stddev() / std::sqrt(5.0), 1e-9);
+}
+
+TEST(Stats, EmptySafe) {
+  SampleStats s;
+  EXPECT_EQ(s.Mean(), 0);
+  EXPECT_EQ(s.ConfidenceInterval95(), 0);
+  EXPECT_EQ(s.Percentile(0.5), 0);
+}
+
+TEST(StringUtil, Fnv1aStableAndDistinct) {
+  EXPECT_EQ(Fnv1aHash("abc"), Fnv1aHash("abc"));
+  EXPECT_NE(Fnv1aHash("abc"), Fnv1aHash("abd"));
+  EXPECT_NE(Fnv1aHash(""), Fnv1aHash("a"));
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtil, CaseHelpers) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("from"), "FROM");
+  EXPECT_TRUE(EqualsIgnoreCase("WHERE", "where"));
+  EXPECT_FALSE(EqualsIgnoreCase("WHERE", "wher"));
+}
+
+}  // namespace
+}  // namespace chrono

@@ -1,0 +1,139 @@
+// Correctness property: for a single client (no concurrent writers), every
+// result returned through the middleware — cache hit, coalesced wait,
+// split combined result, or plain remote read — must be byte-identical to
+// executing the same statement stream directly against a mirror database.
+// This exercises the full stack (templates, learning, combining, splitting,
+// session semantics) against ground truth on every workload.
+
+#include <gtest/gtest.h>
+
+#include "core/middleware.h"
+#include "db/database.h"
+#include "workloads/auctionmark.h"
+#include "workloads/seats.h"
+#include "workloads/tpce.h"
+#include "workloads/wikipedia.h"
+
+namespace chrono {
+namespace {
+
+using core::SystemMode;
+
+class ConsistencyProperty
+    : public ::testing::TestWithParam<std::tuple<const char*, SystemMode>> {
+ protected:
+  std::unique_ptr<workloads::Workload> MakeWorkload() {
+    std::string name = std::get<0>(GetParam());
+    if (name == "tpce") {
+      workloads::TpceWorkload::Config c;
+      c.customers = 30;
+      c.securities = 80;
+      c.watch_lists = 30;
+      c.watch_items_per_list = 7;
+      c.trades = 200;
+      return std::make_unique<workloads::TpceWorkload>(c);
+    }
+    if (name == "wikipedia") {
+      workloads::WikipediaWorkload::Config c;
+      c.pages = 150;
+      c.users = 150;
+      return std::make_unique<workloads::WikipediaWorkload>(c);
+    }
+    if (name == "seats") {
+      workloads::SeatsWorkload::Config c;
+      c.customers = 60;
+      c.flights = 80;
+      c.routes = 16;
+      return std::make_unique<workloads::SeatsWorkload>(c);
+    }
+    workloads::AuctionMarkWorkload::Config c;
+    c.users = 50;
+    c.items = 300;
+    c.end_dates = 10;
+    return std::make_unique<workloads::AuctionMarkWorkload>(c);
+  }
+};
+
+TEST_P(ConsistencyProperty, MiddlewareMatchesDirectExecution) {
+  // Two identically populated databases: one behind the middleware, one
+  // as the ground-truth mirror.
+  EventQueue events;
+  db::Database behind;
+  db::Database mirror;
+  {
+    auto workload = MakeWorkload();
+    workload->Populate(&behind);
+  }
+  {
+    auto workload = MakeWorkload();
+    workload->Populate(&mirror);
+  }
+  auto workload = MakeWorkload();
+
+  net::LatencyModel latency;
+  core::RemoteDbServer remote(&events, &behind, latency, 8);
+  core::MiddlewareConfig config;
+  config.mode = std::get<1>(GetParam());
+  config.Finalize();
+  core::Middleware node(&events, &remote, latency, config);
+
+  Rng rng(1234);
+  int mismatches = 0;
+  int statements = 0;
+  for (int t = 0; t < 50 && mismatches == 0; ++t) {
+    auto tx = workload->NextTransaction(&rng);
+    const sql::ResultSet* prev = nullptr;
+    sql::ResultSet last;
+    while (auto sql_text = tx->Next(prev)) {
+      // Through the middleware (run the event loop to completion so all
+      // background prefetching lands too).
+      sql::ResultSet via_mw;
+      bool ok = false;
+      node.SubmitQuery(0, 0, *sql_text,
+                       [&](SimTime, const Result<sql::ResultSet>& result) {
+                         ok = result.ok();
+                         if (result.ok()) via_mw = *result;
+                       });
+      events.RunAll();
+      ASSERT_TRUE(ok) << *sql_text;
+
+      // Ground truth.
+      auto direct = mirror.ExecuteText(*sql_text);
+      ASSERT_TRUE(direct.ok()) << *sql_text;
+
+      ++statements;
+      if (direct->result.column_count() > 0 || via_mw.column_count() > 0) {
+        if (!(via_mw == direct->result)) {
+          ++mismatches;
+          ADD_FAILURE() << "mismatch for: " << *sql_text << "\nvia middleware:\n"
+                        << via_mw.ToString() << "\ndirect:\n"
+                        << direct->result.ToString();
+        }
+      }
+      last = via_mw;
+      prev = &last;
+    }
+  }
+  EXPECT_GT(statements, 100);
+  EXPECT_EQ(mismatches, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsAllModes, ConsistencyProperty,
+    ::testing::Combine(::testing::Values("tpce", "wikipedia", "seats",
+                                         "auctionmark"),
+                       ::testing::Values(SystemMode::kLru, SystemMode::kApollo,
+                                         SystemMode::kScalpelCC,
+                                         SystemMode::kChrono)),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, SystemMode>>&
+           info) {
+      std::string name = std::string(std::get<0>(info.param)) + "_" +
+                         core::SystemModeName(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace chrono

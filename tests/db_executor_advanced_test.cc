@@ -1,0 +1,223 @@
+// Advanced executor behaviour: CTEs, lateral joins, the CTE-join pushdown
+// rewrite, subqueries, hash joins — everything the query combiners rely on.
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace chrono::db {
+namespace {
+
+using sql::ResultSet;
+using sql::Value;
+
+class AdvancedExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.catalog()
+                    ->CreateTable("watch_item",
+                                  {ColumnDef{"wi_wl_id", Value::Type::kInt},
+                                   ColumnDef{"wi_s_symb", Value::Type::kString}})
+                    .ok());
+    ASSERT_TRUE(db_.catalog()
+                    ->CreateTable("security",
+                                  {ColumnDef{"s_symb", Value::Type::kString},
+                                   ColumnDef{"s_num_out", Value::Type::kInt}})
+                    .ok());
+    Exec("INSERT INTO watch_item VALUES (1, 'AAA'), (1, 'BBB'), (2, 'CCC')");
+    Exec("INSERT INTO security VALUES ('AAA', 100), ('BBB', 200), "
+         "('CCC', 300), ('DDD', 400)");
+  }
+
+  ResultSet Exec(const std::string& sql) {
+    auto outcome = db_.ExecuteText(sql);
+    EXPECT_TRUE(outcome.ok()) << sql << " -> " << outcome.status().ToString();
+    if (!outcome.ok()) return ResultSet();
+    return outcome->result;
+  }
+
+  Database db_;
+};
+
+TEST_F(AdvancedExecutorTest, BasicCte) {
+  ResultSet rs = Exec(
+      "WITH w AS (SELECT wi_s_symb FROM watch_item WHERE wi_wl_id = 1) "
+      "SELECT * FROM w");
+  EXPECT_EQ(rs.row_count(), 2u);
+}
+
+TEST_F(AdvancedExecutorTest, CteReferencingEarlierCte) {
+  ResultSet rs = Exec(
+      "WITH a AS (SELECT wi_s_symb FROM watch_item), "
+      "b AS (SELECT wi_s_symb FROM a WHERE wi_s_symb = 'AAA') "
+      "SELECT * FROM b");
+  EXPECT_EQ(rs.row_count(), 1u);
+}
+
+TEST_F(AdvancedExecutorTest, CteShadowsBaseTable) {
+  ResultSet rs = Exec(
+      "WITH security AS (SELECT wi_s_symb FROM watch_item) "
+      "SELECT * FROM security");
+  EXPECT_EQ(rs.row_count(), 3u);  // the CTE, not the 4-row base table
+}
+
+// The exact shape Algorithm 2 emits (Fig. 7): stripped-filter CTE joined
+// back via the mapping condition.
+TEST_F(AdvancedExecutorTest, CteJoinCombinedShape) {
+  ResultSet rs = Exec(
+      "WITH q1 AS (SELECT wi_s_symb AS q1c0, watch_item.__rowid AS q1ck0 "
+      "FROM watch_item WHERE wi_wl_id = 1), "
+      "q2 AS (SELECT s_num_out AS q2c0, s_symb AS q2jc0, security.__rowid AS "
+      "q2ck0 FROM security) "
+      "SELECT q1.q1c0, q1.q1ck0, q2.q2c0, q2.q2ck0 FROM q1 LEFT JOIN q2 ON "
+      "q2.q2jc0 = q1.q1c0");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.At(0, "q1c0"), Value::String("AAA"));
+  EXPECT_EQ(rs.At(0, "q2c0"), Value::Int(100));
+  EXPECT_EQ(rs.At(1, "q2c0"), Value::Int(200));
+}
+
+TEST_F(AdvancedExecutorTest, CteJoinPushdownScansFewRows) {
+  // The pushdown rewrite must turn the stripped CTE into index probes:
+  // rows scanned stays near the matched rows, nowhere near |security| x
+  // |watch_item|.
+  auto outcome = db_.ExecuteText(
+      "WITH q1 AS (SELECT wi_s_symb AS c0 FROM watch_item WHERE wi_wl_id = "
+      "1), q2 AS (SELECT s_num_out AS c1, s_symb AS jc0 FROM security) "
+      "SELECT q1.c0, q2.c1 FROM q1 LEFT JOIN q2 ON q2.jc0 = q1.c0");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->result.row_count(), 2u);
+  EXPECT_LT(outcome->stats.rows_scanned, 12u);
+}
+
+TEST_F(AdvancedExecutorTest, CteJoinLeftSemanticsUnderPushdown) {
+  Exec("INSERT INTO watch_item VALUES (1, 'ZZZ')");  // no matching security
+  ResultSet rs = Exec(
+      "WITH q1 AS (SELECT wi_s_symb AS c0 FROM watch_item WHERE wi_wl_id = "
+      "1), q2 AS (SELECT s_num_out AS c1, s_symb AS jc0 FROM security) "
+      "SELECT q1.c0, q2.c1 FROM q1 LEFT JOIN q2 ON q2.jc0 = q1.c0");
+  ASSERT_EQ(rs.row_count(), 3u);
+  EXPECT_TRUE(rs.At(2, "c1").is_null());
+}
+
+TEST_F(AdvancedExecutorTest, CteWithFilterKeptUnderPushdown) {
+  // Residual WHERE inside the CTE must still apply after the pushdown.
+  ResultSet rs = Exec(
+      "WITH q1 AS (SELECT wi_s_symb AS c0 FROM watch_item WHERE wi_wl_id = "
+      "1), q2 AS (SELECT s_num_out AS c1, s_symb AS jc0 FROM security WHERE "
+      "s_num_out > 150) "
+      "SELECT q1.c0, q2.c1 FROM q1 LEFT JOIN q2 ON q2.jc0 = q1.c0");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_TRUE(rs.At(0, "c1").is_null());          // AAA filtered out
+  EXPECT_EQ(rs.At(1, "c1"), Value::Int(200));     // BBB kept
+}
+
+TEST_F(AdvancedExecutorTest, MaterialisedCteStillWorksInFromPosition) {
+  // A CTE as the first FROM entry cannot be pushed down; it materialises.
+  ResultSet rs = Exec(
+      "WITH q2 AS (SELECT s_symb, s_num_out FROM security) "
+      "SELECT s_symb FROM q2 WHERE s_num_out = 300");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.At(0, "s_symb"), Value::String("CCC"));
+}
+
+TEST_F(AdvancedExecutorTest, LateralCrossApply) {
+  ResultSet rs = Exec(
+      "SELECT w.wi_s_symb, s.n FROM watch_item AS w, LATERAL (SELECT "
+      "s_num_out AS n FROM security WHERE s_symb = w.wi_s_symb) AS s "
+      "WHERE w.wi_wl_id = 1");
+  EXPECT_EQ(rs.row_count(), 2u);
+}
+
+TEST_F(AdvancedExecutorTest, LeftJoinLateralKeepsEmptyIterations) {
+  Exec("INSERT INTO watch_item VALUES (3, 'NOPE')");
+  ResultSet rs = Exec(
+      "SELECT w.wi_s_symb, s.n FROM watch_item AS w LEFT JOIN LATERAL "
+      "(SELECT s_num_out AS n FROM security WHERE s_symb = w.wi_s_symb) AS s "
+      "ON TRUE WHERE w.wi_wl_id = 3");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_TRUE(rs.At(0, "n").is_null());
+}
+
+TEST_F(AdvancedExecutorTest, LateralWithAggregateAndRowNumber) {
+  // The lateral-union combiner's per-iteration shape (§4.2).
+  ResultSet rs = Exec(
+      "SELECT w.wi_s_symb, s.m, s.rn FROM watch_item AS w LEFT JOIN LATERAL "
+      "(SELECT max(s_num_out) AS m, row_number() OVER () AS rn FROM security "
+      "WHERE s_symb = w.wi_s_symb) AS s ON TRUE WHERE w.wi_wl_id = 1");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.At(0, "m"), Value::Int(100));
+  EXPECT_EQ(rs.At(0, "rn"), Value::Int(1));
+  EXPECT_EQ(rs.At(1, "m"), Value::Int(200));
+  EXPECT_EQ(rs.At(1, "rn"), Value::Int(1));  // numbering restarts per row
+}
+
+TEST_F(AdvancedExecutorTest, LateralProbeUsesIndex) {
+  for (int i = 0; i < 300; ++i) {
+    Exec("INSERT INTO security VALUES ('S" + std::to_string(i) + "', 1)");
+  }
+  auto outcome = db_.ExecuteText(
+      "SELECT w.wi_s_symb, s.n FROM watch_item AS w, LATERAL (SELECT "
+      "s_num_out AS n FROM security WHERE s_symb = w.wi_s_symb) AS s "
+      "WHERE w.wi_wl_id = 1");
+  ASSERT_TRUE(outcome.ok());
+  // Without correlated index probes this would scan 2 x 304 rows.
+  EXPECT_LT(outcome->stats.rows_scanned, 40u);
+}
+
+TEST_F(AdvancedExecutorTest, SubqueryInFrom) {
+  ResultSet rs = Exec(
+      "SELECT d.sym FROM (SELECT wi_s_symb AS sym FROM watch_item WHERE "
+      "wi_wl_id = 2) AS d");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.At(0, "sym"), Value::String("CCC"));
+}
+
+TEST_F(AdvancedExecutorTest, HashJoinMatchesNestedLoopSemantics) {
+  // Equi-join (hash path) and an equivalent non-equi formulation must
+  // produce the same multiset of rows.
+  ResultSet hash = Exec(
+      "SELECT wi_s_symb, s_num_out FROM watch_item JOIN security ON "
+      "wi_s_symb = s_symb");
+  ResultSet nested = Exec(
+      "SELECT wi_s_symb, s_num_out FROM watch_item JOIN security ON "
+      "NOT (wi_s_symb <> s_symb)");
+  EXPECT_EQ(hash, nested);
+}
+
+TEST_F(AdvancedExecutorTest, RowNumberWithGroupByNumbersGroups) {
+  ResultSet rs = Exec(
+      "SELECT wi_wl_id, count(*), row_number() OVER () AS rn FROM watch_item "
+      "GROUP BY wi_wl_id");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.At(0, "rn"), Value::Int(1));
+  EXPECT_EQ(rs.At(1, "rn"), Value::Int(2));
+}
+
+TEST_F(AdvancedExecutorTest, OrderByOutputAliasOnAggregate) {
+  ResultSet rs = Exec(
+      "SELECT wi_wl_id AS wl, count(*) AS n FROM watch_item GROUP BY "
+      "wi_wl_id ORDER BY n DESC");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.At(0, "n"), Value::Int(2));
+}
+
+TEST_F(AdvancedExecutorTest, NestedCtesInsideSubquery) {
+  ResultSet rs = Exec(
+      "SELECT d.c FROM (WITH x AS (SELECT wi_s_symb FROM watch_item) "
+      "SELECT count(*) AS c FROM x) AS d");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.At(0, "c"), Value::Int(3));
+}
+
+TEST_F(AdvancedExecutorTest, EmptyDriverYieldsEmptyCombined) {
+  ResultSet rs = Exec(
+      "WITH q1 AS (SELECT wi_s_symb AS c0 FROM watch_item WHERE wi_wl_id = "
+      "99), q2 AS (SELECT s_num_out AS c1, s_symb AS jc0 FROM security) "
+      "SELECT q1.c0, q2.c1 FROM q1 LEFT JOIN q2 ON q2.jc0 = q1.c0");
+  EXPECT_EQ(rs.row_count(), 0u);
+  EXPECT_EQ(rs.column_count(), 2u);
+}
+
+}  // namespace
+}  // namespace chrono::db

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "db/catalog.h"
+#include "db/table.h"
+
+namespace chrono::db {
+namespace {
+
+using sql::Value;
+
+Table MakeTable() {
+  return Table("t", {ColumnDef{"id", Value::Type::kInt},
+                     ColumnDef{"name", Value::Type::kString}});
+}
+
+TEST(Table, InsertAssignsMonotonicRowids) {
+  Table t = MakeTable();
+  auto r1 = t.Insert({Value::Int(1), Value::String("a")});
+  auto r2 = t.Insert({Value::Int(2), Value::String("b")});
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_LT(*r1, *r2);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, InsertArityMismatchFails) {
+  Table t = MakeTable();
+  EXPECT_FALSE(t.Insert({Value::Int(1)}).ok());
+}
+
+TEST(Table, ColumnIndex) {
+  Table t = MakeTable();
+  EXPECT_EQ(t.ColumnIndex("id"), 0);
+  EXPECT_EQ(t.ColumnIndex("name"), 1);
+  EXPECT_EQ(t.ColumnIndex("nope"), -1);
+}
+
+TEST(Table, ProbeBuildsIndexOnFirstUse) {
+  Table t = MakeTable();
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(t.Insert({Value::Int(i % 3), Value::String("x")}).ok());
+  }
+  EXPECT_FALSE(t.HasIndex(0));
+  const auto& slots = t.Probe(0, Value::Int(1));
+  EXPECT_TRUE(t.HasIndex(0));
+  EXPECT_EQ(slots.size(), 4u);
+  for (size_t s : slots) {
+    EXPECT_EQ(t.slots()[s].values[0], Value::Int(1));
+  }
+}
+
+TEST(Table, ProbeMissReturnsEmpty) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  EXPECT_TRUE(t.Probe(0, Value::Int(99)).empty());
+}
+
+TEST(Table, IndexMaintainedAcrossInsert) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  (void)t.Probe(0, Value::Int(1));  // build index
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("b")}).ok());
+  EXPECT_EQ(t.Probe(0, Value::Int(1)).size(), 2u);
+}
+
+TEST(Table, IndexMaintainedAcrossUpdate) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  (void)t.Probe(0, Value::Int(1));
+  t.UpdateSlot(0, {{0, Value::Int(9)}});
+  EXPECT_TRUE(t.Probe(0, Value::Int(1)).empty());
+  EXPECT_EQ(t.Probe(0, Value::Int(9)).size(), 1u);
+}
+
+TEST(Table, IndexMaintainedAcrossDelete) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("b")}).ok());
+  (void)t.Probe(0, Value::Int(1));
+  t.DeleteSlot(0);
+  EXPECT_EQ(t.Probe(0, Value::Int(1)).size(), 1u);
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_FALSE(t.slots()[0].live);
+}
+
+TEST(Table, NumericKeyNormalisation) {
+  // 2 and 2.0 must land in the same index bucket (SQL equality).
+  Table t = MakeTable();
+  ASSERT_TRUE(t.Insert({Value::Int(2), Value::String("a")}).ok());
+  EXPECT_EQ(t.Probe(0, Value::Double(2.0)).size(), 1u);
+}
+
+TEST(Table, StringIndexKeysDistinctFromNumbers) {
+  Table t("s", {ColumnDef{"k", Value::Type::kString}});
+  ASSERT_TRUE(t.Insert({Value::String("2")}).ok());
+  EXPECT_EQ(t.Probe(0, Value::String("2")).size(), 1u);
+  EXPECT_TRUE(t.Probe(0, Value::Int(2)).empty());
+}
+
+TEST(Table, VersionBumpsOnMutations) {
+  Table t = MakeTable();
+  uint64_t v0 = t.version();
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  uint64_t v1 = t.version();
+  EXPECT_GT(v1, v0);
+  t.UpdateSlot(0, {{1, Value::String("b")}});
+  EXPECT_GT(t.version(), v1);
+}
+
+TEST(Catalog, CreateAndFind) {
+  Catalog c;
+  auto t = c.CreateTable("a", {ColumnDef{"x", Value::Type::kInt}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(c.FindTable("a"), *t);
+  EXPECT_EQ(c.FindTable("b"), nullptr);
+  EXPECT_EQ(c.table_count(), 1u);
+}
+
+TEST(Catalog, DuplicateNameRejected) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable("a", {}).ok());
+  EXPECT_FALSE(c.CreateTable("a", {}).ok());
+}
+
+TEST(Catalog, RelationIdsAreDense) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable("a", {}).ok());
+  ASSERT_TRUE(c.CreateTable("b", {}).ok());
+  EXPECT_EQ(c.RelationId("a"), 0);
+  EXPECT_EQ(c.RelationId("b"), 1);
+  EXPECT_EQ(c.RelationId("zzz"), -1);
+}
+
+}  // namespace
+}  // namespace chrono::db

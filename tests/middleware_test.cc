@@ -1,0 +1,308 @@
+// Middleware behaviour (Algorithm 1, §5): caching, session semantics,
+// security groups, request coalescing, predictive combining end to end —
+// driven in virtual time against a real database instance.
+
+#include <gtest/gtest.h>
+
+#include "core/middleware.h"
+#include "db/database.h"
+
+namespace chrono::core {
+namespace {
+
+using sql::ResultSet;
+using sql::Value;
+
+class MiddlewareTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.catalog()
+                    ->CreateTable("watch_item",
+                                  {db::ColumnDef{"wi_wl_id", Value::Type::kInt},
+                                   db::ColumnDef{"wi_s_symb",
+                                                 Value::Type::kString}})
+                    .ok());
+    ASSERT_TRUE(db_.catalog()
+                    ->CreateTable("security",
+                                  {db::ColumnDef{"s_symb", Value::Type::kString},
+                                   db::ColumnDef{"s_num_out",
+                                                 Value::Type::kInt}})
+                    .ok());
+    for (int wl = 0; wl < 5; ++wl) {
+      for (int i = 0; i < 8; ++i) {
+        std::string sym = "S" + std::to_string(wl) + "_" + std::to_string(i);
+        ASSERT_TRUE(db_.ExecuteText("INSERT INTO watch_item VALUES (" +
+                                    std::to_string(wl) + ", '" + sym + "')")
+                        .ok());
+        ASSERT_TRUE(db_.ExecuteText("INSERT INTO security VALUES ('" + sym +
+                                    "', " + std::to_string(100 + i) + ")")
+                        .ok());
+      }
+    }
+  }
+
+  std::unique_ptr<Middleware> MakeMiddleware(SystemMode mode) {
+    MiddlewareConfig config;
+    config.mode = mode;
+    config.Finalize();
+    return std::make_unique<Middleware>(&events_, &remote_, latency_, config);
+  }
+
+  /// Synchronous helper: submit and run the event loop to completion.
+  ResultSet Query(Middleware* mw, ClientId client, const std::string& sql,
+                  int group = 0) {
+    ResultSet out;
+    bool done = false;
+    mw->SubmitQuery(client, group, sql,
+                    [&](SimTime, const Result<ResultSet>& result) {
+                      EXPECT_TRUE(result.ok()) << result.status().ToString();
+                      if (result.ok()) out = *result;
+                      done = true;
+                    });
+    events_.RunAll();
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  /// Runs a Market-Watch style transaction; returns queries issued.
+  void RunLoopTransaction(Middleware* mw, ClientId client, int wl) {
+    ResultSet symbols = Query(
+        mw, client,
+        "SELECT wi_s_symb FROM watch_item WHERE wi_wl_id = " +
+            std::to_string(wl));
+    for (size_t i = 0; i < symbols.row_count(); ++i) {
+      (void)Query(mw, client,
+                  "SELECT s_num_out FROM security WHERE s_symb = '" +
+                      symbols.row(i)[0].AsString() + "'");
+    }
+  }
+
+  EventQueue events_;
+  db::Database db_;
+  net::LatencyModel latency_;
+  RemoteDbServer remote_{&events_, &db_, latency_, 8};
+};
+
+TEST_F(MiddlewareTest, ReadReturnsCorrectResult) {
+  auto mw = MakeMiddleware(SystemMode::kLru);
+  ResultSet rs = Query(mw.get(), 0,
+                       "SELECT s_num_out FROM security WHERE s_symb = 'S0_3'");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.row(0)[0], Value::Int(103));
+}
+
+TEST_F(MiddlewareTest, RepeatQueryHitsCache) {
+  auto mw = MakeMiddleware(SystemMode::kLru);
+  (void)Query(mw.get(), 0, "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'");
+  uint64_t remote_before = remote_.requests();
+  ResultSet rs = Query(mw.get(), 0,
+                       "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'");
+  EXPECT_EQ(remote_.requests(), remote_before);  // served from the edge
+  EXPECT_EQ(mw->metrics().cache_hits, 1u);
+  EXPECT_EQ(rs.row(0)[0], Value::Int(100));
+}
+
+TEST_F(MiddlewareTest, DifferentFormattingSameCacheEntry) {
+  auto mw = MakeMiddleware(SystemMode::kLru);
+  (void)Query(mw.get(), 0, "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'");
+  (void)Query(mw.get(), 0,
+              "select  s_num_out  from security where s_symb='S0_0'");
+  EXPECT_EQ(mw->metrics().cache_hits, 1u);
+}
+
+TEST_F(MiddlewareTest, CacheSharedAcrossClients) {
+  auto mw = MakeMiddleware(SystemMode::kLru);
+  (void)Query(mw.get(), 0, "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'");
+  (void)Query(mw.get(), 1, "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'");
+  EXPECT_EQ(mw->metrics().cache_hits, 1u);
+}
+
+TEST_F(MiddlewareTest, ScalpelEDoesNotShareAcrossClients) {
+  auto mw = MakeMiddleware(SystemMode::kScalpelE);
+  (void)Query(mw.get(), 0, "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'");
+  (void)Query(mw.get(), 1, "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'");
+  EXPECT_EQ(mw->metrics().cache_hits, 0u);
+  // But the same client still shares with itself across transactions.
+  (void)Query(mw.get(), 1, "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'");
+  EXPECT_EQ(mw->metrics().cache_hits, 1u);
+}
+
+TEST_F(MiddlewareTest, SecurityGroupsIsolateResults) {
+  auto mw = MakeMiddleware(SystemMode::kLru);
+  (void)Query(mw.get(), 0, "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'",
+              /*group=*/1);
+  // A client under a different policy must not consume the entry (Sec.
+  // 5.2.1); its own remote read then re-tags the cached result.
+  (void)Query(mw.get(), 1, "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'",
+              /*group=*/2);
+  EXPECT_EQ(mw->metrics().cache_hits, 0u);
+  EXPECT_GE(mw->metrics().cache_rejects, 1u);
+  // Same group as the latest cached copy shares.
+  (void)Query(mw.get(), 2, "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'",
+              /*group=*/2);
+  EXPECT_EQ(mw->metrics().cache_hits, 1u);
+}
+
+TEST_F(MiddlewareTest, WriteInvalidatesViaSessionVersions) {
+  auto mw = MakeMiddleware(SystemMode::kLru);
+  (void)Query(mw.get(), 0, "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'");
+  // The same client updates the relation; its session must advance.
+  (void)Query(mw.get(), 0,
+              "UPDATE security SET s_num_out = 999 WHERE s_symb = 'S0_0'");
+  ResultSet rs = Query(mw.get(), 0,
+                       "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'");
+  EXPECT_EQ(rs.row(0)[0], Value::Int(999));  // not the stale cached 100
+  EXPECT_EQ(mw->metrics().cache_hits, 0u);
+  EXPECT_GE(mw->metrics().cache_rejects, 1u);
+}
+
+TEST_F(MiddlewareTest, OtherClientsMayStillReadOlderSnapshot) {
+  auto mw = MakeMiddleware(SystemMode::kLru);
+  (void)Query(mw.get(), 0, "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'");
+  (void)Query(mw.get(), 1,
+              "UPDATE security SET s_num_out = 999 WHERE s_symb = 'S0_0'");
+  // Client 2 never observed the newer state: session semantics allow the
+  // older consistent snapshot (§5.2).
+  ResultSet rs = Query(mw.get(), 2,
+                       "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'");
+  EXPECT_EQ(rs.row(0)[0], Value::Int(100));
+  EXPECT_EQ(mw->metrics().cache_hits, 1u);
+}
+
+TEST_F(MiddlewareTest, ConcurrentIdenticalQueriesCoalesce) {
+  auto mw = MakeMiddleware(SystemMode::kLru);
+  int completions = 0;
+  for (int c = 0; c < 3; ++c) {
+    mw->SubmitQuery(c, 0,
+                    "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'",
+                    [&](SimTime, const Result<ResultSet>& result) {
+                      EXPECT_TRUE(result.ok());
+                      EXPECT_EQ(result->row(0)[0], Value::Int(100));
+                      ++completions;
+                    });
+  }
+  events_.RunAll();
+  EXPECT_EQ(completions, 3);
+  EXPECT_EQ(mw->metrics().inflight_joins, 2u);
+  EXPECT_EQ(remote_.requests(), 1u);  // §5.1: submitted once
+}
+
+TEST_F(MiddlewareTest, ChronoLearnsLoopAndPrefetches) {
+  auto mw = MakeMiddleware(SystemMode::kChrono);
+  // Teach the pattern.
+  RunLoopTransaction(mw.get(), 0, 0);
+  RunLoopTransaction(mw.get(), 0, 1);
+  uint64_t hits_before = mw->metrics().cache_hits;
+  // Fresh watch list: the combined query must prefetch the whole loop.
+  RunLoopTransaction(mw.get(), 0, 2);
+  EXPECT_GT(mw->metrics().remote_combined, 0u);
+  // All 8 security lookups of watch list 2 come from the cache.
+  EXPECT_GE(mw->metrics().cache_hits - hits_before, 8u);
+}
+
+TEST_F(MiddlewareTest, PrefetchedResultsMatchDirectExecution) {
+  auto mw = MakeMiddleware(SystemMode::kChrono);
+  RunLoopTransaction(mw.get(), 0, 0);
+  RunLoopTransaction(mw.get(), 0, 1);
+  // Loop over a fresh list; every response must equal direct DB output.
+  ResultSet symbols = Query(
+      mw.get(), 0, "SELECT wi_s_symb FROM watch_item WHERE wi_wl_id = 3");
+  for (size_t i = 0; i < symbols.row_count(); ++i) {
+    std::string q = "SELECT s_num_out FROM security WHERE s_symb = '" +
+                    symbols.row(i)[0].AsString() + "'";
+    ResultSet via_mw = Query(mw.get(), 0, q);
+    auto direct = db_.ExecuteText(q);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(via_mw, direct->result) << q;
+  }
+}
+
+TEST_F(MiddlewareTest, RedundancyCheckSuppressesRefiring) {
+  auto mw = MakeMiddleware(SystemMode::kChrono);
+  RunLoopTransaction(mw.get(), 0, 0);
+  RunLoopTransaction(mw.get(), 0, 1);
+  RunLoopTransaction(mw.get(), 0, 2);
+  uint64_t combined_before = mw->metrics().remote_combined;
+  // Re-running list 2 immediately: everything already cached (§5.1).
+  RunLoopTransaction(mw.get(), 0, 2);
+  EXPECT_GE(mw->metrics().redundant_skips, 1u);
+  EXPECT_EQ(mw->metrics().remote_combined, combined_before);
+}
+
+TEST_F(MiddlewareTest, ApolloPrefetchesSequentially) {
+  auto mw = MakeMiddleware(SystemMode::kApollo);
+  RunLoopTransaction(mw.get(), 0, 0);
+  RunLoopTransaction(mw.get(), 0, 1);
+  RunLoopTransaction(mw.get(), 0, 2);
+  EXPECT_EQ(mw->metrics().remote_combined, 0u);  // never combines
+  EXPECT_GT(mw->metrics().sequential_prefetches, 0u);
+}
+
+TEST_F(MiddlewareTest, LruModeNeverPredicts) {
+  auto mw = MakeMiddleware(SystemMode::kLru);
+  RunLoopTransaction(mw.get(), 0, 0);
+  RunLoopTransaction(mw.get(), 0, 1);
+  RunLoopTransaction(mw.get(), 0, 2);
+  EXPECT_EQ(mw->metrics().remote_combined, 0u);
+  EXPECT_EQ(mw->metrics().sequential_prefetches, 0u);
+  EXPECT_EQ(mw->TotalGraphs(), 0u);
+}
+
+TEST_F(MiddlewareTest, ParseErrorSurfacesToClient) {
+  auto mw = MakeMiddleware(SystemMode::kChrono);
+  bool got_error = false;
+  mw->SubmitQuery(0, 0, "THIS IS NOT SQL",
+                  [&](SimTime, const Result<ResultSet>& result) {
+                    got_error = !result.ok();
+                  });
+  events_.RunAll();
+  EXPECT_TRUE(got_error);
+}
+
+TEST_F(MiddlewareTest, WriteReturnsWithoutCaching) {
+  auto mw = MakeMiddleware(SystemMode::kChrono);
+  (void)Query(mw.get(), 0,
+              "UPDATE security SET s_num_out = 5 WHERE s_symb = 'S0_1'");
+  EXPECT_EQ(mw->metrics().writes, 1u);
+  EXPECT_EQ(mw->cache().entry_count(), 0u);
+}
+
+TEST_F(MiddlewareTest, MultiNodeKeysIsolateCaches) {
+  MiddlewareConfig config;
+  config.mode = SystemMode::kChrono;
+  config.multi_node = true;
+  config.node_id = 0;
+  config.Finalize();
+  Middleware node0(&events_, &remote_, latency_, config);
+  config.node_id = 1;
+  Middleware node1(&events_, &remote_, latency_, config);
+
+  (void)Query(&node0, 0, "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'");
+  (void)Query(&node1, 1, "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'");
+  // Separate caches: node1's read was a miss despite node0's entry.
+  EXPECT_EQ(node1.metrics().cache_hits, 0u);
+}
+
+TEST_F(MiddlewareTest, ResponseLatencyIncludesWanOnMiss) {
+  auto mw = MakeMiddleware(SystemMode::kLru);
+  SimTime start = events_.now();
+  SimTime end = 0;
+  mw->SubmitQuery(0, 0, "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'",
+                  [&](SimTime now, const Result<ResultSet>&) { end = now; });
+  events_.RunAll();
+  EXPECT_GE(end - start, latency_.wan_rtt);
+}
+
+TEST_F(MiddlewareTest, HitLatencyAvoidsWan) {
+  auto mw = MakeMiddleware(SystemMode::kLru);
+  (void)Query(mw.get(), 0, "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'");
+  SimTime start = events_.now();
+  SimTime end = 0;
+  mw->SubmitQuery(0, 0, "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'",
+                  [&](SimTime now, const Result<ResultSet>&) { end = now; });
+  events_.RunAll();
+  EXPECT_LT(end - start, latency_.wan_rtt / 2);
+}
+
+}  // namespace
+}  // namespace chrono::core

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "core/param_mapper.h"
+
+namespace chrono::core {
+namespace {
+
+using sql::ResultSet;
+using sql::Value;
+
+ResultSet SymbolResult(std::vector<std::string> symbols) {
+  ResultSet rs({"symb", "num"});
+  int64_t n = 100;
+  for (auto& s : symbols) {
+    rs.AddRow({Value::String(std::move(s)), Value::Int(n++)});
+  }
+  return rs;
+}
+
+TEST(ParamMapper, DiscoversAndConfirmsMapping) {
+  ParamMapper mapper(/*min_validations=*/2);
+  mapper.ObserveResult(1, SymbolResult({"AAA", "BBB", "CCC"}));
+
+  // First issue of Q2 with the row-0 symbol: candidate created (1 match).
+  mapper.ObserveQuery(2, {Value::String("AAA")});
+  EXPECT_TRUE(mapper.ConfirmedMappings(2).empty());
+
+  // Second issue matches row 1: validated.
+  mapper.ObserveQuery(2, {Value::String("BBB")});
+  auto mappings = mapper.ConfirmedMappings(2);
+  ASSERT_EQ(mappings.size(), 1u);
+  EXPECT_EQ(mappings[0].src, 1u);
+  EXPECT_EQ(mappings[0].src_column, "symb");
+  EXPECT_EQ(mappings[0].dst_param, 0);
+}
+
+TEST(ParamMapper, LoopCursorAdvancesPerIssue) {
+  ParamMapper mapper(2);
+  mapper.ObserveResult(1, SymbolResult({"AAA", "BBB", "CCC"}));
+  mapper.ObserveQuery(2, {Value::String("AAA")});
+  mapper.ObserveQuery(2, {Value::String("BBB")});
+  mapper.ObserveQuery(2, {Value::String("CCC")});
+  auto mappings = mapper.ConfirmedMappings(2);
+  ASSERT_EQ(mappings.size(), 1u);
+  EXPECT_EQ(mapper.BlacklistedCount(2), 0);
+}
+
+TEST(ParamMapper, SpuriousMappingBlacklisted) {
+  ParamMapper mapper(2);
+  mapper.ObserveResult(1, SymbolResult({"AAA", "BBB"}));
+  // Coincidental match on row 0, mismatch on row 1: blacklist forever.
+  mapper.ObserveQuery(2, {Value::String("AAA")});
+  mapper.ObserveQuery(2, {Value::String("ZZZ")});
+  EXPECT_TRUE(mapper.ConfirmedMappings(2).empty());
+  EXPECT_EQ(mapper.BlacklistedCount(2), 1);
+  // Even if values match later, the blacklist is permanent (§2.1).
+  mapper.ObserveResult(1, SymbolResult({"AAA", "BBB"}));
+  mapper.ObserveQuery(2, {Value::String("AAA")});
+  mapper.ObserveQuery(2, {Value::String("BBB")});
+  EXPECT_TRUE(mapper.ConfirmedMappings(2).empty());
+}
+
+TEST(ParamMapper, FreshResultResetsCursor) {
+  ParamMapper mapper(2);
+  mapper.ObserveResult(1, SymbolResult({"AAA", "BBB"}));
+  mapper.ObserveQuery(2, {Value::String("AAA")});
+  // New invocation: fresh result, cursor restarts at row 0.
+  mapper.ObserveResult(1, SymbolResult({"XXX", "YYY"}));
+  mapper.ObserveQuery(2, {Value::String("XXX")});
+  mapper.ObserveQuery(2, {Value::String("YYY")});
+  ASSERT_EQ(mapper.ConfirmedMappings(2).size(), 1u);
+}
+
+TEST(ParamMapper, CursorPastEndIsNeutral) {
+  ParamMapper mapper(2);
+  mapper.ObserveResult(1, SymbolResult({"AAA"}));
+  mapper.ObserveQuery(2, {Value::String("AAA")});
+  // Issues beyond the result's length neither validate nor blacklist.
+  mapper.ObserveQuery(2, {Value::String("QQQ")});
+  mapper.ObserveQuery(2, {Value::String("RRR")});
+  EXPECT_EQ(mapper.BlacklistedCount(2), 0);
+}
+
+TEST(ParamMapper, MultipleColumnsCreateMultipleCandidates) {
+  ParamMapper mapper(2);
+  ResultSet rs({"a", "b"});
+  rs.AddRow({Value::Int(7), Value::Int(7)});  // both columns match
+  rs.AddRow({Value::Int(8), Value::Int(9)});  // only column a matches
+  mapper.ObserveResult(1, rs);
+  mapper.ObserveQuery(2, {Value::Int(7)});
+  mapper.ObserveQuery(2, {Value::Int(8)});
+  auto mappings = mapper.ConfirmedMappings(2);
+  ASSERT_EQ(mappings.size(), 1u);
+  EXPECT_EQ(mappings[0].src_column, "a");
+  EXPECT_EQ(mapper.BlacklistedCount(2), 1);  // column b blacklisted
+}
+
+TEST(ParamMapper, MultiParamQueries) {
+  ParamMapper mapper(2);
+  ResultSet rs({"id", "latest"});
+  rs.AddRow({Value::Int(10), Value::Int(501)});
+  mapper.ObserveResult(1, rs);
+  mapper.ObserveQuery(2, {Value::Int(10), Value::Int(501)});
+  mapper.ObserveResult(1, [&] {
+    ResultSet r2({"id", "latest"});
+    r2.AddRow({Value::Int(11), Value::Int(502)});
+    return r2;
+  }());
+  mapper.ObserveQuery(2, {Value::Int(11), Value::Int(502)});
+  auto covered = mapper.CoveredParams(2);
+  EXPECT_EQ(covered, (std::vector<int>{0, 1}));
+}
+
+TEST(ParamMapper, SeparateDestinationsHaveSeparateCursors) {
+  ParamMapper mapper(2);
+  mapper.ObserveResult(1, SymbolResult({"AAA", "BBB"}));
+  // Q2 and Q3 each iterate the same source independently.
+  mapper.ObserveQuery(2, {Value::String("AAA")});
+  mapper.ObserveQuery(3, {Value::String("AAA")});
+  mapper.ObserveQuery(2, {Value::String("BBB")});
+  mapper.ObserveQuery(3, {Value::String("BBB")});
+  EXPECT_EQ(mapper.ConfirmedMappings(2).size(), 1u);
+  EXPECT_EQ(mapper.ConfirmedMappings(3).size(), 1u);
+}
+
+TEST(ParamMapper, NullParamsIgnored) {
+  ParamMapper mapper(2);
+  ResultSet rs({"a"});
+  rs.AddRow({Value::Null()});
+  mapper.ObserveResult(1, rs);
+  mapper.ObserveQuery(2, {Value::Null()});
+  EXPECT_TRUE(mapper.ConfirmedMappings(2).empty());
+}
+
+TEST(ParamMapper, LastResultAccessors) {
+  ParamMapper mapper(2);
+  EXPECT_FALSE(mapper.HasResult(1));
+  EXPECT_EQ(mapper.LastResult(1), nullptr);
+  mapper.ObserveResult(1, SymbolResult({"AAA"}));
+  EXPECT_TRUE(mapper.HasResult(1));
+  ASSERT_NE(mapper.LastResult(1), nullptr);
+  EXPECT_EQ(mapper.LastResult(1)->row_count(), 1u);
+}
+
+TEST(ParamMapper, NumericCrossTypeMatch) {
+  ParamMapper mapper(2);
+  ResultSet rs({"v"});
+  rs.AddRow({Value::Int(5)});
+  mapper.ObserveResult(1, rs);
+  mapper.ObserveQuery(2, {Value::Double(5.0)});
+  mapper.ObserveResult(1, rs);
+  mapper.ObserveQuery(2, {Value::Double(5.0)});
+  EXPECT_EQ(mapper.ConfirmedMappings(2).size(), 1u);
+}
+
+}  // namespace
+}  // namespace chrono::core

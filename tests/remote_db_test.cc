@@ -1,0 +1,134 @@
+// RemoteDbServer: WAN latency accounting, worker-pool queueing, row-based
+// service costs — the contention model behind the scalability results.
+
+#include <gtest/gtest.h>
+
+#include "core/middleware.h"
+#include "db/database.h"
+
+namespace chrono::core {
+namespace {
+
+class RemoteDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteText("CREATE TABLE t (id bigint, v bigint)").ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(db_.ExecuteText("INSERT INTO t VALUES (" +
+                                  std::to_string(i) + ", " +
+                                  std::to_string(i * 10) + ")")
+                      .ok());
+    }
+  }
+
+  EventQueue events_;
+  db::Database db_;
+  net::LatencyModel latency_;
+};
+
+TEST_F(RemoteDbTest, RoundTripIncludesWanAndService) {
+  RemoteDbServer remote(&events_, &db_, latency_, 4);
+  SimTime done_at = -1;
+  remote.Submit("SELECT v FROM t WHERE id = 7",
+                [&](SimTime now, Result<db::ExecOutcome> outcome) {
+                  ASSERT_TRUE(outcome.ok());
+                  EXPECT_EQ(outcome->result.row(0)[0], sql::Value::Int(70));
+                  done_at = now;
+                });
+  events_.RunAll();
+  EXPECT_GE(done_at, latency_.wan_rtt + latency_.db_base_service);
+  EXPECT_LT(done_at, latency_.wan_rtt + 10 * kMicrosPerMilli);
+}
+
+TEST_F(RemoteDbTest, SingleWorkerSerialisesService) {
+  RemoteDbServer remote(&events_, &db_, latency_, 1);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    remote.Submit("SELECT v FROM t WHERE id = 1",
+                  [&](SimTime now, Result<db::ExecOutcome> outcome) {
+                    ASSERT_TRUE(outcome.ok());
+                    completions.push_back(now);
+                  });
+  }
+  events_.RunAll();
+  ASSERT_EQ(completions.size(), 3u);
+  // Same arrival time, one worker: completions are spaced by service time.
+  EXPECT_GT(completions[1], completions[0]);
+  EXPECT_GT(completions[2], completions[1]);
+  EXPECT_NEAR(static_cast<double>(completions[1] - completions[0]),
+              static_cast<double>(completions[2] - completions[1]), 1.0);
+}
+
+TEST_F(RemoteDbTest, ParallelWorkersOverlap) {
+  RemoteDbServer remote(&events_, &db_, latency_, 4);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    remote.Submit("SELECT v FROM t WHERE id = 1",
+                  [&](SimTime now, Result<db::ExecOutcome>) {
+                    completions.push_back(now);
+                  });
+  }
+  events_.RunAll();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], completions[1]);
+  EXPECT_EQ(completions[1], completions[2]);
+}
+
+TEST_F(RemoteDbTest, ServiceTimeScalesWithRowsTouched) {
+  RemoteDbServer remote(&events_, &db_, latency_, 1);
+  SimTime point_done = 0;
+  SimTime scan_done = 0;
+  remote.Submit("SELECT v FROM t WHERE id = 3",
+                [&](SimTime now, Result<db::ExecOutcome>) { point_done = now; });
+  events_.RunAll();
+  SimTime start = events_.now();
+  remote.Submit("SELECT count(*) FROM t WHERE v > 0",  // full scan
+                [&](SimTime now, Result<db::ExecOutcome>) { scan_done = now; });
+  events_.RunAll();
+  EXPECT_GT(scan_done - start, point_done);  // scan costs more than lookup
+}
+
+TEST_F(RemoteDbTest, ErrorsPropagateWithLatency) {
+  RemoteDbServer remote(&events_, &db_, latency_, 2);
+  SimTime done_at = -1;
+  bool failed = false;
+  remote.Submit("SELECT broken FROM missing_table",
+                [&](SimTime now, Result<db::ExecOutcome> outcome) {
+                  failed = !outcome.ok();
+                  done_at = now;
+                });
+  events_.RunAll();
+  EXPECT_TRUE(failed);
+  EXPECT_GE(done_at, latency_.wan_rtt);
+}
+
+TEST_F(RemoteDbTest, CountsRequestsAndRows) {
+  RemoteDbServer remote(&events_, &db_, latency_, 2);
+  remote.Submit("SELECT v FROM t WHERE id = 1",
+                [](SimTime, Result<db::ExecOutcome>) {});
+  remote.Submit("SELECT v FROM t WHERE id = 2",
+                [](SimTime, Result<db::ExecOutcome>) {});
+  events_.RunAll();
+  EXPECT_EQ(remote.requests(), 2u);
+  EXPECT_GT(remote.rows_scanned(), 0u);
+  EXPECT_GT(remote.busy_time(), 0);
+}
+
+TEST_F(RemoteDbTest, WritesApplyInSubmissionOrder) {
+  RemoteDbServer remote(&events_, &db_, latency_, 1);
+  remote.Submit("UPDATE t SET v = 1 WHERE id = 0",
+                [](SimTime, Result<db::ExecOutcome>) {});
+  remote.Submit("UPDATE t SET v = v + 1 WHERE id = 0",
+                [](SimTime, Result<db::ExecOutcome>) {});
+  sql::Value final_v;
+  remote.Submit("SELECT v FROM t WHERE id = 0",
+                [&](SimTime, Result<db::ExecOutcome> outcome) {
+                  ASSERT_TRUE(outcome.ok());
+                  final_v = outcome->result.row(0)[0];
+                });
+  events_.RunAll();
+  EXPECT_EQ(final_v, sql::Value::Int(2));
+}
+
+}  // namespace
+}  // namespace chrono::core

@@ -1,0 +1,119 @@
+// Session semantics (§5.2) and access control groups (§5.2.1).
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+
+namespace chrono::core {
+namespace {
+
+TEST(Session, RelationsStartAtVersionOne) {
+  SessionManager s(false);
+  s.RelationId("users");
+  EXPECT_EQ(s.VersionOf("users"), 1u);
+}
+
+TEST(Session, WriteBumpsRelation) {
+  SessionManager s(false);
+  s.RelationId("users");
+  s.OnClientWrite(1, {"users"});
+  EXPECT_EQ(s.VersionOf("users"), 2u);
+}
+
+TEST(Session, SnapshotCoversRequestedRelations) {
+  SessionManager s(false);
+  auto snap = s.SnapshotFor({"a", "b"});
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].second, 1u);
+  s.OnClientWrite(1, {"a"});
+  snap = s.SnapshotFor({"a", "b"});
+  EXPECT_EQ(snap[0].second, 2u);
+  EXPECT_EQ(snap[1].second, 1u);
+}
+
+TEST(Session, FreshClientCanUseAnything) {
+  SessionManager s(false);
+  auto snap = s.SnapshotFor({"a"});
+  EXPECT_TRUE(s.CanUse(7, snap));
+}
+
+TEST(Session, StaleResultRejectedAfterClientAdvances) {
+  SessionManager s(false);
+  auto old_snap = s.SnapshotFor({"a"});
+  // Another client writes; our client then reads fresh from the database.
+  s.OnClientWrite(2, {"a"});
+  s.SyncClientToDb(1);
+  EXPECT_FALSE(s.CanUse(1, old_snap));
+  EXPECT_TRUE(s.CanUse(1, s.SnapshotFor({"a"})));
+}
+
+TEST(Session, WriterSeesOwnWrites) {
+  SessionManager s(false);
+  auto old_snap = s.SnapshotFor({"a"});
+  s.OnClientWrite(1, {"a"});
+  // The writer's session advanced past the old cached result.
+  EXPECT_FALSE(s.CanUse(1, old_snap));
+  // A client that never read nor wrote still accepts the older snapshot
+  // (it corresponds to a consistent earlier state).
+  EXPECT_TRUE(s.CanUse(2, old_snap));
+}
+
+TEST(Session, AbsorbAdvancesOnlyTouchedRelations) {
+  SessionManager s(false);
+  s.RelationId("a");
+  s.RelationId("b");
+  s.OnClientWrite(9, {"a"});
+  s.OnClientWrite(9, {"b"});
+  auto snap_a = s.SnapshotFor({"a"});
+  s.AbsorbResult(1, snap_a);
+  // Client 1 absorbed a's version but not b's: older b results still fine.
+  cache::VersionVector old_b = {{s.RelationId("b"), 1}};
+  EXPECT_FALSE(s.CanUse(1, cache::VersionVector{{s.RelationId("a"), 1}}));
+  EXPECT_TRUE(s.CanUse(1, cache::VersionVector{
+                              {s.RelationId("b"), s.VersionOf("b")}}));
+}
+
+TEST(Session, NewerResultAlwaysUsable) {
+  SessionManager s(false);
+  s.SyncClientToDb(1);
+  s.OnClientWrite(2, {"a"});
+  // A result tagged after the write is >= client 1's session.
+  EXPECT_TRUE(s.CanUse(1, s.SnapshotFor({"a"})));
+}
+
+TEST(Session, MultiNodeAdvancesEverythingOnRemoteAccess) {
+  SessionManager s(/*multi_node=*/true);
+  s.RelationId("a");
+  s.RelationId("b");
+  auto old_snap = s.SnapshotFor({"a", "b"});
+  s.OnRemoteAccess();
+  EXPECT_EQ(s.VersionOf("a"), 2u);
+  EXPECT_EQ(s.VersionOf("b"), 2u);
+  s.SyncClientToDb(1);
+  EXPECT_FALSE(s.CanUse(1, old_snap));
+}
+
+TEST(Session, SingleNodeRemoteAccessIsNoop) {
+  SessionManager s(false);
+  s.RelationId("a");
+  s.OnRemoteAccess();
+  EXPECT_EQ(s.VersionOf("a"), 1u);
+}
+
+TEST(Session, LazyRelationRegistrationGrowsVectors) {
+  SessionManager s(false);
+  s.SyncClientToDb(1);
+  // New relation appears after the client's vector was created.
+  s.RelationId("late");
+  EXPECT_TRUE(s.CanUse(1, s.SnapshotFor({"late"})));
+  s.AbsorbResult(1, s.SnapshotFor({"late"}));
+  EXPECT_EQ(s.VersionOf("late"), 1u);
+}
+
+TEST(Session, UnknownRelationVersionZero) {
+  SessionManager s(false);
+  EXPECT_EQ(s.VersionOf("never"), 0u);
+}
+
+}  // namespace
+}  // namespace chrono::core

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/resource.h"
+
+namespace chrono {
+namespace {
+
+TEST(EventQueue, RunsInTimestampOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&](SimTime) { order.push_back(3); });
+  q.ScheduleAt(10, [&](SimTime) { order.push_back(1); });
+  q.ScheduleAt(20, [&](SimTime) { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(10, [&order, i](SimTime) { order.push_back(i); });
+  }
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative) {
+  EventQueue q;
+  SimTime fired = -1;
+  q.ScheduleAt(100, [&](SimTime) {
+    q.ScheduleAfter(50, [&](SimTime now) { fired = now; });
+  });
+  q.RunAll();
+  EXPECT_EQ(fired, 150);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(10, [&](SimTime) { ++fired; });
+  q.ScheduleAt(20, [&](SimTime) { ++fired; });
+  q.ScheduleAt(21, [&](SimTime) { ++fired; });
+  q.RunUntil(20);
+  EXPECT_EQ(fired, 2);  // events at exactly `until` run
+  EXPECT_EQ(q.now(), 20);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.RunUntil(500);
+  EXPECT_EQ(q.now(), 500);
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue q;
+  q.ScheduleAt(100, [&](SimTime) {
+    q.ScheduleAt(50, [](SimTime) {});  // in the past: clamped
+  });
+  q.RunAll();
+  EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueue, EventsScheduledDuringRunExecute) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void(SimTime)> recurse = [&](SimTime) {
+    if (++depth < 10) q.ScheduleAfter(1, recurse);
+  };
+  q.ScheduleAt(0, recurse);
+  q.RunAll();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(q.now(), 9);
+}
+
+TEST(Resource, SingleWorkerSerialises) {
+  EventQueue q;
+  Resource r(&q, 1);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    r.Submit(10, [&](SimTime now) { completions.push_back(now); });
+  }
+  q.RunAll();
+  EXPECT_EQ(completions, (std::vector<SimTime>{10, 20, 30}));
+}
+
+TEST(Resource, ParallelWorkersOverlap) {
+  EventQueue q;
+  Resource r(&q, 3);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    r.Submit(10, [&](SimTime now) { completions.push_back(now); });
+  }
+  q.RunAll();
+  EXPECT_EQ(completions, (std::vector<SimTime>{10, 10, 10}));
+}
+
+TEST(Resource, QueueDrainsInFifoOrder) {
+  EventQueue q;
+  Resource r(&q, 2);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    r.Submit(10, [&order, i](SimTime) { order.push_back(i); });
+  }
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Resource, TracksBusyTime) {
+  EventQueue q;
+  Resource r(&q, 2);
+  r.Submit(10, [](SimTime) {});
+  r.Submit(15, [](SimTime) {});
+  q.RunAll();
+  EXPECT_EQ(r.total_busy_time(), 25);
+  EXPECT_EQ(r.busy(), 0);
+}
+
+// Queueing behaviour behind Fig. 10c: with load above capacity, waiting
+// time grows with queue position.
+TEST(Resource, ContentionGrowsLatency) {
+  EventQueue q;
+  Resource r(&q, 1);
+  SimTime last = 0;
+  for (int i = 0; i < 20; ++i) {
+    r.Submit(5, [&](SimTime now) { last = now; });
+  }
+  q.RunAll();
+  EXPECT_EQ(last, 100);  // 20 jobs * 5us on one worker
+}
+
+}  // namespace
+}  // namespace chrono

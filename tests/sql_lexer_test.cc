@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace chrono::sql {
+namespace {
+
+std::vector<Token> MustTokenize(std::string_view s) {
+  auto result = Tokenize(s);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(Lexer, KeywordsUppercasedIdentifiersLowercased) {
+  auto tokens = MustTokenize("SELECT Foo FROM Bar");
+  ASSERT_EQ(tokens.size(), 5u);  // + end
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].kind, Token::Kind::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "foo");
+  EXPECT_TRUE(tokens[2].IsKeyword("FROM"));
+  EXPECT_EQ(tokens[3].text, "bar");
+  EXPECT_EQ(tokens[4].kind, Token::Kind::kEnd);
+}
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  auto tokens = MustTokenize("select sElEcT SELECT");
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(tokens[i].IsKeyword("SELECT"));
+}
+
+TEST(Lexer, IntegerLiteral) {
+  auto tokens = MustTokenize("123");
+  EXPECT_EQ(tokens[0].kind, Token::Kind::kInt);
+  EXPECT_EQ(tokens[0].int_value, 123);
+}
+
+TEST(Lexer, DoubleLiterals) {
+  auto tokens = MustTokenize("1.5 2e3 0.25");
+  EXPECT_EQ(tokens[0].kind, Token::Kind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[0].double_value, 1.5);
+  EXPECT_EQ(tokens[1].kind, Token::Kind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 2000.0);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 0.25);
+}
+
+TEST(Lexer, StringLiteralWithEscapedQuote) {
+  auto tokens = MustTokenize("'it''s here'");
+  EXPECT_EQ(tokens[0].kind, Token::Kind::kString);
+  EXPECT_EQ(tokens[0].text, "it's here");
+}
+
+TEST(Lexer, EmptyString) {
+  auto tokens = MustTokenize("''");
+  EXPECT_EQ(tokens[0].kind, Token::Kind::kString);
+  EXPECT_EQ(tokens[0].text, "");
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  auto result = Tokenize("SELECT 'oops");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kParseError);
+}
+
+TEST(Lexer, TwoCharOperators) {
+  auto tokens = MustTokenize("<> <= >= != ||");
+  EXPECT_TRUE(tokens[0].IsSymbol("<>"));
+  EXPECT_TRUE(tokens[1].IsSymbol("<="));
+  EXPECT_TRUE(tokens[2].IsSymbol(">="));
+  EXPECT_TRUE(tokens[3].IsSymbol("<>"));  // != normalised
+  EXPECT_TRUE(tokens[4].IsSymbol("||"));
+}
+
+TEST(Lexer, SingleCharSymbols) {
+  auto tokens = MustTokenize("( ) , . ? = < > + - * /");
+  const char* expected[] = {"(", ")", ",", ".", "?", "=",
+                            "<", ">", "+", "-", "*", "/"};
+  for (size_t i = 0; i < 12; ++i) EXPECT_TRUE(tokens[i].IsSymbol(expected[i]));
+}
+
+TEST(Lexer, SemicolonIgnored) {
+  auto tokens = MustTokenize("SELECT 1;");
+  EXPECT_EQ(tokens.size(), 3u);  // SELECT, 1, end
+}
+
+TEST(Lexer, UnexpectedCharacterFails) {
+  auto result = Tokenize("SELECT @foo");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Lexer, OffsetsTrackPositions) {
+  auto tokens = MustTokenize("SELECT a");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 7u);
+}
+
+TEST(Lexer, UnderscoreIdentifiers) {
+  auto tokens = MustTokenize("__rowid wi_s_symb _x");
+  EXPECT_EQ(tokens[0].text, "__rowid");
+  EXPECT_EQ(tokens[1].text, "wi_s_symb");
+  EXPECT_EQ(tokens[2].text, "_x");
+}
+
+TEST(Lexer, WhitespaceVariantsEquivalent) {
+  auto a = MustTokenize("SELECT  a \n\t FROM b");
+  auto b = MustTokenize("SELECT a FROM b");
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].text, b[i].text);
+  }
+}
+
+}  // namespace
+}  // namespace chrono::sql

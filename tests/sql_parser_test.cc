@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/writer.h"
+
+namespace chrono::sql {
+namespace {
+
+std::unique_ptr<Statement> MustParse(std::string_view s) {
+  auto result = Parse(s);
+  EXPECT_TRUE(result.ok()) << s << " -> " << result.status().ToString();
+  if (!result.ok()) return nullptr;
+  return std::move(result).value();
+}
+
+/// Round-trip: parse, write, parse again, write again — the two written
+/// forms must agree (writer output is canonical).
+void ExpectRoundTrip(std::string_view s) {
+  auto stmt = MustParse(s);
+  ASSERT_NE(stmt, nullptr);
+  std::string first = WriteStatement(*stmt);
+  auto reparsed = MustParse(first);
+  ASSERT_NE(reparsed, nullptr);
+  EXPECT_EQ(first, WriteStatement(*reparsed)) << s;
+}
+
+TEST(Parser, SimpleSelect) {
+  auto stmt = MustParse("SELECT a, b FROM t WHERE a = 1");
+  ASSERT_EQ(stmt->kind, Statement::Kind::kSelect);
+  const SelectStmt& sel = *stmt->select;
+  ASSERT_EQ(sel.items.size(), 2u);
+  EXPECT_EQ(sel.items[0].expr->column, "a");
+  EXPECT_EQ(sel.from.table_name, "t");
+  ASSERT_NE(sel.where, nullptr);
+  EXPECT_EQ(sel.where->bin_op, BinOp::kEq);
+}
+
+TEST(Parser, SelectStar) {
+  auto stmt = MustParse("SELECT * FROM t");
+  EXPECT_TRUE(stmt->select->items[0].is_star);
+}
+
+TEST(Parser, QualifiedStar) {
+  auto stmt = MustParse("SELECT q1.* FROM t AS q1");
+  EXPECT_TRUE(stmt->select->items[0].is_star);
+  EXPECT_EQ(stmt->select->items[0].star_qualifier, "q1");
+}
+
+TEST(Parser, AliasForms) {
+  auto stmt = MustParse("SELECT a AS x, b y FROM t");
+  EXPECT_EQ(stmt->select->items[0].alias, "x");
+  EXPECT_EQ(stmt->select->items[1].alias, "y");
+}
+
+TEST(Parser, QualifiedColumns) {
+  auto stmt = MustParse("SELECT t.a FROM t");
+  EXPECT_EQ(stmt->select->items[0].expr->table, "t");
+  EXPECT_EQ(stmt->select->items[0].expr->column, "a");
+}
+
+TEST(Parser, JoinVariants) {
+  auto stmt = MustParse(
+      "SELECT a FROM t JOIN u ON t.id = u.id LEFT JOIN v ON u.id = v.id, w");
+  const SelectStmt& sel = *stmt->select;
+  ASSERT_EQ(sel.joins.size(), 3u);
+  EXPECT_EQ(sel.joins[0].type, JoinClause::Type::kInner);
+  EXPECT_EQ(sel.joins[1].type, JoinClause::Type::kLeft);
+  EXPECT_EQ(sel.joins[2].type, JoinClause::Type::kCross);
+}
+
+TEST(Parser, LateralJoin) {
+  auto stmt = MustParse(
+      "SELECT a FROM t LEFT JOIN LATERAL (SELECT b FROM u WHERE u.id = t.id) "
+      "AS d ON TRUE");
+  ASSERT_EQ(stmt->select->joins.size(), 1u);
+  EXPECT_EQ(stmt->select->joins[0].ref.kind, TableRef::Kind::kLateralSubquery);
+  EXPECT_EQ(stmt->select->joins[0].ref.alias, "d");
+}
+
+TEST(Parser, DerivedTableRequiresAlias) {
+  EXPECT_FALSE(Parse("SELECT a FROM (SELECT b FROM t)").ok());
+  EXPECT_TRUE(Parse("SELECT a FROM (SELECT b FROM t) AS d").ok());
+}
+
+TEST(Parser, WithClause) {
+  auto stmt = MustParse(
+      "WITH q1 AS (SELECT a FROM t), q2 AS (SELECT b FROM u) "
+      "SELECT * FROM q1 LEFT JOIN q2 ON q1.a = q2.b");
+  ASSERT_EQ(stmt->select->ctes.size(), 2u);
+  EXPECT_EQ(stmt->select->ctes[0].name, "q1");
+  EXPECT_EQ(stmt->select->ctes[1].name, "q2");
+}
+
+TEST(Parser, GroupByHaving) {
+  auto stmt = MustParse(
+      "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2");
+  EXPECT_EQ(stmt->select->group_by.size(), 1u);
+  ASSERT_NE(stmt->select->having, nullptr);
+}
+
+TEST(Parser, OrderByLimit) {
+  auto stmt = MustParse("SELECT a FROM t ORDER BY a DESC, b LIMIT 10");
+  ASSERT_EQ(stmt->select->order_by.size(), 2u);
+  EXPECT_TRUE(stmt->select->order_by[0].desc);
+  EXPECT_FALSE(stmt->select->order_by[1].desc);
+  EXPECT_EQ(stmt->select->limit, 10);
+}
+
+TEST(Parser, Distinct) {
+  EXPECT_TRUE(MustParse("SELECT DISTINCT a FROM t")->select->distinct);
+}
+
+TEST(Parser, RowNumberWindow) {
+  auto stmt = MustParse("SELECT row_number() OVER () AS rn FROM t");
+  EXPECT_EQ(stmt->select->items[0].expr->kind, Expr::Kind::kRowNumber);
+  EXPECT_EQ(stmt->select->items[0].alias, "rn");
+}
+
+TEST(Parser, Aggregates) {
+  auto stmt = MustParse("SELECT count(*), sum(a), avg(b), min(c), max(d) FROM t");
+  EXPECT_EQ(stmt->select->items.size(), 5u);
+  for (const auto& item : stmt->select->items) {
+    EXPECT_EQ(item.expr->kind, Expr::Kind::kFuncCall);
+  }
+  EXPECT_EQ(stmt->select->items[0].expr->children[0]->kind, Expr::Kind::kStar);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  // a = 1 OR b = 2 AND c = 3  ==  a = 1 OR ((b = 2) AND (c = 3))
+  auto stmt = MustParse("SELECT x FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  const Expr& where = *stmt->select->where;
+  EXPECT_EQ(where.bin_op, BinOp::kOr);
+  EXPECT_EQ(where.children[1]->bin_op, BinOp::kAnd);
+}
+
+TEST(Parser, ArithmeticPrecedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3)
+  auto stmt = MustParse("SELECT 1 + 2 * 3");
+  const Expr& e = *stmt->select->items[0].expr;
+  EXPECT_EQ(e.bin_op, BinOp::kAdd);
+  EXPECT_EQ(e.children[1]->bin_op, BinOp::kMul);
+}
+
+TEST(Parser, InList) {
+  auto stmt = MustParse("SELECT a FROM t WHERE a IN (1, 2, 3)");
+  const Expr& where = *stmt->select->where;
+  EXPECT_EQ(where.kind, Expr::Kind::kInList);
+  EXPECT_EQ(where.children.size(), 4u);  // needle + 3
+  EXPECT_FALSE(where.is_not);
+}
+
+TEST(Parser, NotInList) {
+  auto stmt = MustParse("SELECT a FROM t WHERE a NOT IN (1)");
+  EXPECT_TRUE(stmt->select->where->is_not);
+}
+
+TEST(Parser, IsNull) {
+  auto stmt = MustParse("SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL");
+  const Expr& where = *stmt->select->where;
+  EXPECT_EQ(where.children[0]->kind, Expr::Kind::kIsNull);
+  EXPECT_FALSE(where.children[0]->is_not);
+  EXPECT_TRUE(where.children[1]->is_not);
+}
+
+TEST(Parser, BetweenDesugars) {
+  auto stmt = MustParse("SELECT a FROM t WHERE a BETWEEN 1 AND 5");
+  const Expr& where = *stmt->select->where;
+  EXPECT_EQ(where.bin_op, BinOp::kAnd);
+  EXPECT_EQ(where.children[0]->bin_op, BinOp::kGe);
+  EXPECT_EQ(where.children[1]->bin_op, BinOp::kLe);
+}
+
+TEST(Parser, ParamPlaceholdersNumberedInOrder) {
+  auto stmt = MustParse("SELECT a FROM t WHERE b = ? AND c = ?");
+  const Expr& where = *stmt->select->where;
+  EXPECT_EQ(where.children[0]->children[1]->param_index, 0);
+  EXPECT_EQ(where.children[1]->children[1]->param_index, 1);
+}
+
+TEST(Parser, ConcatOperatorDesugarsToFunction) {
+  auto stmt = MustParse("SELECT a || b FROM t");
+  EXPECT_EQ(stmt->select->items[0].expr->func_name, "concat");
+}
+
+TEST(Parser, Insert) {
+  auto stmt = MustParse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  ASSERT_EQ(stmt->kind, Statement::Kind::kInsert);
+  EXPECT_EQ(stmt->insert->columns, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(stmt->insert->rows.size(), 2u);
+  EXPECT_FALSE(stmt->IsReadOnly());
+}
+
+TEST(Parser, InsertWithoutColumnList) {
+  auto stmt = MustParse("INSERT INTO t VALUES (1, 2)");
+  EXPECT_TRUE(stmt->insert->columns.empty());
+}
+
+TEST(Parser, Update) {
+  auto stmt = MustParse("UPDATE t SET a = 1, b = b + 1 WHERE id = 5");
+  ASSERT_EQ(stmt->kind, Statement::Kind::kUpdate);
+  EXPECT_EQ(stmt->update->assignments.size(), 2u);
+  ASSERT_NE(stmt->update->where, nullptr);
+}
+
+TEST(Parser, Delete) {
+  auto stmt = MustParse("DELETE FROM t WHERE a = 1");
+  ASSERT_EQ(stmt->kind, Statement::Kind::kDelete);
+  EXPECT_EQ(stmt->del->table, "t");
+}
+
+TEST(Parser, TrailingTokensRejected) {
+  EXPECT_FALSE(Parse("SELECT a FROM t garbage garbage").ok());
+}
+
+TEST(Parser, EmptyInputRejected) {
+  EXPECT_FALSE(Parse("").ok());
+}
+
+TEST(Parser, UnbalancedParensRejected) {
+  EXPECT_FALSE(Parse("SELECT (a FROM t").ok());
+}
+
+TEST(Parser, CloneProducesIdenticalText) {
+  auto stmt = MustParse(
+      "WITH q AS (SELECT a FROM t) SELECT q.a, count(*) FROM q "
+      "WHERE q.a > 3 GROUP BY q.a ORDER BY q.a LIMIT 2");
+  auto clone = stmt->Clone();
+  EXPECT_EQ(WriteStatement(*stmt), WriteStatement(*clone));
+}
+
+
+TEST(Parser, CreateTable) {
+  auto stmt = MustParse(
+      "CREATE TABLE t (id bigint, name varchar(40), price double)");
+  ASSERT_EQ(stmt->kind, Statement::Kind::kCreateTable);
+  EXPECT_EQ(stmt->create->table, "t");
+  ASSERT_EQ(stmt->create->columns.size(), 3u);
+  EXPECT_EQ(stmt->create->columns[0].type, Value::Type::kInt);
+  EXPECT_EQ(stmt->create->columns[1].type, Value::Type::kString);
+  EXPECT_EQ(stmt->create->columns[2].type, Value::Type::kDouble);
+  EXPECT_FALSE(stmt->IsReadOnly());
+}
+
+TEST(Parser, CreateTableRejectsUnknownType) {
+  EXPECT_FALSE(Parse("CREATE TABLE t (id blob)").ok());
+  EXPECT_FALSE(Parse("CREATE TABLE t ()").ok());
+}
+
+// Round-trip property over a corpus of representative statements.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, WriterOutputIsStable) { ExpectRoundTrip(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTripTest,
+    ::testing::Values(
+        "SELECT a FROM t",
+        "SELECT a, b AS x FROM t WHERE a = 1 AND b <> 'z'",
+        "SELECT * FROM t LEFT JOIN u ON t.a = u.b",
+        "SELECT count(*) FROM t GROUP BY a HAVING count(*) >= 2",
+        "SELECT a FROM t ORDER BY a DESC LIMIT 3",
+        "WITH q1 AS (SELECT a FROM t) SELECT * FROM q1",
+        "SELECT row_number() OVER () FROM t",
+        "SELECT a FROM t WHERE b IN (1, 2) OR c IS NULL",
+        "SELECT a FROM t, LATERAL (SELECT b FROM u WHERE u.x = t.a) AS d",
+        "INSERT INTO t (a) VALUES (1)",
+        "UPDATE t SET a = 2 WHERE b = 'k'",
+        "DELETE FROM t WHERE a < 0",
+        "SELECT -a, NOT (b = 1), a BETWEEN 1 AND 2 FROM t",
+        "SELECT abs(a) + 1.5 FROM t WHERE a / 2 = 3",
+        "CREATE TABLE t (id bigint, name text, price double)",
+        "SELECT CASE WHEN a = 1 THEN 'x' WHEN a = 2 THEN 'y' ELSE 'z' END "
+        "FROM t"));
+
+}  // namespace
+}  // namespace chrono::sql

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "sql/result_set.h"
+#include "sql/value.h"
+
+namespace chrono::sql {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), Value::Type::kNull);
+}
+
+TEST(Value, TypedConstruction) {
+  EXPECT_EQ(Value::Int(5).type(), Value::Type::kInt);
+  EXPECT_EQ(Value::Double(1.5).type(), Value::Type::kDouble);
+  EXPECT_EQ(Value::String("x").type(), Value::Type::kString);
+  EXPECT_EQ(Value::Int(5).AsInt(), 5);
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value::String("x").AsString(), "x");
+}
+
+TEST(Value, AsDoublePromotesInt) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsDouble(), 3.0);
+}
+
+TEST(Value, SqlEqualityNumericCrossType) {
+  EXPECT_TRUE(Value::Int(2).EqualsSql(Value::Double(2.0)));
+  EXPECT_FALSE(Value::Int(2).EqualsSql(Value::Double(2.5)));
+}
+
+TEST(Value, SqlEqualityNullNeverEqual) {
+  EXPECT_FALSE(Value::Null().EqualsSql(Value::Null()));
+  EXPECT_FALSE(Value::Null().EqualsSql(Value::Int(1)));
+  EXPECT_FALSE(Value::Int(1).EqualsSql(Value::Null()));
+}
+
+TEST(Value, SqlEqualityStringsNeverEqualNumbers) {
+  EXPECT_FALSE(Value::String("2").EqualsSql(Value::Int(2)));
+  EXPECT_TRUE(Value::String("ab").EqualsSql(Value::String("ab")));
+}
+
+TEST(Value, CompareOrdering) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Int(3).Compare(Value::Double(2.5)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
+  // NULLs first, strings after numbers.
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_GT(Value::String("a").Compare(Value::Int(99)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(Value, StructuralEquality) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));  // numeric cross-type
+  EXPECT_NE(Value::String("2"), Value::Int(2));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+}
+
+TEST(Value, SqlLiteralRendering) {
+  EXPECT_EQ(Value::Null().ToSqlLiteral(), "NULL");
+  EXPECT_EQ(Value::Int(-7).ToSqlLiteral(), "-7");
+  EXPECT_EQ(Value::String("it's").ToSqlLiteral(), "'it''s'");
+  // Doubles keep a decimal marker so they round-trip as doubles.
+  EXPECT_EQ(Value::Double(3).ToSqlLiteral(), "3.0");
+}
+
+TEST(Value, DoubleLiteralRoundTripsPrecisely) {
+  double v = 0.1 + 0.2;  // 0.30000000000000004
+  std::string lit = Value::Double(v).ToSqlLiteral();
+  EXPECT_DOUBLE_EQ(std::stod(lit), v);
+}
+
+TEST(Value, ByteSizeIncludesStringPayload) {
+  EXPECT_GT(Value::String(std::string(100, 'x')).ByteSize(),
+            Value::String("x").ByteSize());
+}
+
+TEST(ResultSet, ColumnLookup) {
+  ResultSet rs({"a", "b"});
+  EXPECT_EQ(rs.ColumnIndex("a"), 0);
+  EXPECT_EQ(rs.ColumnIndex("b"), 1);
+  EXPECT_EQ(rs.ColumnIndex("c"), -1);
+}
+
+TEST(ResultSet, AtAccessor) {
+  ResultSet rs({"a", "b"});
+  rs.AddRow({Value::Int(1), Value::String("x")});
+  EXPECT_EQ(rs.At(0, "b"), Value::String("x"));
+}
+
+TEST(ResultSet, EqualityIsStructural) {
+  ResultSet a({"x"});
+  a.AddRow({Value::Int(1)});
+  ResultSet b({"x"});
+  b.AddRow({Value::Int(1)});
+  EXPECT_EQ(a, b);
+  b.AddRow({Value::Int(2)});
+  EXPECT_NE(a, b);
+  ResultSet c({"y"});
+  c.AddRow({Value::Int(1)});
+  EXPECT_NE(a, c);  // column names matter
+}
+
+TEST(ResultSet, ByteSizeGrowsWithRows) {
+  ResultSet rs({"a"});
+  size_t empty = rs.ByteSize();
+  rs.AddRow({Value::String("payload")});
+  EXPECT_GT(rs.ByteSize(), empty);
+}
+
+TEST(ResultSet, ToStringAlignsColumns) {
+  ResultSet rs({"name", "n"});
+  rs.AddRow({Value::String("alpha"), Value::Int(1)});
+  rs.AddRow({Value::String("b"), Value::Int(22)});
+  std::string text = rs.ToString();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chrono::sql

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/transition_graph.h"
+
+namespace chrono::core {
+namespace {
+
+constexpr SimTime kMs = kMicrosPerMilli;
+
+TEST(TransitionGraph, SimpleSequenceProbability) {
+  TransitionGraph g(200 * kMs);
+  // Q1 always followed by Q2.
+  SimTime t = 0;
+  for (int i = 0; i < 10; ++i) {
+    g.Observe(1, t);
+    t += 10 * kMs;
+    g.Observe(2, t);
+    t += 300 * kMs;  // gap exceeding delta_t between iterations
+  }
+  EXPECT_DOUBLE_EQ(g.Probability(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(g.Probability(2, 1), 0.0);
+  EXPECT_EQ(g.Occurrences(1), 10u);
+}
+
+// The worked example of Fig. 3: a 100-iteration loop gives the Q2 self-edge
+// probability 99/100 and Q2->Q3 probability 1/100.
+TEST(TransitionGraph, Figure3LoopExample) {
+  // The paper's 99/100 and 1/100 arise when delta_t spans one inter-query
+  // gap; a wider window also credits earlier loop iterations.
+  TransitionGraph g(static_cast<SimTime>(1.5 * kMs));
+  SimTime t = 0;
+  g.Observe(1, t);
+  for (int i = 0; i < 100; ++i) {
+    t += 1 * kMs;
+    g.Observe(2, t);
+  }
+  t += 1 * kMs;
+  g.Observe(3, t);
+  EXPECT_DOUBLE_EQ(g.Probability(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(g.Probability(2, 2), 99.0 / 100.0);
+  EXPECT_DOUBLE_EQ(g.Probability(2, 3), 1.0 / 100.0);
+}
+
+TEST(TransitionGraph, WindowExpiry) {
+  TransitionGraph g(50 * kMs);
+  g.Observe(1, 0);
+  g.Observe(2, 100 * kMs);  // outside delta_t of Q1
+  EXPECT_DOUBLE_EQ(g.Probability(1, 2), 0.0);
+}
+
+TEST(TransitionGraph, MultipleSuccessorsWithinWindowAllCredited) {
+  TransitionGraph g(200 * kMs);
+  g.Observe(1, 0);
+  g.Observe(2, 10 * kMs);
+  g.Observe(3, 20 * kMs);
+  EXPECT_DOUBLE_EQ(g.Probability(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(g.Probability(1, 3), 1.0);
+  EXPECT_DOUBLE_EQ(g.Probability(2, 3), 1.0);
+}
+
+TEST(TransitionGraph, SameSuccessorCountedOncePerOccurrence) {
+  TransitionGraph g(1000 * kMs);
+  g.Observe(1, 0);
+  g.Observe(2, 10 * kMs);
+  g.Observe(2, 20 * kMs);
+  g.Observe(2, 30 * kMs);
+  // Three Q2s within delta_t of the single Q1: probability stays <= 1.
+  EXPECT_DOUBLE_EQ(g.Probability(1, 2), 1.0);
+}
+
+TEST(TransitionGraph, CorrelatedSuccessorsRespectTau) {
+  TransitionGraph g(200 * kMs);
+  SimTime t = 0;
+  for (int i = 0; i < 10; ++i) {
+    g.Observe(1, t);
+    t += 10 * kMs;
+    // 80% of the time Q2 follows; 20% Q3.
+    g.Observe(i < 8 ? 2 : 3, t);
+    t += 300 * kMs;
+  }
+  EXPECT_EQ(g.CorrelatedSuccessors(1, 0.8), (std::vector<TemplateId>{2}));
+  EXPECT_EQ(g.CorrelatedSuccessors(1, 0.1),
+            (std::vector<TemplateId>{2, 3}));
+  EXPECT_TRUE(g.CorrelatedSuccessors(1, 0.9).empty());
+}
+
+TEST(TransitionGraph, CorrelatedPredecessors) {
+  TransitionGraph g(200 * kMs);
+  SimTime t = 0;
+  for (int i = 0; i < 5; ++i) {
+    g.Observe(1, t);
+    t += 10 * kMs;
+    g.Observe(2, t);
+    t += 300 * kMs;
+  }
+  EXPECT_EQ(g.CorrelatedPredecessors(2, 0.8), (std::vector<TemplateId>{1}));
+  EXPECT_TRUE(g.CorrelatedPredecessors(1, 0.8).empty());
+}
+
+TEST(TransitionGraph, TauEdgesFormPrunedGraph) {
+  TransitionGraph g(20 * kMs);
+  SimTime t = 0;
+  // A 10-iteration alternating loop (1,2,1,2,...): both directions of the
+  // loop edge exceed tau = 0.8 (Sec. 2.2's SCC precondition).
+  for (int i = 0; i < 10; ++i) {
+    g.Observe(1, t);
+    t += 5 * kMs;
+    g.Observe(2, t);
+    t += 5 * kMs;
+  }
+  auto edges = g.TauEdges(0.8);
+  EXPECT_NE(std::find(edges.begin(), edges.end(),
+                      std::make_pair(TemplateId{1}, TemplateId{2})),
+            edges.end());
+  EXPECT_NE(std::find(edges.begin(), edges.end(),
+                      std::make_pair(TemplateId{2}, TemplateId{1})),
+            edges.end());
+}
+
+TEST(TransitionGraph, NodesListsAllObserved) {
+  TransitionGraph g(200 * kMs);
+  g.Observe(5, 0);
+  g.Observe(3, 0);
+  g.Observe(5, 0);
+  EXPECT_EQ(g.Nodes(), (std::vector<TemplateId>{3, 5}));
+}
+
+TEST(TransitionGraph, UnknownTemplatesSafe) {
+  TransitionGraph g(200 * kMs);
+  EXPECT_DOUBLE_EQ(g.Probability(1, 2), 0.0);
+  EXPECT_EQ(g.Occurrences(42), 0u);
+  EXPECT_TRUE(g.CorrelatedSuccessors(42, 0.5).empty());
+}
+
+TEST(TransitionGraph, WindowCapBoundsMemory) {
+  TransitionGraph g(1000 * 1000 * kMs, /*window_cap=*/4);
+  // A burst of distinct templates at the same instant: only the last 4
+  // occurrences may be credited as predecessors.
+  for (TemplateId i = 0; i < 100; ++i) g.Observe(i, 0);
+  // Template 0 fell out of the cap; its edge to 99 cannot exist.
+  EXPECT_DOUBLE_EQ(g.Probability(0, 99), 0.0);
+  EXPECT_DOUBLE_EQ(g.Probability(98, 99), 1.0);
+}
+
+}  // namespace
+}  // namespace chrono::core

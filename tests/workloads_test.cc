@@ -1,0 +1,263 @@
+// Workload generators: population shapes, transaction programs, SQL
+// validity of every generated statement against the real engine.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "db/database.h"
+#include "workloads/auctionmark.h"
+#include "workloads/seats.h"
+#include "workloads/tpce.h"
+#include "workloads/wikipedia.h"
+
+namespace chrono::workloads {
+namespace {
+
+using sql::ResultSet;
+using sql::Value;
+
+TEST(Subst, ReplacesPositionalArgs) {
+  EXPECT_EQ(Subst("a = $0 AND b = $1", {"1", "'x'"}), "a = 1 AND b = 'x'");
+  EXPECT_EQ(Subst("$0$0", {"z"}), "zz");
+  EXPECT_EQ(Subst("no args", {}), "no args");
+}
+
+TEST(Lit, QuotesStrings) {
+  EXPECT_EQ(Lit(std::string("it's")), "'it''s'");
+  EXPECT_EQ(Lit(int64_t{42}), "42");
+  EXPECT_EQ(Lit(Value::Double(1.5)), "1.5");
+}
+
+TEST(LoopTransaction, IteratesDriverRows) {
+  LoopTransaction tx(
+      "t", "DRIVER",
+      {{"per-row $0", {"col"}}},
+      {}, {"TRAIL"});
+  EXPECT_EQ(*tx.Next(nullptr), "DRIVER");
+  ResultSet rs({"col"});
+  rs.AddRow({Value::Int(1)});
+  rs.AddRow({Value::Int(2)});
+  EXPECT_EQ(*tx.Next(&rs), "per-row 1");
+  EXPECT_EQ(*tx.Next(nullptr), "per-row 2");
+  EXPECT_EQ(*tx.Next(nullptr), "TRAIL");
+  EXPECT_FALSE(tx.Next(nullptr).has_value());
+}
+
+TEST(LoopTransaction, LoopConstantsAppended) {
+  LoopTransaction tx("t", "DRIVER", {{"q $0 $1", {"col"}}},
+                     {"'CONST'"});
+  (void)tx.Next(nullptr);
+  ResultSet rs({"col"});
+  rs.AddRow({Value::Int(7)});
+  EXPECT_EQ(*tx.Next(&rs), "q 7 'CONST'");
+}
+
+TEST(LoopTransaction, EmptyDriverSkipsLoop) {
+  LoopTransaction tx("t", "DRIVER", {{"q $0", {"col"}}}, {}, {"TRAIL"});
+  (void)tx.Next(nullptr);
+  ResultSet rs({"col"});
+  EXPECT_EQ(*tx.Next(&rs), "TRAIL");
+  EXPECT_FALSE(tx.Next(nullptr).has_value());
+}
+
+TEST(LoopTransaction, MultiplePerRowQueries) {
+  LoopTransaction tx("t", "DRIVER", {{"a $0", {"c"}}, {"b $0", {"c"}}});
+  (void)tx.Next(nullptr);
+  ResultSet rs({"c"});
+  rs.AddRow({Value::Int(1)});
+  rs.AddRow({Value::Int(2)});
+  EXPECT_EQ(*tx.Next(&rs), "a 1");
+  EXPECT_EQ(*tx.Next(nullptr), "b 1");
+  EXPECT_EQ(*tx.Next(nullptr), "a 2");
+  EXPECT_EQ(*tx.Next(nullptr), "b 2");
+  EXPECT_FALSE(tx.Next(nullptr).has_value());
+}
+
+// Every workload must (a) populate without error, (b) generate transactions
+// whose every statement parses and executes on the engine.
+class WorkloadParam
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Workload> Make() {
+    std::string name = GetParam();
+    if (name == "tpce") {
+      TpceWorkload::Config c;
+      c.customers = 30;
+      c.securities = 60;
+      c.watch_lists = 20;
+      c.trades = 100;
+      return std::make_unique<TpceWorkload>(c);
+    }
+    if (name == "wikipedia") {
+      WikipediaWorkload::Config c;
+      c.pages = 100;
+      c.users = 100;
+      return std::make_unique<WikipediaWorkload>(c);
+    }
+    if (name == "seats") {
+      SeatsWorkload::Config c;
+      c.customers = 50;
+      c.flights = 60;
+      c.routes = 12;
+      return std::make_unique<SeatsWorkload>(c);
+    }
+    AuctionMarkWorkload::Config c;
+    c.users = 40;
+    c.items = 200;
+    return std::make_unique<AuctionMarkWorkload>(c);
+  }
+};
+
+TEST_P(WorkloadParam, PopulatesTables) {
+  db::Database db;
+  auto workload = Make();
+  workload->Populate(&db);
+  EXPECT_GT(db.catalog()->table_count(), 3u);
+  for (const auto& name : db.catalog()->table_names()) {
+    SCOPED_TRACE(name);
+    EXPECT_NE(db.catalog()->FindTable(name), nullptr);
+  }
+}
+
+TEST_P(WorkloadParam, AllGeneratedStatementsExecute) {
+  db::Database db;
+  auto workload = Make();
+  workload->Populate(&db);
+  Rng rng(42);
+  int statements = 0;
+  for (int t = 0; t < 60; ++t) {
+    auto tx = workload->NextTransaction(&rng);
+    ASSERT_NE(tx, nullptr);
+    const ResultSet* prev = nullptr;
+    ResultSet last;
+    int guard = 0;
+    while (auto sql = tx->Next(prev)) {
+      ASSERT_LT(++guard, 500) << "transaction runs too long: " << tx->name();
+      auto outcome = db.ExecuteText(*sql);
+      ASSERT_TRUE(outcome.ok())
+          << tx->name() << ": " << *sql << " -> "
+          << outcome.status().ToString();
+      last = outcome->result;
+      prev = &last;
+      ++statements;
+    }
+  }
+  EXPECT_GT(statements, 100);
+}
+
+TEST_P(WorkloadParam, DeterministicForSeed) {
+  auto workload_a = Make();
+  auto workload_b = Make();
+  Rng rng_a(7);
+  Rng rng_b(7);
+  for (int i = 0; i < 20; ++i) {
+    auto tx_a = workload_a->NextTransaction(&rng_a);
+    auto tx_b = workload_b->NextTransaction(&rng_b);
+    EXPECT_STREQ(tx_a->name(), tx_b->name());
+    EXPECT_EQ(tx_a->Next(nullptr), tx_b->Next(nullptr));
+  }
+}
+
+TEST_P(WorkloadParam, MixesReadAndWriteTransactions) {
+  auto workload = Make();
+  Rng rng(3);
+  std::set<std::string> names;
+  for (int i = 0; i < 200; ++i) {
+    names.insert(workload->NextTransaction(&rng)->name());
+  }
+  // Wikipedia is 92% one transaction by design [18]; the rest are mixes.
+  size_t min_kinds = std::string(GetParam()) == "wikipedia" ? 2u : 4u;
+  EXPECT_GE(names.size(), min_kinds);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadParam,
+                         ::testing::Values("tpce", "wikipedia", "seats",
+                                           "auctionmark"));
+
+TEST(TpceWorkload, MarketWatchHasPerLoopConstant) {
+  // The Fig. 4 pattern: the daily_market query carries a dm_date constant
+  // that is not present in the driver's result set.
+  TpceWorkload workload{TpceWorkload::Config{}};
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    auto tx = workload.NextTransaction(&rng);
+    if (std::string(tx->name()) != "MarketWatch") continue;
+    auto driver = tx->Next(nullptr);
+    ASSERT_TRUE(driver.has_value());
+    EXPECT_NE(driver->find("watch_item"), std::string::npos);
+    ResultSet rs({"wi_s_symb"});
+    rs.AddRow({Value::String("SYM1")});
+    auto q2 = tx->Next(&rs);
+    ASSERT_TRUE(q2.has_value());
+    EXPECT_NE(q2->find("security"), std::string::npos);
+    auto q3 = tx->Next(nullptr);
+    ASSERT_TRUE(q3.has_value());
+    EXPECT_NE(q3->find("dm_date ="), std::string::npos);
+    return;
+  }
+  FAIL() << "no MarketWatch transaction drawn";
+}
+
+TEST(WikipediaWorkload, ZipfSkewsPageChoice) {
+  WikipediaWorkload workload{[] {
+    WikipediaWorkload::Config c;
+    c.pages = 1000;
+    return c;
+  }()};
+  Rng rng(5);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 500; ++i) {
+    auto tx = workload.NextTransaction(&rng);
+    auto driver = tx->Next(nullptr);
+    ASSERT_TRUE(driver.has_value());
+    counts[*driver]++;
+  }
+  int max_count = 0;
+  for (const auto& [sql, n] : counts) max_count = std::max(max_count, n);
+  // Zipf(1): the hottest page dominates far beyond uniform (500/1000).
+  EXPECT_GT(max_count, 10);
+}
+
+TEST(SeatsWorkload, CustomerLookupUsesMultipleAccessPaths) {
+  SeatsWorkload workload{SeatsWorkload::Config{}};
+  Rng rng(2);
+  std::set<std::string> predicates;
+  for (int i = 0; i < 400; ++i) {
+    auto tx = workload.NextTransaction(&rng);
+    if (std::string(tx->name()) != "CustomerLookup") continue;
+    auto driver = tx->Next(nullptr);
+    if (driver->find("c_id =") != std::string::npos) predicates.insert("id");
+    if (driver->find("c_ff_number =") != std::string::npos) {
+      predicates.insert("ff");
+    }
+    if (driver->find("c_login =") != std::string::npos) {
+      predicates.insert("login");
+    }
+  }
+  EXPECT_EQ(predicates.size(), 3u);  // all three conditional paths (§6.4)
+}
+
+TEST(AuctionMarkWorkload, CloseAuctionsHasAggregateWithConstant) {
+  AuctionMarkWorkload workload{AuctionMarkWorkload::Config{}};
+  Rng rng(4);
+  for (int i = 0; i < 400; ++i) {
+    auto tx = workload.NextTransaction(&rng);
+    if (std::string(tx->name()) != "CloseAuctions") continue;
+    (void)tx->Next(nullptr);
+    ResultSet rs({"i_id", "i_seller"});
+    rs.AddRow({Value::Int(1), Value::Int(2)});
+    auto q2 = tx->Next(&rs);
+    ASSERT_TRUE(q2.has_value());
+    EXPECT_NE(q2->find("max(b_amount)"), std::string::npos);
+    auto q3 = tx->Next(nullptr);
+    ASSERT_TRUE(q3.has_value());
+    EXPECT_NE(q3->find("avg(f_rating)"), std::string::npos);
+    EXPECT_NE(q3->find("f_date >="), std::string::npos);
+    return;
+  }
+  FAIL() << "no CloseAuctions transaction drawn";
+}
+
+}  // namespace
+}  // namespace chrono::workloads

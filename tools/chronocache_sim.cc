@@ -1,0 +1,215 @@
+// chronocache_sim — command-line driver for the simulated deployment.
+//
+// Examples:
+//   chronocache_sim --workload tpce --mode chrono --clients 20
+//   chronocache_sim --workload wikipedia --mode lru --duration 120 --timeline
+//   chronocache_sim --workload seats --mode chrono --nodes 3 --clients 60
+//
+// Run with --help for the full flag list.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.h"
+#include "workloads/auctionmark.h"
+#include "workloads/seats.h"
+#include "workloads/tpce.h"
+#include "workloads/trace_replay.h"
+#include "workloads/wikipedia.h"
+
+using namespace chrono;
+
+namespace {
+
+void Usage() {
+  std::printf(
+      "chronocache_sim — ChronoCache deployment simulator\n\n"
+      "  --workload NAME   tpce | wikipedia | seats | auctionmark "
+      "(default tpce)\n"
+      "  --trace FILE      replay a SQL trace file instead (see "
+      "src/workloads/trace_replay.h)\n"
+      "  --mode NAME       chrono | scalpel-cc | scalpel-e | apollo | lru "
+      "(default chrono)\n"
+      "  --clients N       concurrent clients (default 10)\n"
+      "  --nodes N         middleware nodes (default 1)\n"
+      "  --warmup SECS     virtual warm-up before measuring (default 20)\n"
+      "  --duration SECS   virtual measurement window (default 60)\n"
+      "  --tau X           temporal correlation threshold (default 0.8)\n"
+      "  --cache-kb N      edge cache size in KiB (default 65536)\n"
+      "  --wan-ms N        WAN round-trip in ms (default 70)\n"
+      "  --runs N          seeded repetitions (default 1)\n"
+      "  --seed N          base RNG seed (default 1)\n"
+      "  --groups N        security groups, clients round-robin (default 1)\n"
+      "  --timeline        print the per-bucket learning curve\n"
+      "  --no-loops / --no-loop-constants / --no-combining /\n"
+      "  --no-subsumption / --no-redundancy-check\n"
+      "                    ablation switches (chrono mode)\n");
+}
+
+core::SystemMode ParseMode(const std::string& name) {
+  if (name == "chrono") return core::SystemMode::kChrono;
+  if (name == "scalpel-cc") return core::SystemMode::kScalpelCC;
+  if (name == "scalpel-e") return core::SystemMode::kScalpelE;
+  if (name == "apollo") return core::SystemMode::kApollo;
+  if (name == "lru") return core::SystemMode::kLru;
+  std::fprintf(stderr, "unknown mode: %s\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload_name = "tpce";
+  std::string trace_path;
+  harness::ExperimentConfig config;
+  int runs = 1;
+  bool timeline = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg == "--workload") {
+      workload_name = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
+      workload_name = "trace:" + trace_path;
+    } else if (arg == "--mode") {
+      config.middleware.mode = ParseMode(next());
+    } else if (arg == "--clients") {
+      config.clients = std::atoi(next().c_str());
+    } else if (arg == "--nodes") {
+      config.nodes = std::atoi(next().c_str());
+    } else if (arg == "--warmup") {
+      config.warmup = std::atoll(next().c_str()) * kMicrosPerSecond;
+    } else if (arg == "--duration") {
+      config.duration = std::atoll(next().c_str()) * kMicrosPerSecond;
+    } else if (arg == "--tau") {
+      config.middleware.tau = std::atof(next().c_str());
+    } else if (arg == "--cache-kb") {
+      config.middleware.cache_bytes =
+          static_cast<size_t>(std::atoll(next().c_str())) * 1024;
+    } else if (arg == "--wan-ms") {
+      config.latency.wan_rtt = std::atoll(next().c_str()) * kMicrosPerMilli;
+    } else if (arg == "--runs") {
+      runs = std::atoi(next().c_str());
+    } else if (arg == "--seed") {
+      config.seed = static_cast<uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--groups") {
+      config.security_groups = std::atoi(next().c_str());
+    } else if (arg == "--timeline") {
+      timeline = true;
+    } else if (arg == "--no-loops") {
+      config.middleware.enable_loops = false;
+    } else if (arg == "--no-loop-constants") {
+      config.middleware.enable_loop_constants = false;
+    } else if (arg == "--no-combining") {
+      config.middleware.enable_combining = false;
+    } else if (arg == "--no-subsumption") {
+      config.middleware.enable_subsumption = false;
+    } else if (arg == "--no-redundancy-check") {
+      config.middleware.enable_redundancy_check = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::function<std::unique_ptr<workloads::Workload>()> make_workload;
+  if (!trace_path.empty()) {
+    // Validate the trace once up front for a friendly error message.
+    auto probe = workloads::TraceReplayWorkload::FromFile(trace_path);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "%s\n", probe.status().ToString().c_str());
+      return 2;
+    }
+    make_workload = [trace_path] {
+      auto workload = workloads::TraceReplayWorkload::FromFile(trace_path);
+      return std::move(*workload);
+    };
+  } else if (workload_name == "tpce") {
+    make_workload = [] { return std::make_unique<workloads::TpceWorkload>(); };
+  } else if (workload_name == "wikipedia") {
+    make_workload = [] {
+      return std::make_unique<workloads::WikipediaWorkload>();
+    };
+  } else if (workload_name == "seats") {
+    make_workload = [] { return std::make_unique<workloads::SeatsWorkload>(); };
+  } else if (workload_name == "auctionmark") {
+    make_workload = [] {
+      return std::make_unique<workloads::AuctionMarkWorkload>();
+    };
+  } else {
+    std::fprintf(stderr, "unknown workload: %s\n", workload_name.c_str());
+    return 2;
+  }
+
+  std::printf("workload=%s system=%s clients=%d nodes=%d wan=%lldms "
+              "warmup=%llds duration=%llds runs=%d\n\n",
+              workload_name.c_str(),
+              core::SystemModeName(config.middleware.mode), config.clients,
+              config.nodes,
+              static_cast<long long>(config.latency.wan_rtt / kMicrosPerMilli),
+              static_cast<long long>(config.warmup / kMicrosPerSecond),
+              static_cast<long long>(config.duration / kMicrosPerSecond),
+              runs);
+
+  harness::RepeatedResult result =
+      harness::RunRepeated(make_workload, config, runs);
+  const harness::ExperimentResult& last = result.last;
+
+  std::printf("avg response     : %.2f ms (±%.2f, %d runs)\n",
+              result.response_ms.Mean(),
+              result.response_ms.ConfidenceInterval95(), runs);
+  std::printf("p50 / p95        : %.2f / %.2f ms\n", last.p50_ms, last.p95_ms);
+  std::printf("cache hit rate   : %.1f%%\n", result.hit_rate.Mean() * 100.0);
+  std::printf("queries measured : %llu (%llu transactions)\n",
+              static_cast<unsigned long long>(last.queries_measured),
+              static_cast<unsigned long long>(last.transactions));
+  std::printf("db requests      : %.0f\n", result.db_requests.Mean());
+  std::printf("combined queries : %llu\n",
+              static_cast<unsigned long long>(last.metrics.remote_combined));
+  std::printf("prefetched sets  : %llu\n",
+              static_cast<unsigned long long>(last.metrics.predictions_cached));
+  std::printf("seq prefetches   : %llu\n",
+              static_cast<unsigned long long>(
+                  last.metrics.sequential_prefetches));
+  std::printf("cascaded fires   : %llu\n",
+              static_cast<unsigned long long>(last.metrics.cascaded_fires));
+  std::printf("redundant skips  : %llu\n",
+              static_cast<unsigned long long>(last.metrics.redundant_skips));
+  std::printf("session rejects  : %llu\n",
+              static_cast<unsigned long long>(last.metrics.cache_rejects));
+  std::printf("errors           : %llu%s%s\n",
+              static_cast<unsigned long long>(last.errors),
+              last.errors > 0 ? " first: " : "",
+              last.errors > 0 ? last.first_error.c_str() : "");
+
+  if (!last.by_transaction.empty()) {
+    std::printf("\nper transaction type (avg query latency):\n");
+    for (const auto& [name, ms, n] : last.by_transaction) {
+      std::printf("  %-22s %8.2f ms  (%llu queries)\n", name.c_str(), ms,
+                  static_cast<unsigned long long>(n));
+    }
+  }
+
+  if (timeline) {
+    std::printf("\nlearning curve (bucket start -> avg ms):\n");
+    for (const auto& [sec, ms] : last.timeline) {
+      int bar = static_cast<int>(ms / 2);
+      std::printf("  %5.0fs %8.2f ms  %.*s\n", sec, ms, bar > 60 ? 60 : bar,
+                  "############################################################");
+    }
+  }
+  return last.errors == 0 ? 0 : 1;
+}
