@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10a_seats"
+  "../bench/bench_fig10a_seats.pdb"
+  "CMakeFiles/bench_fig10a_seats.dir/bench_fig10a_seats.cc.o"
+  "CMakeFiles/bench_fig10a_seats.dir/bench_fig10a_seats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_seats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

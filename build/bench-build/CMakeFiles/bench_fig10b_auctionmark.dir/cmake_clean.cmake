@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10b_auctionmark"
+  "../bench/bench_fig10b_auctionmark.pdb"
+  "CMakeFiles/bench_fig10b_auctionmark.dir/bench_fig10b_auctionmark.cc.o"
+  "CMakeFiles/bench_fig10b_auctionmark.dir/bench_fig10b_auctionmark.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_auctionmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9a_tpce"
+  "../bench/bench_fig9a_tpce.pdb"
+  "CMakeFiles/bench_fig9a_tpce.dir/bench_fig9a_tpce.cc.o"
+  "CMakeFiles/bench_fig9a_tpce.dir/bench_fig9a_tpce.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a_tpce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

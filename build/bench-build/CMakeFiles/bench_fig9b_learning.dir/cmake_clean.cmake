@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9b_learning"
+  "../bench/bench_fig9b_learning.pdb"
+  "CMakeFiles/bench_fig9b_learning.dir/bench_fig9b_learning.cc.o"
+  "CMakeFiles/bench_fig9b_learning.dir/bench_fig9b_learning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9b_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9c_wikipedia"
+  "../bench/bench_fig9c_wikipedia.pdb"
+  "CMakeFiles/bench_fig9c_wikipedia.dir/bench_fig9c_wikipedia.cc.o"
+  "CMakeFiles/bench_fig9c_wikipedia.dir/bench_fig9c_wikipedia.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9c_wikipedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

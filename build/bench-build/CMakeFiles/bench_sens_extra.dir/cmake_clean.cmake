@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sens_extra"
+  "../bench/bench_sens_extra.pdb"
+  "CMakeFiles/bench_sens_extra.dir/bench_sens_extra.cc.o"
+  "CMakeFiles/bench_sens_extra.dir/bench_sens_extra.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sens_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sens_tau"
+  "../bench/bench_sens_tau.pdb"
+  "CMakeFiles/bench_sens_tau.dir/bench_sens_tau.cc.o"
+  "CMakeFiles/bench_sens_tau.dir/bench_sens_tau.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sens_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

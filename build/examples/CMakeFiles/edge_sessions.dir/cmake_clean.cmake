@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_sessions.dir/edge_sessions.cpp.o"
+  "CMakeFiles/edge_sessions.dir/edge_sessions.cpp.o.d"
+  "edge_sessions"
+  "edge_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_watch.dir/market_watch.cpp.o"
+  "CMakeFiles/market_watch.dir/market_watch.cpp.o.d"
+  "market_watch"
+  "market_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

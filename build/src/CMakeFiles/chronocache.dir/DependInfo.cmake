@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/lru_cache.cc" "src/CMakeFiles/chronocache.dir/cache/lru_cache.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/cache/lru_cache.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/chronocache.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/chronocache.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/chronocache.dir/common/status.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/chronocache.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/combiner_cte.cc" "src/CMakeFiles/chronocache.dir/core/combiner_cte.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/core/combiner_cte.cc.o.d"
+  "/root/repo/src/core/combiner_lateral.cc" "src/CMakeFiles/chronocache.dir/core/combiner_lateral.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/core/combiner_lateral.cc.o.d"
+  "/root/repo/src/core/dependency_graph.cc" "src/CMakeFiles/chronocache.dir/core/dependency_graph.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/core/dependency_graph.cc.o.d"
+  "/root/repo/src/core/dependency_manager.cc" "src/CMakeFiles/chronocache.dir/core/dependency_manager.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/core/dependency_manager.cc.o.d"
+  "/root/repo/src/core/loop_detector.cc" "src/CMakeFiles/chronocache.dir/core/loop_detector.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/core/loop_detector.cc.o.d"
+  "/root/repo/src/core/middleware.cc" "src/CMakeFiles/chronocache.dir/core/middleware.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/core/middleware.cc.o.d"
+  "/root/repo/src/core/param_mapper.cc" "src/CMakeFiles/chronocache.dir/core/param_mapper.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/core/param_mapper.cc.o.d"
+  "/root/repo/src/core/result_splitter.cc" "src/CMakeFiles/chronocache.dir/core/result_splitter.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/core/result_splitter.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/chronocache.dir/core/session.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/core/session.cc.o.d"
+  "/root/repo/src/core/transition_graph.cc" "src/CMakeFiles/chronocache.dir/core/transition_graph.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/core/transition_graph.cc.o.d"
+  "/root/repo/src/db/catalog.cc" "src/CMakeFiles/chronocache.dir/db/catalog.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/db/catalog.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/chronocache.dir/db/database.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/db/database.cc.o.d"
+  "/root/repo/src/db/executor.cc" "src/CMakeFiles/chronocache.dir/db/executor.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/db/executor.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/CMakeFiles/chronocache.dir/db/table.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/db/table.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/chronocache.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/net/latency_model.cc" "src/CMakeFiles/chronocache.dir/net/latency_model.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/net/latency_model.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/chronocache.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/resource.cc" "src/CMakeFiles/chronocache.dir/sim/resource.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/sim/resource.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/chronocache.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/chronocache.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/chronocache.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/result_set.cc" "src/CMakeFiles/chronocache.dir/sql/result_set.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/sql/result_set.cc.o.d"
+  "/root/repo/src/sql/template.cc" "src/CMakeFiles/chronocache.dir/sql/template.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/sql/template.cc.o.d"
+  "/root/repo/src/sql/value.cc" "src/CMakeFiles/chronocache.dir/sql/value.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/sql/value.cc.o.d"
+  "/root/repo/src/sql/writer.cc" "src/CMakeFiles/chronocache.dir/sql/writer.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/sql/writer.cc.o.d"
+  "/root/repo/src/workloads/auctionmark.cc" "src/CMakeFiles/chronocache.dir/workloads/auctionmark.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/workloads/auctionmark.cc.o.d"
+  "/root/repo/src/workloads/seats.cc" "src/CMakeFiles/chronocache.dir/workloads/seats.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/workloads/seats.cc.o.d"
+  "/root/repo/src/workloads/tpce.cc" "src/CMakeFiles/chronocache.dir/workloads/tpce.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/workloads/tpce.cc.o.d"
+  "/root/repo/src/workloads/trace_replay.cc" "src/CMakeFiles/chronocache.dir/workloads/trace_replay.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/workloads/trace_replay.cc.o.d"
+  "/root/repo/src/workloads/wikipedia.cc" "src/CMakeFiles/chronocache.dir/workloads/wikipedia.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/workloads/wikipedia.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/chronocache.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/chronocache.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

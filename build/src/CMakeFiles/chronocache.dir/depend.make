@@ -1,0 +1,2 @@
+# Empty dependencies file for chronocache.
+# This may be replaced when dependencies are built.

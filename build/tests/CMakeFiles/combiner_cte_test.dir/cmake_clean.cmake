@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combiner_cte_test.dir/combiner_cte_test.cc.o"
+  "CMakeFiles/combiner_cte_test.dir/combiner_cte_test.cc.o.d"
+  "combiner_cte_test"
+  "combiner_cte_test.pdb"
+  "combiner_cte_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combiner_cte_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combiner_lateral_test.dir/combiner_lateral_test.cc.o"
+  "CMakeFiles/combiner_lateral_test.dir/combiner_lateral_test.cc.o.d"
+  "combiner_lateral_test"
+  "combiner_lateral_test.pdb"
+  "combiner_lateral_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combiner_lateral_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combiner_property_test.dir/combiner_property_test.cc.o"
+  "CMakeFiles/combiner_property_test.dir/combiner_property_test.cc.o.d"
+  "combiner_property_test"
+  "combiner_property_test.pdb"
+  "combiner_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combiner_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_executor_advanced_test.dir/db_executor_advanced_test.cc.o"
+  "CMakeFiles/db_executor_advanced_test.dir/db_executor_advanced_test.cc.o.d"
+  "db_executor_advanced_test"
+  "db_executor_advanced_test.pdb"
+  "db_executor_advanced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_executor_advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_manager_test.dir/dependency_manager_test.cc.o"
+  "CMakeFiles/dependency_manager_test.dir/dependency_manager_test.cc.o.d"
+  "dependency_manager_test"
+  "dependency_manager_test.pdb"
+  "dependency_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

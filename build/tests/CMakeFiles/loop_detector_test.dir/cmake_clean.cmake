@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_detector_test.dir/loop_detector_test.cc.o"
+  "CMakeFiles/loop_detector_test.dir/loop_detector_test.cc.o.d"
+  "loop_detector_test"
+  "loop_detector_test.pdb"
+  "loop_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

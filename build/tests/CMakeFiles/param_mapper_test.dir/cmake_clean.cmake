@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_mapper_test.dir/param_mapper_test.cc.o"
+  "CMakeFiles/param_mapper_test.dir/param_mapper_test.cc.o.d"
+  "param_mapper_test"
+  "param_mapper_test.pdb"
+  "param_mapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

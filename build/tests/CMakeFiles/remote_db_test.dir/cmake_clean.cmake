@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_db_test.dir/remote_db_test.cc.o"
+  "CMakeFiles/remote_db_test.dir/remote_db_test.cc.o.d"
+  "remote_db_test"
+  "remote_db_test.pdb"
+  "remote_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_splitter_test.dir/result_splitter_test.cc.o"
+  "CMakeFiles/result_splitter_test.dir/result_splitter_test.cc.o.d"
+  "result_splitter_test"
+  "result_splitter_test.pdb"
+  "result_splitter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_splitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

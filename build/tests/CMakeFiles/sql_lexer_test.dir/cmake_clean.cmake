@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_lexer_test.dir/sql_lexer_test.cc.o"
+  "CMakeFiles/sql_lexer_test.dir/sql_lexer_test.cc.o.d"
+  "sql_lexer_test"
+  "sql_lexer_test.pdb"
+  "sql_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

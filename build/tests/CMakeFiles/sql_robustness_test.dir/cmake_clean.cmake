@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_robustness_test.dir/sql_robustness_test.cc.o"
+  "CMakeFiles/sql_robustness_test.dir/sql_robustness_test.cc.o.d"
+  "sql_robustness_test"
+  "sql_robustness_test.pdb"
+  "sql_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

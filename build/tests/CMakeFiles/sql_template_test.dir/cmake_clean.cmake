@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_template_test.dir/sql_template_test.cc.o"
+  "CMakeFiles/sql_template_test.dir/sql_template_test.cc.o.d"
+  "sql_template_test"
+  "sql_template_test.pdb"
+  "sql_template_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_template_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transition_graph_test.dir/transition_graph_test.cc.o"
+  "CMakeFiles/transition_graph_test.dir/transition_graph_test.cc.o.d"
+  "transition_graph_test"
+  "transition_graph_test.pdb"
+  "transition_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transition_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

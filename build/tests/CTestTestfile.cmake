@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_value_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_template_test[1]_include.cmake")
+include("/root/repo/build/tests/db_table_test[1]_include.cmake")
+include("/root/repo/build/tests/db_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/db_executor_advanced_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/transition_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/param_mapper_test[1]_include.cmake")
+include("/root/repo/build/tests/loop_detector_test[1]_include.cmake")
+include("/root/repo/build/tests/dependency_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/dependency_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/combiner_cte_test[1]_include.cmake")
+include("/root/repo/build/tests/combiner_lateral_test[1]_include.cmake")
+include("/root/repo/build/tests/combiner_property_test[1]_include.cmake")
+include("/root/repo/build/tests/result_splitter_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/middleware_test[1]_include.cmake")
+include("/root/repo/build/tests/remote_db_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_replay_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_property_test[1]_include.cmake")
+include("/root/repo/build/tests/end_to_end_test[1]_include.cmake")

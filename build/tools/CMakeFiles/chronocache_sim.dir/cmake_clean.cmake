@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronocache_sim.dir/chronocache_sim.cc.o"
+  "CMakeFiles/chronocache_sim.dir/chronocache_sim.cc.o.d"
+  "chronocache_sim"
+  "chronocache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronocache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

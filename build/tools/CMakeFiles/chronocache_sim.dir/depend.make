@@ -1,0 +1,2 @@
+# Empty dependencies file for chronocache_sim.
+# This may be replaced when dependencies are built.
