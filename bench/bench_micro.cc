@@ -43,6 +43,33 @@ void BM_WriteStatement(benchmark::State& state) {
 }
 BENCHMARK(BM_WriteStatement);
 
+// Statement-cache hit path: same text, parse memoized in db::Database.
+void BM_StatementCacheHit(benchmark::State& state) {
+  db::Database database;
+  (void)database.ParseCached(kPointQuery);  // warm
+  for (auto _ : state) {
+    auto stmt = database.ParseCached(kPointQuery);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_StatementCacheHit);
+
+// Template-cache hit path: AnalyzeQuery memoized in the middleware's
+// LruMap (lookup cost only — compare against BM_AnalyzeTemplate).
+void BM_TemplateCacheHit(benchmark::State& state) {
+  cache::LruMap<std::string, sql::ParsedQuery> cache(512);
+  auto parsed = sql::AnalyzeQuery(kPointQuery);
+  cache.Put(kPointQuery, std::move(*parsed));
+  std::string key = kPointQuery;
+  for (auto _ : state) {
+    const sql::ParsedQuery* hit = cache.Get(key);
+    benchmark::DoNotOptimize(hit);
+    sql::ParsedQuery copy = *hit;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_TemplateCacheHit);
+
 void BM_ExecutorPointLookup(benchmark::State& state) {
   db::Database database;
   workloads::TpceWorkload workload;
@@ -54,21 +81,62 @@ void BM_ExecutorPointLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecutorPointLookup);
 
+const char kCombinedText[] =
+    "WITH q1 AS (SELECT wi_s_symb AS c0, watch_item.__rowid AS ck0 FROM "
+    "watch_item WHERE wi_wl_id = 7), q2 AS (SELECT s_num_out AS c1, "
+    "s_symb AS jc0, security.__rowid AS ck1 FROM security) SELECT q1.c0, "
+    "q1.ck0, q2.c1, q2.ck1 FROM q1 LEFT JOIN q2 ON q2.jc0 = q1.c0";
+
 void BM_ExecutorCombinedCteJoin(benchmark::State& state) {
   db::Database database;
   workloads::TpceWorkload workload;
   workload.Populate(&database);
-  const char kCombined[] =
-      "WITH q1 AS (SELECT wi_s_symb AS c0, watch_item.__rowid AS ck0 FROM "
-      "watch_item WHERE wi_wl_id = 7), q2 AS (SELECT s_num_out AS c1, "
-      "s_symb AS jc0, security.__rowid AS ck1 FROM security) SELECT q1.c0, "
-      "q1.ck0, q2.c1, q2.ck1 FROM q1 LEFT JOIN q2 ON q2.jc0 = q1.c0";
   for (auto _ : state) {
-    auto outcome = database.ExecuteText(kCombined);
+    auto outcome = database.ExecuteText(kCombinedText);
     benchmark::DoNotOptimize(outcome);
   }
 }
 BENCHMARK(BM_ExecutorCombinedCteJoin);
+
+void BM_ExecutorGroupBy(benchmark::State& state) {
+  db::Database database;
+  workloads::TpceWorkload workload;
+  workload.Populate(&database);
+  const char kGroupBy[] =
+      "SELECT s_ex_id, count(*), sum(s_num_out) FROM security "
+      "GROUP BY s_ex_id";
+  for (auto _ : state) {
+    auto outcome = database.ExecuteText(kGroupBy);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_ExecutorGroupBy);
+
+// Combined-query execution via the text round-trip (parse every time)
+// versus the zero-reparse AST handoff the middleware actually uses.
+void BM_CombinedTextRoundTrip(benchmark::State& state) {
+  db::Database database;
+  workloads::TpceWorkload workload;
+  workload.Populate(&database);
+  for (auto _ : state) {
+    auto parsed = sql::Parse(kCombinedText);
+    auto outcome = database.Execute(**parsed);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_CombinedTextRoundTrip);
+
+void BM_CombinedAstHandoff(benchmark::State& state) {
+  db::Database database;
+  workloads::TpceWorkload workload;
+  workload.Populate(&database);
+  auto parsed = sql::Parse(kCombinedText);
+  for (auto _ : state) {
+    auto outcome = database.Execute(**parsed);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_CombinedAstHandoff);
 
 void BM_TransitionGraphObserve(benchmark::State& state) {
   core::TransitionGraph graph(200 * kMicrosPerMilli);

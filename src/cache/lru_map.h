@@ -1,0 +1,84 @@
+#ifndef CHRONOCACHE_CACHE_LRU_MAP_H_
+#define CHRONOCACHE_CACHE_LRU_MAP_H_
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "common/stats.h"
+
+namespace chrono::cache {
+
+/// \brief Entry-count-bounded LRU map. Unlike LruCache (byte-accounted,
+/// result-set specific), this is a generic memoization structure for the
+/// query hot path: the database's statement (parse) cache and the
+/// middleware's template cache are both instances. Lookups refresh recency;
+/// inserts evict the least recently used entry once `capacity` is reached.
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Eq = std::equal_to<K>>
+class LruMap {
+ public:
+  explicit LruMap(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Returns the cached value or nullptr, counting a hit/miss and
+  /// refreshing recency on hit. The pointer is valid until the next Put.
+  const V* Get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++counters_.misses;
+      return nullptr;
+    }
+    ++counters_.hits;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return &it->second->second;
+  }
+
+  /// Side-effect-free lookup: no recency refresh, no counters.
+  const V* Peek(const K& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second->second;
+  }
+
+  /// Inserts or replaces; evicts the LRU entry when full. Returns a pointer
+  /// to the stored value (valid until the next Put).
+  const V* Put(K key, V value) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return &it->second->second;
+    }
+    if (map_.size() >= capacity_) {
+      map_.erase(entries_.back().first);
+      entries_.pop_back();
+      ++evictions_;
+    }
+    entries_.emplace_front(std::move(key), std::move(value));
+    map_.emplace(entries_.front().first, entries_.begin());
+    return &entries_.front().second;
+  }
+
+  void Clear() {
+    entries_.clear();
+    map_.clear();
+  }
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  const CacheCounters& counters() const { return counters_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  using Entry = std::pair<K, V>;
+  size_t capacity_;
+  std::list<Entry> entries_;  // front = most recent
+  std::unordered_map<K, typename std::list<Entry>::iterator, Hash, Eq> map_;
+  CacheCounters counters_;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace chrono::cache
+
+#endif  // CHRONOCACHE_CACHE_LRU_MAP_H_

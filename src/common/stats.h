@@ -2,9 +2,26 @@
 #define CHRONOCACHE_COMMON_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace chrono {
+
+/// \brief Hit/miss accounting shared by the query-path caches (statement
+/// cache, template cache, result cache). Kept in common/ so every layer
+/// reports through the same shape.
+struct CacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  uint64_t lookups() const { return hits + misses; }
+  double HitRate() const {
+    return lookups() == 0
+               ? 0
+               : static_cast<double>(hits) / static_cast<double>(lookups());
+  }
+  void Reset() { hits = misses = 0; }
+};
 
 /// \brief Streaming accumulator for latency samples: mean, min/max,
 /// percentiles and 95% confidence intervals across repeated runs.

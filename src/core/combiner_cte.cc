@@ -162,11 +162,11 @@ Result<CombinedQuery> CteJoinCombiner::Combine(const CombineInput& in) {
   for (size_t k = 0; k < topo.size(); ++k) slot_of[topo[k]] = k;
 
   CombinedQuery out;
-  std::string with_clause = "WITH ";
-  std::string outer_select = "SELECT ";
-  std::string outer_from;
+  // The combined query is assembled directly as an AST; the text form is
+  // rendered from it once at the end. The middleware executes the AST, so
+  // the combined query is never re-parsed.
+  auto outer = std::make_unique<SelectStmt>();
   int next_out_col = 0;
-  bool first_outer_item = true;
 
   // Per-slot output aliases (original select items), for join references.
   std::vector<std::vector<std::string>> out_aliases(topo.size());
@@ -318,19 +318,24 @@ Result<CombinedQuery> CteJoinCombiner::Combine(const CombineInput& in) {
     }
 
     // Emit the CTE.
-    if (k > 0) with_clause += ", ";
-    with_clause += cte_name + " AS (" + sql::WriteSelect(*sel) + ")";
+    outer->ctes.push_back(sql::CteDef{cte_name, std::move(sel)});
 
     // Outer FROM / join clause.
     if (k == 0) {
-      outer_from = " FROM " + cte_name;
+      outer->from.kind = TableRef::Kind::kTable;
+      outer->from.table_name = cte_name;
     } else {
-      outer_from += " LEFT JOIN " + cte_name + " ON ";
+      JoinClause join;
+      join.type = JoinClause::Type::kLeft;
+      join.ref.kind = TableRef::Kind::kTable;
+      join.ref.table_name = cte_name;
       if (join_conds.empty()) {
-        outer_from += "(1 = 1)";
+        join.on = Expr::MakeBinary(BinOp::kEq,
+                                   Expr::MakeLiteral(Value::Int(1)),
+                                   Expr::MakeLiteral(Value::Int(1)));
       } else {
+        std::vector<ExprPtr> on_conjuncts;
         for (size_t m = 0; m < join_conds.size(); ++m) {
-          if (m > 0) outer_from += " AND ";
           const JoinCond& jc = join_conds[m];
           size_t src_slot = slot_of.at(jc.src);
           // Locate the source's output column by original name.
@@ -345,11 +350,15 @@ Result<CombinedQuery> CteJoinCombiner::Combine(const CombineInput& in) {
             return Status::Unsupported("mapping column " + jc.src_column +
                                        " not in source select list");
           }
-          outer_from += cte_name + "." + jc_aliases[m] + " = q" +
-                        std::to_string(src_slot + 1) + "." +
-                        out_aliases[src_slot][static_cast<size_t>(src_idx)];
+          on_conjuncts.push_back(Expr::MakeBinary(
+              BinOp::kEq, Expr::MakeColumnRef(cte_name, jc_aliases[m]),
+              Expr::MakeColumnRef(
+                  "q" + std::to_string(src_slot + 1),
+                  out_aliases[src_slot][static_cast<size_t>(src_idx)])));
         }
+        join.on = sql::CombineConjuncts(std::move(on_conjuncts));
       }
+      outer->joins.push_back(std::move(join));
     }
 
     // Outer select list + decode slot.
@@ -358,13 +367,17 @@ Result<CombinedQuery> CteJoinCombiner::Combine(const CombineInput& in) {
     slot.result_names = out_names[k];
     slot.parents = parent_slots;
     for (const auto& alias : out_aliases[k]) {
-      if (!first_outer_item) outer_select += ", ";
-      first_outer_item = false;
-      outer_select += cte_name + "." + alias + " AS " + alias;
+      sql::SelectItem item;
+      item.expr = Expr::MakeColumnRef(cte_name, alias);
+      item.alias = alias;
+      outer->items.push_back(std::move(item));
       slot.result_cols.push_back(next_out_col++);
     }
     for (const auto& alias : ck_aliases) {
-      outer_select += ", " + cte_name + "." + alias + " AS " + alias;
+      sql::SelectItem item;
+      item.expr = Expr::MakeColumnRef(cte_name, alias);
+      item.alias = alias;
+      outer->items.push_back(std::move(item));
       slot.ck_cols.push_back(next_out_col++);
     }
     // Parameter plan for per-iteration cache keys.
@@ -396,7 +409,11 @@ Result<CombinedQuery> CteJoinCombiner::Combine(const CombineInput& in) {
     out.slots.push_back(std::move(slot));
   }
 
-  out.sql = with_clause + " " + outer_select + outer_from;
+  auto stmt = std::make_unique<sql::Statement>();
+  stmt->kind = sql::Statement::Kind::kSelect;
+  stmt->select = std::move(outer);
+  out.sql = sql::WriteStatement(*stmt);
+  out.ast = std::move(stmt);
   return out;
 }
 

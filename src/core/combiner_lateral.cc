@@ -131,10 +131,10 @@ Result<CombinedQuery> LateralUnionCombiner::Combine(const CombineInput& in) {
   std::map<TemplateId, int> height = TopoHeights(g, topo);
 
   CombinedQuery out;
-  std::string outer_select = "SELECT ";
-  std::string outer_from;
+  // Assembled as an AST and rendered to text once at the end; the
+  // middleware executes the AST so the combined query is never re-parsed.
+  auto outer = std::make_unique<SelectStmt>();
   int next_out_col = 0;
-  bool first_outer_item = true;
 
   std::vector<std::vector<std::string>> out_aliases(topo.size());
   std::vector<std::vector<std::string>> out_names(topo.size());
@@ -231,24 +231,35 @@ Result<CombinedQuery> LateralUnionCombiner::Combine(const CombineInput& in) {
       sel->items.push_back(std::move(rn));
     }
 
-    std::string body = sql::WriteSelect(*sel);
     if (k == 0) {
-      outer_from = " FROM (" + body + ") AS " + dt_name;
+      outer->from.kind = sql::TableRef::Kind::kSubquery;
+      outer->from.alias = dt_name;
+      outer->from.subquery = std::move(sel);
     } else {
-      outer_from += " LEFT JOIN LATERAL (" + body + ") AS " + dt_name + " ON ";
+      sql::JoinClause join;
+      join.type = sql::JoinClause::Type::kLeft;
+      join.ref.kind = sql::TableRef::Kind::kLateralSubquery;
+      join.ref.alias = dt_name;
+      join.ref.subquery = std::move(sel);
       auto same_h = first_at_height.find(height[node]);
       if (same_h != first_at_height.end()) {
         // Align on the sibling's row number; when the sibling produced no
         // rows for this iteration (its rn is NULL from the left join) this
         // query's single row must still survive.
         size_t sib = same_h->second;
-        std::string sib_rn =
-            "d" + std::to_string(sib + 1) + "." + rn_aliases[sib];
-        outer_from += dt_name + "." + rn_aliases[k] + " = " + sib_rn +
-                      " OR " + sib_rn + " IS NULL";
+        const std::string sib_dt = "d" + std::to_string(sib + 1);
+        join.on = Expr::MakeBinary(
+            sql::BinOp::kOr,
+            Expr::MakeBinary(sql::BinOp::kEq,
+                             Expr::MakeColumnRef(dt_name, rn_aliases[k]),
+                             Expr::MakeColumnRef(sib_dt, rn_aliases[sib])),
+            Expr::MakeIsNull(Expr::MakeColumnRef(sib_dt, rn_aliases[sib]),
+                             /*is_not=*/false));
       } else {
-        outer_from += "TRUE";
+        // ON TRUE (parsed as the literal 1, which is what TRUE lexes to).
+        join.on = Expr::MakeLiteral(Value::Int(1));
       }
+      outer->joins.push_back(std::move(join));
     }
     first_at_height.emplace(height[node], k);
 
@@ -258,13 +269,18 @@ Result<CombinedQuery> LateralUnionCombiner::Combine(const CombineInput& in) {
     slot.result_names = out_names[k];
     slot.parents = parent_slots;
     for (const auto& alias : out_aliases[k]) {
-      if (!first_outer_item) outer_select += ", ";
-      first_outer_item = false;
-      outer_select += dt_name + "." + alias + " AS " + alias;
+      sql::SelectItem item;
+      item.expr = Expr::MakeColumnRef(dt_name, alias);
+      item.alias = alias;
+      outer->items.push_back(std::move(item));
       slot.result_cols.push_back(next_out_col++);
     }
-    outer_select += ", " + dt_name + "." + rn_aliases[k] + " AS " +
-                    rn_aliases[k];
+    {
+      sql::SelectItem item;
+      item.expr = Expr::MakeColumnRef(dt_name, rn_aliases[k]);
+      item.alias = rn_aliases[k];
+      outer->items.push_back(std::move(item));
+    }
     slot.ck_cols.push_back(next_out_col++);
 
     slot.bound_params.assign(static_cast<size_t>(qt->param_count),
@@ -284,7 +300,11 @@ Result<CombinedQuery> LateralUnionCombiner::Combine(const CombineInput& in) {
     out.slots.push_back(std::move(slot));
   }
 
-  out.sql = outer_select + outer_from;
+  auto stmt = std::make_unique<sql::Statement>();
+  stmt->kind = sql::Statement::Kind::kSelect;
+  stmt->select = std::move(outer);
+  out.sql = sql::WriteStatement(*stmt);
+  out.ast = std::move(stmt);
   return out;
 }
 

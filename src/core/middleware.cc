@@ -69,12 +69,16 @@ RemoteDbServer::RemoteDbServer(EventQueue* events, db::Database* database,
       workers_(workers) {}
 
 void RemoteDbServer::Submit(std::string sql_text, DbCallback done) {
+  Submit(DbRequest{std::move(sql_text), nullptr}, std::move(done));
+}
+
+void RemoteDbServer::Submit(DbRequest request, DbCallback done) {
   ++requests_;
   // Outbound WAN half, then queue for a database worker.
   events_->ScheduleAfter(latency_.wan_rtt / 2,
-                         [this, sql = std::move(sql_text),
+                         [this, req = std::move(request),
                           done = std::move(done)](SimTime) mutable {
-                           waiting_.push_back(Job{std::move(sql), std::move(done)});
+                           waiting_.push_back(Job{std::move(req), std::move(done)});
                            TryDispatch();
                          });
 }
@@ -89,7 +93,11 @@ void RemoteDbServer::TryDispatch() {
     static const bool debug_slow = std::getenv("CHRONO_DEBUG_SLOW") != nullptr;
     auto wall_start = debug_slow ? std::chrono::steady_clock::now()
                                  : std::chrono::steady_clock::time_point{};
-    auto outcome = database_->ExecuteText(job.sql);
+    // Zero-reparse path: execute a handed-off parse tree directly.
+    const bool handoff = job.request.ast != nullptr && !text_roundtrip_;
+    if (handoff) ++ast_handoffs_;
+    auto outcome = handoff ? database_->Execute(*job.request.ast)
+                           : database_->ExecuteText(job.request.sql);
     if (debug_slow) {
       double ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - wall_start)
@@ -98,7 +106,7 @@ void RemoteDbServer::TryDispatch() {
         std::fprintf(stderr, "SLOW %.1fms rows=%llu: %.300s\n", ms,
                      static_cast<unsigned long long>(
                          outcome.ok() ? outcome->stats.rows_scanned : 0),
-                     job.sql.c_str());
+                     job.request.sql.c_str());
       }
     }
     uint64_t rows = outcome.ok() ? outcome->stats.rows_scanned : 0;
@@ -134,6 +142,7 @@ Middleware::Middleware(EventQueue* events, RemoteDbServer* remote,
       remote_(remote),
       latency_(latency),
       config_(config),
+      template_cache_(config.template_cache_entries),
       cache_(std::make_unique<cache::LruCache>(config.cache_bytes)),
       mw_pool_(events, config.workers),
       sessions_(config.multi_node),
@@ -213,22 +222,33 @@ void Middleware::SubmitQuery(ClientId client, int security_group,
 
 void Middleware::Process(SimTime now, ClientId client, int security_group,
                          std::string sql_text, ResponseCallback done) {
-  auto parsed = sql::AnalyzeQuery(sql_text);
-  if (!parsed.ok()) {
-    events_->ScheduleAfter(latency_.edge_rtt / 2,
-                           [done, st = parsed.status()](SimTime now2) {
-                             done(now2, st);
-                           });
-    return;
+  // Memoized AnalyzeQuery: clients resubmit the same texts constantly
+  // (point lookups in loops, pattern repetitions), so the analysis —
+  // lex + parse + literal extraction + canonical render — is cached
+  // keyed on the raw text. Entries are immutable (template + params are
+  // derived from the text alone), so no invalidation is ever needed.
+  sql::ParsedQuery parsed;
+  if (const sql::ParsedQuery* hit = template_cache_.Get(sql_text)) {
+    parsed = *hit;
+  } else {
+    auto analyzed = sql::AnalyzeQuery(sql_text);
+    if (!analyzed.ok()) {
+      events_->ScheduleAfter(latency_.edge_rtt / 2,
+                             [done, st = analyzed.status()](SimTime now2) {
+                               done(now2, st);
+                             });
+      return;
+    }
+    parsed = *template_cache_.Put(std::move(sql_text), std::move(*analyzed));
   }
-  registry_.Register(parsed->tmpl);
-  if (!parsed->tmpl->read_only) {
+  registry_.Register(parsed.tmpl);
+  if (!parsed.tmpl->read_only) {
     ++metrics_.writes;
-    HandleWrite(client, std::move(*parsed), std::move(done));
+    HandleWrite(client, std::move(parsed), std::move(done));
     return;
   }
   ++metrics_.reads;
-  HandleRead(now, client, security_group, std::move(*parsed), std::move(done));
+  HandleRead(now, client, security_group, std::move(parsed), std::move(done));
 }
 
 void Middleware::HandleWrite(ClientId client, sql::ParsedQuery parsed,
@@ -427,8 +447,10 @@ bool Middleware::FireGraph(ClientId client, int security_group,
   auto plan = std::make_shared<CombinedQuery>(std::move(*combined));
   mw_pool_.Submit(latency_.mw_combine_service, [](SimTime) {});
 
+  // Hand the combiner-built AST to the server alongside the text: the
+  // combined query executes without ever being re-parsed.
   remote_->Submit(
-      plan->sql,
+      RemoteDbServer::DbRequest{plan->sql, plan->ast},
       [this, client, security_group, plan, wait_key, cascade_depth](
           SimTime, Result<db::ExecOutcome> outcome) {
         sessions_.OnRemoteAccess();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cache/lru_cache.h"
+#include "cache/lru_map.h"
 #include "core/combiner_lateral.h"
 #include "core/dependency_manager.h"
 #include "core/loop_detector.h"
@@ -44,6 +45,7 @@ struct MiddlewareConfig {
   double tau = 0.8;                           // temporal correlation threshold
   SimTime delta_t = 200 * kMicrosPerMilli;    // Δt correlation window
   size_t cache_bytes = 64ull << 20;
+  size_t template_cache_entries = 512;        // memoized AnalyzeQuery results
   int node_id = 0;
   bool multi_node = false;                    // §5.2 multi-node session rule
   int workers = 8;                            // middleware worker pool
@@ -76,17 +78,34 @@ class RemoteDbServer {
 
   using DbCallback = std::function<void(SimTime, Result<db::ExecOutcome>)>;
 
+  /// A request payload: the wire text plus, optionally, the parse tree it
+  /// was rendered from. When `ast` is present the server executes it
+  /// directly — the combined queries built by the combiners never get
+  /// re-parsed (`sql` remains the wire-protocol/debugging form).
+  struct DbRequest {
+    std::string sql;
+    std::shared_ptr<const sql::Statement> ast;
+  };
+
   /// Submits SQL text from a middleware node; `done` fires when the
   /// response arrives back at the node (WAN + queue + service).
   void Submit(std::string sql_text, DbCallback done);
+  void Submit(DbRequest request, DbCallback done);
+
+  /// Forces AST-carrying requests through the text round-trip (parse of
+  /// `sql`) instead of the handoff path. Used by tests to cross-validate
+  /// the two execution paths.
+  void set_text_roundtrip(bool v) { text_roundtrip_ = v; }
 
   uint64_t requests() const { return requests_; }
   uint64_t rows_scanned() const { return rows_scanned_; }
+  /// Requests executed via a handed-off AST (no server-side parse).
+  uint64_t ast_handoffs() const { return ast_handoffs_; }
   SimTime busy_time() const { return busy_time_; }
 
  private:
   struct Job {
-    std::string sql;
+    DbRequest request;
     DbCallback done;
   };
   void TryDispatch();
@@ -96,9 +115,11 @@ class RemoteDbServer {
   net::LatencyModel latency_;
   int workers_;
   int busy_ = 0;
+  bool text_roundtrip_ = false;
   std::deque<Job> waiting_;
   uint64_t requests_ = 0;
   uint64_t rows_scanned_ = 0;
+  uint64_t ast_handoffs_ = 0;
   SimTime busy_time_ = 0;
 };
 
@@ -145,6 +166,11 @@ class Middleware {
   const cache::LruCache& cache() const { return *cache_; }
   const MiddlewareConfig& config() const { return config_; }
   SessionManager* sessions() { return &sessions_; }
+
+  /// Template (AnalyzeQuery memoization) cache hit/miss counters.
+  const CacheCounters& template_cache_counters() const {
+    return template_cache_.counters();
+  }
 
   /// Dependency-graph count across clients (learning progress probe).
   size_t TotalGraphs() const;
@@ -237,6 +263,9 @@ class Middleware {
   RemoteDbServer* remote_;
   net::LatencyModel latency_;
   MiddlewareConfig config_;
+  // Memoized AnalyzeQuery: repeated query texts skip lexing, parsing, and
+  // template extraction entirely (the per-query middleware hot path).
+  cache::LruMap<std::string, sql::ParsedQuery> template_cache_;
   std::unique_ptr<cache::LruCache> cache_;
   Resource mw_pool_;
   SessionManager sessions_;

@@ -1,11 +1,13 @@
 #ifndef CHRONOCACHE_CORE_RESULT_SPLITTER_H_
 #define CHRONOCACHE_CORE_RESULT_SPLITTER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "core/template_registry.h"
+#include "sql/ast.h"
 #include "sql/result_set.h"
 
 namespace chrono::core {
@@ -43,6 +45,10 @@ struct DecodeSlot {
 /// remote database plus the decode plan for splitting its result.
 struct CombinedQuery {
   std::string sql;
+  /// The parse tree `sql` was rendered from. The middleware hands this
+  /// straight to the database (zero re-parse); the text form exists for
+  /// wire-protocol fidelity and for cross-validating the AST path.
+  std::shared_ptr<const sql::Statement> ast;
   std::vector<DecodeSlot> slots;  // topological order
 };
 

@@ -4,9 +4,23 @@
 
 namespace chrono::db {
 
-Result<ExecOutcome> Database::ExecuteText(std::string_view sql) {
+Result<std::shared_ptr<const sql::Statement>> Database::ParseCached(
+    std::string_view sql) {
+  // Transparent string_view lookup would save the key materialisation on
+  // hits, but std::unordered_map heterogeneous lookup needs is_transparent
+  // hashers; one std::string construction per query is cheap next to the
+  // parse it avoids.
+  std::string key(sql);
+  if (const auto* cached = statement_cache_.Get(key)) return *cached;
   CHRONO_ASSIGN_OR_RETURN(std::unique_ptr<sql::Statement> stmt,
                           sql::Parse(sql));
+  std::shared_ptr<const sql::Statement> shared = std::move(stmt);
+  return *statement_cache_.Put(std::move(key), std::move(shared));
+}
+
+Result<ExecOutcome> Database::ExecuteText(std::string_view sql) {
+  CHRONO_ASSIGN_OR_RETURN(std::shared_ptr<const sql::Statement> stmt,
+                          ParseCached(sql));
   ++statements_executed_;
   return executor_.Execute(*stmt);
 }

@@ -5,40 +5,65 @@
 #include <string>
 #include <string_view>
 
+#include "cache/lru_map.h"
 #include "common/result.h"
+#include "common/stats.h"
 #include "db/catalog.h"
 #include "db/executor.h"
+#include "sql/ast.h"
 
 namespace chrono::db {
 
 /// \brief The "remote database server" role from the paper's architecture:
 /// an ANSI-SQL-subset engine that parses and executes query text. In the
-/// simulation it stands in for PostgreSQL; ChronoCache only ever interacts
-/// with it through SQL strings, exactly as it would over JDBC.
+/// simulation it stands in for PostgreSQL; ChronoCache normally interacts
+/// with it through SQL strings, exactly as it would over JDBC, but a
+/// pre-parsed Statement can also be handed off directly (the zero-reparse
+/// path for predictively combined queries).
 class Database {
  public:
-  Database() : executor_(&catalog_) {}
+  /// `statement_cache_entries` bounds the LRU parse cache (0 disables it).
+  explicit Database(size_t statement_cache_entries = kDefaultStatementCache)
+      : executor_(&catalog_), statement_cache_(statement_cache_entries) {}
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
   Catalog* catalog() { return &catalog_; }
   const Catalog* catalog() const { return &catalog_; }
 
-  /// Parses and executes one SQL statement.
+  /// Parses and executes one SQL statement. Repeated texts skip the
+  /// lex+parse entirely via the statement cache (parse trees are immutable
+  /// and independent of table contents, so DML never invalidates them).
   Result<ExecOutcome> ExecuteText(std::string_view sql);
+
+  /// Returns the cached parse tree for `sql`, parsing and caching on miss.
+  /// This is the statement-cache hot path ExecuteText runs on.
+  Result<std::shared_ptr<const sql::Statement>> ParseCached(
+      std::string_view sql);
 
   /// Executes a pre-parsed, fully bound statement.
   Result<ExecOutcome> Execute(const sql::Statement& stmt) {
+    ++statements_executed_;
     return executor_.Execute(stmt);
   }
 
   /// Total statements executed (for load accounting in experiments).
   uint64_t statements_executed() const { return statements_executed_; }
 
+  /// Statement-cache hit/miss counters (common/stats shape).
+  const CacheCounters& statement_cache_counters() const {
+    return statement_cache_.counters();
+  }
+  size_t statement_cache_size() const { return statement_cache_.size(); }
+
+  static constexpr size_t kDefaultStatementCache = 1024;
+
  private:
   Catalog catalog_;
   Executor executor_;
   uint64_t statements_executed_ = 0;
+  cache::LruMap<std::string, std::shared_ptr<const sql::Statement>>
+      statement_cache_;
 };
 
 }  // namespace chrono::db

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <set>
+#include <unordered_set>
 
 #include "sql/writer.h"
 
@@ -92,16 +93,6 @@ bool ContainsAggregate(const Expr* expr) {
     if (ContainsAggregate(c.get())) return true;
   }
   return false;
-}
-
-/// Group key for GROUP BY / DISTINCT hashing.
-std::string RowKey(const Row& row) {
-  std::string key;
-  for (const auto& v : row) {
-    key += v.ToSqlLiteral();
-    key += '\x1f';
-  }
-  return key;
 }
 
 bool IsTruthy(const Value& v) {
@@ -601,9 +592,12 @@ Result<Executor::Relation> Executor::EvalFromChain(const SelectStmt& stmt,
     for (const auto& col : next.cols) combined.cols.push_back(col);
 
     if (join.type == JoinClause::Type::kCross) {
+      combined.rows.reserve(current.rows.size() * next.rows.size());
       for (const auto& lrow : current.rows) {
         for (const auto& rrow : next.rows) {
-          Row out = lrow;
+          Row out;
+          out.reserve(lrow.size() + rrow.size());
+          out.insert(out.end(), lrow.begin(), lrow.end());
           out.insert(out.end(), rrow.begin(), rrow.end());
           combined.rows.push_back(std::move(out));
           ctx->stats.rows_scanned++;
@@ -657,13 +651,18 @@ Result<Executor::Relation> Executor::EvalFromChain(const SelectStmt& stmt,
     };
 
     if (left_key != nullptr) {
-      // Hash join: build on the right side, probe with the left.
+      // Hash join: build on the right side, probe with the left. Keys are
+      // Values hashed directly (no literal rendering); ValueKeyEq matches
+      // EqualsSql, so int and double join keys unify just as `=` would.
       int rk = next.Find(right_key->table, right_key->column);
-      std::unordered_map<std::string, std::vector<size_t>> build;
+      std::unordered_map<Value, std::vector<size_t>, sql::ValueHash,
+                         sql::ValueKeyEq>
+          build;
+      build.reserve(next.rows.size());
       for (size_t i = 0; i < next.rows.size(); ++i) {
         const Value& v = next.rows[i][static_cast<size_t>(rk)];
         if (v.is_null()) continue;  // NULL never equi-joins
-        build[v.ToSqlLiteral()].push_back(i);
+        build[v].push_back(i);
         ctx->stats.rows_scanned++;
       }
       int lk = current.Find(left_key->table, left_key->column);
@@ -671,10 +670,12 @@ Result<Executor::Relation> Executor::EvalFromChain(const SelectStmt& stmt,
         const Value& key = lrow[static_cast<size_t>(lk)];
         bool matched = false;
         if (!key.is_null()) {
-          auto it = build.find(key.ToSqlLiteral());
+          auto it = build.find(key);
           if (it != build.end()) {
             for (size_t ri : it->second) {
-              Row out = lrow;
+              Row out;
+              out.reserve(lrow.size() + next.rows[ri].size());
+              out.insert(out.end(), lrow.begin(), lrow.end());
               out.insert(out.end(), next.rows[ri].begin(), next.rows[ri].end());
               ctx->stats.rows_scanned++;
               CHRONO_ASSIGN_OR_RETURN(bool pass, eval_residual(out));
@@ -805,10 +806,14 @@ Result<Executor::Relation> Executor::EvalSelect(const SelectStmt& stmt,
     if (stmt.group_by.empty()) {
       groups.push_back(selected);  // single (possibly empty) group
     } else {
-      std::unordered_map<std::string, size_t> group_index;
+      // Rows hash by their evaluated key tuple directly — no per-row
+      // literal rendering or string concatenation.
+      std::unordered_map<Row, size_t, sql::RowHash, sql::RowEq> group_index;
+      Row key_row;
       for (size_t idx : selected) {
         Scope scope{&source, &source.rows[idx], outer};
-        Row key_row;
+        key_row.clear();
+        key_row.reserve(stmt.group_by.size());
         for (const auto& g : stmt.group_by) {
           auto v = Eval(*g, scope, ctx);
           if (!v.ok()) {
@@ -817,8 +822,7 @@ Result<Executor::Relation> Executor::EvalSelect(const SelectStmt& stmt,
           }
           key_row.push_back(std::move(*v));
         }
-        std::string key = RowKey(key_row);
-        auto [it, inserted] = group_index.emplace(key, groups.size());
+        auto [it, inserted] = group_index.emplace(key_row, groups.size());
         if (inserted) groups.emplace_back();
         groups[it->second].push_back(idx);
       }
@@ -888,6 +892,8 @@ Result<Executor::Relation> Executor::EvalSelect(const SelectStmt& stmt,
     }
     for (const auto& p : plan) output.cols.push_back({"", p.name});
 
+    output.rows.reserve(selected.size());
+    output_source.reserve(selected.size());
     int64_t row_number = 0;
     for (size_t idx : selected) {
       Scope scope{&source, &source.rows[idx], outer};
@@ -917,15 +923,17 @@ Result<Executor::Relation> Executor::EvalSelect(const SelectStmt& stmt,
     }
   }
 
-  // DISTINCT.
+  // DISTINCT: dedup on the row values themselves (first occurrence wins,
+  // preserving output order).
   if (stmt.distinct) {
-    std::set<std::string> seen;
+    std::unordered_set<Row, sql::RowHash, sql::RowEq> seen;
+    seen.reserve(output.rows.size());
     Relation dedup;
     dedup.cols = output.cols;
+    dedup.rows.reserve(output.rows.size());
     std::vector<size_t> dedup_source;
     for (size_t i = 0; i < output.rows.size(); ++i) {
-      std::string key = RowKey(output.rows[i]);
-      if (seen.insert(key).second) {
+      if (seen.insert(output.rows[i]).second) {
         dedup.rows.push_back(std::move(output.rows[i]));
         dedup_source.push_back(output_source[i]);
       }
@@ -943,6 +951,7 @@ Result<Executor::Relation> Executor::EvalSelect(const SelectStmt& stmt,
     // Precompute sort keys.
     std::vector<Row> keys(output.rows.size());
     for (size_t i = 0; i < output.rows.size(); ++i) {
+      keys[i].reserve(stmt.order_by.size());
       for (const auto& ob : stmt.order_by) {
         Scope out_scope{&output, &output.rows[i], nullptr};
         auto v = Eval(*ob.expr, out_scope, ctx);
@@ -966,6 +975,7 @@ Result<Executor::Relation> Executor::EvalSelect(const SelectStmt& stmt,
     });
     Relation sorted;
     sorted.cols = output.cols;
+    sorted.rows.reserve(order.size());
     for (size_t i : order) sorted.rows.push_back(std::move(output.rows[i]));
     output = std::move(sorted);
   }

@@ -30,8 +30,8 @@ Result<int64_t> Table::Insert(sql::Row values) {
   ++live_count_;
   ++version_;
   for (auto& [col, index] : indexes_) {
-    index[IndexKey(slots_[slot_index].values[static_cast<size_t>(col)])]
-        .push_back(slot_index);
+    index[slots_[slot_index].values[static_cast<size_t>(col)]].push_back(
+        slot_index);
   }
   return rowid;
 }
@@ -43,9 +43,9 @@ void Table::UpdateSlot(size_t slot_index,
   for (const auto& [col, value] : changes) {
     auto idx_it = indexes_.find(col);
     if (idx_it != indexes_.end()) {
-      IndexErase(&idx_it->second, IndexKey(slot.values[static_cast<size_t>(col)]),
+      IndexErase(&idx_it->second, slot.values[static_cast<size_t>(col)],
                  slot_index);
-      idx_it->second[IndexKey(value)].push_back(slot_index);
+      idx_it->second[value].push_back(slot_index);
     }
     slot.values[static_cast<size_t>(col)] = value;
   }
@@ -56,8 +56,7 @@ void Table::DeleteSlot(size_t slot_index) {
   assert(slot_index < slots_.size() && slots_[slot_index].live);
   Slot& slot = slots_[slot_index];
   for (auto& [col, index] : indexes_) {
-    IndexErase(&index, IndexKey(slot.values[static_cast<size_t>(col)]),
-               slot_index);
+    IndexErase(&index, slot.values[static_cast<size_t>(col)], slot_index);
   }
   slot.live = false;
   --live_count_;
@@ -67,38 +66,23 @@ void Table::DeleteSlot(size_t slot_index) {
 const std::vector<size_t>& Table::Probe(int column, const sql::Value& key) {
   EnsureIndex(column);
   const Index& index = indexes_[column];
-  auto it = index.find(IndexKey(key));
+  auto it = index.find(key);
   if (it == index.end()) return empty_;
   return it->second;
-}
-
-std::string Table::IndexKey(const sql::Value& v) {
-  // Normalise numerically equal ints/doubles to one key so that index
-  // probes agree with Value::EqualsSql.
-  if (v.type() == sql::Value::Type::kDouble) {
-    double d = v.AsDouble();
-    int64_t i = static_cast<int64_t>(d);
-    if (static_cast<double>(i) == d) return "i:" + std::to_string(i);
-    return "d:" + std::to_string(d);
-  }
-  if (v.type() == sql::Value::Type::kInt) {
-    return "i:" + std::to_string(v.AsInt());
-  }
-  if (v.type() == sql::Value::Type::kString) return "s:" + v.AsString();
-  return "null";
 }
 
 void Table::EnsureIndex(int column) {
   if (indexes_.count(column) > 0) return;
   Index index;
+  index.reserve(slots_.size());
   for (size_t i = 0; i < slots_.size(); ++i) {
     if (!slots_[i].live) continue;
-    index[IndexKey(slots_[i].values[static_cast<size_t>(column)])].push_back(i);
+    index[slots_[i].values[static_cast<size_t>(column)]].push_back(i);
   }
   indexes_.emplace(column, std::move(index));
 }
 
-void Table::IndexErase(Index* index, const std::string& key,
+void Table::IndexErase(Index* index, const sql::Value& key,
                        size_t slot_index) {
   auto it = index->find(key);
   if (it == index->end()) return;

@@ -65,11 +65,15 @@ class Table {
   bool HasIndex(int column) const { return indexes_.count(column) > 0; }
 
  private:
-  using Index = std::unordered_map<std::string, std::vector<size_t>>;
+  // Value-keyed hash index: no per-probe key materialisation. ValueHash /
+  // ValueKeyEq unify int/double keys (matching Value::EqualsSql) and hash
+  // exact bit patterns, so near-equal doubles that the old
+  // std::to_string-based key truncated to one bucket stay distinct.
+  using Index = std::unordered_map<sql::Value, std::vector<size_t>,
+                                   sql::ValueHash, sql::ValueKeyEq>;
 
-  static std::string IndexKey(const sql::Value& v);
   void EnsureIndex(int column);
-  void IndexErase(Index* index, const std::string& key, size_t slot_index);
+  void IndexErase(Index* index, const sql::Value& key, size_t slot_index);
 
   std::string name_;
   std::vector<ColumnDef> columns_;

@@ -1,6 +1,8 @@
 #include "sql/value.h"
 
 #include <cstdio>
+#include <cstring>
+#include <functional>
 
 namespace chrono::sql {
 
@@ -84,6 +86,61 @@ size_t Value::ByteSize() const {
   size_t base = sizeof(Value);
   if (type() == Type::kString) base += AsString().size();
   return base;
+}
+
+namespace {
+
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+size_t ValueHash::operator()(const Value& v) const {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      return 0x6e756c6cu;  // fixed bucket; NULL never compares equal via SQL
+    case Value::Type::kInt:
+    case Value::Type::kDouble: {
+      // Int/double unification: hash the bit pattern of the (unified)
+      // double value so that 2 and 2.0 land in one bucket, matching
+      // EqualsSql. -0.0 is folded into +0.0 first.
+      double d = v.AsDouble();
+      if (d == 0.0) d = 0.0;
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      return std::hash<uint64_t>{}(bits);
+    }
+    case Value::Type::kString:
+      return std::hash<std::string>{}(v.AsString());
+  }
+  return 0;
+}
+
+bool ValueKeyEq::operator()(const Value& a, const Value& b) const {
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  if (a.type() == Value::Type::kString || b.type() == Value::Type::kString) {
+    return a.type() == Value::Type::kString &&
+           b.type() == Value::Type::kString && a.AsString() == b.AsString();
+  }
+  return a.AsDouble() == b.AsDouble();
+}
+
+size_t RowHash::operator()(const Row& row) const {
+  size_t seed = row.size();
+  ValueHash h;
+  for (const auto& v : row) seed = HashCombine(seed, h(v));
+  return seed;
+}
+
+bool RowEq::operator()(const Row& a, const Row& b) const {
+  if (a.size() != b.size()) return false;
+  ValueKeyEq eq;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!eq(a[i], b[i])) return false;
+  }
+  return true;
 }
 
 }  // namespace chrono::sql

@@ -58,6 +58,34 @@ class Value {
 
 using Row = std::vector<Value>;
 
+/// \brief Hash for Value keys in the query hot path (table indexes, hash
+/// joins, GROUP BY/DISTINCT). Numerics hash by the exact bit pattern of
+/// their numeric value after int/double unification (-0.0 normalised to
+/// +0.0), so the hash depends only on the value's SQL-equality class:
+/// ValueKeyEq(a, b) implies ValueHash()(a) == ValueHash()(b). Replaces the
+/// former per-probe string materialisation, whose %f-style rendering
+/// truncated doubles to 6 significant digits and could collide distinct
+/// keys.
+struct ValueHash {
+  size_t operator()(const Value& v) const;
+};
+
+/// \brief Key equality matching Value::EqualsSql for non-null values, with
+/// NULLs forming their own bucket (an index must be able to store them;
+/// SQL `=` against NULL is filtered out downstream by the executor).
+struct ValueKeyEq {
+  bool operator()(const Value& a, const Value& b) const;
+};
+
+/// Hash / equality over whole rows (GROUP BY keys, DISTINCT dedup).
+struct RowHash {
+  size_t operator()(const Row& row) const;
+};
+
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const;
+};
+
 }  // namespace chrono::sql
 
 #endif  // CHRONOCACHE_SQL_VALUE_H_

@@ -1,0 +1,185 @@
+// Zero-reparse combined execution: the combiners build the combined query
+// as an AST and the remote server executes it directly. These tests
+// cross-validate the AST-handoff path against the text round-trip
+// (WriteStatement -> Parse -> Execute): both must produce byte-identical
+// result sets, and the rendered text must itself be the writer's output
+// for the handed-off tree.
+
+#include <gtest/gtest.h>
+
+#include "core/combiner_cte.h"
+#include "core/combiner_lateral.h"
+#include "core/middleware.h"
+#include "core/result_splitter.h"
+#include "db/database.h"
+#include "sql/template.h"
+#include "sql/writer.h"
+
+namespace chrono::core {
+namespace {
+
+using sql::Value;
+
+class AstHandoffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.catalog()
+                    ->CreateTable("watch_item",
+                                  {db::ColumnDef{"wi_wl_id", Value::Type::kInt},
+                                   db::ColumnDef{"wi_s_symb",
+                                                 Value::Type::kString}})
+                    .ok());
+    ASSERT_TRUE(db_.catalog()
+                    ->CreateTable("security",
+                                  {db::ColumnDef{"s_symb", Value::Type::kString},
+                                   db::ColumnDef{"s_num_out", Value::Type::kInt},
+                                   db::ColumnDef{"s_ex", Value::Type::kInt}})
+                    .ok());
+    Exec("INSERT INTO watch_item VALUES (1, 'AAA'), (1, 'BBB'), (1, 'CCC'), "
+         "(2, 'DDD')");
+    Exec("INSERT INTO security VALUES ('AAA', 100, 1), ('BBB', 200, 1), "
+         "('CCC', 300, 2), ('DDD', 400, 2)");
+  }
+
+  sql::ResultSet Exec(const std::string& sql) {
+    auto outcome = db_.ExecuteText(sql);
+    EXPECT_TRUE(outcome.ok()) << sql << " -> " << outcome.status().ToString();
+    return outcome.ok() ? outcome->result : sql::ResultSet();
+  }
+
+  TemplateId Register(const std::string& sql) {
+    auto parsed = sql::AnalyzeQuery(sql);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    latest_[parsed->tmpl->id] = parsed->params;
+    return registry_.Register(parsed->tmpl);
+  }
+
+  CombineInput Input(const DependencyGraph* g) {
+    return CombineInput{g, &registry_, &latest_};
+  }
+
+  /// Q1 (watch list) -> Q2 (security lookup), CTE-combinable.
+  DependencyGraph SpjGraph() {
+    TemplateId q1 =
+        Register("SELECT wi_s_symb FROM watch_item WHERE wi_wl_id = 1");
+    TemplateId q2 =
+        Register("SELECT s_num_out FROM security WHERE s_symb = 'AAA'");
+    DependencyGraph g;
+    g.nodes = {q1, q2};
+    g.param_counts[q1] = 1;
+    g.param_counts[q2] = 1;
+    g.edges.push_back({q1, q2, {{"wi_s_symb", 0}}});
+    g.Normalize();
+    return g;
+  }
+
+  /// Q1 -> Q2 with an aggregate child: rejected by the CTE strategy,
+  /// handled by the lateral-union strategy.
+  DependencyGraph AggregateGraph() {
+    TemplateId q1 =
+        Register("SELECT wi_s_symb FROM watch_item WHERE wi_wl_id = 1");
+    TemplateId q2 =
+        Register("SELECT max(s_num_out) FROM security WHERE s_symb = 'AAA'");
+    DependencyGraph g;
+    g.nodes = {q1, q2};
+    g.param_counts[q1] = 1;
+    g.param_counts[q2] = 1;
+    g.edges.push_back({q1, q2, {{"wi_s_symb", 0}}});
+    g.Normalize();
+    return g;
+  }
+
+  /// Executes the combined query both ways and asserts identical results.
+  void ExpectAstMatchesText(const CombinedQuery& combined) {
+    ASSERT_NE(combined.ast, nullptr);
+    // The text form is exactly the writer's rendering of the handed tree.
+    EXPECT_EQ(sql::WriteStatement(*combined.ast), combined.sql);
+    auto via_text = db_.ExecuteText(combined.sql);
+    ASSERT_TRUE(via_text.ok()) << via_text.status().ToString() << "\n"
+                               << combined.sql;
+    auto via_ast = db_.Execute(*combined.ast);
+    ASSERT_TRUE(via_ast.ok()) << via_ast.status().ToString();
+    EXPECT_EQ(via_ast->result, via_text->result) << combined.sql;
+  }
+
+  db::Database db_;
+  TemplateRegistry registry_;
+  std::map<TemplateId, std::vector<Value>> latest_;
+};
+
+TEST_F(AstHandoffTest, CteCombinedAstMatchesTextRoundTrip) {
+  DependencyGraph g = SpjGraph();
+  auto combined = CteJoinCombiner::Combine(Input(&g));
+  ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+  ExpectAstMatchesText(*combined);
+}
+
+TEST_F(AstHandoffTest, LateralCombinedAstMatchesTextRoundTrip) {
+  DependencyGraph g = AggregateGraph();
+  ASSERT_TRUE(LateralUnionCombiner::CanHandle(Input(&g)));
+  auto combined = LateralUnionCombiner::Combine(Input(&g));
+  ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+  ExpectAstMatchesText(*combined);
+}
+
+TEST_F(AstHandoffTest, SplitIsIdenticalAcrossExecutionPaths) {
+  DependencyGraph g = SpjGraph();
+  auto combined = CteJoinCombiner::Combine(Input(&g));
+  ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+  auto via_text = db_.ExecuteText(combined->sql);
+  auto via_ast = db_.Execute(*combined->ast);
+  ASSERT_TRUE(via_text.ok());
+  ASSERT_TRUE(via_ast.ok());
+  auto split_text = SplitResult(*combined, via_text->result, registry_);
+  auto split_ast = SplitResult(*combined, via_ast->result, registry_);
+  ASSERT_TRUE(split_text.ok()) << split_text.status().ToString();
+  ASSERT_TRUE(split_ast.ok()) << split_ast.status().ToString();
+  ASSERT_EQ(split_ast->size(), split_text->size());
+  for (size_t i = 0; i < split_ast->size(); ++i) {
+    EXPECT_EQ((*split_ast)[i].key, (*split_text)[i].key);
+    EXPECT_EQ((*split_ast)[i].result, (*split_text)[i].result);
+  }
+}
+
+TEST_F(AstHandoffTest, RemoteServerSkipsReparseForAstRequests) {
+  EventQueue events;
+  net::LatencyModel latency;
+  RemoteDbServer remote(&events, &db_, latency, 1);
+
+  DependencyGraph g = SpjGraph();
+  auto combined = CteJoinCombiner::Combine(Input(&g));
+  ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+
+  sql::ResultSet ast_result;
+  remote.Submit(RemoteDbServer::DbRequest{combined->sql, combined->ast},
+                [&](SimTime, Result<db::ExecOutcome> outcome) {
+                  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+                  ast_result = outcome->result;
+                });
+  events.RunAll();
+  EXPECT_EQ(remote.ast_handoffs(), 1u);
+
+  // Forced text round-trip (cross-validation switch) re-parses instead.
+  remote.set_text_roundtrip(true);
+  sql::ResultSet text_result;
+  remote.Submit(RemoteDbServer::DbRequest{combined->sql, combined->ast},
+                [&](SimTime, Result<db::ExecOutcome> outcome) {
+                  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+                  text_result = outcome->result;
+                });
+  events.RunAll();
+  EXPECT_EQ(remote.ast_handoffs(), 1u);  // unchanged
+  EXPECT_EQ(ast_result, text_result);
+
+  // Plain-text submissions never count as handoffs.
+  remote.set_text_roundtrip(false);
+  remote.Submit("SELECT s_num_out FROM security WHERE s_symb = 'AAA'",
+                [&](SimTime, Result<db::ExecOutcome> outcome) {
+                  ASSERT_TRUE(outcome.ok());
+                });
+  events.RunAll();
+  EXPECT_EQ(remote.ast_handoffs(), 1u);
+}
+
+}  // namespace
+}  // namespace chrono::core

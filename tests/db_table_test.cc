@@ -97,6 +97,76 @@ TEST(Table, StringIndexKeysDistinctFromNumbers) {
   EXPECT_TRUE(t.Probe(0, Value::Int(2)).empty());
 }
 
+TEST(Table, NearEqualDoubleKeysStayDistinct) {
+  // Regression: the old string-materialised index key used
+  // std::to_string(double), which renders with six fixed decimals — both
+  // 1e-7 and 2e-7 became "0.000000" and collided into one bucket. The
+  // value-keyed index must keep them apart.
+  Table t("d", {ColumnDef{"k", Value::Type::kDouble}});
+  ASSERT_TRUE(t.Insert({Value::Double(1e-7)}).ok());
+  ASSERT_TRUE(t.Insert({Value::Double(2e-7)}).ok());
+  EXPECT_EQ(t.Probe(0, Value::Double(1e-7)).size(), 1u);
+  EXPECT_EQ(t.Probe(0, Value::Double(2e-7)).size(), 1u);
+  EXPECT_TRUE(t.Probe(0, Value::Double(3e-7)).empty());
+}
+
+TEST(Table, NegativeZeroKeyMatchesZero) {
+  // -0.0 == 0.0 == 0 under SQL equality; ValueHash must agree so the
+  // probe finds the row regardless of which zero built the bucket.
+  Table t = MakeTable();
+  ASSERT_TRUE(t.Insert({Value::Int(0), Value::String("a")}).ok());
+  EXPECT_EQ(t.Probe(0, Value::Double(-0.0)).size(), 1u);
+  EXPECT_EQ(t.Probe(0, Value::Double(0.0)).size(), 1u);
+}
+
+TEST(Table, IndexKeyBucketingAgreesWithEqualsSql) {
+  // The index is a prefilter for the executor's WHERE re-evaluation, so
+  // bucketing must never be finer than Value::EqualsSql: any pair of
+  // values that EqualsSql deems equal must probe into the same bucket.
+  const Value probes[] = {Value::Int(7), Value::Double(7.0)};
+  for (const Value& stored : probes) {
+    Table t = MakeTable();
+    ASSERT_TRUE(t.Insert({stored, Value::String("x")}).ok());
+    for (const Value& probe : probes) {
+      ASSERT_TRUE(stored.EqualsSql(probe));
+      EXPECT_EQ(t.Probe(0, probe).size(), 1u)
+          << stored.ToSqlLiteral() << " probed by " << probe.ToSqlLiteral();
+    }
+  }
+}
+
+TEST(Table, IndexSurvivesUpdateDeleteReinsertSequence) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a")}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(2), Value::String("b")}).ok());
+  (void)t.Probe(0, Value::Int(1));  // build index
+
+  // Move row 0's key 1 -> 2, delete the original key-2 row, then insert a
+  // fresh key-1 row; the index must track every step.
+  t.UpdateSlot(0, {{0, Value::Int(2)}});
+  EXPECT_TRUE(t.Probe(0, Value::Int(1)).empty());
+  EXPECT_EQ(t.Probe(0, Value::Int(2)).size(), 2u);
+
+  t.DeleteSlot(1);
+  EXPECT_EQ(t.Probe(0, Value::Int(2)).size(), 1u);
+
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("c")}).ok());
+  EXPECT_EQ(t.Probe(0, Value::Int(1)).size(), 1u);
+  EXPECT_EQ(t.Probe(0, Value::Int(2)).size(), 1u);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, NullKeysIndexDistinctFromZero) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.Insert({Value::Null(), Value::String("n")}).ok());
+  ASSERT_TRUE(t.Insert({Value::Int(0), Value::String("z")}).ok());
+  // NULL never EqualsSql anything (including NULL), so probing by 0 must
+  // not surface the NULL row.
+  const auto& zeros = t.Probe(0, Value::Int(0));
+  ASSERT_EQ(zeros.size(), 1u);
+  EXPECT_EQ(t.slots()[zeros[0]].values[1], Value::String("z"));
+}
+
 TEST(Table, VersionBumpsOnMutations) {
   Table t = MakeTable();
   uint64_t v0 = t.version();

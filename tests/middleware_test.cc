@@ -283,6 +283,37 @@ TEST_F(MiddlewareTest, MultiNodeKeysIsolateCaches) {
   EXPECT_EQ(node1.metrics().cache_hits, 0u);
 }
 
+TEST_F(MiddlewareTest, TemplateCacheMemoizesAnalyzeQuery) {
+  auto mw = MakeMiddleware(SystemMode::kLru);
+  const std::string q = "SELECT s_num_out FROM security WHERE s_symb = 'S0_0'";
+  (void)Query(mw.get(), 0, q);
+  EXPECT_EQ(mw->template_cache_counters().misses, 1u);
+  EXPECT_EQ(mw->template_cache_counters().hits, 0u);
+
+  // Same text again: AnalyzeQuery is skipped even though the read itself
+  // is answered from the edge cache.
+  (void)Query(mw.get(), 0, q);
+  EXPECT_EQ(mw->template_cache_counters().misses, 1u);
+  EXPECT_EQ(mw->template_cache_counters().hits, 1u);
+
+  // A different binding of the same template is a different text.
+  (void)Query(mw.get(), 0,
+              "SELECT s_num_out FROM security WHERE s_symb = 'S0_1'");
+  EXPECT_EQ(mw->template_cache_counters().misses, 2u);
+  EXPECT_EQ(mw->template_cache_counters().hits, 1u);
+}
+
+TEST_F(MiddlewareTest, CombinedPredictionsUseAstHandoff) {
+  auto mw = MakeMiddleware(SystemMode::kChrono);
+  // Train the model on the Market-Watch loop, then trigger a predictive
+  // combined query: it must reach the server as a pre-built AST.
+  for (int round = 0; round < 6; ++round) {
+    RunLoopTransaction(mw.get(), 0, round % 2);
+  }
+  ASSERT_GT(mw->metrics().remote_combined, 0u);
+  EXPECT_GT(remote_.ast_handoffs(), 0u);
+}
+
 TEST_F(MiddlewareTest, ResponseLatencyIncludesWanOnMiss) {
   auto mw = MakeMiddleware(SystemMode::kLru);
   SimTime start = events_.now();
