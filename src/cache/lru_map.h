@@ -27,10 +27,10 @@ class LruMap {
   const V* Get(const K& key) {
     auto it = map_.find(key);
     if (it == map_.end()) {
-      ++counters_.misses;
+      counters_.RecordMiss();
       return nullptr;
     }
-    ++counters_.hits;
+    counters_.RecordHit();
     entries_.splice(entries_.begin(), entries_, it->second);
     return &it->second->second;
   }

@@ -1,6 +1,7 @@
 #ifndef CHRONOCACHE_COMMON_STATS_H_
 #define CHRONOCACHE_COMMON_STATS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -10,26 +11,73 @@ namespace chrono {
 /// \brief Hit/miss accounting shared by the query-path caches (statement
 /// cache, template cache, result cache). Kept in common/ so every layer
 /// reports through the same shape.
+///
+/// Thread safety: the counters are relaxed atomics, so concurrent
+/// RecordHit/RecordMiss calls from the runtime's worker threads never
+/// race. Relaxed ordering is sufficient — the counters are monotonic
+/// telemetry, never used for synchronisation. Single-threaded call sites
+/// (the simulator's caches) read the fields directly as before; reads
+/// that race with writers may observe hits and misses from slightly
+/// different instants, which is fine for statistics.
 struct CacheCounters {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
 
-  uint64_t lookups() const { return hits + misses; }
-  double HitRate() const {
-    return lookups() == 0
-               ? 0
-               : static_cast<double>(hits) / static_cast<double>(lookups());
+  CacheCounters() = default;
+  CacheCounters(const CacheCounters& o)
+      : hits(o.hits.load(std::memory_order_relaxed)),
+        misses(o.misses.load(std::memory_order_relaxed)) {}
+  CacheCounters& operator=(const CacheCounters& o) {
+    hits.store(o.hits.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    misses.store(o.misses.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
   }
-  void Reset() { hits = misses = 0; }
+
+  void RecordHit() { hits.fetch_add(1, std::memory_order_relaxed); }
+  void RecordMiss() { misses.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t lookups() const {
+    return hits.load(std::memory_order_relaxed) +
+           misses.load(std::memory_order_relaxed);
+  }
+  double HitRate() const {
+    uint64_t total = lookups();
+    return total == 0 ? 0
+                      : static_cast<double>(
+                            hits.load(std::memory_order_relaxed)) /
+                            static_cast<double>(total);
+  }
+  void Reset() {
+    hits.store(0, std::memory_order_relaxed);
+    misses.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// \brief Streaming accumulator for latency samples: mean, min/max,
 /// percentiles and 95% confidence intervals across repeated runs.
+///
+/// Thread safety: NOT thread-safe — external locking contract. A
+/// SampleStats instance may only be mutated from one thread at a time,
+/// and readers must not overlap writers. The intended multi-threaded
+/// pattern (used by tools/serve_bench.cc) is one private instance per
+/// worker thread, merged with Merge() after the workers have been
+/// joined; no locking is then needed at all. If concurrent access to a
+/// shared instance is unavoidable, every call must be wrapped in a
+/// caller-owned mutex.
 class SampleStats {
  public:
   void Add(double x) { samples_.push_back(x); }
   size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
+
+  /// Appends all of `other`'s samples (the post-join aggregation step of
+  /// the external-locking contract above).
+  void Merge(const SampleStats& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
 
   double Mean() const;
   double Stddev() const;  // sample standard deviation (n-1)

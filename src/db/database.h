@@ -1,6 +1,7 @@
 #ifndef CHRONOCACHE_DB_DATABASE_H_
 #define CHRONOCACHE_DB_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -42,13 +43,28 @@ class Database {
       std::string_view sql);
 
   /// Executes a pre-parsed, fully bound statement.
+  ///
+  /// Thread safety: read-only statements may run concurrently from many
+  /// threads *provided* (a) no write runs at the same time (the runtime
+  /// guards the database with a reader/writer lock) and (b) WarmIndexes()
+  /// has been called since the last DDL, so point lookups never trigger a
+  /// lazy index build mid-read. ExecuteText/ParseCached mutate the
+  /// statement cache and therefore always require exclusive access.
   Result<ExecOutcome> Execute(const sql::Statement& stmt) {
-    ++statements_executed_;
+    statements_executed_.fetch_add(1, std::memory_order_relaxed);
     return executor_.Execute(stmt);
   }
 
+  /// Eagerly builds every table's per-column hash indexes. Table::Probe
+  /// builds indexes lazily on first use, which is a mutation; calling this
+  /// under exclusive access makes subsequent read-only Execute() calls
+  /// side-effect-free so they can share the database under a reader lock.
+  void WarmIndexes();
+
   /// Total statements executed (for load accounting in experiments).
-  uint64_t statements_executed() const { return statements_executed_; }
+  uint64_t statements_executed() const {
+    return statements_executed_.load(std::memory_order_relaxed);
+  }
 
   /// Statement-cache hit/miss counters (common/stats shape).
   const CacheCounters& statement_cache_counters() const {
@@ -61,7 +77,7 @@ class Database {
  private:
   Catalog catalog_;
   Executor executor_;
-  uint64_t statements_executed_ = 0;
+  std::atomic<uint64_t> statements_executed_{0};
   cache::LruMap<std::string, std::shared_ptr<const sql::Statement>>
       statement_cache_;
 };

@@ -65,10 +65,16 @@ void Table::DeleteSlot(size_t slot_index) {
 
 const std::vector<size_t>& Table::Probe(int column, const sql::Value& key) {
   EnsureIndex(column);
-  const Index& index = indexes_[column];
+  const Index& index = indexes_.find(column)->second;
   auto it = index.find(key);
   if (it == index.end()) return empty_;
   return it->second;
+}
+
+void Table::WarmIndexes() {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    EnsureIndex(static_cast<int>(c));
+  }
 }
 
 void Table::EnsureIndex(int column) {

@@ -64,6 +64,12 @@ class Table {
   /// True if an index exists for the column (test/introspection hook).
   bool HasIndex(int column) const { return indexes_.count(column) > 0; }
 
+  /// Builds the hash index for every column now. Probe() otherwise builds
+  /// indexes lazily — a mutation — so concurrent read-only execution (the
+  /// runtime's reader-locked path) warms all indexes up front and keeps
+  /// reads genuinely side-effect-free.
+  void WarmIndexes();
+
  private:
   // Value-keyed hash index: no per-probe key materialisation. ValueHash /
   // ValueKeyEq unify int/double keys (matching Value::EqualsSql) and hash

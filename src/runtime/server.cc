@@ -1,0 +1,358 @@
+#include "runtime/server.h"
+
+#include <thread>
+#include <utility>
+
+#include "core/combiner_lateral.h"
+
+namespace chrono::runtime {
+
+ChronoServer::SessionState::SessionState(const ServerConfig& config)
+    : transitions(static_cast<SimTime>(config.delta_t_us)),
+      mapper(config.min_validations),
+      manager(core::DependencyManager::Options{/*enable_subsumption=*/true}) {}
+
+ChronoServer::ChronoServer(db::Database* db, ServerConfig config)
+    : db_(db),
+      config_(config),
+      start_(std::chrono::steady_clock::now()),
+      extractor_(core::GraphExtractor::Options{
+          config.tau, config.min_occurrences, /*enable_loops=*/true,
+          /*enable_loop_constants=*/true, /*max_nodes=*/8}),
+      template_cache_(config.template_cache_entries),
+      versions_(/*multi_node=*/false),
+      cache_(config.cache_bytes, config.cache_shards),
+      pool_(config.workers, config.queue_capacity) {
+  // Reader-locked execution must never trigger a lazy index build.
+  db_->WarmIndexes();
+}
+
+ChronoServer::~ChronoServer() { Shutdown(); }
+
+void ChronoServer::Shutdown() { pool_.Shutdown(); }
+
+uint64_t ChronoServer::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+void ChronoServer::SimulateWan() const {
+  if (config_.db_latency_us == 0) return;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(config_.db_latency_us));
+}
+
+size_t ChronoServer::session_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return sessions_.size();
+}
+
+ServerMetrics ChronoServer::metrics() const {
+  ServerMetrics m;
+  m.reads = metrics_.reads.load(std::memory_order_relaxed);
+  m.writes = metrics_.writes.load(std::memory_order_relaxed);
+  m.cache_hits = metrics_.cache_hits.load(std::memory_order_relaxed);
+  m.cache_rejects = metrics_.cache_rejects.load(std::memory_order_relaxed);
+  m.remote_plain = metrics_.remote_plain.load(std::memory_order_relaxed);
+  m.remote_combined = metrics_.remote_combined.load(std::memory_order_relaxed);
+  m.predictions_cached =
+      metrics_.predictions_cached.load(std::memory_order_relaxed);
+  m.prediction_hits = metrics_.prediction_hits.load(std::memory_order_relaxed);
+  m.prediction_fallbacks =
+      metrics_.prediction_fallbacks.load(std::memory_order_relaxed);
+  m.prefetches_dropped =
+      metrics_.prefetches_dropped.load(std::memory_order_relaxed);
+  m.errors = metrics_.errors.load(std::memory_order_relaxed);
+  return m;
+}
+
+ChronoServer::SessionState* ChronoServer::SessionFor(ClientId client) {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  auto it = sessions_.find(client);
+  if (it == sessions_.end()) {
+    it = sessions_
+             .emplace(client, std::make_unique<SessionState>(config_))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string ChronoServer::CacheKey(ClientId client,
+                                   const std::string& bound_text) const {
+  if (config_.share_across_clients) return bound_text;
+  return "c" + std::to_string(client) + "#" + bound_text;
+}
+
+std::future<Result<sql::ResultSet>> ChronoServer::Submit(ClientId client,
+                                                         std::string sql,
+                                                         int security_group) {
+  auto promise = std::make_shared<std::promise<Result<sql::ResultSet>>>();
+  std::future<Result<sql::ResultSet>> future = promise->get_future();
+  bool accepted = pool_.Submit(
+      [this, promise, client, security_group, sql = std::move(sql)]() {
+        promise->set_value(Execute(client, sql, security_group));
+      });
+  if (!accepted) {
+    promise->set_value(
+        Status::Internal("ChronoServer is shut down; submission rejected"));
+  }
+  return future;
+}
+
+Result<sql::ResultSet> ChronoServer::Execute(ClientId client,
+                                             const std::string& sql,
+                                             int security_group) {
+  auto parsed = Analyze(sql);
+  if (!parsed.ok()) {
+    metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+    return parsed.status();
+  }
+  if (!parsed->tmpl->read_only) {
+    metrics_.writes.fetch_add(1, std::memory_order_relaxed);
+    return DoWrite(client, *parsed);
+  }
+  metrics_.reads.fetch_add(1, std::memory_order_relaxed);
+  return DoRead(client, security_group, *parsed);
+}
+
+Result<sql::ParsedQuery> ChronoServer::Analyze(const std::string& sql) {
+  {
+    std::lock_guard<std::mutex> lock(template_mutex_);
+    if (const sql::ParsedQuery* hit = template_cache_.Get(sql)) {
+      return *hit;  // copy out while the lock pins the entry
+    }
+  }
+  // AnalyzeQuery is a pure function of the text: run it unlocked. Two
+  // threads racing on the same new text both analyze and both Put — the
+  // second Put replaces an identical value, which is harmless.
+  auto analyzed = sql::AnalyzeQuery(sql);
+  if (!analyzed.ok()) return analyzed.status();
+  sql::ParsedQuery parsed;
+  {
+    std::lock_guard<std::mutex> lock(template_mutex_);
+    parsed = *template_cache_.Put(sql, std::move(*analyzed));
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(registry_mutex_);
+    registry_.Register(parsed.tmpl);
+  }
+  return parsed;
+}
+
+Result<sql::ResultSet> ChronoServer::DoWrite(ClientId client,
+                                             const sql::ParsedQuery& parsed) {
+  SimulateWan();
+  Result<db::ExecOutcome> outcome = Status::OK();
+  {
+    std::unique_lock<std::shared_mutex> lock(db_mutex_);
+    // Exclusive access: ExecuteText may touch the statement cache.
+    outcome = db_->ExecuteText(parsed.bound_text);
+    // DDL may have created tables whose indexes are still lazy; re-warm
+    // under the same writer lock (no-op when everything is warm).
+    db_->WarmIndexes();
+  }
+  if (!outcome.ok()) {
+    metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+    return outcome.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(versions_mutex_);
+    versions_.OnClientWrite(client, outcome->tables_written);
+  }
+  return outcome->result;
+}
+
+std::vector<ChronoServer::PreparedPlan> ChronoServer::LearnAndCombine(
+    SessionState* session, ClientId client, const sql::ParsedQuery& parsed) {
+  (void)client;
+  std::vector<PreparedPlan> plans;
+  if (!config_.enable_learning) return plans;
+  const core::TemplateId tmpl = parsed.tmpl->id;
+
+  // Lock order: registry reader (server level) before the session lock.
+  // The extractor and the combiners both read the shared registry while
+  // the session's models are being updated.
+  std::shared_lock<std::shared_mutex> registry_lock(registry_mutex_);
+  std::lock_guard<std::mutex> session_lock(session->mutex);
+
+  session->transitions.Observe(tmpl, static_cast<SimTime>(NowMicros()));
+  session->mapper.ObserveQuery(tmpl, parsed.params);
+  session->latest_params[tmpl] = parsed.params;
+  ++session->observations;
+  if (session->observations % config_.extract_every == 0) {
+    for (auto& graph : extractor_.Extract(session->transitions,
+                                          session->mapper, registry_)) {
+      session->manager.AddGraph(std::move(graph));
+    }
+  }
+
+  if (!config_.enable_combining) return plans;
+  for (const core::DependencyGraph* graph :
+       session->manager.MarkTextAvail(tmpl)) {
+    core::CombineInput input{graph, &registry_, &session->latest_params};
+    auto combined = core::CombineGraph(input);
+    if (!combined.ok()) continue;
+    PreparedPlan prepared;
+    prepared.plan =
+        std::make_shared<core::CombinedQuery>(std::move(*combined));
+    prepared.contains_current = graph->ContainsNode(tmpl);
+    plans.push_back(std::move(prepared));
+  }
+  return plans;
+}
+
+Result<sql::ResultSet> ChronoServer::DoRead(ClientId client,
+                                            int security_group,
+                                            const sql::ParsedQuery& parsed) {
+  SessionState* session = SessionFor(client);
+  const core::TemplateId tmpl = parsed.tmpl->id;
+
+  std::vector<PreparedPlan> plans = LearnAndCombine(session, client, parsed);
+
+  auto respond = [&](const sql::ResultSet& result) {
+    if (config_.enable_learning) {
+      std::lock_guard<std::mutex> lock(session->mutex);
+      session->mapper.ObserveResult(tmpl, result);
+    }
+    return result;
+  };
+
+  // Launch background prefetches for the plans that do not cover this
+  // query; the covering plan (if any) runs inline below on a miss.
+  PreparedPlan* primary = nullptr;
+  for (PreparedPlan& p : plans) {
+    if (p.contains_current && primary == nullptr) {
+      primary = &p;
+      continue;
+    }
+    bool queued = pool_.TrySubmit(
+        [this, client, security_group, session, plan = p.plan]() {
+          ExecuteCombined(client, security_group, session, *plan);
+        });
+    if (!queued) {
+      metrics_.prefetches_dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (auto hit = CacheGet(client, security_group, parsed.bound_text)) {
+    metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return respond(hit->result);
+  }
+
+  // Miss with a covering combined plan: execute it inline — the wall-clock
+  // analogue of the simulator's "wait on the in-flight combined query".
+  if (primary != nullptr &&
+      ExecuteCombined(client, security_group, session, *primary->plan)) {
+    if (auto hit = CacheGet(client, security_group, parsed.bound_text)) {
+      metrics_.prediction_hits.fetch_add(1, std::memory_order_relaxed);
+      metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return respond(hit->result);
+    }
+    metrics_.prediction_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Plain remote execution: bind the template's AST (no re-parse) and run
+  // it under reader access.
+  metrics_.remote_plain.fetch_add(1, std::memory_order_relaxed);
+  std::unique_ptr<sql::Statement> stmt =
+      sql::BindParams(*parsed.tmpl->ast, parsed.params);
+  SimulateWan();
+  Result<db::ExecOutcome> outcome = Status::OK();
+  {
+    std::shared_lock<std::shared_mutex> lock(db_mutex_);
+    outcome = db_->Execute(*stmt);
+  }
+  if (!outcome.ok()) {
+    metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+    return outcome.status();
+  }
+  CachePut(client, security_group, tmpl, parsed.bound_text, outcome->result);
+  {
+    std::lock_guard<std::mutex> lock(versions_mutex_);
+    versions_.SyncClientToDb(client);  // fresh read: Vc = Vd (§5.2)
+  }
+  return respond(outcome->result);
+}
+
+bool ChronoServer::ExecuteCombined(ClientId client, int security_group,
+                                   SessionState* session,
+                                   const core::CombinedQuery& plan) {
+  metrics_.remote_combined.fetch_add(1, std::memory_order_relaxed);
+  SimulateWan();
+  Result<db::ExecOutcome> outcome = Status::OK();
+  {
+    std::shared_lock<std::shared_mutex> lock(db_mutex_);
+    outcome = db_->Execute(*plan.ast);
+  }
+  if (!outcome.ok()) return false;
+
+  Result<std::vector<core::SplitEntry>> split = Status::OK();
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+    split = core::SplitResult(plan, outcome->result, registry_);
+  }
+  if (!split.ok()) return false;
+
+  for (const core::SplitEntry& entry : *split) {
+    CachePut(client, security_group, entry.tmpl, entry.key, entry.result);
+    metrics_.predictions_cached.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(versions_mutex_);
+    versions_.SyncClientToDb(client);
+  }
+  if (config_.enable_learning) {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    for (const core::SplitEntry& entry : *split) {
+      session->mapper.ObserveResult(entry.tmpl, entry.result);
+      session->latest_params[entry.tmpl] = entry.params;
+    }
+  }
+  return true;
+}
+
+std::optional<cache::CachedResult> ChronoServer::CacheGet(
+    ClientId client, int security_group, const std::string& bound_text) {
+  std::optional<cache::CachedResult> entry =
+      cache_.Get(CacheKey(client, bound_text));
+  if (!entry.has_value()) return std::nullopt;
+  if (entry->security_group != security_group) {
+    metrics_.cache_rejects.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  {
+    std::lock_guard<std::mutex> lock(versions_mutex_);
+    if (!versions_.CanUse(client, entry->version)) {
+      metrics_.cache_rejects.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    versions_.AbsorbResult(client, entry->version);
+  }
+  return entry;
+}
+
+void ChronoServer::CachePut(ClientId client, int security_group,
+                            core::TemplateId tmpl,
+                            const std::string& bound_text,
+                            const sql::ResultSet& result) {
+  std::vector<std::string> reads;
+  {
+    std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+    if (const sql::QueryTemplate* qt = registry_.Find(tmpl)) {
+      reads = sql::CollectTableAccess(*qt->ast).reads;
+    }
+  }
+  cache::CachedResult entry;
+  entry.result = result;
+  {
+    std::lock_guard<std::mutex> lock(versions_mutex_);
+    entry.version = versions_.SnapshotFor(reads);
+  }
+  entry.security_group = security_group;
+  entry.node_id = 0;
+  cache_.Put(CacheKey(client, bound_text), std::move(entry));
+}
+
+}  // namespace chrono::runtime

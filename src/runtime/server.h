@@ -1,0 +1,227 @@
+#ifndef CHRONOCACHE_RUNTIME_SERVER_H_
+#define CHRONOCACHE_RUNTIME_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/lru_map.h"
+#include "common/result.h"
+#include "core/dependency_manager.h"
+#include "core/loop_detector.h"
+#include "core/param_mapper.h"
+#include "core/result_splitter.h"
+#include "core/session.h"
+#include "core/template_registry.h"
+#include "core/transition_graph.h"
+#include "db/database.h"
+#include "runtime/sharded_cache.h"
+#include "runtime/thread_pool.h"
+#include "sql/result_set.h"
+#include "sql/template.h"
+
+namespace chrono::runtime {
+
+using core::ClientId;
+
+/// \brief Tuning knobs for one wall-clock serving node. Mirrors the
+/// simulator's MiddlewareConfig where the concepts overlap; times are real
+/// microseconds instead of virtual SimTime.
+struct ServerConfig {
+  int workers = 4;                     // serving thread-pool size
+  size_t queue_capacity = 4096;        // bounded task queue (backpressure)
+  size_t cache_bytes = 64ull << 20;    // total result-cache budget
+  size_t cache_shards = 16;            // lock stripes
+  size_t template_cache_entries = 512; // memoized AnalyzeQuery results
+  double tau = 0.8;                    // temporal correlation threshold
+  uint64_t delta_t_us = 200'000;       // Δt window, wall-clock µs
+  uint64_t min_occurrences = 3;        // extraction threshold
+  int min_validations = 2;             // mapping confirmation threshold
+  size_t extract_every = 4;            // model-mining cadence
+  bool enable_learning = true;         // learn + predictively combine
+  bool enable_combining = true;        // fire combined prefetches
+  bool share_across_clients = true;    // shared vs. per-client cache keys
+  /// Simulated one-way-pair WAN round trip to the remote database, slept
+  /// (outside every lock) once per database round trip. 0 disables. This
+  /// is the paper's deployment premise — the mid-tier cache sits a WAN
+  /// away from the database — and it is what worker threads overlap.
+  uint64_t db_latency_us = 0;
+};
+
+/// \brief Wall-clock serving metrics (relaxed atomics; Snapshot() copies).
+struct ServerMetrics {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t cache_hits = 0;          // client reads answered from the cache
+  uint64_t cache_rejects = 0;       // present but failed session/security
+  uint64_t remote_plain = 0;        // uncombined remote reads
+  uint64_t remote_combined = 0;     // combined queries executed
+  uint64_t predictions_cached = 0;  // result sets cached ahead of time
+  uint64_t prediction_hits = 0;     // misses answered by an inline combine
+  uint64_t prediction_fallbacks = 0;  // combined result missed our query
+  uint64_t prefetches_dropped = 0;  // background tasks rejected (queue full)
+  uint64_t errors = 0;              // statements that returned a status
+
+  double CacheHitRate() const {
+    return reads == 0 ? 0 : static_cast<double>(cache_hits) /
+                                static_cast<double>(reads);
+  }
+};
+
+/// \brief The concurrent serving runtime: a ChronoCache middleware node
+/// that serves real threads under wall-clock time, alongside the
+/// discrete-event simulator (which remains the vehicle for the paper's §6
+/// experiments). One shared database, one lock-striped result cache, one
+/// worker pool; the learned models (transition graph, parameter mapper,
+/// dependency table) are per-session, exactly as in the paper, and the
+/// template registry is shared across all sessions.
+///
+/// Threading model — lock order is strictly
+///   server-level locks  →  per-session lock  →  cache-shard lock
+/// where the server-level locks (template cache, registry, session table,
+/// version vectors, database RW lock) are never acquired while a session
+/// or shard lock is held, at most one of them nests above a session lock
+/// (the registry's reader side, during learning/combining), and shard
+/// locks are leaves. The database is guarded by a reader/writer lock:
+/// read-only statements execute concurrently under reader access (indexes
+/// are warmed eagerly so reads are side-effect-free), writes and DDL take
+/// the writer side. See DESIGN.md §8.
+class ChronoServer {
+ public:
+  /// `db` must outlive the server. The server warms the database's
+  /// indexes at construction so reader-locked execution never triggers a
+  /// lazy index build; populate the database before constructing.
+  ChronoServer(db::Database* db, ServerConfig config);
+  ~ChronoServer();
+
+  ChronoServer(const ChronoServer&) = delete;
+  ChronoServer& operator=(const ChronoServer&) = delete;
+
+  /// Asynchronous client entry point: enqueues the statement on the
+  /// worker pool (blocking while the queue is full) and returns a future
+  /// for the response. After Shutdown() the future holds an error status.
+  std::future<Result<sql::ResultSet>> Submit(ClientId client, std::string sql,
+                                             int security_group = 0);
+
+  /// Synchronous entry point: runs the full analyze → predict → combine →
+  /// decode pipeline in the calling thread. Safe to call from any number
+  /// of threads concurrently (the worker pool itself calls this).
+  Result<sql::ResultSet> Execute(ClientId client, const std::string& sql,
+                                 int security_group = 0);
+
+  /// Stops accepting work, drains the queue, joins the workers.
+  void Shutdown();
+
+  ServerMetrics metrics() const;
+  const ShardedCache& cache() const { return cache_; }
+  const ThreadPool& pool() const { return pool_; }
+  const ServerConfig& config() const { return config_; }
+  /// Lock-free reads: CacheCounters fields are atomic.
+  const CacheCounters& template_cache_counters() const {
+    return template_cache_.counters();
+  }
+  size_t session_count() const;
+
+ private:
+  /// Per-session serving state: the paper's per-client learned models plus
+  /// anything else a single client's request stream mutates. One mutex per
+  /// session — a client's own requests serialise (clients are sequential
+  /// in a closed loop anyway), different clients never contend here.
+  struct SessionState {
+    std::mutex mutex;
+    core::TransitionGraph transitions;
+    core::ParamMapper mapper;
+    core::DependencyManager manager;
+    std::map<core::TemplateId, std::vector<sql::Value>> latest_params;
+    uint64_t observations = 0;
+
+    explicit SessionState(const ServerConfig& config);
+  };
+
+  /// A combined prefetch ready to execute: the plan plus the session it
+  /// was mined from (results feed back into that session's mapper).
+  struct PreparedPlan {
+    std::shared_ptr<core::CombinedQuery> plan;
+    bool contains_current = false;  // covers the query being served
+  };
+
+  SessionState* SessionFor(ClientId client);
+  uint64_t NowMicros() const;
+  std::string CacheKey(ClientId client, const std::string& bound_text) const;
+
+  /// AnalyzeQuery through the memoizing template cache; registers the
+  /// template in the shared registry.
+  Result<sql::ParsedQuery> Analyze(const std::string& sql);
+
+  Result<sql::ResultSet> DoWrite(ClientId client,
+                                 const sql::ParsedQuery& parsed);
+  Result<sql::ResultSet> DoRead(ClientId client, int security_group,
+                                const sql::ParsedQuery& parsed);
+
+  /// Learning + graph readiness + combining for one read arrival. Returns
+  /// the plans mined ready on this arrival (lock order: registry reader →
+  /// session).
+  std::vector<PreparedPlan> LearnAndCombine(SessionState* session,
+                                            ClientId client,
+                                            const sql::ParsedQuery& parsed);
+
+  /// Executes a combined plan (reader-locked database), splits the result
+  /// and installs every piece in the cache. Returns false on any failure
+  /// (combined execution is best-effort — the caller falls back to plain).
+  bool ExecuteCombined(ClientId client, int security_group,
+                       SessionState* session, const core::CombinedQuery& plan);
+
+  /// Cache lookup honouring security groups + session semantics.
+  std::optional<cache::CachedResult> CacheGet(ClientId client,
+                                              int security_group,
+                                              const std::string& bound_text);
+  void CachePut(ClientId client, int security_group, core::TemplateId tmpl,
+                const std::string& bound_text, const sql::ResultSet& result);
+
+  /// Sleeps the configured WAN latency; never called holding a lock.
+  void SimulateWan() const;
+
+  db::Database* db_;
+  ServerConfig config_;
+  std::chrono::steady_clock::time_point start_;
+  core::GraphExtractor extractor_;  // stateless after construction
+
+  mutable std::shared_mutex db_mutex_;  // readers: SELECT; writers: DML/DDL
+
+  mutable std::mutex template_mutex_;
+  cache::LruMap<std::string, sql::ParsedQuery> template_cache_;
+
+  mutable std::shared_mutex registry_mutex_;
+  core::TemplateRegistry registry_;
+
+  mutable std::mutex versions_mutex_;
+  core::SessionManager versions_;
+
+  mutable std::mutex sessions_mutex_;
+  std::unordered_map<ClientId, std::unique_ptr<SessionState>> sessions_;
+
+  ShardedCache cache_;
+
+  struct {
+    std::atomic<uint64_t> reads{0}, writes{0}, cache_hits{0},
+        cache_rejects{0}, remote_plain{0}, remote_combined{0},
+        predictions_cached{0}, prediction_hits{0}, prediction_fallbacks{0},
+        prefetches_dropped{0}, errors{0};
+  } metrics_;
+
+  // Declared last: destroyed first, so worker threads are joined before
+  // any state they touch goes away.
+  ThreadPool pool_;
+};
+
+}  // namespace chrono::runtime
+
+#endif  // CHRONOCACHE_RUNTIME_SERVER_H_

@@ -1,0 +1,129 @@
+#include "runtime/sharded_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace chrono::runtime {
+
+ShardedCache::ShardedCache(size_t capacity_bytes, size_t shards) {
+  size_t n = std::max<size_t>(shards, 1);
+  // Split the budget evenly; distribute the remainder so the shard sum is
+  // exactly the requested capacity (the byte-accounting tests check this).
+  size_t base = capacity_bytes / n;
+  size_t extra = capacity_bytes % n;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(base + (i < extra ? 1 : 0)));
+  }
+}
+
+size_t ShardedCache::ShardIndex(const std::string& key) const {
+  return std::hash<std::string>{}(key) % shards_.size();
+}
+
+std::optional<cache::CachedResult> ShardedCache::Get(const std::string& key) {
+  Shard& shard = *shards_[ShardIndex(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const cache::CachedResult* hit = shard.cache.Get(key);
+  if (hit == nullptr) return std::nullopt;
+  return *hit;
+}
+
+std::optional<cache::CachedResult> ShardedCache::Peek(
+    const std::string& key) const {
+  const Shard& shard = *shards_[ShardIndex(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const cache::CachedResult* hit = shard.cache.Peek(key);
+  if (hit == nullptr) return std::nullopt;
+  return *hit;
+}
+
+bool ShardedCache::Contains(const std::string& key) const {
+  const Shard& shard = *shards_[ShardIndex(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.cache.Contains(key);
+}
+
+void ShardedCache::Put(const std::string& key, cache::CachedResult value) {
+  Shard& shard = *shards_[ShardIndex(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.cache.Put(key, std::move(value));
+}
+
+bool ShardedCache::Invalidate(const std::string& key) {
+  Shard& shard = *shards_[ShardIndex(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.cache.Erase(key);
+}
+
+void ShardedCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->cache.Clear();
+  }
+}
+
+size_t ShardedCache::entry_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->cache.entry_count();
+  }
+  return total;
+}
+
+size_t ShardedCache::used_bytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->cache.used_bytes();
+  }
+  return total;
+}
+
+size_t ShardedCache::capacity_bytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->cache.capacity_bytes();
+  }
+  return total;
+}
+
+uint64_t ShardedCache::hits() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->cache.hits();
+  }
+  return total;
+}
+
+uint64_t ShardedCache::misses() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->cache.misses();
+  }
+  return total;
+}
+
+uint64_t ShardedCache::evictions() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->cache.evictions();
+  }
+  return total;
+}
+
+size_t ShardedCache::ShardEntryCount(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+  return shards_[shard]->cache.entry_count();
+}
+
+size_t ShardedCache::ShardUsedBytes(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+  return shards_[shard]->cache.used_bytes();
+}
+
+}  // namespace chrono::runtime

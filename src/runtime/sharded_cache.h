@@ -1,0 +1,84 @@
+#ifndef CHRONOCACHE_RUNTIME_SHARDED_CACHE_H_
+#define CHRONOCACHE_RUNTIME_SHARDED_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/lru_cache.h"
+
+namespace chrono::runtime {
+
+/// \brief Lock-striped result cache for the concurrent serving runtime:
+/// N independent `cache::LruCache` shards, each with its own mutex and an
+/// equal slice of the byte budget. hash(key) picks the shard, so threads
+/// touching different keys almost never contend, and LRU recency/eviction
+/// stay shard-local (approximate global LRU — the standard Memcached-style
+/// trade).
+///
+/// The surface mirrors LruCache's Get/Peek/Put/Erase, with one difference
+/// forced by concurrency: lookups return a *copy* of the entry
+/// (`std::optional<CachedResult>`), because a pointer into a shard would
+/// dangle the moment another thread evicts the entry after we drop the
+/// shard lock.
+///
+/// Lock order: shard mutexes are leaf locks — no callback or other lock
+/// is ever taken while one is held, and at most one shard is locked at a
+/// time (aggregate accessors visit shards sequentially).
+class ShardedCache {
+ public:
+  /// `capacity_bytes` is the total budget, split evenly; `shards` is
+  /// rounded up to at least 1.
+  ShardedCache(size_t capacity_bytes, size_t shards);
+
+  /// Copying lookup; refreshes LRU recency and hit/miss counters in the
+  /// owning shard. nullopt on miss.
+  std::optional<cache::CachedResult> Get(const std::string& key);
+
+  /// Side-effect-free copying lookup: no recency update, no accounting.
+  std::optional<cache::CachedResult> Peek(const std::string& key) const;
+
+  bool Contains(const std::string& key) const;
+
+  /// Inserts or replaces; evicts within the owning shard to fit.
+  void Put(const std::string& key, cache::CachedResult value);
+
+  /// Removes an entry if present; returns whether it existed.
+  bool Invalidate(const std::string& key);
+  bool Erase(const std::string& key) { return Invalidate(key); }
+
+  void Clear();
+
+  // Aggregates across shards. Each shard is locked in turn, so under
+  // concurrent mutation the totals are per-shard-consistent snapshots.
+  size_t entry_count() const;
+  size_t used_bytes() const;
+  size_t capacity_bytes() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+  size_t shard_count() const { return shards_.size(); }
+  /// Which shard `key` maps to (tests pin keys to shards with this).
+  size_t ShardIndex(const std::string& key) const;
+  /// Entry count of one shard (byte-accounting tests).
+  size_t ShardEntryCount(size_t shard) const;
+  size_t ShardUsedBytes(size_t shard) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    cache::LruCache cache;
+    explicit Shard(size_t bytes) : cache(bytes) {}
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace chrono::runtime
+
+#endif  // CHRONOCACHE_RUNTIME_SHARDED_CACHE_H_

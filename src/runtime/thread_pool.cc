@@ -1,0 +1,86 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+
+namespace chrono::runtime {
+
+ThreadPool::ThreadPool(int workers, size_t queue_capacity)
+    : capacity_(std::max<size_t>(queue_capacity, 1)) {
+  int n = std::max(workers, 1);
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock,
+                 [this] { return shutdown_ || queue_.size() < capacity_; });
+  if (shutdown_) return false;
+  queue_.push_back(std::move(task));
+  peak_depth_ = std::max(peak_depth_, queue_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(task));
+    peak_depth_ = std::max(peak_depth_, queue_.size());
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  // join_mutex_ serialises concurrent Shutdown callers: only one may join
+  // a given thread; later callers see it unjoinable and skip.
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+size_t ThreadPool::peak_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_depth_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    try {
+      task();
+    } catch (...) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace chrono::runtime

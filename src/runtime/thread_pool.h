@@ -1,0 +1,80 @@
+#ifndef CHRONOCACHE_RUNTIME_THREAD_POOL_H_
+#define CHRONOCACHE_RUNTIME_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chrono::runtime {
+
+/// \brief Fixed-size worker pool over a bounded MPMC task queue — the
+/// wall-clock counterpart of the simulator's `Resource` middleware pool.
+/// Producers block when the queue is full (closed-loop backpressure, the
+/// same discipline serve_bench's clients run under); workers drain tasks
+/// until Shutdown(). Tasks that throw are swallowed and counted — one bad
+/// query must never take a serving thread down.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (minimum 1). `queue_capacity` bounds the
+  /// number of queued-but-not-yet-running tasks.
+  explicit ThreadPool(int workers, size_t queue_capacity = 1024);
+
+  /// Drains and joins. Equivalent to Shutdown().
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task, blocking while the queue is full. Returns false —
+  /// without running or retaining the task — if the pool is shut down
+  /// (before or while waiting for space).
+  bool Submit(std::function<void()> task);
+
+  /// Non-blocking enqueue: false if the queue is full or shut down.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Stops accepting tasks, lets workers finish everything already
+  /// queued, and joins them. Idempotent; safe to call concurrently with
+  /// Submit (submitters past the shutdown point get `false`).
+  void Shutdown();
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Tasks currently queued (not yet picked up by a worker).
+  size_t queue_depth() const;
+  /// High-water mark of queue_depth over the pool's lifetime.
+  size_t peak_queue_depth() const;
+  /// Tasks that finished running (including ones that threw).
+  uint64_t tasks_executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  /// Tasks that exited via an exception (caught and discarded).
+  uint64_t tasks_failed() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::mutex join_mutex_;
+  std::condition_variable not_empty_;  // workers wait here
+  std::condition_variable not_full_;   // producers wait here
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  size_t peak_depth_ = 0;
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace chrono::runtime
+
+#endif  // CHRONOCACHE_RUNTIME_THREAD_POOL_H_

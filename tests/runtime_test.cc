@@ -1,0 +1,331 @@
+// Unit tests for the concurrent serving runtime: thread pool lifecycle
+// and exception safety, sharded-cache byte accounting, and ChronoServer
+// correctness against direct database execution.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+#include "runtime/server.h"
+#include "runtime/sharded_cache.h"
+#include "runtime/thread_pool.h"
+#include "sql/result_set.h"
+#include "sql/value.h"
+
+namespace chrono::runtime {
+namespace {
+
+using sql::ResultSet;
+using sql::Value;
+
+// ---- ThreadPool ---------------------------------------------------------
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&count] { ++count; }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.tasks_executed(), 100u);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  // One worker, many tasks: Shutdown must let everything already queued
+  // finish (graceful drain, not abandonment).
+  ThreadPool pool(1, /*queue_capacity=*/256);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(pool.Submit([&count] {
+      std::this_thread::sleep_for(std::chrono::microseconds(10));
+      ++count;
+    }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  ASSERT_TRUE(pool.Submit([] {}));
+  pool.Shutdown();
+  pool.Shutdown();  // second call must be a harmless no-op
+  EXPECT_EQ(pool.tasks_executed(), 1u);
+}
+
+TEST(ThreadPool, TaskExceptionsDoNotKillWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pool.Submit([] { throw std::runtime_error("boom"); }));
+    ASSERT_TRUE(pool.Submit([&count] { ++count; }));
+  }
+  pool.Shutdown();
+  // Every well-behaved task still ran; every throwing task was counted.
+  EXPECT_EQ(count.load(), 10);
+  EXPECT_EQ(pool.tasks_failed(), 10u);
+  EXPECT_EQ(pool.tasks_executed(), 20u);
+}
+
+TEST(ThreadPool, TrySubmitRejectsWhenFull) {
+  // No workers can make progress while the first task blocks, so a
+  // capacity-1 queue must reject a second TrySubmit.
+  ThreadPool pool(1, /*queue_capacity=*/1);
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(pool.Submit([&release] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }));
+  // Give the worker a moment to dequeue the blocker, then fill the queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(pool.TrySubmit([] {}));
+  bool third = pool.TrySubmit([] {});
+  EXPECT_FALSE(third);
+  release.store(true);
+  pool.Shutdown();
+}
+
+TEST(ThreadPool, TracksQueueDepth) {
+  ThreadPool pool(1, /*queue_capacity=*/64);
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(pool.Submit([&release] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(pool.Submit([] {}));
+  EXPECT_GE(pool.queue_depth(), 5u);
+  EXPECT_GE(pool.peak_queue_depth(), 5u);
+  release.store(true);
+  pool.Shutdown();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+// ---- ShardedCache -------------------------------------------------------
+
+cache::CachedResult MakeEntry(int rows = 1) {
+  cache::CachedResult entry;
+  entry.result = ResultSet({"a"});
+  for (int i = 0; i < rows; ++i) entry.result.AddRow({Value::Int(i)});
+  entry.version = {{0, 1}};
+  return entry;
+}
+
+TEST(ShardedCache, PutGetRoundTrip) {
+  ShardedCache cache(1 << 20, 8);
+  cache.Put("k", MakeEntry(3));
+  auto hit = cache.Get("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->result.row_count(), 3u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_FALSE(cache.Get("missing").has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ShardedCache, CapacitySplitsExactlyAcrossShards) {
+  ShardedCache cache(1000, 3);  // 1000 = 334 + 333 + 333
+  EXPECT_EQ(cache.shard_count(), 3u);
+  EXPECT_EQ(cache.capacity_bytes(), 1000u);
+}
+
+TEST(ShardedCache, ByteAccountingAcrossShards) {
+  ShardedCache cache(4 << 20, 8);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 64; ++i) keys.push_back("key" + std::to_string(i));
+  for (const auto& k : keys) cache.Put(k, MakeEntry(4));
+
+  // Total bytes/entries must equal the sum over shards.
+  size_t entry_sum = 0, byte_sum = 0;
+  for (size_t s = 0; s < cache.shard_count(); ++s) {
+    entry_sum += cache.ShardEntryCount(s);
+    byte_sum += cache.ShardUsedBytes(s);
+  }
+  EXPECT_EQ(cache.entry_count(), 64u);
+  EXPECT_EQ(entry_sum, 64u);
+  EXPECT_EQ(cache.used_bytes(), byte_sum);
+  EXPECT_GT(byte_sum, 0u);
+
+  // Erasing releases the owning shard's bytes.
+  size_t before = cache.used_bytes();
+  ASSERT_TRUE(cache.Invalidate(keys[0]));
+  EXPECT_LT(cache.used_bytes(), before);
+  EXPECT_EQ(cache.entry_count(), 63u);
+  EXPECT_FALSE(cache.Invalidate(keys[0]));
+}
+
+TEST(ShardedCache, EvictionIsShardLocal) {
+  // A tiny budget forces evictions within whichever shard receives the
+  // keys; the global invariant is used_bytes <= capacity_bytes per shard,
+  // hence also in aggregate.
+  ShardedCache cache(8 * 1024, 4);
+  for (int i = 0; i < 512; ++i) {
+    cache.Put("key" + std::to_string(i), MakeEntry(8));
+  }
+  EXPECT_LE(cache.used_bytes(), cache.capacity_bytes());
+  EXPECT_GT(cache.evictions(), 0u);
+  for (size_t s = 0; s < cache.shard_count(); ++s) {
+    EXPECT_LE(cache.ShardUsedBytes(s), (8 * 1024) / 4 + 1);
+  }
+}
+
+TEST(ShardedCache, SameKeyAlwaysSameShard) {
+  ShardedCache cache(1 << 20, 16);
+  for (int i = 0; i < 32; ++i) {
+    std::string key = "stable" + std::to_string(i);
+    size_t first = cache.ShardIndex(key);
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(cache.ShardIndex(key), first);
+  }
+}
+
+TEST(ShardedCache, PeekDoesNotPerturb) {
+  ShardedCache cache(1 << 20, 4);
+  cache.Put("k", MakeEntry());
+  uint64_t hits_before = cache.hits();
+  EXPECT_TRUE(cache.Peek("k").has_value());
+  EXPECT_FALSE(cache.Peek("missing").has_value());
+  EXPECT_EQ(cache.hits(), hits_before);
+}
+
+// ---- ChronoServer -------------------------------------------------------
+
+class ChronoServerTest : public ::testing::Test {
+ protected:
+  ChronoServerTest() {
+    auto setup = [&](const std::string& sql) {
+      auto r = db_.ExecuteText(sql);
+      EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+    };
+    setup("CREATE TABLE t (id INT, v TEXT)");
+    for (int i = 0; i < 50; ++i) {
+      setup("INSERT INTO t (id, v) VALUES (" + std::to_string(i) + ", 'v" +
+            std::to_string(i) + "')");
+    }
+  }
+
+  db::Database db_;
+};
+
+TEST_F(ChronoServerTest, ServesReadsAndMatchesDirectExecution) {
+  ServerConfig config;
+  config.workers = 2;
+  ChronoServer server(&db_, config);
+  for (int i = 0; i < 10; ++i) {
+    std::string sql = "SELECT v FROM t WHERE id = " + std::to_string(i);
+    auto via_server = server.Submit(1, sql).get();
+    auto direct = db_.ExecuteText(sql);
+    ASSERT_TRUE(via_server.ok()) << via_server.status().ToString();
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(*via_server, direct->result) << sql;
+  }
+  EXPECT_EQ(server.metrics().reads, 10u);
+}
+
+TEST_F(ChronoServerTest, RepeatedReadsHitTheCache) {
+  ServerConfig config;
+  config.workers = 2;
+  ChronoServer server(&db_, config);
+  std::string sql = "SELECT v FROM t WHERE id = 7";
+  ASSERT_TRUE(server.Submit(1, sql).get().ok());
+  ASSERT_TRUE(server.Submit(1, sql).get().ok());
+  ASSERT_TRUE(server.Submit(2, sql).get().ok());  // shared across clients
+  auto m = server.metrics();
+  EXPECT_EQ(m.reads, 3u);
+  EXPECT_EQ(m.cache_hits, 2u);
+  EXPECT_EQ(m.remote_plain, 1u);
+}
+
+TEST_F(ChronoServerTest, WritesInvalidateViaSessionVersions) {
+  ServerConfig config;
+  config.workers = 2;
+  ChronoServer server(&db_, config);
+  std::string read = "SELECT v FROM t WHERE id = 3";
+  ASSERT_TRUE(server.Submit(1, read).get().ok());
+
+  auto updated =
+      server.Submit(1, "UPDATE t SET v = 'changed' WHERE id = 3").get();
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+
+  // The writer observed its own write (Vc absorbed the bump), so the stale
+  // cached entry is rejected and re-fetched fresh.
+  auto after = server.Submit(1, read).get();
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->row_count(), 1u);
+  EXPECT_EQ(after->At(0, "v").AsString(), "changed");
+  EXPECT_GE(server.metrics().cache_rejects, 1u);
+}
+
+TEST_F(ChronoServerTest, SecurityGroupsDoNotShareResults) {
+  ServerConfig config;
+  config.workers = 2;
+  ChronoServer server(&db_, config);
+  std::string sql = "SELECT v FROM t WHERE id = 5";
+  ASSERT_TRUE(server.Submit(1, sql, /*security_group=*/0).get().ok());
+  ASSERT_TRUE(server.Submit(2, sql, /*security_group=*/1).get().ok());
+  auto m = server.metrics();
+  EXPECT_EQ(m.cache_hits, 0u);
+  EXPECT_GE(m.cache_rejects, 1u);
+}
+
+TEST_F(ChronoServerTest, ParseErrorsSurfaceAsStatuses) {
+  ServerConfig config;
+  config.workers = 2;
+  ChronoServer server(&db_, config);
+  auto result = server.Submit(1, "SELECT FROM WHERE").get();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(server.metrics().errors, 1u);
+}
+
+TEST_F(ChronoServerTest, SubmitAfterShutdownReturnsError) {
+  ServerConfig config;
+  config.workers = 2;
+  ChronoServer server(&db_, config);
+  server.Shutdown();
+  auto result = server.Submit(1, "SELECT v FROM t WHERE id = 1").get();
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ChronoServerTest, LearnsAndPrefetchesDependentQueries) {
+  ServerConfig config;
+  config.workers = 2;
+  config.extract_every = 2;
+  ChronoServer server(&db_, config);
+  // Train a dependency: the id read from `t` drives a follow-up lookup.
+  // Same pattern the simulator learns from (SELECT a -> SELECT using a's
+  // result value).
+  for (int round = 0; round < 12; ++round) {
+    int id = round % 4;
+    auto first =
+        server
+            .Submit(1, "SELECT id FROM t WHERE id = " + std::to_string(id))
+            .get();
+    ASSERT_TRUE(first.ok());
+    auto second =
+        server.Submit(1, "SELECT v FROM t WHERE id = " + std::to_string(id))
+            .get();
+    ASSERT_TRUE(second.ok());
+  }
+  auto m = server.metrics();
+  // The learned model produced at least one combined prefetch.
+  EXPECT_GT(m.remote_combined + m.predictions_cached, 0u)
+      << "combined=" << m.remote_combined
+      << " predicted=" << m.predictions_cached;
+}
+
+}  // namespace
+}  // namespace chrono::runtime

@@ -1,0 +1,314 @@
+// serve_bench — closed-loop wall-clock load generator for the concurrent
+// serving runtime (runtime::ChronoServer). K client threads hammer one
+// server with a SEATS-style point-query mix and report throughput and
+// p50/p99 latency per worker-pool size.
+//
+// Examples:
+//   serve_bench --workers 4 --clients 16 --seconds 5
+//   serve_bench --sweep 1,2,4,8 --clients 16 --seconds 5 --json BENCH_serve.json
+//
+// The remote database sits a (simulated) WAN away — --db-us is slept once
+// per database round trip, outside every lock. That wait is what worker
+// threads overlap: it is the paper's deployment premise (§6 places the
+// middleware at the edge, far from the database) and it makes worker
+// scaling meaningful even on small CPU-count machines.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "db/database.h"
+#include "runtime/server.h"
+#include "workloads/seats.h"
+#include "workloads/workload.h"
+
+using namespace chrono;
+
+namespace {
+
+struct BenchOptions {
+  std::vector<int> worker_counts = {4};
+  int clients = 16;
+  double seconds = 5.0;
+  size_t shards = 16;
+  size_t cache_mb = 64;
+  uint64_t db_latency_us = 1000;
+  int write_pct = 10;   // SEATS booking-style update share
+  int hot_pct = 80;     // share of keys drawn from the hot set
+  int hot_keys_pct = 10;  // hot-set size as % of the keyspace
+  uint64_t seed = 1;
+  int64_t customers = 2000;
+  int64_t flights = 2000;
+  std::string json_path;
+};
+
+struct RunResult {
+  int workers = 0;
+  uint64_t ops = 0;
+  double elapsed_s = 0;
+  double throughput = 0;  // ops/s
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double mean_ms = 0;
+  runtime::ServerMetrics metrics;
+};
+
+void Usage() {
+  std::printf(
+      "serve_bench — wall-clock load harness for the concurrent runtime\n\n"
+      "  --workers N       server worker threads (default 4)\n"
+      "  --sweep LIST      comma-separated worker counts, one run each\n"
+      "  --clients K       closed-loop client threads (default 16)\n"
+      "  --seconds S       measurement window per run (default 5)\n"
+      "  --shards N        result-cache lock stripes (default 16)\n"
+      "  --cache-mb N      result-cache budget (default 64)\n"
+      "  --db-us N         simulated WAN+DB round trip in µs (default 1000)\n"
+      "  --write-pct N     UPDATE share of the mix (default 10)\n"
+      "  --hot-pct N       requests hitting the hot key set (default 80)\n"
+      "  --customers N / --flights N   SEATS scale (default 2000/2000)\n"
+      "  --seed N          base RNG seed (default 1)\n"
+      "  --json FILE       write results as JSON\n");
+}
+
+int64_t PickKey(Rng* rng, const BenchOptions& opt, int64_t keyspace) {
+  int64_t hot = std::max<int64_t>(1, keyspace * opt.hot_keys_pct / 100);
+  if (rng->NextInt(0, 99) < opt.hot_pct) return rng->NextInt(0, hot - 1);
+  return rng->NextInt(0, keyspace - 1);
+}
+
+/// One closed-loop client: issues SEATS-style point queries (the customer
+/// / flight / availability / airline lookups the workload's transactions
+/// are built from) plus a booking-style availability update.
+std::string NextQuery(Rng* rng, const BenchOptions& opt) {
+  int roll = static_cast<int>(rng->NextInt(0, 99));
+  if (roll < opt.write_pct) {
+    int64_t f = PickKey(rng, opt, opt.flights);
+    return "UPDATE flight_avail SET fa_seats_left = fa_seats_left - 1 "
+           "WHERE fa_f_id = " +
+           std::to_string(f);
+  }
+  roll -= opt.write_pct;
+  int reads_span = 100 - opt.write_pct;
+  // Split the read share 40/30/20/10 across the four point lookups.
+  if (roll < reads_span * 40 / 100) {
+    int64_t c = PickKey(rng, opt, opt.customers);
+    return "SELECT c_id, c_balance FROM customer WHERE c_id = " +
+           std::to_string(c);
+  }
+  if (roll < reads_span * 70 / 100) {
+    int64_t f = PickKey(rng, opt, opt.flights);
+    return "SELECT f_id, f_al_id, f_depart_ap, f_arrive_ap FROM flight "
+           "WHERE f_id = " +
+           std::to_string(f);
+  }
+  if (roll < reads_span * 90 / 100) {
+    int64_t f = PickKey(rng, opt, opt.flights);
+    return "SELECT fa_seats_left FROM flight_avail WHERE fa_f_id = " +
+           std::to_string(f);
+  }
+  int64_t al = PickKey(rng, opt, 50);
+  return "SELECT al_name FROM airline WHERE al_id = " + std::to_string(al);
+}
+
+RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
+  runtime::ServerConfig config;
+  config.workers = workers;
+  config.cache_shards = opt.shards;
+  config.cache_bytes = opt.cache_mb << 20;
+  config.db_latency_us = opt.db_latency_us;
+  runtime::ChronoServer server(db, config);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_ops{0};
+  // SampleStats external-locking contract: one private instance per
+  // client thread, merged after the threads are joined.
+  std::vector<SampleStats> per_client(static_cast<size_t>(opt.clients));
+
+  auto started = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(opt.clients));
+  for (int c = 0; c < opt.clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(opt.seed + 1000 * static_cast<uint64_t>(workers) +
+              static_cast<uint64_t>(c));
+      SampleStats& lat = per_client[static_cast<size_t>(c)];
+      uint64_t ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::string sql = NextQuery(&rng, opt);
+        auto t0 = std::chrono::steady_clock::now();
+        auto result = server.Submit(c, std::move(sql)).get();
+        auto t1 = std::chrono::steady_clock::now();
+        if (result.ok()) {
+          lat.Add(std::chrono::duration<double, std::milli>(t1 - t0).count());
+          ++ops;
+        }
+      }
+      total_ops.fetch_add(ops, std::memory_order_relaxed);
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(opt.seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : clients) t.join();
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - started)
+                       .count();
+
+  SampleStats all;
+  for (const SampleStats& s : per_client) all.Merge(s);
+
+  RunResult out;
+  out.workers = workers;
+  out.ops = total_ops.load();
+  out.elapsed_s = elapsed;
+  out.throughput = elapsed > 0 ? static_cast<double>(out.ops) / elapsed : 0;
+  out.p50_ms = all.empty() ? 0 : all.Percentile(0.5);
+  out.p99_ms = all.empty() ? 0 : all.Percentile(0.99);
+  out.mean_ms = all.empty() ? 0 : all.Mean();
+  out.metrics = server.metrics();
+  server.Shutdown();
+  return out;
+}
+
+void WriteJson(const BenchOptions& opt, const std::vector<RunResult>& runs) {
+  FILE* f = std::fopen(opt.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"serve_bench\",\n"
+               "  \"workload\": \"seats-point-mix\",\n"
+               "  \"clients\": %d,\n"
+               "  \"seconds\": %.1f,\n"
+               "  \"db_latency_us\": %llu,\n"
+               "  \"write_pct\": %d,\n"
+               "  \"cache_mb\": %zu,\n"
+               "  \"shards\": %zu,\n"
+               "  \"runs\": [\n",
+               opt.clients, opt.seconds,
+               static_cast<unsigned long long>(opt.db_latency_us),
+               opt.write_pct, opt.cache_mb, opt.shards);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::fprintf(
+        f,
+        "    {\"workers\": %d, \"ops\": %llu, \"throughput_qps\": %.1f, "
+        "\"mean_ms\": %.3f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"cache_hit_rate\": %.4f, \"remote_plain\": %llu, "
+        "\"remote_combined\": %llu, \"predictions_cached\": %llu}%s\n",
+        r.workers, static_cast<unsigned long long>(r.ops), r.throughput,
+        r.mean_ms, r.p50_ms, r.p99_ms, r.metrics.CacheHitRate(),
+        static_cast<unsigned long long>(r.metrics.remote_plain),
+        static_cast<unsigned long long>(r.metrics.remote_combined),
+        static_cast<unsigned long long>(r.metrics.predictions_cached),
+        i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", opt.json_path.c_str());
+}
+
+std::vector<int> ParseSweep(const std::string& list) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    out.push_back(std::atoi(list.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg == "--workers") {
+      opt.worker_counts = {std::atoi(next().c_str())};
+    } else if (arg == "--sweep") {
+      opt.worker_counts = ParseSweep(next());
+    } else if (arg == "--clients") {
+      opt.clients = std::atoi(next().c_str());
+    } else if (arg == "--seconds") {
+      opt.seconds = std::atof(next().c_str());
+    } else if (arg == "--shards") {
+      opt.shards = static_cast<size_t>(std::atoi(next().c_str()));
+    } else if (arg == "--cache-mb") {
+      opt.cache_mb = static_cast<size_t>(std::atoi(next().c_str()));
+    } else if (arg == "--db-us") {
+      opt.db_latency_us = static_cast<uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--write-pct") {
+      opt.write_pct = std::atoi(next().c_str());
+    } else if (arg == "--hot-pct") {
+      opt.hot_pct = std::atoi(next().c_str());
+    } else if (arg == "--customers") {
+      opt.customers = std::atoll(next().c_str());
+    } else if (arg == "--flights") {
+      opt.flights = std::atoll(next().c_str());
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--json") {
+      opt.json_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
+  std::printf("Populating SEATS (%lld customers, %lld flights)...\n",
+              static_cast<long long>(opt.customers),
+              static_cast<long long>(opt.flights));
+  db::Database db;
+  workloads::SeatsWorkload::Config seats_config;
+  seats_config.customers = opt.customers;
+  seats_config.flights = opt.flights;
+  workloads::SeatsWorkload seats(seats_config);
+  seats.Populate(&db);
+
+  std::vector<RunResult> runs;
+  for (int workers : opt.worker_counts) {
+    RunResult r = RunOnce(&db, opt, workers);
+    runs.push_back(r);
+    std::printf(
+        "workers=%d  clients=%d  %.1f qps  mean %.2f ms  p50 %.2f ms  "
+        "p99 %.2f ms  hit-rate %.1f%%  (plain %llu, combined %llu, "
+        "predicted %llu, errors %llu)\n",
+        r.workers, opt.clients, r.throughput, r.mean_ms, r.p50_ms, r.p99_ms,
+        100.0 * r.metrics.CacheHitRate(),
+        static_cast<unsigned long long>(r.metrics.remote_plain),
+        static_cast<unsigned long long>(r.metrics.remote_combined),
+        static_cast<unsigned long long>(r.metrics.predictions_cached),
+        static_cast<unsigned long long>(r.metrics.errors));
+  }
+
+  if (runs.size() > 1) {
+    double base = runs.front().throughput;
+    for (const RunResult& r : runs) {
+      std::printf("scaling %d -> %dx workers: %.2fx\n", runs.front().workers,
+                  r.workers, base > 0 ? r.throughput / base : 0);
+    }
+  }
+  if (!opt.json_path.empty()) WriteJson(opt, runs);
+  return 0;
+}
