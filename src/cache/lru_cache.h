@@ -24,6 +24,14 @@ struct CachedResult {
   VersionVector version;
   int security_group = 0;
   int node_id = 0;
+
+  // Prefetch provenance for hit attribution (observability layer): the
+  // combined-plan id that installed this entry ahead of demand and the
+  // transition-graph edge source template that predicted it. Both zero
+  // for demand-filled entries; prefetch_src stays zero when the entry's
+  // template was a root (text-dependency) node of the plan.
+  uint64_t prefetch_plan = 0;
+  uint64_t prefetch_src = 0;
 };
 
 /// \brief Byte-accounted LRU key-value store standing in for Memcached:

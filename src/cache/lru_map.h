@@ -1,7 +1,9 @@
 #ifndef CHRONOCACHE_CACHE_LRU_MAP_H_
 #define CHRONOCACHE_CACHE_LRU_MAP_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <list>
 #include <unordered_map>
@@ -53,7 +55,7 @@ class LruMap {
     if (map_.size() >= capacity_) {
       map_.erase(entries_.back().first);
       entries_.pop_back();
-      ++evictions_;
+      evictions_.fetch_add(1, std::memory_order_relaxed);
     }
     entries_.emplace_front(std::move(key), std::move(value));
     map_.emplace(entries_.front().first, entries_.begin());
@@ -68,7 +70,11 @@ class LruMap {
   size_t size() const { return map_.size(); }
   size_t capacity() const { return capacity_; }
   const CacheCounters& counters() const { return counters_; }
-  uint64_t evictions() const { return evictions_; }
+  /// Relaxed-atomic read: safe for metric callbacks that race with a
+  /// writer holding the map's external lock (same contract as counters()).
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
  private:
   using Entry = std::pair<K, V>;
@@ -76,7 +82,7 @@ class LruMap {
   std::list<Entry> entries_;  // front = most recent
   std::unordered_map<K, typename std::list<Entry>::iterator, Hash, Eq> map_;
   CacheCounters counters_;
-  uint64_t evictions_ = 0;
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace chrono::cache

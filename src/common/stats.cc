@@ -44,13 +44,15 @@ double SampleStats::Max() const {
 
 double SampleStats::Percentile(double q) const {
   if (samples_.empty()) return 0;
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  double pos = q * static_cast<double>(sorted.size() - 1);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  double pos = q * static_cast<double>(samples_.size() - 1);
   size_t lo = static_cast<size_t>(pos);
-  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
   double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+  return samples_[lo] * (1 - frac) + samples_[hi] * frac;
 }
 
 double SampleStats::ConfidenceInterval95() const {

@@ -150,6 +150,93 @@ Middleware::Middleware(EventQueue* events, RemoteDbServer* remote,
           config.tau, config.min_occurrences, config.enable_loops,
           config.enable_loop_constants, /*max_nodes=*/8}) {}
 
+Middleware::~Middleware() {
+  if (metrics_registry_ != nullptr) {
+    metrics_registry_->UnregisterCallbacksOwnedBy(this);
+  }
+}
+
+void Middleware::RegisterMetrics(obs::MetricsRegistry* registry) {
+  metrics_registry_ = registry;
+  const void* owner = this;
+  // Counters mirroring MiddlewareMetrics, under the same names the
+  // wall-clock ChronoServer exports so dashboards work on either.
+  auto mirror = [&](const char* name, const char* help,
+                    const uint64_t* field, obs::Labels labels = {}) {
+    registry->RegisterCallbackCounter(
+        name, help, std::move(labels),
+        [field] { return static_cast<double>(*field); }, owner);
+  };
+  mirror("chrono_requests_total", "Client statements served",
+         &metrics_.reads, {{"op", "read"}});
+  mirror("chrono_requests_total", "Client statements served",
+         &metrics_.writes, {{"op", "write"}});
+  mirror("chrono_cache_rejects_total",
+         "Cached results rejected by session/security checks",
+         &metrics_.cache_rejects);
+  mirror("chrono_remote_plain_total", "Plain (uncombined) remote reads",
+         &metrics_.remote_plain);
+  mirror("chrono_remote_combined_total",
+         "Combined queries sent to the database", &metrics_.remote_combined);
+  mirror("chrono_predictions_cached_total",
+         "Result sets cached ahead of demand", &metrics_.predictions_cached);
+  mirror("chrono_prediction_fallbacks_total",
+         "Combined queries that missed the asked-for result",
+         &metrics_.prediction_fallbacks);
+  mirror("chrono_redundant_skips_total",
+         "Combinations suppressed as redundant (sim only, paper 5.1)",
+         &metrics_.redundant_skips);
+  mirror("chrono_inflight_joins_total",
+         "Duplicate requests coalesced onto in-flight queries (sim only)",
+         &metrics_.inflight_joins);
+  mirror("chrono_sequential_prefetches_total",
+         "Apollo-style sequential predictions fired (sim only)",
+         &metrics_.sequential_prefetches);
+  mirror("chrono_cascaded_fires_total",
+         "Graphs fired by text-availability cascades (sim only)",
+         &metrics_.cascaded_fires);
+
+  // The two query-path caches, uniform family shared with the runtime.
+  auto cache_family = [&](const char* which, std::function<double()> hits,
+                          std::function<double()> misses,
+                          std::function<double()> evictions,
+                          std::function<double()> entries) {
+    obs::Labels labels = {{"cache", which}};
+    registry->RegisterCallbackCounter("chrono_cache_hits_total",
+                                      "Cache lookup hits by cache", labels,
+                                      std::move(hits), owner);
+    registry->RegisterCallbackCounter("chrono_cache_misses_total",
+                                      "Cache lookup misses by cache", labels,
+                                      std::move(misses), owner);
+    registry->RegisterCallbackCounter("chrono_cache_evictions_total",
+                                      "Cache evictions by cache", labels,
+                                      std::move(evictions), owner);
+    registry->RegisterCallbackGauge("chrono_cache_entries",
+                                    "Entries resident by cache", labels,
+                                    std::move(entries), owner);
+  };
+  cache_family(
+      "template",
+      [this] {
+        return static_cast<double>(
+            template_cache_.counters().hits.load(std::memory_order_relaxed));
+      },
+      [this] {
+        return static_cast<double>(
+            template_cache_.counters().misses.load(std::memory_order_relaxed));
+      },
+      [this] { return static_cast<double>(template_cache_.evictions()); },
+      [this] { return static_cast<double>(template_cache_.size()); });
+  cache_family(
+      "result", [this] { return static_cast<double>(cache_->hits()); },
+      [this] { return static_cast<double>(cache_->misses()); },
+      [this] { return static_cast<double>(cache_->evictions()); },
+      [this] { return static_cast<double>(cache_->entry_count()); });
+  registry->RegisterCallbackGauge(
+      "chrono_result_cache_bytes", "Bytes resident in the result cache", {},
+      [this] { return static_cast<double>(cache_->used_bytes()); }, owner);
+}
+
 Middleware::ClientState* Middleware::StateFor(ClientId client) {
   auto it = clients_.find(client);
   if (it == clients_.end()) {

@@ -21,6 +21,7 @@
 #include "core/transition_graph.h"
 #include "db/database.h"
 #include "net/latency_model.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "sim/resource.h"
 
@@ -156,6 +157,7 @@ class Middleware {
 
   Middleware(EventQueue* events, RemoteDbServer* remote,
              const net::LatencyModel& latency, MiddlewareConfig config);
+  ~Middleware();
 
   /// Client entry point: submit one SQL statement. `done` fires when the
   /// response reaches the client (includes all edge/WAN latency).
@@ -171,6 +173,15 @@ class Middleware {
   const CacheCounters& template_cache_counters() const {
     return template_cache_.counters();
   }
+
+  /// Registers pull-mode counters/gauges mirroring MiddlewareMetrics and
+  /// the template/result caches under the same metric names the runtime
+  /// ChronoServer uses, so the simulator and the wall-clock node export
+  /// the same shapes. The simulator is single-threaded: snapshot the
+  /// registry between simulation steps, not concurrently with them. The
+  /// registry must outlive this middleware (callbacks are unregistered in
+  /// the destructor).
+  void RegisterMetrics(obs::MetricsRegistry* registry);
 
   /// Dependency-graph count across clients (learning progress probe).
   size_t TotalGraphs() const;
@@ -280,6 +291,7 @@ class Middleware {
   std::unordered_map<std::string, std::vector<std::pair<int, DependencyGraph>>>
       deferred_seq_;
   MiddlewareMetrics metrics_;
+  obs::MetricsRegistry* metrics_registry_ = nullptr;  // null until attached
 };
 
 }  // namespace chrono::core

@@ -11,6 +11,7 @@
 #include "common/stats.h"
 #include "db/catalog.h"
 #include "db/executor.h"
+#include "obs/metrics.h"
 #include "sql/ast.h"
 
 namespace chrono::db {
@@ -50,10 +51,7 @@ class Database {
   /// has been called since the last DDL, so point lookups never trigger a
   /// lazy index build mid-read. ExecuteText/ParseCached mutate the
   /// statement cache and therefore always require exclusive access.
-  Result<ExecOutcome> Execute(const sql::Statement& stmt) {
-    statements_executed_.fetch_add(1, std::memory_order_relaxed);
-    return executor_.Execute(stmt);
-  }
+  Result<ExecOutcome> Execute(const sql::Statement& stmt);
 
   /// Eagerly builds every table's per-column hash indexes. Table::Probe
   /// builds indexes lazily on first use, which is a mutation; calling this
@@ -71,15 +69,31 @@ class Database {
     return statement_cache_.counters();
   }
   size_t statement_cache_size() const { return statement_cache_.size(); }
+  uint64_t statement_cache_evictions() const {
+    return statement_cache_.evictions();
+  }
+
+  /// Registers per-statement-kind execution-latency histograms
+  /// (`chrono_db_statement_latency_ns{kind=...}`, wall-clock nanoseconds)
+  /// with `registry` and starts timing Execute(). The registry must
+  /// outlive this database. Idempotent; call before serving traffic —
+  /// the histogram pointers are written without synchronisation.
+  void AttachMetrics(obs::MetricsRegistry* registry);
 
   static constexpr size_t kDefaultStatementCache = 1024;
 
  private:
+  static constexpr int kStatementKinds = 5;  // Statement::Kind values
+
   Catalog catalog_;
   Executor executor_;
   std::atomic<uint64_t> statements_executed_{0};
   cache::LruMap<std::string, std::shared_ptr<const sql::Statement>>
       statement_cache_;
+  // Per-kind latency histograms; null until AttachMetrics. Indexed by
+  // static_cast<int>(Statement::Kind). Read with relaxed atomics so a
+  // reader-locked Execute racing registration stays TSan-clean.
+  std::atomic<obs::Histogram*> exec_latency_[kStatementKinds] = {};
 };
 
 }  // namespace chrono::db

@@ -1,0 +1,42 @@
+#ifndef CHRONOCACHE_OBS_EXPORT_H_
+#define CHRONOCACHE_OBS_EXPORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace chrono::obs {
+
+/// Renders a registry snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP` / `# TYPE` per metric family, histograms as
+/// cumulative `_bucket{le=...}` series with an `le="+Inf"` terminal bucket
+/// plus `_sum` and `_count`. Output is deterministic for a given snapshot
+/// (families sorted by name, then label set).
+std::string ToPrometheusText(const RegistrySnapshot& snapshot);
+
+/// Renders a registry snapshot as a JSON object:
+/// {"metrics":[{"name":...,"type":...,"labels":{...},"value":...} |
+///             {..., "count":N,"sum":S,"p50":...,"buckets":[[le,c],...]}]}
+std::string ToJson(const RegistrySnapshot& snapshot);
+
+/// Renders traces (as returned by TraceRing::Snapshot, most recent first)
+/// as a JSON array of request objects with timed spans and prediction
+/// attribution.
+std::string TracesToJson(
+    const std::vector<std::shared_ptr<const RequestTrace>>& traces);
+
+/// Structural validator for the Prometheus text format, used by the golden
+/// tests and by tools/promlint (which CI runs against a live scrape).
+/// Checks: every sample belongs to a `# HELP`-ed and `# TYPE`-ed family of
+/// a known type; sample values parse as numbers; histogram families have
+/// monotonically non-decreasing cumulative buckets ending in `le="+Inf"`,
+/// and carry matching `_sum`/`_count` series.
+Status ValidatePrometheusText(const std::string& text);
+
+}  // namespace chrono::obs
+
+#endif  // CHRONOCACHE_OBS_EXPORT_H_

@@ -1,0 +1,155 @@
+#include "obs/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "obs/export.h"
+
+namespace chrono::obs {
+
+namespace {
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone; nothing useful to do
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+StatsServer::StatsServer(const MetricsRegistry* registry,
+                         const TraceRing* traces)
+    : registry_(registry), traces_(traces) {}
+
+StatsServer::~StatsServer() { Stop(); }
+
+Status StatsServer::Start(int port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::Internal("stats server already running");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("bind port " + std::to_string(port) + ": " + err);
+  }
+  if (::listen(fd, 8) < 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void StatsServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  // Unblock accept(): shutdown + close the listening socket.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (thread_.joinable()) thread_.join();
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void StatsServer::Serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      break;  // listening socket is gone
+    }
+    timeval tv{};
+    tv.tv_sec = 2;  // a scraper that sends nothing should not wedge us
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void StatsServer::HandleConnection(int fd) {
+  char buf[2048];
+  ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  // Request line: METHOD SP PATH SP VERSION.
+  std::string request(buf);
+  size_t line_end = request.find("\r\n");
+  std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                        : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    WriteAll(fd, HttpResponse(400, "Bad Request", "text/plain",
+                              "malformed request line\n"));
+    return;
+  }
+  std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  size_t query = path.find('?');
+  if (query != std::string::npos) path = path.substr(0, query);
+  if (method != "GET") {
+    WriteAll(fd, HttpResponse(405, "Method Not Allowed", "text/plain",
+                              "only GET is supported\n"));
+    return;
+  }
+
+  served_.fetch_add(1, std::memory_order_relaxed);
+  if (path == "/metrics") {
+    WriteAll(fd, HttpResponse(200, "OK",
+                              "text/plain; version=0.0.4; charset=utf-8",
+                              ToPrometheusText(registry_->Snapshot())));
+  } else if (path == "/metrics.json") {
+    WriteAll(fd, HttpResponse(200, "OK", "application/json",
+                              ToJson(registry_->Snapshot())));
+  } else if (path == "/traces") {
+    std::string body =
+        traces_ == nullptr
+            ? std::string("{\"traces\":[]}")
+            : TracesToJson(traces_->Snapshot());
+    WriteAll(fd, HttpResponse(200, "OK", "application/json", body));
+  } else {
+    WriteAll(fd, HttpResponse(404, "Not Found", "text/plain",
+                              "try /metrics, /metrics.json or /traces\n"));
+  }
+}
+
+}  // namespace chrono::obs

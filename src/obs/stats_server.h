@@ -1,0 +1,66 @@
+#ifndef CHRONOCACHE_OBS_STATS_SERVER_H_
+#define CHRONOCACHE_OBS_STATS_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace chrono::obs {
+
+/// \brief Minimal POSIX-socket HTTP/1.0 endpoint for scraping a running
+/// node: one accept thread serving requests sequentially (a scrape is a
+/// few ms of formatting; Prometheus polls on the order of seconds).
+///
+///   GET /metrics       Prometheus text exposition of the registry
+///   GET /metrics.json  JSON snapshot (same data, serve_bench --metrics-out)
+///   GET /traces        recent RequestTraces as JSON, newest first
+///
+/// Off by default everywhere; serve_bench enables it with --stats-port.
+/// The server reads the registry and ring through the same snapshot paths
+/// tests use — it takes no server locks (DESIGN.md §9), so a slow scraper
+/// can never stall the serving hot path.
+class StatsServer {
+ public:
+  /// `registry` must outlive the server; `traces` may be null (the
+  /// /traces endpoint then returns an empty list).
+  StatsServer(const MetricsRegistry* registry, const TraceRing* traces);
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
+  /// accept thread. Fails if already started or the bind fails.
+  Status Start(int port);
+
+  /// Stops the accept thread and closes the socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Actual bound port (useful with Start(0)); 0 when not running.
+  int port() const { return port_; }
+  uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  const MetricsRegistry* registry_;
+  const TraceRing* traces_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> served_{0};
+  std::thread thread_;
+};
+
+}  // namespace chrono::obs
+
+#endif  // CHRONOCACHE_OBS_STATS_SERVER_H_

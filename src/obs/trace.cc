@@ -1,0 +1,97 @@
+#include "obs/trace.h"
+
+namespace chrono::obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kAnalyze:
+      return "analyze";
+    case Stage::kCacheLookup:
+      return "cache_lookup";
+    case Stage::kLearnCombine:
+      return "learn_combine";
+    case Stage::kDbExecute:
+      return "db_execute";
+    case Stage::kSplitDecode:
+      return "split_decode";
+    case Stage::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+const char* TraceOutcomeName(TraceOutcome outcome) {
+  switch (outcome) {
+    case TraceOutcome::kCacheHit:
+      return "cache_hit";
+    case TraceOutcome::kPredictionHit:
+      return "prediction_hit";
+    case TraceOutcome::kRemotePlain:
+      return "remote_plain";
+    case TraceOutcome::kWrite:
+      return "write";
+    case TraceOutcome::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
+
+namespace {
+
+/// Holds a slot's spin latch for the enclosing scope. The critical
+/// sections are single shared_ptr swaps/copies, so spinning is bounded by
+/// nanoseconds of useful work on the other side.
+class SlotLatch {
+ public:
+  explicit SlotLatch(std::atomic<uint32_t>& latch) : latch_(latch) {
+    uint32_t expected = 0;
+    while (!latch_.compare_exchange_weak(expected, 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+      expected = 0;
+    }
+  }
+  ~SlotLatch() { latch_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<uint32_t>& latch_;
+};
+
+}  // namespace
+
+void TraceRing::Push(std::shared_ptr<const RequestTrace> trace) {
+  uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % capacity_];
+  {
+    SlotLatch held(slot.latch);
+    slot.trace.swap(trace);
+  }
+  // `trace` now holds the displaced entry; it destructs outside the latch.
+}
+
+std::vector<std::shared_ptr<const RequestTrace>> TraceRing::Snapshot() const {
+  std::vector<std::shared_ptr<const RequestTrace>> out;
+  uint64_t end = next_.load(std::memory_order_acquire);
+  uint64_t count = end < capacity_ ? end : capacity_;
+  out.reserve(count);
+  // Walk backwards from the most recently claimed slot. Slots being
+  // concurrently overwritten may briefly read empty or newer than `end`;
+  // both are fine — every pointer we do read is a complete trace.
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t seq = end - 1 - i;
+    const Slot& slot = slots_[seq % capacity_];
+    std::shared_ptr<const RequestTrace> t;
+    {
+      SlotLatch held(slot.latch);
+      t = slot.trace;
+    }
+    if (t != nullptr) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace chrono::obs

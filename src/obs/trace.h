@@ -1,0 +1,105 @@
+#ifndef CHRONOCACHE_OBS_TRACE_H_
+#define CHRONOCACHE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace chrono::obs {
+
+/// \brief The stages of the serving pipeline a request can pass through,
+/// in pipeline order. Names must stay in sync with StageName().
+enum class Stage {
+  kAnalyze = 0,      // AnalyzeQuery via the template cache
+  kCacheLookup,      // result-cache probe incl. session/security checks
+  kLearnCombine,     // model update + dependency-graph combining
+  kDbExecute,        // remote database round trip (incl. simulated WAN)
+  kSplitDecode,      // combined-result splitting + cache installs
+  kCount,
+};
+
+const char* StageName(Stage stage);
+
+/// \brief One timed span inside a request: [start_us, start_us + dur_us],
+/// microseconds relative to the request's own start.
+struct TraceSpan {
+  Stage stage = Stage::kAnalyze;
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+};
+
+/// \brief How a request was ultimately answered.
+enum class TraceOutcome {
+  kCacheHit = 0,    // answered from the result cache (see prefetch_plan)
+  kPredictionHit,   // miss rescued by an inline covering combined query
+  kRemotePlain,     // plain uncombined remote read
+  kWrite,           // DML/DDL
+  kError,           // statement returned a status
+};
+
+const char* TraceOutcomeName(TraceOutcome outcome);
+
+/// \brief One served request with timed pipeline spans and prediction
+/// attribution. Immutable once published to the ring (writers build the
+/// whole object, then swap a shared_ptr in).
+struct RequestTrace {
+  uint64_t id = 0;            // monotonic per server
+  uint64_t client = 0;
+  uint64_t tmpl = 0;          // template id of the request (0 if none)
+  std::string sql;            // bound text, truncated for the ring
+  uint64_t start_us = 0;      // server-relative request arrival
+  uint64_t total_us = 0;
+  TraceOutcome outcome = TraceOutcome::kRemotePlain;
+  std::vector<TraceSpan> spans;
+
+  // Prediction attribution (zero when the answer was demand-filled): the
+  // mined CombinedQuery plan that cached the answer ahead of time, and the
+  // transition-graph edge (prefetch_src → tmpl) that predicted it.
+  // prefetch_src == 0 with a non-zero plan means the request's template
+  // was a root (text-dependency) node of that plan.
+  uint64_t prefetch_plan = 0;
+  uint64_t prefetch_src = 0;
+};
+
+/// \brief Fixed-size ring of recent traces with no global lock: the writer
+/// claims a slot with one fetch_add, and each slot is guarded by its own
+/// one-word spin latch held only for a shared_ptr swap (a few ns), so
+/// concurrent workers on different slots never serialise and a slow
+/// /traces reader can only ever delay the one writer that wraps onto the
+/// slot it is copying. Capacity is fixed at construction; the ring keeps
+/// the most recent `capacity` traces.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity);
+
+  void Push(std::shared_ptr<const RequestTrace> trace);
+
+  /// Most-recent-first copy of the retained traces. Under concurrent
+  /// pushes the result is a per-slot-consistent snapshot (each element is
+  /// a complete trace; the set may straddle a wrap).
+  std::vector<std::shared_ptr<const RequestTrace>> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+  /// Total traces ever pushed (>= capacity once the ring has wrapped).
+  uint64_t total_pushed() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    // 0 = free, 1 = held. mutable so the const Snapshot() can latch.
+    mutable std::atomic<uint32_t> latch{0};
+    std::shared_ptr<const RequestTrace> trace;  // guarded by latch
+  };
+
+  const size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_{0};
+};
+
+}  // namespace chrono::obs
+
+#endif  // CHRONOCACHE_OBS_TRACE_H_

@@ -7,6 +7,57 @@
 
 namespace chrono::runtime {
 
+namespace {
+
+uint64_t NsBetween(std::chrono::steady_clock::time_point from,
+                   std::chrono::steady_clock::time_point to) {
+  auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(to - from);
+  return d.count() < 0 ? 0 : static_cast<uint64_t>(d.count());
+}
+
+}  // namespace
+
+/// Per-request observability context. `t0` anchors every span; spans are
+/// appended in completion order (pipeline order, since stages nest only
+/// sequentially within one request).
+struct ChronoServer::ReqCtx {
+  std::chrono::steady_clock::time_point t0;
+  uint64_t start_us = 0;
+  core::TemplateId tmpl = 0;
+  obs::TraceOutcome outcome = obs::TraceOutcome::kRemotePlain;
+  uint64_t prefetch_plan = 0;
+  uint64_t prefetch_src = 0;
+  std::vector<obs::TraceSpan> spans;
+};
+
+/// Times one pipeline stage: records wall-clock nanoseconds into the
+/// stage histogram and, when a request context is present, appends a
+/// microsecond-resolution span to its trace.
+class ChronoServer::StageTimer {
+ public:
+  StageTimer(ChronoServer* server, ReqCtx* ctx, obs::Stage stage)
+      : server_(server),
+        ctx_(ctx),
+        stage_(stage),
+        begin_(std::chrono::steady_clock::now()) {}
+
+  ~StageTimer() {
+    auto end = std::chrono::steady_clock::now();
+    uint64_t ns = NsBetween(begin_, end);
+    server_->stage_hist_[static_cast<int>(stage_)]->Record(ns);
+    if (ctx_ != nullptr) {
+      ctx_->spans.push_back({stage_, NsBetween(ctx_->t0, begin_) / 1000,
+                             ns / 1000});
+    }
+  }
+
+ private:
+  ChronoServer* server_;
+  ReqCtx* ctx_;
+  obs::Stage stage_;
+  std::chrono::steady_clock::time_point begin_;
+};
+
 ChronoServer::SessionState::SessionState(const ServerConfig& config)
     : transitions(static_cast<SimTime>(config.delta_t_us)),
       mapper(config.min_validations),
@@ -25,11 +76,251 @@ ChronoServer::ChronoServer(db::Database* db, ServerConfig config)
       pool_(config.workers, config.queue_capacity) {
   // Reader-locked execution must never trigger a lazy index build.
   db_->WarmIndexes();
+  if (config_.registry != nullptr) {
+    metrics_registry_ = config_.registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_registry_ = owned_registry_.get();
+  }
+  if (config_.trace_capacity > 0) {
+    traces_ = std::make_unique<obs::TraceRing>(config_.trace_capacity);
+  }
+  RegisterMetrics();
 }
 
-ChronoServer::~ChronoServer() { Shutdown(); }
+ChronoServer::~ChronoServer() {
+  Shutdown();
+  // An external registry may outlive us; drop every callback that
+  // captured this server's state.
+  metrics_registry_->UnregisterCallbacksOwnedBy(this);
+}
 
 void ChronoServer::Shutdown() { pool_.Shutdown(); }
+
+void ChronoServer::RegisterMetrics() {
+  obs::MetricsRegistry* r = metrics_registry_;
+  const void* owner = this;
+
+  // Stage + request latency histograms (push-mode, lock-free hot path).
+  for (int s = 0; s < static_cast<int>(obs::Stage::kCount); ++s) {
+    stage_hist_[s] = r->GetHistogram(
+        "chrono_stage_latency_ns",
+        "Serving-pipeline stage latency in wall-clock nanoseconds",
+        {{"stage", obs::StageName(static_cast<obs::Stage>(s))}});
+  }
+  request_read_hist_ = r->GetHistogram(
+      "chrono_request_latency_ns",
+      "End-to-end request latency inside the server in nanoseconds",
+      {{"op", "read"}});
+  request_write_hist_ = r->GetHistogram(
+      "chrono_request_latency_ns",
+      "End-to-end request latency inside the server in nanoseconds",
+      {{"op", "write"}});
+
+  // Pool histograms + pull-mode pool stats.
+  pool_.AttachMetrics(
+      r->GetHistogram("chrono_pool_queue_wait_ns",
+                      "Time tasks spend queued before a worker runs them"),
+      r->GetHistogram("chrono_pool_run_ns",
+                      "Time tasks spend executing on a worker"));
+  r->RegisterCallbackGauge(
+      "chrono_pool_queue_depth", "Tasks queued and not yet running", {},
+      [this] { return static_cast<double>(pool_.queue_depth()); }, owner);
+  r->RegisterCallbackGauge(
+      "chrono_pool_queue_depth_peak",
+      "High-water mark of the pool queue depth", {},
+      [this] { return static_cast<double>(pool_.peak_queue_depth()); }, owner);
+  r->RegisterCallbackCounter(
+      "chrono_pool_tasks_executed_total", "Tasks completed by the pool", {},
+      [this] { return static_cast<double>(pool_.tasks_executed()); }, owner);
+  r->RegisterCallbackCounter(
+      "chrono_pool_tasks_failed_total",
+      "Tasks that exited via an exception", {},
+      [this] { return static_cast<double>(pool_.tasks_failed()); }, owner);
+
+  // ServerMetrics mirrored as counters so dashboards see live values.
+  auto server_counter = [&](const char* name, const char* help,
+                            const std::atomic<uint64_t>* field) {
+    r->RegisterCallbackCounter(
+        name, help, {},
+        [field] {
+          return static_cast<double>(
+              field->load(std::memory_order_relaxed));
+        },
+        owner);
+  };
+  r->RegisterCallbackCounter(
+      "chrono_requests_total", "Client statements served", {{"op", "read"}},
+      [this] {
+        return static_cast<double>(
+            metrics_.reads.load(std::memory_order_relaxed));
+      },
+      owner);
+  r->RegisterCallbackCounter(
+      "chrono_requests_total", "Client statements served", {{"op", "write"}},
+      [this] {
+        return static_cast<double>(
+            metrics_.writes.load(std::memory_order_relaxed));
+      },
+      owner);
+  server_counter("chrono_cache_rejects_total",
+                 "Cached results rejected by session/security checks",
+                 &metrics_.cache_rejects);
+  server_counter("chrono_remote_plain_total",
+                 "Plain (uncombined) remote reads", &metrics_.remote_plain);
+  server_counter("chrono_remote_combined_total",
+                 "Combined queries sent to the database",
+                 &metrics_.remote_combined);
+  server_counter("chrono_predictions_cached_total",
+                 "Result sets cached ahead of demand",
+                 &metrics_.predictions_cached);
+  server_counter("chrono_prediction_inline_hits_total",
+                 "Misses rescued by an inline covering combined query",
+                 &metrics_.prediction_hits);
+  server_counter("chrono_prediction_fallbacks_total",
+                 "Inline combined queries that missed the asked-for result",
+                 &metrics_.prediction_fallbacks);
+  server_counter("chrono_prefetched_hits_total",
+                 "Cache hits served from predictively prefetched entries",
+                 &metrics_.prefetched_hits);
+  server_counter("chrono_prefetches_dropped_total",
+                 "Background prefetches rejected by a full queue",
+                 &metrics_.prefetches_dropped);
+  server_counter("chrono_errors_total", "Statements that returned a status",
+                 &metrics_.errors);
+  r->RegisterCallbackGauge(
+      "chrono_sessions", "Live client sessions", {},
+      [this] { return static_cast<double>(session_count()); }, owner);
+
+  // The three query-path caches under uniform names (satellite task):
+  // hits/misses/evictions/entries per cache, one label to tell them apart.
+  auto cache_family = [&](const char* which, std::function<double()> hits,
+                          std::function<double()> misses,
+                          std::function<double()> evictions,
+                          std::function<double()> entries) {
+    obs::Labels labels = {{"cache", which}};
+    r->RegisterCallbackCounter("chrono_cache_hits_total",
+                               "Cache lookup hits by cache", labels, hits,
+                               owner);
+    r->RegisterCallbackCounter("chrono_cache_misses_total",
+                               "Cache lookup misses by cache", labels, misses,
+                               owner);
+    r->RegisterCallbackCounter("chrono_cache_evictions_total",
+                               "Cache evictions by cache", labels, evictions,
+                               owner);
+    r->RegisterCallbackGauge("chrono_cache_entries",
+                             "Entries resident by cache", labels, entries,
+                             owner);
+  };
+  cache_family(
+      "template",
+      [this] { return static_cast<double>(template_cache_.counters().hits.load(
+                   std::memory_order_relaxed)); },
+      [this] {
+        return static_cast<double>(template_cache_.counters().misses.load(
+            std::memory_order_relaxed));
+      },
+      [this] {
+        std::lock_guard<std::mutex> lock(template_mutex_);
+        return static_cast<double>(template_cache_.evictions());
+      },
+      [this] {
+        std::lock_guard<std::mutex> lock(template_mutex_);
+        return static_cast<double>(template_cache_.size());
+      });
+  cache_family(
+      "statement",
+      [this] {
+        return static_cast<double>(db_->statement_cache_counters().hits.load(
+            std::memory_order_relaxed));
+      },
+      [this] {
+        return static_cast<double>(db_->statement_cache_counters().misses.load(
+            std::memory_order_relaxed));
+      },
+      [this] { return static_cast<double>(db_->statement_cache_evictions()); },
+      [this] {
+        std::shared_lock<std::shared_mutex> lock(db_mutex_);
+        return static_cast<double>(db_->statement_cache_size());
+      });
+  cache_family(
+      "result", [this] { return static_cast<double>(cache_.hits()); },
+      [this] { return static_cast<double>(cache_.misses()); },
+      [this] { return static_cast<double>(cache_.evictions()); },
+      [this] { return static_cast<double>(cache_.entry_count()); });
+  r->RegisterCallbackGauge(
+      "chrono_result_cache_bytes", "Bytes resident in the result cache", {},
+      [this] { return static_cast<double>(cache_.used_bytes()); }, owner);
+  r->RegisterCallbackGauge(
+      "chrono_result_cache_capacity_bytes", "Result cache byte budget", {},
+      [this] { return static_cast<double>(cache_.capacity_bytes()); }, owner);
+
+  // Per-shard occupancy/eviction gauges (shard mutexes are leaf locks, so
+  // pulling them from a snapshot callback cannot invert the lock order).
+  for (size_t i = 0; i < cache_.shard_count(); ++i) {
+    obs::Labels labels = {{"shard", std::to_string(i)}};
+    r->RegisterCallbackGauge(
+        "chrono_result_cache_shard_entries", "Entries resident per shard",
+        labels,
+        [this, i] { return static_cast<double>(cache_.ShardEntryCount(i)); },
+        owner);
+    r->RegisterCallbackGauge(
+        "chrono_result_cache_shard_bytes", "Bytes resident per shard", labels,
+        [this, i] { return static_cast<double>(cache_.ShardUsedBytes(i)); },
+        owner);
+    r->RegisterCallbackGauge(
+        "chrono_result_cache_shard_evictions", "Evictions per shard", labels,
+        [this, i] { return static_cast<double>(cache_.ShardEvictions(i)); },
+        owner);
+  }
+
+  // Database-side statement accounting + per-kind latency histograms.
+  db_->AttachMetrics(r);
+  r->RegisterCallbackCounter(
+      "chrono_db_statements_total",
+      "Statements executed by the database engine", {},
+      [this] { return static_cast<double>(db_->statements_executed()); },
+      owner);
+
+  if (traces_ != nullptr) {
+    r->RegisterCallbackCounter(
+        "chrono_traces_total", "Requests traced into the ring", {},
+        [this] { return static_cast<double>(traces_->total_pushed()); },
+        owner);
+  }
+}
+
+void ChronoServer::RecordPrefetchedHit(uint64_t src_tmpl, uint64_t dst_tmpl) {
+  metrics_.prefetched_hits.fetch_add(1, std::memory_order_relaxed);
+  std::string edge = (src_tmpl == 0 ? std::string("root")
+                                    : std::to_string(src_tmpl)) +
+                     "->" + std::to_string(dst_tmpl);
+  metrics_registry_
+      ->GetCounter("chrono_prediction_hits_total",
+                   "Cache hits attributed to the transition-graph edge that "
+                   "prefetched them (src template -> hit template)",
+                   {{"edge", std::move(edge)}})
+      ->Increment();
+}
+
+void ChronoServer::FinishRequest(ReqCtx* ctx, ClientId client, bool read_only,
+                                 const std::string& sql) {
+  uint64_t total_ns = NsBetween(ctx->t0, std::chrono::steady_clock::now());
+  (read_only ? request_read_hist_ : request_write_hist_)->Record(total_ns);
+  if (traces_ == nullptr) return;
+  auto trace = std::make_shared<obs::RequestTrace>();
+  trace->id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+  trace->client = static_cast<uint64_t>(client);
+  trace->tmpl = static_cast<uint64_t>(ctx->tmpl);
+  trace->sql = sql.substr(0, config_.trace_sql_bytes);
+  trace->start_us = ctx->start_us;
+  trace->total_us = total_ns / 1000;
+  trace->outcome = ctx->outcome;
+  trace->spans = std::move(ctx->spans);
+  trace->prefetch_plan = ctx->prefetch_plan;
+  trace->prefetch_src = ctx->prefetch_src;
+  traces_->Push(std::move(trace));
+}
 
 uint64_t ChronoServer::NowMicros() const {
   return static_cast<uint64_t>(
@@ -62,6 +353,8 @@ ServerMetrics ChronoServer::metrics() const {
   m.prediction_hits = metrics_.prediction_hits.load(std::memory_order_relaxed);
   m.prediction_fallbacks =
       metrics_.prediction_fallbacks.load(std::memory_order_relaxed);
+  m.prefetched_hits =
+      metrics_.prefetched_hits.load(std::memory_order_relaxed);
   m.prefetches_dropped =
       metrics_.prefetches_dropped.load(std::memory_order_relaxed);
   m.errors = metrics_.errors.load(std::memory_order_relaxed);
@@ -104,17 +397,36 @@ std::future<Result<sql::ResultSet>> ChronoServer::Submit(ClientId client,
 Result<sql::ResultSet> ChronoServer::Execute(ClientId client,
                                              const std::string& sql,
                                              int security_group) {
-  auto parsed = Analyze(sql);
+  ReqCtx ctx;
+  ctx.t0 = std::chrono::steady_clock::now();
+  ctx.start_us = NowMicros();
+
+  Result<sql::ParsedQuery> parsed = Status::OK();
+  {
+    StageTimer timer(this, &ctx, obs::Stage::kAnalyze);
+    parsed = Analyze(sql);
+  }
   if (!parsed.ok()) {
     metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+    ctx.outcome = obs::TraceOutcome::kError;
+    FinishRequest(&ctx, client, /*read_only=*/true, sql);
     return parsed.status();
   }
-  if (!parsed->tmpl->read_only) {
+  ctx.tmpl = parsed->tmpl->id;
+  const bool read_only = parsed->tmpl->read_only;
+
+  Result<sql::ResultSet> result = Status::OK();
+  if (!read_only) {
     metrics_.writes.fetch_add(1, std::memory_order_relaxed);
-    return DoWrite(client, *parsed);
+    ctx.outcome = obs::TraceOutcome::kWrite;
+    result = DoWrite(client, *parsed, &ctx);
+  } else {
+    metrics_.reads.fetch_add(1, std::memory_order_relaxed);
+    result = DoRead(client, security_group, *parsed, &ctx);
   }
-  metrics_.reads.fetch_add(1, std::memory_order_relaxed);
-  return DoRead(client, security_group, *parsed);
+  if (!result.ok()) ctx.outcome = obs::TraceOutcome::kError;
+  FinishRequest(&ctx, client, read_only, parsed->bound_text);
+  return result;
 }
 
 Result<sql::ParsedQuery> ChronoServer::Analyze(const std::string& sql) {
@@ -142,10 +454,12 @@ Result<sql::ParsedQuery> ChronoServer::Analyze(const std::string& sql) {
 }
 
 Result<sql::ResultSet> ChronoServer::DoWrite(ClientId client,
-                                             const sql::ParsedQuery& parsed) {
-  SimulateWan();
+                                             const sql::ParsedQuery& parsed,
+                                             ReqCtx* ctx) {
   Result<db::ExecOutcome> outcome = Status::OK();
   {
+    StageTimer timer(this, ctx, obs::Stage::kDbExecute);
+    SimulateWan();
     std::unique_lock<std::shared_mutex> lock(db_mutex_);
     // Exclusive access: ExecuteText may touch the statement cache.
     outcome = db_->ExecuteText(parsed.bound_text);
@@ -197,6 +511,7 @@ std::vector<ChronoServer::PreparedPlan> ChronoServer::LearnAndCombine(
     PreparedPlan prepared;
     prepared.plan =
         std::make_shared<core::CombinedQuery>(std::move(*combined));
+    prepared.plan_id = next_plan_id_.fetch_add(1, std::memory_order_relaxed);
     prepared.contains_current = graph->ContainsNode(tmpl);
     plans.push_back(std::move(prepared));
   }
@@ -205,11 +520,16 @@ std::vector<ChronoServer::PreparedPlan> ChronoServer::LearnAndCombine(
 
 Result<sql::ResultSet> ChronoServer::DoRead(ClientId client,
                                             int security_group,
-                                            const sql::ParsedQuery& parsed) {
+                                            const sql::ParsedQuery& parsed,
+                                            ReqCtx* ctx) {
   SessionState* session = SessionFor(client);
   const core::TemplateId tmpl = parsed.tmpl->id;
 
-  std::vector<PreparedPlan> plans = LearnAndCombine(session, client, parsed);
+  std::vector<PreparedPlan> plans;
+  {
+    StageTimer timer(this, ctx, obs::Stage::kLearnCombine);
+    plans = LearnAndCombine(session, client, parsed);
+  }
 
   auto respond = [&](const sql::ResultSet& result) {
     if (config_.enable_learning) {
@@ -227,27 +547,53 @@ Result<sql::ResultSet> ChronoServer::DoRead(ClientId client,
       primary = &p;
       continue;
     }
-    bool queued = pool_.TrySubmit(
-        [this, client, security_group, session, plan = p.plan]() {
-          ExecuteCombined(client, security_group, session, *plan);
-        });
+    bool queued = pool_.TrySubmit([this, client, security_group, session,
+                                   plan = p.plan, plan_id = p.plan_id]() {
+      ExecuteCombined(client, security_group, session, *plan, plan_id,
+                      /*ctx=*/nullptr);
+    });
     if (!queued) {
       metrics_.prefetches_dropped.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
-  if (auto hit = CacheGet(client, security_group, parsed.bound_text)) {
-    metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
-    return respond(hit->result);
+  {
+    std::optional<cache::CachedResult> hit;
+    {
+      StageTimer timer(this, ctx, obs::Stage::kCacheLookup);
+      hit = CacheGet(client, security_group, parsed.bound_text);
+    }
+    if (hit.has_value()) {
+      metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      ctx->outcome = obs::TraceOutcome::kCacheHit;
+      if (hit->prefetch_plan != 0) {
+        ctx->prefetch_plan = hit->prefetch_plan;
+        ctx->prefetch_src = hit->prefetch_src;
+        RecordPrefetchedHit(hit->prefetch_src, tmpl);
+      }
+      return respond(hit->result);
+    }
   }
 
   // Miss with a covering combined plan: execute it inline — the wall-clock
   // analogue of the simulator's "wait on the in-flight combined query".
   if (primary != nullptr &&
-      ExecuteCombined(client, security_group, session, *primary->plan)) {
-    if (auto hit = CacheGet(client, security_group, parsed.bound_text)) {
+      ExecuteCombined(client, security_group, session, *primary->plan,
+                      primary->plan_id, ctx)) {
+    std::optional<cache::CachedResult> hit;
+    {
+      StageTimer timer(this, ctx, obs::Stage::kCacheLookup);
+      hit = CacheGet(client, security_group, parsed.bound_text);
+    }
+    if (hit.has_value()) {
       metrics_.prediction_hits.fetch_add(1, std::memory_order_relaxed);
       metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      ctx->outcome = obs::TraceOutcome::kPredictionHit;
+      if (hit->prefetch_plan != 0) {
+        ctx->prefetch_plan = hit->prefetch_plan;
+        ctx->prefetch_src = hit->prefetch_src;
+        RecordPrefetchedHit(hit->prefetch_src, tmpl);
+      }
       return respond(hit->result);
     }
     metrics_.prediction_fallbacks.fetch_add(1, std::memory_order_relaxed);
@@ -256,11 +602,13 @@ Result<sql::ResultSet> ChronoServer::DoRead(ClientId client,
   // Plain remote execution: bind the template's AST (no re-parse) and run
   // it under reader access.
   metrics_.remote_plain.fetch_add(1, std::memory_order_relaxed);
+  ctx->outcome = obs::TraceOutcome::kRemotePlain;
   std::unique_ptr<sql::Statement> stmt =
       sql::BindParams(*parsed.tmpl->ast, parsed.params);
-  SimulateWan();
   Result<db::ExecOutcome> outcome = Status::OK();
   {
+    StageTimer timer(this, ctx, obs::Stage::kDbExecute);
+    SimulateWan();
     std::shared_lock<std::shared_mutex> lock(db_mutex_);
     outcome = db_->Execute(*stmt);
   }
@@ -278,16 +626,19 @@ Result<sql::ResultSet> ChronoServer::DoRead(ClientId client,
 
 bool ChronoServer::ExecuteCombined(ClientId client, int security_group,
                                    SessionState* session,
-                                   const core::CombinedQuery& plan) {
+                                   const core::CombinedQuery& plan,
+                                   uint64_t plan_id, ReqCtx* ctx) {
   metrics_.remote_combined.fetch_add(1, std::memory_order_relaxed);
-  SimulateWan();
   Result<db::ExecOutcome> outcome = Status::OK();
   {
+    StageTimer timer(this, ctx, obs::Stage::kDbExecute);
+    SimulateWan();
     std::shared_lock<std::shared_mutex> lock(db_mutex_);
     outcome = db_->Execute(*plan.ast);
   }
   if (!outcome.ok()) return false;
 
+  StageTimer split_timer(this, ctx, obs::Stage::kSplitDecode);
   Result<std::vector<core::SplitEntry>> split = Status::OK();
   {
     std::shared_lock<std::shared_mutex> lock(registry_mutex_);
@@ -295,8 +646,24 @@ bool ChronoServer::ExecuteCombined(ClientId client, int security_group,
   }
   if (!split.ok()) return false;
 
+  // Hit attribution: the transition-graph edge that prefetched a slot is
+  // (first parent slot's template -> slot template); roots keep src 0.
+  std::map<core::TemplateId, core::TemplateId> src_of;
+  for (const core::DecodeSlot& slot : plan.slots) {
+    core::TemplateId src = 0;
+    if (!slot.parents.empty()) {
+      int parent = slot.parents.front();
+      if (parent >= 0 && static_cast<size_t>(parent) < plan.slots.size()) {
+        src = plan.slots[static_cast<size_t>(parent)].tmpl;
+      }
+    }
+    src_of.emplace(slot.tmpl, src);
+  }
+
   for (const core::SplitEntry& entry : *split) {
-    CachePut(client, security_group, entry.tmpl, entry.key, entry.result);
+    auto it = src_of.find(entry.tmpl);
+    CachePut(client, security_group, entry.tmpl, entry.key, entry.result,
+             plan_id, it == src_of.end() ? 0 : it->second);
     metrics_.predictions_cached.fetch_add(1, std::memory_order_relaxed);
   }
   {
@@ -336,7 +703,8 @@ std::optional<cache::CachedResult> ChronoServer::CacheGet(
 void ChronoServer::CachePut(ClientId client, int security_group,
                             core::TemplateId tmpl,
                             const std::string& bound_text,
-                            const sql::ResultSet& result) {
+                            const sql::ResultSet& result,
+                            uint64_t prefetch_plan, uint64_t prefetch_src) {
   std::vector<std::string> reads;
   {
     std::shared_lock<std::shared_mutex> lock(registry_mutex_);
@@ -352,6 +720,8 @@ void ChronoServer::CachePut(ClientId client, int security_group,
   }
   entry.security_group = security_group;
   entry.node_id = 0;
+  entry.prefetch_plan = prefetch_plan;
+  entry.prefetch_src = static_cast<uint64_t>(prefetch_src);
   cache_.Put(CacheKey(client, bound_text), std::move(entry));
 }
 

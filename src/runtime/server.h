@@ -23,6 +23,8 @@
 #include "core/template_registry.h"
 #include "core/transition_graph.h"
 #include "db/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/sharded_cache.h"
 #include "runtime/thread_pool.h"
 #include "sql/result_set.h"
@@ -54,6 +56,16 @@ struct ServerConfig {
   /// is the paper's deployment premise — the mid-tier cache sits a WAN
   /// away from the database — and it is what worker threads overlap.
   uint64_t db_latency_us = 0;
+
+  /// External metrics registry (must outlive the server); the server owns
+  /// a private one when null, so instrumentation is always live. All
+  /// stages, the pool, the shards and the database report through this
+  /// one registry (DESIGN.md §9).
+  obs::MetricsRegistry* registry = nullptr;
+  /// Recent-request trace ring size; 0 disables per-request tracing.
+  size_t trace_capacity = 256;
+  /// Bound SQL text retained per trace (truncated beyond this).
+  size_t trace_sql_bytes = 120;
 };
 
 /// \brief Wall-clock serving metrics (relaxed atomics; Snapshot() copies).
@@ -67,6 +79,7 @@ struct ServerMetrics {
   uint64_t predictions_cached = 0;  // result sets cached ahead of time
   uint64_t prediction_hits = 0;     // misses answered by an inline combine
   uint64_t prediction_fallbacks = 0;  // combined result missed our query
+  uint64_t prefetched_hits = 0;     // cache hits on predictively cached rows
   uint64_t prefetches_dropped = 0;  // background tasks rejected (queue full)
   uint64_t errors = 0;              // statements that returned a status
 
@@ -93,7 +106,9 @@ struct ServerMetrics {
 /// locks are leaves. The database is guarded by a reader/writer lock:
 /// read-only statements execute concurrently under reader access (indexes
 /// are warmed eagerly so reads are side-effect-free), writes and DDL take
-/// the writer side. See DESIGN.md §8.
+/// the writer side. See DESIGN.md §8. Observability sits outside this
+/// order entirely: hot-path metric recording is lock-free, and the
+/// exporters only ever pull snapshots (DESIGN.md §9).
 class ChronoServer {
  public:
   /// `db` must outlive the server. The server warms the database's
@@ -130,6 +145,12 @@ class ChronoServer {
   }
   size_t session_count() const;
 
+  /// The metrics registry every layer of this node reports through
+  /// (external when ServerConfig::registry was set, otherwise owned).
+  obs::MetricsRegistry* registry() const { return metrics_registry_; }
+  /// Recent-request traces; null when trace_capacity was 0.
+  const obs::TraceRing* traces() const { return traces_.get(); }
+
  private:
   /// Per-session serving state: the paper's per-client learned models plus
   /// anything else a single client's request stream mutates. One mutex per
@@ -150,8 +171,15 @@ class ChronoServer {
   /// was mined from (results feed back into that session's mapper).
   struct PreparedPlan {
     std::shared_ptr<core::CombinedQuery> plan;
+    uint64_t plan_id = 0;           // registry for hit attribution
     bool contains_current = false;  // covers the query being served
   };
+
+  /// Per-request observability context, stack-allocated in Execute():
+  /// accumulates timed pipeline spans and the outcome/attribution that
+  /// become a RequestTrace. Never crosses a thread.
+  struct ReqCtx;
+  class StageTimer;
 
   SessionState* SessionFor(ClientId client);
   uint64_t NowMicros() const;
@@ -162,9 +190,9 @@ class ChronoServer {
   Result<sql::ParsedQuery> Analyze(const std::string& sql);
 
   Result<sql::ResultSet> DoWrite(ClientId client,
-                                 const sql::ParsedQuery& parsed);
+                                 const sql::ParsedQuery& parsed, ReqCtx* ctx);
   Result<sql::ResultSet> DoRead(ClientId client, int security_group,
-                                const sql::ParsedQuery& parsed);
+                                const sql::ParsedQuery& parsed, ReqCtx* ctx);
 
   /// Learning + graph readiness + combining for one read arrival. Returns
   /// the plans mined ready on this arrival (lock order: registry reader →
@@ -174,17 +202,32 @@ class ChronoServer {
                                             const sql::ParsedQuery& parsed);
 
   /// Executes a combined plan (reader-locked database), splits the result
-  /// and installs every piece in the cache. Returns false on any failure
-  /// (combined execution is best-effort — the caller falls back to plain).
+  /// and installs every piece in the cache tagged with `plan_id` for hit
+  /// attribution. Returns false on any failure (combined execution is
+  /// best-effort — the caller falls back to plain). `ctx` is null when
+  /// running as a background prefetch.
   bool ExecuteCombined(ClientId client, int security_group,
-                       SessionState* session, const core::CombinedQuery& plan);
+                       SessionState* session, const core::CombinedQuery& plan,
+                       uint64_t plan_id, ReqCtx* ctx);
 
   /// Cache lookup honouring security groups + session semantics.
   std::optional<cache::CachedResult> CacheGet(ClientId client,
                                               int security_group,
                                               const std::string& bound_text);
+  /// `prefetch_plan`/`prefetch_src` tag predictively installed entries
+  /// (zero for demand fills) so later hits can be attributed.
   void CachePut(ClientId client, int security_group, core::TemplateId tmpl,
-                const std::string& bound_text, const sql::ResultSet& result);
+                const std::string& bound_text, const sql::ResultSet& result,
+                uint64_t prefetch_plan = 0, uint64_t prefetch_src = 0);
+
+  /// Registers every pull-mode metric (counters mirroring ServerMetrics,
+  /// cache/pool/shard gauges) and creates the stage histograms.
+  void RegisterMetrics();
+  /// Bumps the per-edge attributed prediction-hit counter.
+  void RecordPrefetchedHit(uint64_t src_tmpl, uint64_t dst_tmpl);
+  /// Publishes the finished request to the histograms and the trace ring.
+  void FinishRequest(ReqCtx* ctx, ClientId client, bool read_only,
+                     const std::string& sql);
 
   /// Sleeps the configured WAN latency; never called holding a lock.
   void SimulateWan() const;
@@ -214,8 +257,21 @@ class ChronoServer {
     std::atomic<uint64_t> reads{0}, writes{0}, cache_hits{0},
         cache_rejects{0}, remote_plain{0}, remote_combined{0},
         predictions_cached{0}, prediction_hits{0}, prediction_fallbacks{0},
-        prefetches_dropped{0}, errors{0};
+        prefetched_hits{0}, prefetches_dropped{0}, errors{0};
   } metrics_;
+
+  // Observability: one registry for the whole node. Stage histograms are
+  // raw pointers into the registry (stable for its lifetime); the trace
+  // ring is owned here. Worker threads touch these only through lock-free
+  // Record()/Push() calls.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
+  std::unique_ptr<obs::TraceRing> traces_;
+  obs::Histogram* stage_hist_[static_cast<int>(obs::Stage::kCount)] = {};
+  obs::Histogram* request_read_hist_ = nullptr;
+  obs::Histogram* request_write_hist_ = nullptr;
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<uint64_t> next_plan_id_{1};
 
   // Declared last: destroyed first, so worker threads are joined before
   // any state they touch goes away.

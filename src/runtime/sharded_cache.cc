@@ -126,4 +126,9 @@ size_t ShardedCache::ShardUsedBytes(size_t shard) const {
   return shards_[shard]->cache.used_bytes();
 }
 
+uint64_t ShardedCache::ShardEvictions(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+  return shards_[shard]->cache.evictions();
+}
+
 }  // namespace chrono::runtime

@@ -68,6 +68,8 @@ class ShardedCache {
   /// Entry count of one shard (byte-accounting tests).
   size_t ShardEntryCount(size_t shard) const;
   size_t ShardUsedBytes(size_t shard) const;
+  /// Evictions performed by one shard (per-shard occupancy gauges).
+  uint64_t ShardEvictions(size_t shard) const;
 
  private:
   struct Shard {

@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace chrono::runtime {
+
+namespace {
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point from,
+                   std::chrono::steady_clock::time_point to) {
+  auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(to - from);
+  return d.count() < 0 ? 0 : static_cast<uint64_t>(d.count());
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int workers, size_t queue_capacity)
     : capacity_(std::max<size_t>(queue_capacity, 1)) {
@@ -15,12 +27,19 @@ ThreadPool::ThreadPool(int workers, size_t queue_capacity)
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
+void ThreadPool::AttachMetrics(obs::Histogram* queue_wait_ns,
+                               obs::Histogram* run_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_wait_ns_ = queue_wait_ns;
+  run_ns_ = run_ns;
+}
+
 bool ThreadPool::Submit(std::function<void()> task) {
   std::unique_lock<std::mutex> lock(mutex_);
   not_full_.wait(lock,
                  [this] { return shutdown_ || queue_.size() < capacity_; });
   if (shutdown_) return false;
-  queue_.push_back(std::move(task));
+  queue_.push_back({std::move(task), std::chrono::steady_clock::now()});
   peak_depth_ = std::max(peak_depth_, queue_.size());
   lock.unlock();
   not_empty_.notify_one();
@@ -31,7 +50,7 @@ bool ThreadPool::TrySubmit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutdown_ || queue_.size() >= capacity_) return false;
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), std::chrono::steady_clock::now()});
     peak_depth_ = std::max(peak_depth_, queue_.size());
   }
   not_empty_.notify_one();
@@ -65,19 +84,33 @@ size_t ThreadPool::peak_queue_depth() const {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
+    obs::Histogram* wait_hist = nullptr;
+    obs::Histogram* run_hist = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
+      // Histogram pointers are copied out under the same lock that
+      // AttachMetrics writes them under, so attachment mid-traffic is
+      // race-free.
+      wait_hist = queue_wait_ns_;
+      run_hist = run_ns_;
     }
     not_full_.notify_one();
+    auto started = std::chrono::steady_clock::now();
+    if (wait_hist != nullptr) {
+      wait_hist->Record(ElapsedNs(task.enqueued, started));
+    }
     try {
-      task();
+      task.fn();
     } catch (...) {
       failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (run_hist != nullptr) {
+      run_hist->Record(ElapsedNs(started, std::chrono::steady_clock::now()));
     }
     executed_.fetch_add(1, std::memory_order_relaxed);
   }

@@ -2,6 +2,7 @@
 #define CHRONOCACHE_RUNTIME_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -10,6 +11,10 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+namespace chrono::obs {
+class Histogram;
+}  // namespace chrono::obs
 
 namespace chrono::runtime {
 
@@ -59,7 +64,18 @@ class ThreadPool {
     return failed_.load(std::memory_order_relaxed);
   }
 
+  /// Attaches queue-wait and run-time histograms (wall-clock nanoseconds).
+  /// Either may be null to leave that dimension uninstrumented. Takes the
+  /// queue lock, so attaching mid-traffic is safe; the histograms must
+  /// outlive the pool. Recording is lock-free (obs::Histogram contract).
+  void AttachMetrics(obs::Histogram* queue_wait_ns, obs::Histogram* run_ns);
+
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
   const size_t capacity_;
@@ -67,9 +83,11 @@ class ThreadPool {
   std::mutex join_mutex_;
   std::condition_variable not_empty_;  // workers wait here
   std::condition_variable not_full_;   // producers wait here
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   bool shutdown_ = false;
   size_t peak_depth_ = 0;
+  obs::Histogram* queue_wait_ns_ = nullptr;  // guarded by mutex_
+  obs::Histogram* run_ns_ = nullptr;         // guarded by mutex_
   std::atomic<uint64_t> executed_{0};
   std::atomic<uint64_t> failed_{0};
   std::vector<std::thread> threads_;

@@ -1,0 +1,246 @@
+// Exporter tests: golden-file Prometheus exposition, the structural
+// validator's positive/negative cases, JSON rendering, and an end-to-end
+// StatsServer scrape over a real loopback socket.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/stats_server.h"
+#include "obs/trace.h"
+
+namespace chrono::obs {
+namespace {
+
+/// The fixed registry the golden file pins down: one labelled counter
+/// family, one gauge, one histogram with three known observations.
+MetricsRegistry* GoldenRegistry() {
+  auto* r = new MetricsRegistry();
+  r->GetCounter("app_requests_total", "Requests served", {{"op", "read"}})
+      ->Increment(3);
+  r->GetCounter("app_requests_total", "Requests served", {{"op", "write"}})
+      ->Increment(1);
+  r->GetGauge("app_queue_depth", "Queue depth")->Set(7);
+  Histogram* h = r->GetHistogram("app_latency_ns", "Latency");
+  h->Record(1);
+  h->Record(3);
+  h->Record(17);
+  return r;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(PrometheusExport, MatchesGoldenFile) {
+  std::unique_ptr<MetricsRegistry> r(GoldenRegistry());
+  std::string got = ToPrometheusText(r->Snapshot());
+  std::string want =
+      ReadFileOrDie(std::string(CHRONO_TEST_DATA_DIR) + "/metrics_golden.prom");
+  EXPECT_EQ(got, want) << "rendered exposition:\n" << got;
+}
+
+TEST(PrometheusExport, GoldenOutputValidates) {
+  std::unique_ptr<MetricsRegistry> r(GoldenRegistry());
+  Status s = ValidatePrometheusText(ToPrometheusText(r->Snapshot()));
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(PrometheusExport, EscapesLabelValues) {
+  MetricsRegistry r;
+  r.GetCounter("esc_total", "h", {{"q", "say \"hi\"\\n"}})->Increment();
+  std::string text = ToPrometheusText(r.Snapshot());
+  EXPECT_NE(text.find("q=\"say \\\"hi\\\"\\\\n\""), std::string::npos) << text;
+  EXPECT_TRUE(ValidatePrometheusText(text).ok());
+}
+
+// ---- Validator negative cases ------------------------------------------
+
+TEST(PrometheusValidator, RejectsEmptyInput) {
+  EXPECT_FALSE(ValidatePrometheusText("").ok());
+}
+
+TEST(PrometheusValidator, RejectsSampleWithoutTypeOrHelp) {
+  EXPECT_FALSE(ValidatePrometheusText("orphan_total 3\n").ok());
+  EXPECT_FALSE(
+      ValidatePrometheusText("# TYPE half_total counter\nhalf_total 3\n")
+          .ok());  // TYPE but no HELP
+}
+
+TEST(PrometheusValidator, RejectsNonNumericValue) {
+  std::string text =
+      "# HELP x_total h\n# TYPE x_total counter\nx_total banana\n";
+  EXPECT_FALSE(ValidatePrometheusText(text).ok());
+}
+
+TEST(PrometheusValidator, RejectsDecreasingCumulativeBuckets) {
+  std::string text =
+      "# HELP h_ns h\n# TYPE h_ns histogram\n"
+      "h_ns_bucket{le=\"1\"} 5\n"
+      "h_ns_bucket{le=\"2\"} 3\n"
+      "h_ns_bucket{le=\"+Inf\"} 5\n"
+      "h_ns_sum 9\nh_ns_count 5\n";
+  EXPECT_FALSE(ValidatePrometheusText(text).ok());
+}
+
+TEST(PrometheusValidator, RejectsMissingInfBucket) {
+  std::string text =
+      "# HELP h_ns h\n# TYPE h_ns histogram\n"
+      "h_ns_bucket{le=\"1\"} 5\n"
+      "h_ns_sum 5\nh_ns_count 5\n";
+  EXPECT_FALSE(ValidatePrometheusText(text).ok());
+}
+
+TEST(PrometheusValidator, RejectsCountBucketMismatch) {
+  std::string text =
+      "# HELP h_ns h\n# TYPE h_ns histogram\n"
+      "h_ns_bucket{le=\"+Inf\"} 5\n"
+      "h_ns_sum 5\nh_ns_count 7\n";
+  EXPECT_FALSE(ValidatePrometheusText(text).ok());
+}
+
+TEST(PrometheusValidator, AcceptsHandWrittenValidHistogram) {
+  std::string text =
+      "# HELP h_ns h\n# TYPE h_ns histogram\n"
+      "h_ns_bucket{op=\"r\",le=\"1\"} 2\n"
+      "h_ns_bucket{op=\"r\",le=\"+Inf\"} 5\n"
+      "h_ns_sum{op=\"r\"} 40\nh_ns_count{op=\"r\"} 5\n";
+  Status s = ValidatePrometheusText(text);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+// ---- JSON ---------------------------------------------------------------
+
+TEST(JsonExport, ContainsValuesAndPercentiles) {
+  std::unique_ptr<MetricsRegistry> r(GoldenRegistry());
+  std::string json = ToJson(r->Snapshot());
+  EXPECT_NE(json.find("\"name\":\"app_requests_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"labels\":{\"op\":\"read\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("[\"+Inf\",3]"), std::string::npos);
+}
+
+TEST(JsonExport, TracesIncludeAttributionOnlyWhenPresent) {
+  auto a = std::make_shared<RequestTrace>();
+  a->id = 1;
+  a->sql = "SELECT 1";
+  a->outcome = TraceOutcome::kRemotePlain;
+  auto b = std::make_shared<RequestTrace>();
+  b->id = 2;
+  b->outcome = TraceOutcome::kCacheHit;
+  b->prefetch_plan = 9;
+  b->prefetch_src = 4;
+  b->spans.push_back({Stage::kCacheLookup, 1, 2});
+  std::string json = TracesToJson({b, a});
+  EXPECT_NE(json.find("\"prefetch_plan\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"prefetch_src\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"cache_hit\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage\":\"cache_lookup\""), std::string::npos);
+  // Trace `a` was demand-filled: no attribution keys in its object.
+  size_t a_pos = json.find("\"id\":1");
+  ASSERT_NE(a_pos, std::string::npos);
+  EXPECT_EQ(json.find("prefetch_plan", a_pos), std::string::npos);
+}
+
+// ---- StatsServer end-to-end --------------------------------------------
+
+/// Minimal HTTP/1.0 GET against 127.0.0.1:port; returns the full response
+/// (headers + body) or "" on connect failure.
+std::string HttpGet(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+TEST(StatsServer, ServesMetricsAndTracesOverLoopback) {
+  std::unique_ptr<MetricsRegistry> r(GoldenRegistry());
+  TraceRing ring(4);
+  auto t = std::make_shared<RequestTrace>();
+  t->id = 77;
+  t->sql = "SELECT 77";
+  ring.Push(std::move(t));
+
+  StatsServer server(r.get(), &ring);
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_GT(server.port(), 0);
+
+  std::string metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  Status valid = ValidatePrometheusText(Body(metrics));
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << Body(metrics);
+  EXPECT_NE(Body(metrics).find("app_requests_total{op=\"read\"} 3"),
+            std::string::npos);
+
+  std::string json = HttpGet(server.port(), "/metrics.json");
+  EXPECT_NE(json.find("200 OK"), std::string::npos);
+  EXPECT_NE(json.find("\"app_queue_depth\""), std::string::npos);
+
+  std::string traces = HttpGet(server.port(), "/traces");
+  EXPECT_NE(traces.find("200 OK"), std::string::npos);
+  EXPECT_NE(traces.find("\"id\":77"), std::string::npos);
+
+  EXPECT_NE(HttpGet(server.port(), "/nope").find("404"), std::string::npos);
+  EXPECT_GE(server.requests_served(), 4u);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  // Stop is idempotent and Start-after-Stop is not supported; a second
+  // Stop must be a no-op.
+  server.Stop();
+}
+
+TEST(StatsServer, NullTraceRingServesEmptyList) {
+  MetricsRegistry r;
+  r.GetCounter("one_total", "h")->Increment();
+  StatsServer server(&r, nullptr);
+  ASSERT_TRUE(server.Start(0).ok());
+  std::string traces = HttpGet(server.port(), "/traces");
+  EXPECT_NE(traces.find("{\"traces\":[]}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chrono::obs

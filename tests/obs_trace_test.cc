@@ -1,0 +1,239 @@
+// Tests for per-request tracing: the mutex-free TraceRing (wraparound,
+// attribution fields, concurrent push/snapshot) and the ChronoServer
+// integration that fills it (stage spans, outcomes, prediction-hit
+// attribution through the metrics registry).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/server.h"
+
+namespace chrono::obs {
+namespace {
+
+std::shared_ptr<const RequestTrace> MakeTrace(uint64_t id) {
+  auto t = std::make_shared<RequestTrace>();
+  t->id = id;
+  t->sql = "SELECT " + std::to_string(id);
+  return t;
+}
+
+TEST(TraceRing, KeepsMostRecentFirstBeforeWrap) {
+  TraceRing ring(8);
+  for (uint64_t i = 1; i <= 5; ++i) ring.Push(MakeTrace(i));
+  auto got = ring.Snapshot();
+  ASSERT_EQ(got.size(), 5u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i]->id, 5 - i);
+  }
+  EXPECT_EQ(ring.total_pushed(), 5u);
+}
+
+TEST(TraceRing, WrapsAroundKeepingTheNewest) {
+  TraceRing ring(4);
+  for (uint64_t i = 1; i <= 10; ++i) ring.Push(MakeTrace(i));
+  auto got = ring.Snapshot();
+  ASSERT_EQ(got.size(), 4u);
+  // 10, 9, 8, 7 — the oldest six were overwritten.
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i]->id, 10 - i);
+  }
+  EXPECT_EQ(ring.total_pushed(), 10u);
+  EXPECT_EQ(ring.capacity(), 4u);
+}
+
+TEST(TraceRing, PreservesAttributionAndSpans) {
+  TraceRing ring(2);
+  auto t = std::make_shared<RequestTrace>();
+  t->id = 42;
+  t->client = 7;
+  t->tmpl = 99;
+  t->outcome = TraceOutcome::kCacheHit;
+  t->prefetch_plan = 13;
+  t->prefetch_src = 88;
+  t->spans.push_back({Stage::kAnalyze, 0, 3});
+  t->spans.push_back({Stage::kCacheLookup, 3, 1});
+  ring.Push(std::move(t));
+
+  auto got = ring.Snapshot();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0]->prefetch_plan, 13u);
+  EXPECT_EQ(got[0]->prefetch_src, 88u);
+  EXPECT_EQ(got[0]->outcome, TraceOutcome::kCacheHit);
+  ASSERT_EQ(got[0]->spans.size(), 2u);
+  EXPECT_EQ(got[0]->spans[0].stage, Stage::kAnalyze);
+  EXPECT_EQ(got[0]->spans[1].dur_us, 1u);
+}
+
+// The TSan target: concurrent pushers racing a snapshotting reader. Every
+// trace a snapshot returns must be complete (the shared_ptr swap publishes
+// whole objects), and nothing may crash or leak at wrap.
+TEST(TraceRing, ConcurrentPushAndSnapshot) {
+  TraceRing ring(16);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const auto& t : ring.Snapshot()) {
+        ASSERT_NE(t, nullptr);
+        ASSERT_EQ(t->sql, "SELECT " + std::to_string(t->id));
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&ring, w] {
+      for (uint64_t i = 0; i < 20'000; ++i) {
+        ring.Push(MakeTrace(static_cast<uint64_t>(w) * 1'000'000 + i));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(ring.total_pushed(), 80'000u);
+  EXPECT_EQ(ring.Snapshot().size(), 16u);
+}
+
+// ---- ChronoServer integration ------------------------------------------
+
+class ServerTraceTest : public ::testing::Test {
+ protected:
+  ServerTraceTest() {
+    auto setup = [&](const std::string& sql) {
+      auto r = db_.ExecuteText(sql);
+      EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+    };
+    setup("CREATE TABLE t (id INT, v TEXT)");
+    for (int i = 0; i < 50; ++i) {
+      setup("INSERT INTO t (id, v) VALUES (" + std::to_string(i) + ", 'v" +
+            std::to_string(i) + "')");
+    }
+  }
+
+  db::Database db_;
+};
+
+TEST_F(ServerTraceTest, RequestsProduceTracesWithStageSpans) {
+  runtime::ServerConfig config;
+  config.workers = 2;
+  config.trace_capacity = 32;
+  runtime::ChronoServer server(&db_, config);
+
+  ASSERT_TRUE(server.Submit(1, "SELECT v FROM t WHERE id = 3").get().ok());
+  ASSERT_TRUE(server.Submit(1, "SELECT v FROM t WHERE id = 3").get().ok());
+  ASSERT_TRUE(
+      server.Submit(1, "UPDATE t SET v = 'x' WHERE id = 3").get().ok());
+  ASSERT_FALSE(server.Submit(1, "SELECT FROM WHERE").get().ok());
+
+  ASSERT_NE(server.traces(), nullptr);
+  auto traces = server.traces()->Snapshot();
+  ASSERT_EQ(traces.size(), 4u);  // newest first
+  EXPECT_EQ(traces[0]->outcome, TraceOutcome::kError);
+  EXPECT_EQ(traces[1]->outcome, TraceOutcome::kWrite);
+  EXPECT_EQ(traces[2]->outcome, TraceOutcome::kCacheHit);
+  EXPECT_EQ(traces[3]->outcome, TraceOutcome::kRemotePlain);
+
+  // The first (plain) read went analyze -> learn -> cache-miss -> db.
+  bool saw_analyze = false, saw_db = false;
+  for (const TraceSpan& s : traces[3]->spans) {
+    saw_analyze |= s.stage == Stage::kAnalyze;
+    saw_db |= s.stage == Stage::kDbExecute;
+  }
+  EXPECT_TRUE(saw_analyze);
+  EXPECT_TRUE(saw_db);
+  EXPECT_FALSE(traces[3]->sql.empty());
+  EXPECT_NE(traces[3]->tmpl, 0u);
+  // The cache hit never reached the database.
+  for (const TraceSpan& s : traces[2]->spans) {
+    EXPECT_NE(s.stage, Stage::kDbExecute);
+  }
+
+  // The same requests also landed in the stage histograms.
+  RegistrySnapshot snap = server.registry()->Snapshot();
+  const MetricSnapshot* analyze =
+      snap.Find("chrono_stage_latency_ns", {{"stage", "analyze"}});
+  ASSERT_NE(analyze, nullptr);
+  EXPECT_GE(analyze->histogram.count, 4u);
+  const MetricSnapshot* reads =
+      snap.Find("chrono_request_latency_ns", {{"op", "read"}});
+  ASSERT_NE(reads, nullptr);
+  EXPECT_EQ(reads->histogram.count, 3u);  // 2 ok reads + 1 parse error
+}
+
+TEST_F(ServerTraceTest, TracingDisabledWithZeroCapacity) {
+  runtime::ServerConfig config;
+  config.workers = 1;
+  config.trace_capacity = 0;
+  runtime::ChronoServer server(&db_, config);
+  ASSERT_TRUE(server.Submit(1, "SELECT v FROM t WHERE id = 1").get().ok());
+  EXPECT_EQ(server.traces(), nullptr);
+}
+
+TEST_F(ServerTraceTest, TraceSqlIsTruncated) {
+  runtime::ServerConfig config;
+  config.workers = 1;
+  config.trace_sql_bytes = 16;
+  runtime::ChronoServer server(&db_, config);
+  ASSERT_TRUE(
+      server.Submit(1, "SELECT v FROM t WHERE id = 12345678").get().ok());
+  auto traces = server.traces()->Snapshot();
+  ASSERT_FALSE(traces.empty());
+  EXPECT_LE(traces[0]->sql.size(), 16u);
+}
+
+TEST_F(ServerTraceTest, PrefetchedHitsCarryAttribution) {
+  runtime::ServerConfig config;
+  config.workers = 2;
+  config.extract_every = 2;
+  config.trace_capacity = 512;
+  runtime::ChronoServer server(&db_, config);
+
+  // Same training pattern as runtime_test: "SELECT id" then a dependent
+  // "SELECT v" for a small repeating key set, until the learned combined
+  // plans prefetch the follow-up and the hit gets attributed.
+  for (int round = 0; round < 24; ++round) {
+    int id = round % 4;
+    ASSERT_TRUE(
+        server.Submit(1, "SELECT id FROM t WHERE id = " + std::to_string(id))
+            .get()
+            .ok());
+    ASSERT_TRUE(
+        server.Submit(1, "SELECT v FROM t WHERE id = " + std::to_string(id))
+            .get()
+            .ok());
+  }
+
+  runtime::ServerMetrics m = server.metrics();
+  ASSERT_GT(m.predictions_cached, 0u)
+      << "training never produced a combined prefetch";
+  EXPECT_GT(m.prefetched_hits, 0u)
+      << "no cache hit landed on a prefetched entry";
+
+  // Attribution surfaces in both the traces and the per-edge counters.
+  bool traced_attribution = false;
+  for (const auto& t : server.traces()->Snapshot()) {
+    if (t->prefetch_plan != 0) {
+      traced_attribution = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(traced_attribution);
+
+  RegistrySnapshot snap = server.registry()->Snapshot();
+  double attributed = 0;
+  for (const MetricSnapshot& ms : snap.metrics) {
+    if (ms.name == "chrono_prediction_hits_total") attributed += ms.value;
+  }
+  EXPECT_DOUBLE_EQ(attributed, static_cast<double>(m.prefetched_hits));
+}
+
+}  // namespace
+}  // namespace chrono::obs

@@ -1,0 +1,42 @@
+// promlint — structural lint for Prometheus text exposition, wrapping
+// obs::ValidatePrometheusText as a CLI so CI can fail a pipeline when a
+// live scrape is malformed:
+//
+//   curl -s http://127.0.0.1:9464/metrics | promlint
+//   promlint metrics.prom
+//
+// Exit 0 when the input is valid; 1 with a diagnostic on stderr otherwise.
+
+#include <cstdio>
+#include <string>
+
+#include "obs/export.h"
+
+int main(int argc, char** argv) {
+  std::string input;
+  if (argc > 1) {
+    FILE* f = std::fopen(argv[1], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "promlint: cannot open %s\n", argv[1]);
+      return 2;
+    }
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) input.append(buf, n);
+    std::fclose(f);
+  } else {
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0)
+      input.append(buf, n);
+  }
+
+  chrono::Status status = chrono::obs::ValidatePrometheusText(input);
+  if (!status.ok()) {
+    std::fprintf(stderr, "promlint: %s\n",
+                 std::string(status.message()).c_str());
+    return 1;
+  }
+  std::printf("promlint: ok (%zu bytes)\n", input.size());
+  return 0;
+}

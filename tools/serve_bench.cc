@@ -13,6 +13,7 @@
 // middleware at the edge, far from the database) and it makes worker
 // scaling meaningful even on small CPU-count machines.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +24,9 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "db/database.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/stats_server.h"
 #include "runtime/server.h"
 #include "workloads/seats.h"
 #include "workloads/workload.h"
@@ -45,6 +49,9 @@ struct BenchOptions {
   int64_t customers = 2000;
   int64_t flights = 2000;
   std::string json_path;
+  int stats_port = -1;       // -1 disables the HTTP stats endpoint
+  std::string metrics_path;  // --metrics-out: JSON registry dump (last run)
+  bool progress = true;      // per-second qps/hit-rate/queue-depth line
 };
 
 struct RunResult {
@@ -72,7 +79,13 @@ void Usage() {
       "  --hot-pct N       requests hitting the hot key set (default 80)\n"
       "  --customers N / --flights N   SEATS scale (default 2000/2000)\n"
       "  --seed N          base RNG seed (default 1)\n"
-      "  --json FILE       write results as JSON\n");
+      "  --json FILE       write results as JSON\n"
+      "  --stats-port N    serve /metrics, /metrics.json and /traces on\n"
+      "                    127.0.0.1:N while running (0 = ephemeral port;\n"
+      "                    off by default)\n"
+      "  --metrics-out F   write a JSON metrics-registry snapshot to F\n"
+      "                    after the run (last run when sweeping)\n"
+      "  --no-progress     suppress the per-second progress line\n");
 }
 
 int64_t PickKey(Rng* rng, const BenchOptions& opt, int64_t keyspace) {
@@ -116,12 +129,29 @@ std::string NextQuery(Rng* rng, const BenchOptions& opt) {
 }
 
 RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
+  // One registry per run so sweep runs export clean per-configuration
+  // numbers; it must outlive the server (the server registers callbacks
+  // against it and unregisters them in its destructor).
+  obs::MetricsRegistry registry;
   runtime::ServerConfig config;
   config.workers = workers;
   config.cache_shards = opt.shards;
   config.cache_bytes = opt.cache_mb << 20;
   config.db_latency_us = opt.db_latency_us;
+  config.registry = &registry;
   runtime::ChronoServer server(db, config);
+
+  obs::StatsServer stats(server.registry(), server.traces());
+  if (opt.stats_port >= 0) {
+    Status started = stats.Start(opt.stats_port);
+    if (!started.ok()) {
+      std::fprintf(stderr, "stats server: %s\n",
+                   std::string(started.message()).c_str());
+    } else {
+      std::printf("stats: http://127.0.0.1:%d/metrics (and /traces)\n",
+                  stats.port());
+    }
+  }
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> total_ops{0};
@@ -152,7 +182,32 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
     });
   }
 
-  std::this_thread::sleep_for(std::chrono::duration<double>(opt.seconds));
+  // Measurement window, with a once-a-second live progress line pulled
+  // from the same counters the registry exports.
+  auto deadline = started + std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(opt.seconds));
+  uint64_t last_done = 0;
+  auto last_tick = started;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto tick = std::min(deadline, std::chrono::steady_clock::now() +
+                                       std::chrono::seconds(1));
+    std::this_thread::sleep_until(tick);
+    if (!opt.progress) continue;
+    auto now = std::chrono::steady_clock::now();
+    runtime::ServerMetrics m = server.metrics();
+    uint64_t done = m.reads + m.writes;
+    double interval = std::chrono::duration<double>(now - last_tick).count();
+    double secs = std::chrono::duration<double>(now - started).count();
+    std::printf("  t=%4.1fs  %7.1f qps  hit-rate %5.1f%%  queue %zu\n", secs,
+                interval > 0
+                    ? static_cast<double>(done - last_done) / interval
+                    : 0,
+                100.0 * m.CacheHitRate(), server.pool().queue_depth());
+    std::fflush(stdout);
+    last_done = done;
+    last_tick = now;
+  }
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& t : clients) t.join();
   double elapsed = std::chrono::duration<double>(
@@ -171,6 +226,20 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
   out.p99_ms = all.empty() ? 0 : all.Percentile(0.99);
   out.mean_ms = all.empty() ? 0 : all.Mean();
   out.metrics = server.metrics();
+
+  // Snapshot before the server tears down its registry callbacks.
+  if (!opt.metrics_path.empty()) {
+    FILE* f = std::fopen(opt.metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", opt.metrics_path.c_str());
+    } else {
+      std::string json = obs::ToJson(registry.Snapshot());
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", opt.metrics_path.c_str());
+    }
+  }
+  stats.Stop();
   server.Shutdown();
   return out;
 }
@@ -269,6 +338,12 @@ int main(int argc, char** argv) {
       opt.seed = static_cast<uint64_t>(std::atoll(next().c_str()));
     } else if (arg == "--json") {
       opt.json_path = next();
+    } else if (arg == "--stats-port") {
+      opt.stats_port = std::atoi(next().c_str());
+    } else if (arg == "--metrics-out") {
+      opt.metrics_path = next();
+    } else if (arg == "--no-progress") {
+      opt.progress = false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       Usage();
