@@ -1,5 +1,7 @@
 #include "cache/lru_cache.h"
 
+#include <iterator>
+
 namespace chrono::cache {
 
 LruCache::LruCache(size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
@@ -11,6 +13,7 @@ const CachedResult* LruCache::Get(const std::string& key) {
     return nullptr;
   }
   ++hits_;
+  ++it->second->value.use_count;
   lru_.splice(lru_.begin(), lru_, it->second);
   return &it->second->value;
 }
@@ -21,18 +24,23 @@ const CachedResult* LruCache::Peek(const std::string& key) const {
   return &it->second->value;
 }
 
+void LruCache::RemoveEntry(EntryList::iterator it, EvictReason reason) {
+  if (on_evict_) on_evict_(it->key, it->value, it->bytes, reason);
+  used_bytes_ -= it->bytes;
+  map_.erase(it->key);
+  lru_.erase(it);
+}
+
 void LruCache::Put(const std::string& key, CachedResult value) {
   size_t bytes = EntryBytes(key, value);
   if (bytes > capacity_bytes_) {
-    Erase(key);
+    // The new value can never fit; the old entry (if any) dies with it.
+    auto it = map_.find(key);
+    if (it != map_.end()) RemoveEntry(it->second, EvictReason::kReplaced);
     return;
   }
   auto it = map_.find(key);
-  if (it != map_.end()) {
-    used_bytes_ -= it->second->bytes;
-    lru_.erase(it->second);
-    map_.erase(it);
-  }
+  if (it != map_.end()) RemoveEntry(it->second, EvictReason::kReplaced);
   EvictToFit(bytes);
   lru_.push_front(Entry{key, std::move(value), bytes});
   map_[key] = lru_.begin();
@@ -42,30 +50,30 @@ void LruCache::Put(const std::string& key, CachedResult value) {
 bool LruCache::Erase(const std::string& key) {
   auto it = map_.find(key);
   if (it == map_.end()) return false;
-  used_bytes_ -= it->second->bytes;
-  lru_.erase(it->second);
-  map_.erase(it);
+  RemoveEntry(it->second, EvictReason::kErased);
   return true;
 }
 
 void LruCache::Clear() {
+  if (on_evict_) {
+    for (const Entry& entry : lru_) {
+      on_evict_(entry.key, entry.value, entry.bytes, EvictReason::kCleared);
+    }
+  }
   lru_.clear();
   map_.clear();
   used_bytes_ = 0;
 }
 
 size_t LruCache::EntryBytes(const std::string& key,
-                            const CachedResult& value) const {
+                            const CachedResult& value) {
   return key.size() + value.result.ByteSize() +
          value.version.size() * sizeof(value.version[0]) + 64;
 }
 
 void LruCache::EvictToFit(size_t incoming_bytes) {
   while (!lru_.empty() && used_bytes_ + incoming_bytes > capacity_bytes_) {
-    const Entry& victim = lru_.back();
-    used_bytes_ -= victim.bytes;
-    map_.erase(victim.key);
-    lru_.pop_back();
+    RemoveEntry(std::prev(lru_.end()), EvictReason::kCapacity);
     ++evictions_;
   }
 }

@@ -1,7 +1,9 @@
 #ifndef CHRONOCACHE_CACHE_LRU_CACHE_H_
 #define CHRONOCACHE_CACHE_LRU_CACHE_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <string>
 #include <unordered_map>
@@ -32,7 +34,32 @@ struct CachedResult {
   // template was a root (text-dependency) node of the plan.
   uint64_t prefetch_plan = 0;
   uint64_t prefetch_src = 0;
+  // Full lifecycle attribution (prefetch-efficacy audit): the entry's
+  // statement template, the owner's clock at install time, and how many
+  // hits the entry served (Get() increments; Peek() does not). Together
+  // with the eviction callback these let the journal distinguish
+  // evicted-unused from evicted-after-use and compute time-to-first-use.
+  uint64_t tmpl = 0;
+  uint64_t install_us = 0;
+  uint32_t use_count = 0;
 };
+
+/// Why an entry left the cache (passed to the eviction callback).
+enum class EvictReason {
+  kCapacity = 0,  // LRU victim of a byte-budget eviction
+  kReplaced,      // overwritten by a Put on the same key
+  kErased,        // explicit Erase (the server's staleness invalidation)
+  kCleared,       // bulk Clear
+};
+
+/// \brief Observer for every entry removal, with the entry's full
+/// attribution still intact. Invoked synchronously inside the mutating
+/// call — for ShardedCache that means *under the owning shard's mutex*
+/// (a leaf lock), so callbacks must be lock-free-cheap (journal Record,
+/// counter bumps) and must never reenter the cache.
+using EvictionCallback = std::function<void(
+    const std::string& key, const CachedResult& value, size_t bytes,
+    EvictReason reason)>;
 
 /// \brief Byte-accounted LRU key-value store standing in for Memcached:
 /// the paper uses Memcached purely as a get/set result cache with a fixed
@@ -42,7 +69,15 @@ class LruCache {
   /// `capacity_bytes` caps the sum of entry footprints (key + result set).
   explicit LruCache(size_t capacity_bytes);
 
-  /// Returns the entry or nullptr. A hit refreshes LRU recency.
+  /// Installs the removal observer (replacing any previous one). Fires
+  /// for capacity evictions, same-key overwrites, Erase and Clear; see
+  /// EvictionCallback for the locking contract.
+  void SetEvictionCallback(EvictionCallback callback) {
+    on_evict_ = std::move(callback);
+  }
+
+  /// Returns the entry or nullptr. A hit refreshes LRU recency and
+  /// increments the entry's use_count.
   const CachedResult* Get(const std::string& key);
 
   /// Side-effect-free lookup: no recency update, no hit/miss accounting.
@@ -68,6 +103,10 @@ class LruCache {
   uint64_t misses() const { return misses_; }
   uint64_t evictions() const { return evictions_; }
 
+  /// The byte footprint charged for an entry — public and static so the
+  /// journal can record install sizes that match eviction-callback sizes.
+  static size_t EntryBytes(const std::string& key, const CachedResult& value);
+
  private:
   struct Entry {
     std::string key;
@@ -76,8 +115,9 @@ class LruCache {
   };
   using EntryList = std::list<Entry>;
 
-  size_t EntryBytes(const std::string& key, const CachedResult& value) const;
   void EvictToFit(size_t incoming_bytes);
+  /// Unlinks `it`'s entry, notifying the callback with `reason`.
+  void RemoveEntry(EntryList::iterator it, EvictReason reason);
 
   size_t capacity_bytes_;
   size_t used_bytes_ = 0;
@@ -86,6 +126,7 @@ class LruCache {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  EvictionCallback on_evict_;
 };
 
 }  // namespace chrono::cache

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstdio>
 #include <chrono>
+#include <map>
 
 namespace chrono::core {
 
@@ -237,6 +238,66 @@ void Middleware::RegisterMetrics(obs::MetricsRegistry* registry) {
       [this] { return static_cast<double>(cache_->used_bytes()); }, owner);
 }
 
+void Middleware::AttachJournal(obs::EventJournal* journal) {
+  journal_ = journal;
+  // Mirror the runtime server's eviction journaling: only
+  // prefetch-attributed entries, kErased = staleness invalidation (which
+  // always follows a Get that bumped use_count, hence use_count > 1).
+  cache_->SetEvictionCallback([this](const std::string& key,
+                                     const cache::CachedResult& value,
+                                     size_t bytes,
+                                     cache::EvictReason reason) {
+    (void)key;
+    if (journal_ == nullptr || value.prefetch_plan == 0 ||
+        reason == cache::EvictReason::kCleared) {
+      return;
+    }
+    obs::JournalEvent event;
+    event.plan = value.prefetch_plan;
+    event.src = value.prefetch_src;
+    event.tmpl = value.tmpl;
+    event.a = bytes;
+    uint64_t now = static_cast<uint64_t>(events_->now());
+    event.b = now > value.install_us ? now - value.install_us : 0;
+    if (reason == cache::EvictReason::kErased) {
+      event.type = obs::JournalEventType::kEntryInvalidated;
+      event.flags = value.use_count > 1 ? obs::kJournalFlagUsed : 0;
+    } else {
+      event.type = obs::JournalEventType::kEntryEvicted;
+      event.flags = (value.use_count > 0 ? obs::kJournalFlagUsed : 0) |
+                    (reason == cache::EvictReason::kReplaced
+                         ? obs::kJournalEvictReplaced
+                         : obs::kJournalEvictCapacity);
+    }
+    Journal(event);
+  });
+}
+
+void Middleware::Journal(obs::JournalEvent event) {
+  if (journal_ == nullptr) return;
+  if (event.ts_us == 0) {
+    SimTime now = events_->now();
+    event.ts_us = now == 0 ? 1 : static_cast<uint64_t>(now);
+  }
+  journal_->Record(event);
+}
+
+void Middleware::JournalRequest(ClientId client, TemplateId tmpl,
+                                obs::TraceOutcome outcome,
+                                uint64_t prefetch_plan,
+                                uint64_t prefetch_src) {
+  if (journal_ == nullptr) return;
+  obs::JournalEvent event;
+  event.type = obs::JournalEventType::kRequest;
+  event.client = static_cast<uint32_t>(client);
+  event.tmpl = static_cast<uint64_t>(tmpl);
+  event.plan = prefetch_plan;
+  event.src = prefetch_src;
+  event.flags =
+      static_cast<uint8_t>(outcome) | obs::kJournalFlagNoLatency;
+  Journal(event);
+}
+
 Middleware::ClientState* Middleware::StateFor(ClientId client) {
   auto it = clients_.find(client);
   if (it == clients_.end()) {
@@ -320,6 +381,7 @@ void Middleware::Process(SimTime now, ClientId client, int security_group,
   } else {
     auto analyzed = sql::AnalyzeQuery(sql_text);
     if (!analyzed.ok()) {
+      JournalRequest(client, /*tmpl=*/0, obs::TraceOutcome::kError);
       events_->ScheduleAfter(latency_.edge_rtt / 2,
                              [done, st = analyzed.status()](SimTime now2) {
                                done(now2, st);
@@ -345,10 +407,13 @@ void Middleware::HandleWrite(ClientId client, sql::ParsedQuery parsed,
   auto access = sql::CollectTableAccess(*parsed.tmpl->ast);
   remote_->Submit(
       parsed.bound_text,
-      [this, client, writes = access.writes, done = std::move(done)](
-          SimTime, Result<db::ExecOutcome> outcome) {
+      [this, client, tmpl = parsed.tmpl->id, writes = access.writes,
+       done = std::move(done)](SimTime, Result<db::ExecOutcome> outcome) {
         sessions_.OnRemoteAccess();
         if (outcome.ok()) sessions_.OnClientWrite(client, writes);
+        JournalRequest(client, tmpl,
+                       outcome.ok() ? obs::TraceOutcome::kWrite
+                                    : obs::TraceOutcome::kError);
         events_->ScheduleAfter(
             latency_.edge_rtt / 2,
             [outcome = std::move(outcome), done](SimTime now2) {
@@ -404,6 +469,8 @@ void Middleware::HandleRead(SimTime now, ClientId client, int security_group,
                                             parsed.bound_text);
   if (hit != nullptr) {
     ++metrics_.cache_hits;
+    JournalRequest(client, tmpl, obs::TraceOutcome::kCacheHit,
+                   hit->prefetch_plan, hit->prefetch_src);
     sql::ResultSet result = hit->result;  // copy before any cache mutation
     // Answer from the edge cache first (Respond records the fresh result
     // into the mapper), then fire background predictions off it.
@@ -495,6 +562,7 @@ void Middleware::RemotePlain(ClientId client, int security_group,
         if (!outcome.ok()) {
           deferred_seq_.erase(key);
           for (auto& w : waiters) {
+            JournalRequest(w.client, tmpl, obs::TraceOutcome::kError);
             events_->ScheduleAfter(
                 latency_.edge_rtt / 2,
                 [done = std::move(w.done), st = outcome.status()](
@@ -506,6 +574,7 @@ void Middleware::RemotePlain(ClientId client, int security_group,
         for (auto& w : waiters) {
           // Fresh database read: Vc = Vd (§5.2).
           sessions_.SyncClientToDb(w.client);
+          JournalRequest(w.client, tmpl, obs::TraceOutcome::kRemotePlain);
           Respond(w.client, tmpl, outcome->result, w.done);
         }
         // Fire deferred sequential predictions now that the result they
@@ -534,21 +603,72 @@ bool Middleware::FireGraph(ClientId client, int security_group,
   auto plan = std::make_shared<CombinedQuery>(std::move(*combined));
   mw_pool_.Submit(latency_.mw_combine_service, [](SimTime) {});
 
+  const uint64_t plan_id = next_plan_id_++;
+  const SimTime issued_at = events_->now();
+  if (journal_ != nullptr) {
+    std::vector<TemplateId> roots = graph.DependencyQueries();
+    obs::JournalEvent mined;
+    mined.type = obs::JournalEventType::kPlanMined;
+    mined.plan = plan_id;
+    mined.tmpl =
+        roots.empty() ? 0 : static_cast<uint64_t>(roots.front());
+    mined.a = plan->slots.size();
+    Journal(mined);
+    obs::JournalEvent issued;
+    issued.type = obs::JournalEventType::kCombinedIssued;
+    issued.plan = plan_id;
+    issued.client = static_cast<uint32_t>(client);
+    Journal(issued);
+  }
+
   // Hand the combiner-built AST to the server alongside the text: the
   // combined query executes without ever being re-parsed.
   remote_->Submit(
       RemoteDbServer::DbRequest{plan->sql, plan->ast},
-      [this, client, security_group, plan, wait_key, cascade_depth](
-          SimTime, Result<db::ExecOutcome> outcome) {
+      [this, client, security_group, plan, plan_id, issued_at, wait_key,
+       cascade_depth](SimTime landed, Result<db::ExecOutcome> outcome) {
         sessions_.OnRemoteAccess();
         if (!outcome.ok() && getenv("CHRONO_DEBUG")) std::fprintf(stderr, "COMBINED FAIL: %s\nSQL: %s\n", outcome.status().ToString().c_str(), plan->sql.c_str());
+        if (journal_ != nullptr) {
+          obs::JournalEvent fetched;
+          fetched.type = obs::JournalEventType::kCombinedFetched;
+          fetched.plan = plan_id;
+          fetched.client = static_cast<uint32_t>(client);
+          fetched.flags = outcome.ok() ? obs::kJournalFlagOk : 0;
+          if (outcome.ok()) {
+            fetched.a = outcome->result.row_count();
+            fetched.b = outcome->result.ByteSize();
+          }
+          fetched.c = landed > issued_at
+                          ? static_cast<uint64_t>(landed - issued_at)
+                          : 0;
+          Journal(fetched);
+        }
         if (outcome.ok()) {
           auto split = SplitResult(*plan, outcome->result, registry_);
           if (!split.ok() && getenv("CHRONO_DEBUG")) std::fprintf(stderr, "SPLIT FAIL: %s\n", split.status().ToString().c_str());
           if (split.ok()) {
+            // Edge attribution: first parent slot's template -> slot
+            // template; roots keep src 0 (same rule as the runtime).
+            std::map<TemplateId, TemplateId> src_of;
+            for (const DecodeSlot& slot : plan->slots) {
+              TemplateId src = 0;
+              if (!slot.parents.empty()) {
+                int parent = slot.parents.front();
+                if (parent >= 0 &&
+                    static_cast<size_t>(parent) < plan->slots.size()) {
+                  src = plan->slots[static_cast<size_t>(parent)].tmpl;
+                }
+              }
+              src_of.emplace(slot.tmpl, src);
+            }
             for (const auto& entry : *split) {
+              auto src_it = src_of.find(entry.tmpl);
               CachePut(client, security_group, entry.tmpl, entry.key,
-                       entry.result);
+                       entry.result, plan_id,
+                       src_it == src_of.end()
+                           ? 0
+                           : static_cast<uint64_t>(src_it->second));
               ++metrics_.predictions_cached;
             }
             // The triggering client observed fresh database state.
@@ -605,6 +725,8 @@ void Middleware::ResolveInflight(const std::string& key) {
     const cache::CachedResult* hit =
         CacheGet(w.client, info.security_group, info.bound_text);
     if (hit != nullptr) {
+      JournalRequest(w.client, info.tmpl, obs::TraceOutcome::kPredictionHit,
+                     hit->prefetch_plan, hit->prefetch_src);
       Respond(w.client, info.tmpl, hit->result, w.done);
     } else {
       unresolved.push_back(std::move(w));
@@ -757,7 +879,8 @@ void Middleware::Respond(ClientId client, TemplateId tmpl,
 
 void Middleware::CachePut(ClientId client, int security_group, TemplateId tmpl,
                           const std::string& bound_text,
-                          const sql::ResultSet& result) {
+                          const sql::ResultSet& result, uint64_t prefetch_plan,
+                          uint64_t prefetch_src) {
   const sql::QueryTemplate* qt = registry_.Find(tmpl);
   std::vector<std::string> reads;
   if (qt != nullptr) reads = sql::CollectTableAccess(*qt->ast).reads;
@@ -766,13 +889,29 @@ void Middleware::CachePut(ClientId client, int security_group, TemplateId tmpl,
   entry.version = sessions_.SnapshotFor(reads);
   entry.security_group = security_group;
   entry.node_id = config_.node_id;
-  cache_->Put(CacheKey(client, bound_text), std::move(entry));
+  entry.prefetch_plan = prefetch_plan;
+  entry.prefetch_src = prefetch_src;
+  entry.tmpl = static_cast<uint64_t>(tmpl);
+  entry.install_us = static_cast<uint64_t>(events_->now());
+  std::string key = CacheKey(client, bound_text);
+  if (journal_ != nullptr && prefetch_plan != 0) {
+    obs::JournalEvent installed;
+    installed.type = obs::JournalEventType::kEntryInstalled;
+    installed.plan = prefetch_plan;
+    installed.src = prefetch_src;
+    installed.tmpl = static_cast<uint64_t>(tmpl);
+    installed.a = cache::LruCache::EntryBytes(key, entry);
+    installed.client = static_cast<uint32_t>(client);
+    Journal(installed);
+  }
+  cache_->Put(key, std::move(entry));
 }
 
 const cache::CachedResult* Middleware::CacheGet(ClientId client,
                                                 int security_group,
                                                 const std::string& bound_text) {
-  const cache::CachedResult* entry = cache_->Get(CacheKey(client, bound_text));
+  const std::string key = CacheKey(client, bound_text);
+  const cache::CachedResult* entry = cache_->Get(key);
   if (entry == nullptr) return nullptr;
   if (entry->security_group != security_group) {
     ++metrics_.cache_rejects;
@@ -780,9 +919,27 @@ const cache::CachedResult* Middleware::CacheGet(ClientId client,
   }
   if (!sessions_.CanUse(client, entry->version)) {
     ++metrics_.cache_rejects;
+    // A version-rejected prefetched entry can never become usable again
+    // (database versions are monotonic), so erase it now: the eviction
+    // callback journals it as invalidated instead of letting it age out
+    // as an ordinary capacity eviction.
+    if (entry->prefetch_plan != 0) cache_->Erase(key);
     return nullptr;
   }
   sessions_.AbsorbResult(client, entry->version);
+  if (journal_ != nullptr && entry->prefetch_plan != 0 &&
+      entry->use_count == 1) {
+    obs::JournalEvent used;
+    used.type = obs::JournalEventType::kEntryUsed;
+    used.plan = entry->prefetch_plan;
+    used.src = entry->prefetch_src;
+    used.tmpl = entry->tmpl;
+    used.a = cache::LruCache::EntryBytes(key, *entry);
+    const uint64_t now = static_cast<uint64_t>(events_->now());
+    used.b = now > entry->install_us ? now - entry->install_us : 0;
+    used.client = static_cast<uint32_t>(client);
+    Journal(used);
+  }
   return entry;
 }
 

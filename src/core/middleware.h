@@ -21,7 +21,9 @@
 #include "core/transition_graph.h"
 #include "db/database.h"
 #include "net/latency_model.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/resource.h"
 
@@ -183,6 +185,16 @@ class Middleware {
   /// the destructor).
   void RegisterMetrics(obs::MetricsRegistry* registry);
 
+  /// Mirrors the runtime server's prefetch-lifecycle journal events —
+  /// plan mined, combined issued/fetched, entries installed / used /
+  /// evicted / invalidated, request outcomes — with *virtual* timestamps,
+  /// so chrono_audit reads simulator journals exactly like serve_bench
+  /// ones. Request events carry kJournalFlagNoLatency (virtual stage
+  /// times are not wall-clock). The journal must outlive the middleware;
+  /// the simulator is single-threaded, so a drain_interval_ms of 0 with
+  /// manual Drain() between steps is the natural configuration.
+  void AttachJournal(obs::EventJournal* journal);
+
   /// Dependency-graph count across clients (learning progress probe).
   size_t TotalGraphs() const;
 
@@ -259,9 +271,12 @@ class Middleware {
   void Respond(ClientId client, TemplateId tmpl, const sql::ResultSet& result,
                const ResponseCallback& done);
 
-  /// Cache write with session/security tagging.
+  /// Cache write with session/security tagging. `prefetch_plan`/
+  /// `prefetch_src` tag predictively installed entries (zero for demand
+  /// fills) for hit attribution and the lifecycle journal.
   void CachePut(ClientId client, int security_group, TemplateId tmpl,
-                const std::string& bound_text, const sql::ResultSet& result);
+                const std::string& bound_text, const sql::ResultSet& result,
+                uint64_t prefetch_plan = 0, uint64_t prefetch_src = 0);
 
   /// Cache read honouring session semantics + security groups. Returns
   /// nullptr on miss or rejection.
@@ -269,6 +284,15 @@ class Middleware {
                                       const std::string& bound_text);
 
   void Learn(SimTime now, ClientId client, const sql::ParsedQuery& parsed);
+
+  /// Records one journal event stamped with the current virtual time (no
+  /// journal attached: no-op). ts 0 would make the journal substitute its
+  /// wall clock, so virtual time 0 is nudged to 1.
+  void Journal(obs::JournalEvent event);
+  /// kRequest emission helper shared by the response sites.
+  void JournalRequest(ClientId client, TemplateId tmpl,
+                      obs::TraceOutcome outcome, uint64_t prefetch_plan = 0,
+                      uint64_t prefetch_src = 0);
 
   EventQueue* events_;
   RemoteDbServer* remote_;
@@ -292,6 +316,8 @@ class Middleware {
       deferred_seq_;
   MiddlewareMetrics metrics_;
   obs::MetricsRegistry* metrics_registry_ = nullptr;  // null until attached
+  obs::EventJournal* journal_ = nullptr;              // null until attached
+  uint64_t next_plan_id_ = 1;
 };
 
 }  // namespace chrono::core

@@ -1,9 +1,11 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 
 #include "db/database.h"
+#include "obs/journal.h"
 #include "sim/event_queue.h"
 
 namespace chrono::harness {
@@ -125,6 +127,28 @@ ExperimentResult RunExperiment(
         &events, &remote, config.latency, mw));
   }
 
+  // Optional prefetch-efficacy journal: the sim mirrors the runtime's
+  // lifecycle events with virtual timestamps. The whole simulation runs on
+  // this thread, so manual draining (drain_interval_ms = 0) keeps the
+  // journal entirely deterministic; the buffer is drained to the file sink
+  // once at the end.
+  std::unique_ptr<obs::JournalFileSink> journal_sink;
+  std::unique_ptr<obs::EventJournal> journal;
+  if (!config.journal_out.empty()) {
+    journal_sink = obs::JournalFileSink::Open(config.journal_out);
+    if (journal_sink == nullptr) {
+      std::fprintf(stderr, "warning: cannot open journal file %s\n",
+                   config.journal_out.c_str());
+    } else {
+      obs::EventJournal::Options options;
+      options.buffer_events = 1 << 20;  // sized to hold a full run
+      options.drain_interval_ms = 0;    // manual drain, deterministic
+      journal = std::make_unique<obs::EventJournal>(options);
+      journal->AddSink(journal_sink.get());
+      for (auto& node : nodes) node->AttachJournal(journal.get());
+    }
+  }
+
   SampleStats samples;
   std::map<int64_t, SampleStats> timeline;
   std::map<std::string, SampleStats> by_transaction;
@@ -149,6 +173,15 @@ ExperimentResult RunExperiment(
   events.RunUntil(config.warmup + config.duration);
 
   ExperimentResult result;
+  if (journal != nullptr) {
+    journal->Stop();  // final drain into the file sink
+    journal_sink->Flush();
+    result.journal_events = journal_sink->events_written();
+    if (journal->events_dropped() > 0) {
+      std::fprintf(stderr, "warning: journal dropped %llu events\n",
+                   static_cast<unsigned long long>(journal->events_dropped()));
+    }
+  }
   result.avg_response_ms = samples.Mean();
   result.p50_ms = samples.Percentile(0.5);
   result.p95_ms = samples.Percentile(0.95);

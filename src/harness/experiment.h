@@ -31,6 +31,11 @@ struct ExperimentConfig {
   SimTime timeline_bucket = 10 * kMicrosPerSecond;  // Fig. 9b resolution
   uint64_t seed = 1;
   int security_groups = 1;  // clients assigned round-robin (§5.2.1)
+  /// When non-empty, every node's prefetch/request lifecycle is mirrored
+  /// into an event journal (virtual timestamps) and persisted here after
+  /// the run — the file feeds tools/chrono_audit. With RunRepeated the
+  /// file holds the last run.
+  std::string journal_out;
 };
 
 struct ExperimentResult {
@@ -50,6 +55,9 @@ struct ExperimentResult {
   /// Per-transaction-type breakdown over the measurement window:
   /// (transaction name, mean query latency ms, queries measured).
   std::vector<std::tuple<std::string, double, uint64_t>> by_transaction;
+  /// Journal records persisted to ExperimentConfig::journal_out (0 when
+  /// journalling was off).
+  uint64_t journal_events = 0;
 };
 
 /// Runs one seeded experiment end to end.

@@ -1,0 +1,177 @@
+#ifndef CHRONOCACHE_OBS_AUDIT_H_
+#define CHRONOCACHE_OBS_AUDIT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/journal.h"
+#include "obs/metrics.h"
+
+namespace chrono::obs {
+
+/// \brief Prefetch cost/benefit aggregator: a JournalSink that folds the
+/// event stream into per-plan and per-transition-edge scoreboards —
+/// precision (used ÷ installed), wasted WAN bytes, median time-to-first-use
+/// and net latency saved vs. demand-fetch — plus per-template latency
+/// digests and a pipeline stage-time profile. This is the data the paper's
+/// *adaptive* half needs: which mined plans earn their WAN bytes.
+///
+/// Plans are keyed by their *root (trigger) template*, not the unique
+/// per-instance plan id, so the scoreboard stays bounded by the workload's
+/// template count; the instance→root mapping is learned from kPlanMined
+/// events (instances whose mining event was dropped fold under "unknown").
+/// Edges are keyed "src->dst" ("root" when the entry's template was a
+/// text-dependency root of the plan), matching
+/// chrono_prediction_hits_total{edge}.
+///
+/// Thread safety: OnEvents arrives single-threaded from the journal
+/// drainer; snapshot() may be called concurrently (StatsServer /prefetch,
+/// the bench progress line), so one internal mutex guards all state. When
+/// constructed with a registry, folding also drives the
+/// chrono_prefetch_{installed,used,wasted_bytes,invalidated}_total counter
+/// families, so scraped counters and offline chrono_audit numbers are two
+/// views of the same fold and always reconcile.
+class PrefetchAudit : public JournalSink {
+ public:
+  /// `registry` (nullable) receives the chrono_prefetch_*_total counters;
+  /// it must outlive the audit.
+  explicit PrefetchAudit(MetricsRegistry* registry = nullptr);
+
+  void OnEvents(const JournalEvent* events, size_t count) override;
+
+  /// One scoreboard row (a plan root template or a transition edge).
+  struct Score {
+    std::string key;                // "<root tmpl>" / "unknown" / "a->b"
+    uint64_t mined = 0;             // plan boards only
+    uint64_t issued = 0;            // combined queries sent
+    uint64_t fetch_ok = 0;          // combined responses that parsed
+    uint64_t fetch_failed = 0;
+    uint64_t rows_fetched = 0;
+    uint64_t wan_bytes = 0;         // combined result bytes over the WAN
+    uint64_t db_round_us = 0;       // summed combined round-trip time
+    uint64_t installed = 0;
+    uint64_t installed_bytes = 0;
+    uint64_t used = 0;              // entries that served >= 1 hit
+    uint64_t used_bytes = 0;
+    uint64_t evicted_unused = 0;
+    uint64_t evicted_used = 0;
+    uint64_t invalidated = 0;       // total invalidated-by-write
+    uint64_t invalidated_unused = 0;
+    uint64_t wasted_bytes = 0;      // bytes of entries that died unused
+    uint64_t hits = 0;              // requests answered by these entries
+    uint64_t hit_latency_us = 0;
+    double precision = 0;           // used / installed (0 when none)
+    double median_ttfu_us = 0;      // median install → first-use gap
+    /// Σ_tmpl hits × mean demand-fetch latency(tmpl) − hit latency sum;
+    /// 0 when no demand-fetch baseline exists for any hit template.
+    double net_saved_us = 0;
+  };
+
+  /// Per-template request-latency breakdown, one row per TraceOutcome.
+  struct OutcomeLatency {
+    uint64_t count = 0;
+    double mean_us = 0;
+    double p50_us = 0;
+    double p99_us = 0;
+  };
+  struct TemplateStats {
+    uint64_t tmpl = 0;
+    uint64_t requests = 0;
+    OutcomeLatency outcomes[5];  // indexed by TraceOutcome
+  };
+
+  static constexpr int kStageSlots = 6;  // 5 pipeline stages + total
+
+  struct Snapshot {
+    uint64_t events_folded = 0;
+    uint64_t requests = 0;
+    uint64_t outcome_counts[5] = {};
+    /// Summed µs per pipeline stage across all requests with latency:
+    /// analyze, cache-lookup, learn/combine, db-execute, split/decode,
+    /// total (the same order as obs::Stage, total last).
+    uint64_t stage_sum_us[kStageSlots] = {};
+    uint64_t requests_with_latency = 0;
+    std::vector<Score> plans;      // sorted by key
+    std::vector<Score> edges;      // sorted by key
+    std::vector<TemplateStats> templates;  // sorted by template id
+
+    uint64_t TotalInstalled() const;
+    uint64_t TotalUsed() const;
+    uint64_t TotalWastedBytes() const;
+    uint64_t TotalInvalidated() const;
+    /// Σ used ÷ Σ installed across plan boards (0 when none installed).
+    double OverallPrecision() const;
+  };
+
+  Snapshot snapshot() const;
+
+ private:
+  /// Non-atomic latency digest reusing Histogram's log-bucket scheme;
+  /// cheap enough to keep one per (template, outcome). Buckets allocate
+  /// lazily on first Record.
+  struct Digest {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::vector<uint32_t> buckets;
+
+    void Record(uint64_t value);
+    double Mean() const;
+    double Percentile(double q) const;
+  };
+
+  struct Board {
+    uint64_t mined = 0, issued = 0, fetch_ok = 0, fetch_failed = 0;
+    uint64_t rows_fetched = 0, wan_bytes = 0, db_round_us = 0;
+    uint64_t installed = 0, installed_bytes = 0;
+    uint64_t used = 0, used_bytes = 0;
+    uint64_t evicted_unused = 0, evicted_used = 0;
+    uint64_t invalidated = 0, invalidated_unused = 0;
+    uint64_t wasted_bytes = 0;
+    uint64_t hits = 0, hit_latency_us = 0;
+    Digest ttfu_us;
+    // hits + hit latency per template, for the demand-fetch baseline.
+    std::map<uint64_t, std::pair<uint64_t, uint64_t>> hit_by_tmpl;
+  };
+
+  struct TemplateAgg {
+    uint64_t requests = 0;
+    Digest by_outcome[5];
+  };
+
+  void Fold(const JournalEvent& event);
+  std::string PlanKey(uint64_t plan_instance) const;
+  static std::string EdgeKey(uint64_t src, uint64_t tmpl);
+  /// Cached get-or-create of one chrono_prefetch_* counter instance.
+  Counter* CounterFor(const char* family, const char* help,
+                      const char* label_key, const std::string& label_value);
+  void BumpFamilies(const char* family, const char* help,
+                    const std::string& plan_key, const std::string& edge_key,
+                    uint64_t delta);
+  static Score RenderBoard(const std::string& key, const Board& board,
+                           const std::map<uint64_t, TemplateAgg>& templates,
+                           double global_plain_mean_us);
+
+  MetricsRegistry* const registry_;
+
+  mutable std::mutex mutex_;
+  uint64_t events_folded_ = 0;
+  uint64_t requests_ = 0;
+  uint64_t outcome_counts_[5] = {};
+  uint64_t stage_sum_us_[kStageSlots] = {};
+  uint64_t requests_with_latency_ = 0;
+  std::map<uint64_t, uint64_t> plan_root_;  // plan instance id -> root tmpl
+  std::map<std::string, Board> plans_;
+  std::map<std::string, Board> edges_;
+  std::map<uint64_t, TemplateAgg> templates_;
+  std::map<std::string, Counter*> counters_;  // family\0label\0value ->
+};
+
+/// Renders a snapshot as the /prefetch endpoint's JSON document.
+std::string PrefetchAuditJson(const PrefetchAudit::Snapshot& snapshot);
+
+}  // namespace chrono::obs
+
+#endif  // CHRONOCACHE_OBS_AUDIT_H_

@@ -352,6 +352,10 @@ std::string SeriesKey(const Labels& labels) {
 Status ValidatePrometheusText(const std::string& text) {
   std::map<std::string, std::string> family_type;  // name -> type
   std::set<std::string> family_help;
+  // Families whose first sample has already streamed past: HELP/TYPE
+  // arriving for one of these is out of order (promlint rule — Prometheus
+  // requires the comment block to precede the family's samples).
+  std::set<std::string> families_with_samples;
   struct HistSeries {
     std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
     bool has_sum = false;
@@ -382,6 +386,10 @@ Status ValidatePrometheusText(const std::string& text) {
         size_t space = rest.find(' ');
         std::string name = rest.substr(0, space);
         if (name.empty()) return Fail(line_no, "HELP line without a name");
+        if (families_with_samples.count(name) != 0) {
+          return Fail(line_no, "HELP for family '" + name +
+                                   "' after its first sample");
+        }
         family_help.insert(name);
       } else if (line.rfind("# TYPE ", 0) == 0) {
         std::string rest = line.substr(7);
@@ -397,6 +405,14 @@ Status ValidatePrometheusText(const std::string& text) {
         }
         if (family_type.count(name) != 0) {
           return Fail(line_no, "duplicate TYPE for family '" + name + "'");
+        }
+        if (families_with_samples.count(name) != 0) {
+          return Fail(line_no, "TYPE for family '" + name +
+                                   "' after its first sample");
+        }
+        if (type == "counter" && StripSuffix(name, "_total").empty()) {
+          return Fail(line_no, "counter '" + name +
+                                   "' must end in '_total'");
         }
         family_type[name] = type;
       }
@@ -437,6 +453,7 @@ Status ValidatePrometheusText(const std::string& text) {
       return Fail(line_no, "histogram family '" + family +
                                "' has a bare sample '" + sample.name + "'");
     }
+    families_with_samples.insert(family);
 
     if (type_it->second == "histogram") {
       HistSeries& series =

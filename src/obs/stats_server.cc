@@ -6,9 +6,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
 
+#include "obs/audit.h"
 #include "obs/export.h"
 
 namespace chrono::obs {
@@ -34,11 +36,18 @@ std::string HttpResponse(int code, const char* reason,
   return out;
 }
 
+uint64_t MonotonicMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 StatsServer::StatsServer(const MetricsRegistry* registry,
-                         const TraceRing* traces)
-    : registry_(registry), traces_(traces) {}
+                         const TraceRing* traces, const PrefetchAudit* audit)
+    : registry_(registry), traces_(traces), audit_(audit) {}
 
 StatsServer::~StatsServer() { Stop(); }
 
@@ -71,6 +80,7 @@ Status StatsServer::Start(int port) {
     port_ = ntohs(addr.sin_port);
   }
   listen_fd_ = fd;
+  started_us_ = MonotonicMicros();
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { Serve(); });
@@ -96,9 +106,13 @@ void StatsServer::Serve() {
       if (errno == EINTR) continue;
       break;  // listening socket is gone
     }
+    // A scraper that sends nothing — or stops reading its response —
+    // should not wedge the accept loop: bound both socket directions.
     timeval tv{};
-    tv.tv_sec = 2;  // a scraper that sends nothing should not wedge us
+    tv.tv_sec = io_timeout_ms_ / 1000;
+    tv.tv_usec = (io_timeout_ms_ % 1000) * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     HandleConnection(fd);
     ::close(fd);
   }
@@ -146,9 +160,24 @@ void StatsServer::HandleConnection(int fd) {
             ? std::string("{\"traces\":[]}")
             : TracesToJson(traces_->Snapshot());
     WriteAll(fd, HttpResponse(200, "OK", "application/json", body));
+  } else if (path == "/prefetch") {
+    std::string body =
+        audit_ == nullptr
+            ? std::string("{\"enabled\":false}")
+            : PrefetchAuditJson(audit_->snapshot());
+    WriteAll(fd, HttpResponse(200, "OK", "application/json", body));
+  } else if (path == "/healthz") {
+    uint64_t uptime_us = MonotonicMicros() - started_us_;
+    std::string body =
+        "{\"status\":\"ok\",\"uptime_seconds\":" +
+        std::to_string(static_cast<double>(uptime_us) / 1e6) +
+        ",\"requests_served\":" +
+        std::to_string(served_.load(std::memory_order_relaxed)) + "}";
+    WriteAll(fd, HttpResponse(200, "OK", "application/json", body));
   } else {
     WriteAll(fd, HttpResponse(404, "Not Found", "text/plain",
-                              "try /metrics, /metrics.json or /traces\n"));
+                              "try /metrics, /metrics.json, /traces, "
+                              "/prefetch or /healthz\n"));
   }
 }
 

@@ -11,6 +11,8 @@
 
 namespace chrono::obs {
 
+class PrefetchAudit;
+
 /// \brief Minimal POSIX-socket HTTP/1.0 endpoint for scraping a running
 /// node: one accept thread serving requests sequentially (a scrape is a
 /// few ms of formatting; Prometheus polls on the order of seconds).
@@ -18,16 +20,21 @@ namespace chrono::obs {
 ///   GET /metrics       Prometheus text exposition of the registry
 ///   GET /metrics.json  JSON snapshot (same data, serve_bench --metrics-out)
 ///   GET /traces        recent RequestTraces as JSON, newest first
+///   GET /prefetch      prefetch-efficacy scoreboards as JSON (§10)
+///   GET /healthz       liveness: 200 with uptime + request count
 ///
 /// Off by default everywhere; serve_bench enables it with --stats-port.
 /// The server reads the registry and ring through the same snapshot paths
 /// tests use — it takes no server locks (DESIGN.md §9), so a slow scraper
-/// can never stall the serving hot path.
+/// can never stall the serving hot path. Both socket directions carry a
+/// bounded timeout (set_io_timeout_ms) so a stalled peer cannot wedge the
+/// accept loop.
 class StatsServer {
  public:
-  /// `registry` must outlive the server; `traces` may be null (the
-  /// /traces endpoint then returns an empty list).
-  StatsServer(const MetricsRegistry* registry, const TraceRing* traces);
+  /// `registry` must outlive the server; `traces` and `audit` may be null
+  /// (the corresponding endpoints then return empty documents).
+  StatsServer(const MetricsRegistry* registry, const TraceRing* traces,
+              const PrefetchAudit* audit = nullptr);
   ~StatsServer();
 
   StatsServer(const StatsServer&) = delete;
@@ -47,12 +54,19 @@ class StatsServer {
     return served_.load(std::memory_order_relaxed);
   }
 
+  /// Per-connection read/write timeout (SO_RCVTIMEO / SO_SNDTIMEO),
+  /// default 2000 ms. Call before Start().
+  void set_io_timeout_ms(int ms) { io_timeout_ms_ = ms; }
+
  private:
   void Serve();
   void HandleConnection(int fd);
 
   const MetricsRegistry* registry_;
   const TraceRing* traces_;
+  const PrefetchAudit* audit_;
+  int io_timeout_ms_ = 2000;
+  uint64_t started_us_ = 0;  // monotonic clock at Start()
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> running_{false};

@@ -85,6 +85,15 @@ ChronoServer::ChronoServer(db::Database* db, ServerConfig config)
   if (config_.trace_capacity > 0) {
     traces_ = std::make_unique<obs::TraceRing>(config_.trace_capacity);
   }
+  if (config_.enable_journal) {
+    audit_ = std::make_unique<obs::PrefetchAudit>(metrics_registry_);
+    obs::EventJournal::Options journal_options;
+    journal_options.buffer_events = config_.journal_buffer_events;
+    journal_options.drain_interval_ms = config_.journal_drain_ms;
+    journal_ = std::make_unique<obs::EventJournal>(journal_options);
+    journal_->AddSink(audit_.get());
+    InstallEvictionJournal();
+  }
   RegisterMetrics();
 }
 
@@ -290,6 +299,42 @@ void ChronoServer::RegisterMetrics() {
   }
 }
 
+void ChronoServer::InstallEvictionJournal() {
+  // Runs under the owning shard's mutex (a leaf lock); journal Record is
+  // the only side effect. Only prefetch-attributed entries are journaled.
+  // kErased here means the server's staleness invalidation — the one
+  // explicit Erase on the result cache — and that erase always follows a
+  // Get that bumped use_count, so "served a real hit" is use_count > 1
+  // there and use_count > 0 everywhere else.
+  cache_.SetEvictionCallback([this](const std::string& key,
+                                    const cache::CachedResult& value,
+                                    size_t bytes,
+                                    cache::EvictReason reason) {
+    (void)key;
+    if (value.prefetch_plan == 0 || reason == cache::EvictReason::kCleared) {
+      return;
+    }
+    obs::JournalEvent event;
+    event.plan = value.prefetch_plan;
+    event.src = value.prefetch_src;
+    event.tmpl = value.tmpl;
+    event.a = bytes;
+    uint64_t now_us = NowMicros();
+    event.b = now_us > value.install_us ? now_us - value.install_us : 0;
+    if (reason == cache::EvictReason::kErased) {
+      event.type = obs::JournalEventType::kEntryInvalidated;
+      event.flags = value.use_count > 1 ? obs::kJournalFlagUsed : 0;
+    } else {
+      event.type = obs::JournalEventType::kEntryEvicted;
+      event.flags = (value.use_count > 0 ? obs::kJournalFlagUsed : 0) |
+                    (reason == cache::EvictReason::kReplaced
+                         ? obs::kJournalEvictReplaced
+                         : obs::kJournalEvictCapacity);
+    }
+    Journal(event);
+  });
+}
+
 void ChronoServer::RecordPrefetchedHit(uint64_t src_tmpl, uint64_t dst_tmpl) {
   metrics_.prefetched_hits.fetch_add(1, std::memory_order_relaxed);
   std::string edge = (src_tmpl == 0 ? std::string("root")
@@ -307,6 +352,23 @@ void ChronoServer::FinishRequest(ReqCtx* ctx, ClientId client, bool read_only,
                                  const std::string& sql) {
   uint64_t total_ns = NsBetween(ctx->t0, std::chrono::steady_clock::now());
   (read_only ? request_read_hist_ : request_write_hist_)->Record(total_ns);
+  if (journal_ != nullptr) {
+    obs::JournalEvent event;
+    event.type = obs::JournalEventType::kRequest;
+    event.client = static_cast<uint32_t>(client);
+    event.tmpl = static_cast<uint64_t>(ctx->tmpl);
+    event.plan = ctx->prefetch_plan;
+    event.src = ctx->prefetch_src;
+    event.flags = static_cast<uint8_t>(ctx->outcome);
+    uint64_t stage_us[static_cast<int>(obs::Stage::kCount)] = {};
+    for (const obs::TraceSpan& span : ctx->spans) {
+      stage_us[static_cast<int>(span.stage)] += span.dur_us;
+    }
+    event.a = obs::PackDurations(stage_us[0], stage_us[1]);
+    event.b = obs::PackDurations(stage_us[2], stage_us[3]);
+    event.c = obs::PackDurations(stage_us[4], total_ns / 1000);
+    journal_->Record(event);
+  }
   if (traces_ == nullptr) return;
   auto trace = std::make_shared<obs::RequestTrace>();
   trace->id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
@@ -513,6 +575,14 @@ std::vector<ChronoServer::PreparedPlan> ChronoServer::LearnAndCombine(
         std::make_shared<core::CombinedQuery>(std::move(*combined));
     prepared.plan_id = next_plan_id_.fetch_add(1, std::memory_order_relaxed);
     prepared.contains_current = graph->ContainsNode(tmpl);
+    if (journal_ != nullptr) {
+      obs::JournalEvent event;
+      event.type = obs::JournalEventType::kPlanMined;
+      event.plan = prepared.plan_id;
+      event.tmpl = static_cast<uint64_t>(tmpl);  // the trigger template
+      event.a = prepared.plan->slots.size();
+      journal_->Record(event);
+    }
     plans.push_back(std::move(prepared));
   }
   return plans;
@@ -629,12 +699,34 @@ bool ChronoServer::ExecuteCombined(ClientId client, int security_group,
                                    const core::CombinedQuery& plan,
                                    uint64_t plan_id, ReqCtx* ctx) {
   metrics_.remote_combined.fetch_add(1, std::memory_order_relaxed);
+  {
+    obs::JournalEvent event;
+    event.type = obs::JournalEventType::kCombinedIssued;
+    event.plan = plan_id;
+    event.client = static_cast<uint32_t>(client);
+    Journal(event);
+  }
+  auto db_begin = std::chrono::steady_clock::now();
   Result<db::ExecOutcome> outcome = Status::OK();
   {
     StageTimer timer(this, ctx, obs::Stage::kDbExecute);
     SimulateWan();
     std::shared_lock<std::shared_mutex> lock(db_mutex_);
     outcome = db_->Execute(*plan.ast);
+  }
+  {
+    obs::JournalEvent event;
+    event.type = obs::JournalEventType::kCombinedFetched;
+    event.plan = plan_id;
+    event.client = static_cast<uint32_t>(client);
+    event.flags = outcome.ok() ? obs::kJournalFlagOk : 0;
+    if (outcome.ok()) {
+      event.a = outcome->result.row_count();
+      event.b = outcome->result.ByteSize();
+    }
+    event.c =
+        NsBetween(db_begin, std::chrono::steady_clock::now()) / 1000;
+    Journal(event);
   }
   if (!outcome.ok()) return false;
 
@@ -682,20 +774,42 @@ bool ChronoServer::ExecuteCombined(ClientId client, int security_group,
 
 std::optional<cache::CachedResult> ChronoServer::CacheGet(
     ClientId client, int security_group, const std::string& bound_text) {
-  std::optional<cache::CachedResult> entry =
-      cache_.Get(CacheKey(client, bound_text));
+  std::string key = CacheKey(client, bound_text);
+  std::optional<cache::CachedResult> entry = cache_.Get(key);
   if (!entry.has_value()) return std::nullopt;
   if (entry->security_group != security_group) {
     metrics_.cache_rejects.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
+  bool version_ok;
   {
     std::lock_guard<std::mutex> lock(versions_mutex_);
-    if (!versions_.CanUse(client, entry->version)) {
-      metrics_.cache_rejects.fetch_add(1, std::memory_order_relaxed);
-      return std::nullopt;
-    }
-    versions_.AbsorbResult(client, entry->version);
+    version_ok = versions_.CanUse(client, entry->version);
+    if (version_ok) versions_.AbsorbResult(client, entry->version);
+  }
+  if (!version_ok) {
+    metrics_.cache_rejects.fetch_add(1, std::memory_order_relaxed);
+    // A prefetched entry that fails the version check is stale for every
+    // client that has seen the write (database versions are monotonic) —
+    // drop it now so the audit sees invalidated-by-write instead of a
+    // misleading evicted-unused later. The eviction callback turns this
+    // Erase into the kEntryInvalidated journal event.
+    if (entry->prefetch_plan != 0) cache_.Invalidate(key);
+    return std::nullopt;
+  }
+  // First demand hit on a prefetched entry: the cache just bumped
+  // use_count, so our copy reading 1 means this very lookup was the first.
+  if (entry->prefetch_plan != 0 && entry->use_count == 1) {
+    obs::JournalEvent event;
+    event.type = obs::JournalEventType::kEntryUsed;
+    event.plan = entry->prefetch_plan;
+    event.src = entry->prefetch_src;
+    event.tmpl = entry->tmpl;
+    event.a = cache::LruCache::EntryBytes(key, *entry);
+    uint64_t now_us = NowMicros();
+    event.b = now_us > entry->install_us ? now_us - entry->install_us : 0;
+    event.client = static_cast<uint32_t>(client);
+    Journal(event);
   }
   return entry;
 }
@@ -722,7 +836,20 @@ void ChronoServer::CachePut(ClientId client, int security_group,
   entry.node_id = 0;
   entry.prefetch_plan = prefetch_plan;
   entry.prefetch_src = static_cast<uint64_t>(prefetch_src);
-  cache_.Put(CacheKey(client, bound_text), std::move(entry));
+  entry.tmpl = static_cast<uint64_t>(tmpl);
+  entry.install_us = NowMicros();
+  std::string key = CacheKey(client, bound_text);
+  if (prefetch_plan != 0) {
+    obs::JournalEvent event;
+    event.type = obs::JournalEventType::kEntryInstalled;
+    event.plan = prefetch_plan;
+    event.src = entry.prefetch_src;
+    event.tmpl = entry.tmpl;
+    event.a = cache::LruCache::EntryBytes(key, entry);
+    event.client = static_cast<uint32_t>(client);
+    Journal(event);
+  }
+  cache_.Put(std::move(key), std::move(entry));
 }
 
 }  // namespace chrono::runtime

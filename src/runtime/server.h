@@ -23,6 +23,8 @@
 #include "core/template_registry.h"
 #include "core/transition_graph.h"
 #include "db/database.h"
+#include "obs/audit.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/sharded_cache.h"
@@ -66,6 +68,16 @@ struct ServerConfig {
   size_t trace_capacity = 256;
   /// Bound SQL text retained per trace (truncated beyond this).
   size_t trace_sql_bytes = 120;
+
+  /// Prefetch-efficacy journal (DESIGN.md §10): always on by default —
+  /// the full prefetch lifecycle plus request outcomes flow into an
+  /// EventJournal and fold into a PrefetchAudit. `false` exists only for
+  /// the A/B overhead harness (serve_bench --no-journal).
+  bool enable_journal = true;
+  /// Per-thread journal ring capacity in events.
+  size_t journal_buffer_events = 8192;
+  /// Journal drainer cadence; 0 = no drainer thread (manual Drain()).
+  uint64_t journal_drain_ms = 5;
 };
 
 /// \brief Wall-clock serving metrics (relaxed atomics; Snapshot() copies).
@@ -150,6 +162,12 @@ class ChronoServer {
   obs::MetricsRegistry* registry() const { return metrics_registry_; }
   /// Recent-request traces; null when trace_capacity was 0.
   const obs::TraceRing* traces() const { return traces_.get(); }
+  /// The prefetch-lifecycle journal (attach file sinks here); null when
+  /// enable_journal was false.
+  obs::EventJournal* journal() const { return journal_.get(); }
+  /// Live prefetch cost/benefit scoreboards fed by the journal drainer;
+  /// null when enable_journal was false.
+  const obs::PrefetchAudit* audit() const { return audit_.get(); }
 
  private:
   /// Per-session serving state: the paper's per-client learned models plus
@@ -223,6 +241,14 @@ class ChronoServer {
   /// Registers every pull-mode metric (counters mirroring ServerMetrics,
   /// cache/pool/shard gauges) and creates the stage histograms.
   void RegisterMetrics();
+  /// Records one journal event if the journal is enabled (lock-free; safe
+  /// under any server lock — the journal's own locks are leaves).
+  void Journal(obs::JournalEvent event) {
+    if (journal_ != nullptr) journal_->Record(event);
+  }
+  /// Installs the cache eviction callback translating entry removals into
+  /// kEntryEvicted / kEntryInvalidated journal events.
+  void InstallEvictionJournal();
   /// Bumps the per-edge attributed prediction-hit counter.
   void RecordPrefetchedHit(uint64_t src_tmpl, uint64_t dst_tmpl);
   /// Publishes the finished request to the histograms and the trace ring.
@@ -272,6 +298,13 @@ class ChronoServer {
   obs::Histogram* request_write_hist_ = nullptr;
   std::atomic<uint64_t> next_trace_id_{1};
   std::atomic<uint64_t> next_plan_id_{1};
+
+  // Prefetch-efficacy journal + live audit. Declaration order matters:
+  // audit_ before journal_, so the journal's destructor (final drain into
+  // the audit sink) runs while the audit is still alive; both before
+  // pool_, so workers are joined before the journal goes away.
+  std::unique_ptr<obs::PrefetchAudit> audit_;
+  std::unique_ptr<obs::EventJournal> journal_;
 
   // Declared last: destroyed first, so worker threads are joined before
   // any state they touch goes away.

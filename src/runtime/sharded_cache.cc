@@ -17,6 +17,13 @@ ShardedCache::ShardedCache(size_t capacity_bytes, size_t shards) {
   }
 }
 
+void ShardedCache::SetEvictionCallback(cache::EvictionCallback callback) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->cache.SetEvictionCallback(callback);
+  }
+}
+
 size_t ShardedCache::ShardIndex(const std::string& key) const {
   return std::hash<std::string>{}(key) % shards_.size();
 }

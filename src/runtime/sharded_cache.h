@@ -35,6 +35,13 @@ class ShardedCache {
   /// rounded up to at least 1.
   ShardedCache(size_t capacity_bytes, size_t shards);
 
+  /// Installs one removal observer on every shard (replacing any previous
+  /// one). The callback fires *under the owning shard's mutex* — a leaf
+  /// lock — so it must stay lock-free-cheap (journal Record, relaxed
+  /// counter bumps) and must never call back into this cache. Set before
+  /// serving starts; not synchronised against concurrent mutation.
+  void SetEvictionCallback(cache::EvictionCallback callback);
+
   /// Copying lookup; refreshes LRU recency and hit/miss counters in the
   /// owning shard. nullopt on miss.
   std::optional<cache::CachedResult> Get(const std::string& key);

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "cache/lru_cache.h"
 
 namespace chrono::cache {
@@ -136,6 +139,129 @@ TEST(LruCache, ManyEntriesStayWithinCapacity) {
     EXPECT_LE(cache.used_bytes(), cache.capacity_bytes());
   }
   EXPECT_GT(cache.evictions(), 0u);
+}
+
+// ---- Eviction callbacks (prefetch-efficacy attribution) -----------------
+
+struct Removal {
+  std::string key;
+  uint64_t prefetch_plan;
+  uint64_t prefetch_src;
+  uint64_t tmpl;
+  uint32_t use_count;
+  size_t bytes;
+  EvictReason reason;
+};
+
+EvictionCallback Collect(std::vector<Removal>* out) {
+  return [out](const std::string& key, const CachedResult& value,
+               size_t bytes, EvictReason reason) {
+    out->push_back({key, value.prefetch_plan, value.prefetch_src, value.tmpl,
+                    value.use_count, bytes, reason});
+  };
+}
+
+CachedResult MakePrefetched(uint64_t plan, uint64_t src, uint64_t tmpl,
+                            int rows = 10) {
+  CachedResult entry = MakeEntry(rows);
+  entry.prefetch_plan = plan;
+  entry.prefetch_src = src;
+  entry.tmpl = tmpl;
+  return entry;
+}
+
+TEST(LruCache, EvictionCallbackDistinguishesUnusedFromUsed) {
+  CachedResult probe = MakeEntry(10);
+  size_t entry_bytes = probe.result.ByteSize() + 100;
+  LruCache cache(entry_bytes * 2);
+  std::vector<Removal> removals;
+  cache.SetEvictionCallback(Collect(&removals));
+
+  cache.Put("touched", MakePrefetched(7, 3, 11));
+  cache.Put("untouched", MakePrefetched(7, 0, 12));
+  ASSERT_NE(cache.Get("touched"), nullptr);  // bumps use_count to 1
+
+  // Two more entries push both prefetched ones out in LRU order.
+  cache.Put("c", MakeEntry(10));
+  cache.Put("d", MakeEntry(10));
+
+  ASSERT_GE(removals.size(), 2u);
+  const Removal* untouched = nullptr;
+  const Removal* touched = nullptr;
+  for (const Removal& r : removals) {
+    if (r.key == "untouched") untouched = &r;
+    if (r.key == "touched") touched = &r;
+  }
+  // The unused prefetch is the wasted one: attribution intact, zero hits.
+  ASSERT_NE(untouched, nullptr);
+  EXPECT_EQ(untouched->reason, EvictReason::kCapacity);
+  EXPECT_EQ(untouched->use_count, 0u);
+  EXPECT_EQ(untouched->prefetch_plan, 7u);
+  EXPECT_EQ(untouched->tmpl, 12u);
+  // The used prefetch earned its bytes before dying.
+  ASSERT_NE(touched, nullptr);
+  EXPECT_EQ(touched->reason, EvictReason::kCapacity);
+  EXPECT_EQ(touched->use_count, 1u);
+  EXPECT_EQ(touched->prefetch_src, 3u);
+}
+
+TEST(LruCache, CallbackFiresOnOverwriteEraseAndClear) {
+  LruCache cache(1 << 20);
+  std::vector<Removal> removals;
+  cache.SetEvictionCallback(Collect(&removals));
+
+  cache.Put("k", MakePrefetched(5, 0, 9, 1));
+  cache.Put("k", MakeEntry(2));  // overwrite: the old entry is reported
+  ASSERT_EQ(removals.size(), 1u);
+  EXPECT_EQ(removals[0].reason, EvictReason::kReplaced);
+  EXPECT_EQ(removals[0].prefetch_plan, 5u);
+  EXPECT_EQ(removals[0].bytes, LruCache::EntryBytes("k", MakePrefetched(5, 0, 9, 1)));
+
+  EXPECT_TRUE(cache.Erase("k"));
+  ASSERT_EQ(removals.size(), 2u);
+  EXPECT_EQ(removals[1].reason, EvictReason::kErased);
+  EXPECT_EQ(removals[1].prefetch_plan, 0u);  // the demand-filled overwrite
+
+  cache.Put("a", MakeEntry());
+  cache.Put("b", MakeEntry());
+  cache.Clear();
+  ASSERT_EQ(removals.size(), 4u);
+  EXPECT_EQ(removals[2].reason, EvictReason::kCleared);
+  EXPECT_EQ(removals[3].reason, EvictReason::kCleared);
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(LruCache, OversizedReplacementReportsBothRemovals) {
+  CachedResult small = MakeEntry(1);
+  LruCache cache(small.result.ByteSize() + 200);
+  std::vector<Removal> removals;
+  cache.SetEvictionCallback(Collect(&removals));
+
+  cache.Put("k", MakePrefetched(3, 0, 4, 1));
+  // The replacement is larger than the whole cache: the old entry is
+  // replaced, then the oversize new entry is itself dropped — the
+  // callback must see the prefetched original exactly once.
+  cache.Put("k", MakeEntry(100000));
+  EXPECT_EQ(cache.Peek("k"), nullptr);
+  int prefetched_reports = 0;
+  for (const Removal& r : removals) {
+    if (r.prefetch_plan == 3) ++prefetched_reports;
+  }
+  EXPECT_EQ(prefetched_reports, 1);
+}
+
+TEST(LruCache, GetIncrementsUseCountEachHit) {
+  LruCache cache(1 << 20);
+  cache.Put("k", MakePrefetched(1, 0, 2));
+  EXPECT_EQ(cache.Get("k")->use_count, 1u);
+  EXPECT_EQ(cache.Get("k")->use_count, 2u);
+  EXPECT_EQ(cache.Peek("k")->use_count, 2u);  // Peek never bumps
+
+  std::vector<Removal> removals;
+  cache.SetEvictionCallback(Collect(&removals));
+  cache.Erase("k");
+  ASSERT_EQ(removals.size(), 1u);
+  EXPECT_EQ(removals[0].use_count, 2u);
 }
 
 }  // namespace

@@ -1,0 +1,293 @@
+// Tests for the prefetch cost/benefit fold (PrefetchAudit): scoreboard
+// arithmetic from synthetic event streams, the chrono_prefetch_*_total
+// counter families it drives, and an end-to-end run through ChronoServer
+// asserting the scraped counters reconcile exactly with the offline
+// snapshot — the same guarantee tools/chrono_audit relies on.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "obs/audit.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/server.h"
+
+namespace chrono::obs {
+namespace {
+
+JournalEvent Ev(JournalEventType type, uint64_t plan = 0, uint64_t src = 0,
+                uint64_t tmpl = 0, uint64_t a = 0, uint64_t b = 0,
+                uint64_t c = 0, uint8_t flags = 0) {
+  JournalEvent event;
+  event.type = type;
+  event.ts_us = 1;  // folds ignore timestamps
+  event.plan = plan;
+  event.src = src;
+  event.tmpl = tmpl;
+  event.a = a;
+  event.b = b;
+  event.c = c;
+  event.flags = flags;
+  return event;
+}
+
+void Feed(PrefetchAudit* audit, const std::vector<JournalEvent>& events) {
+  audit->OnEvents(events.data(), events.size());
+}
+
+const PrefetchAudit::Score* FindScore(
+    const std::vector<PrefetchAudit::Score>& scores, const std::string& key) {
+  for (const PrefetchAudit::Score& s : scores) {
+    if (s.key == key) return &s;
+  }
+  return nullptr;
+}
+
+/// Sums one counter family's instances carrying `label_key`, e.g. all
+/// chrono_prefetch_installed_total{plan="..."} samples.
+uint64_t SumCounters(const MetricsRegistry& registry, const std::string& name,
+                     const std::string& label_key) {
+  uint64_t total = 0;
+  for (const MetricSnapshot& m : registry.Snapshot().metrics) {
+    if (m.name != name) continue;
+    for (const auto& [k, v] : m.labels) {
+      if (k == label_key) {
+        total += static_cast<uint64_t>(m.value);
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+TEST(PrefetchAudit, FoldsPlanLifecycleIntoScoreboards) {
+  PrefetchAudit audit;
+  Feed(&audit, {
+      // Plan instance 100 rooted at template 5, two slots.
+      Ev(JournalEventType::kPlanMined, 100, 0, 5, /*a=*/2),
+      Ev(JournalEventType::kCombinedIssued, 100),
+      Ev(JournalEventType::kCombinedFetched, 100, 0, 0, /*rows=*/10,
+         /*bytes=*/5000, /*round_us=*/2000, kJournalFlagOk),
+      Ev(JournalEventType::kEntryInstalled, 100, 0, 5, /*bytes=*/300),
+      Ev(JournalEventType::kEntryInstalled, 100, 5, 7, /*bytes=*/400),
+      Ev(JournalEventType::kEntryUsed, 100, 5, 7, /*bytes=*/400,
+         /*ttfu_us=*/1500),
+      // The root slice dies unused: that is the wasted half of the plan.
+      Ev(JournalEventType::kEntryEvicted, 100, 0, 5, /*bytes=*/300,
+         /*resident_us=*/900, 0, /*flags=*/kJournalEvictCapacity),
+  });
+
+  PrefetchAudit::Snapshot snap = audit.snapshot();
+  EXPECT_EQ(snap.events_folded, 7u);
+
+  const PrefetchAudit::Score* plan = FindScore(snap.plans, "5");
+  ASSERT_NE(plan, nullptr) << "plan keyed by root template";
+  EXPECT_EQ(plan->mined, 1u);
+  EXPECT_EQ(plan->issued, 1u);
+  EXPECT_EQ(plan->fetch_ok, 1u);
+  EXPECT_EQ(plan->fetch_failed, 0u);
+  EXPECT_EQ(plan->rows_fetched, 10u);
+  EXPECT_EQ(plan->wan_bytes, 5000u);
+  EXPECT_EQ(plan->installed, 2u);
+  EXPECT_EQ(plan->installed_bytes, 700u);
+  EXPECT_EQ(plan->used, 1u);
+  EXPECT_EQ(plan->evicted_unused, 1u);
+  EXPECT_EQ(plan->evicted_used, 0u);
+  EXPECT_EQ(plan->wasted_bytes, 300u);
+  EXPECT_DOUBLE_EQ(plan->precision, 0.5);
+  EXPECT_GT(plan->median_ttfu_us, 0.0);
+
+  const PrefetchAudit::Score* root_edge = FindScore(snap.edges, "root");
+  ASSERT_NE(root_edge, nullptr);
+  EXPECT_EQ(root_edge->installed, 1u);
+  EXPECT_EQ(root_edge->used, 0u);
+  EXPECT_EQ(root_edge->evicted_unused, 1u);
+  EXPECT_EQ(root_edge->wasted_bytes, 300u);
+
+  const PrefetchAudit::Score* edge = FindScore(snap.edges, "5->7");
+  ASSERT_NE(edge, nullptr) << "transition edge keyed src->dst";
+  EXPECT_EQ(edge->installed, 1u);
+  EXPECT_EQ(edge->used, 1u);
+  EXPECT_DOUBLE_EQ(edge->precision, 1.0);
+  EXPECT_EQ(edge->wasted_bytes, 0u);
+
+  EXPECT_EQ(snap.TotalInstalled(), 2u);
+  EXPECT_EQ(snap.TotalUsed(), 1u);
+  EXPECT_EQ(snap.TotalWastedBytes(), 300u);
+  EXPECT_DOUBLE_EQ(snap.OverallPrecision(), 0.5);
+}
+
+TEST(PrefetchAudit, UnknownPlanAndInvalidationWasteAccounting) {
+  PrefetchAudit audit;
+  Feed(&audit, {
+      // Plan 999 was never mined (its kPlanMined event was dropped):
+      // everything folds under "unknown" instead of being lost.
+      Ev(JournalEventType::kEntryInstalled, 999, 0, 4, /*bytes=*/500),
+      Ev(JournalEventType::kEntryInvalidated, 999, 0, 4, /*bytes=*/500,
+         /*resident_us=*/100, 0, /*flags=*/0),  // unused: wasted
+      Ev(JournalEventType::kEntryInstalled, 999, 0, 4, /*bytes=*/200),
+      Ev(JournalEventType::kEntryUsed, 999, 0, 4, /*bytes=*/200, 10),
+      Ev(JournalEventType::kEntryInvalidated, 999, 0, 4, /*bytes=*/200,
+         /*resident_us=*/300, 0, /*flags=*/kJournalFlagUsed),  // earned
+  });
+
+  PrefetchAudit::Snapshot snap = audit.snapshot();
+  const PrefetchAudit::Score* plan = FindScore(snap.plans, "unknown");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->installed, 2u);
+  EXPECT_EQ(plan->invalidated, 2u);
+  EXPECT_EQ(plan->invalidated_unused, 1u);
+  // Only the entry that died before any hit counts as wasted WAN bytes.
+  EXPECT_EQ(plan->wasted_bytes, 500u);
+  EXPECT_EQ(snap.TotalInvalidated(), 2u);
+  EXPECT_EQ(snap.TotalWastedBytes(), 500u);
+}
+
+TEST(PrefetchAudit, FoldsRequestOutcomesAndStageProfile) {
+  PrefetchAudit audit;
+  JournalEvent timed = Ev(JournalEventType::kRequest, 0, 0, /*tmpl=*/9,
+                          PackDurations(10, 20), PackDurations(30, 40),
+                          PackDurations(5, 105),
+                          static_cast<uint8_t>(TraceOutcome::kRemotePlain));
+  // A simulator-style event: outcome counts, but no wall-clock latency.
+  JournalEvent no_latency =
+      Ev(JournalEventType::kRequest, 0, 0, /*tmpl=*/9, 0, 0, 0,
+         static_cast<uint8_t>(TraceOutcome::kCacheHit) |
+             kJournalFlagNoLatency);
+  Feed(&audit, {timed, no_latency});
+
+  PrefetchAudit::Snapshot snap = audit.snapshot();
+  EXPECT_EQ(snap.requests, 2u);
+  EXPECT_EQ(snap.requests_with_latency, 1u);
+  EXPECT_EQ(snap.outcome_counts[static_cast<int>(TraceOutcome::kRemotePlain)],
+            1u);
+  EXPECT_EQ(snap.outcome_counts[static_cast<int>(TraceOutcome::kCacheHit)],
+            1u);
+  const uint64_t expected[PrefetchAudit::kStageSlots] = {10, 20, 30,
+                                                         40, 5,  105};
+  for (int s = 0; s < PrefetchAudit::kStageSlots; ++s) {
+    EXPECT_EQ(snap.stage_sum_us[s], expected[s]) << "stage " << s;
+  }
+
+  ASSERT_EQ(snap.templates.size(), 1u);
+  EXPECT_EQ(snap.templates[0].tmpl, 9u);
+  EXPECT_EQ(snap.templates[0].requests, 2u);
+  const PrefetchAudit::OutcomeLatency& plain =
+      snap.templates[0]
+          .outcomes[static_cast<int>(TraceOutcome::kRemotePlain)];
+  EXPECT_EQ(plain.count, 1u);
+  EXPECT_DOUBLE_EQ(plain.mean_us, 105.0);
+}
+
+TEST(PrefetchAudit, DrivesCounterFamiliesThatReconcileWithSnapshot) {
+  MetricsRegistry registry;
+  PrefetchAudit audit(&registry);
+  Feed(&audit, {
+      Ev(JournalEventType::kPlanMined, 1, 0, 5, 2),
+      Ev(JournalEventType::kEntryInstalled, 1, 0, 5, 300),
+      Ev(JournalEventType::kEntryInstalled, 1, 5, 7, 400),
+      Ev(JournalEventType::kEntryUsed, 1, 5, 7, 400, 10),
+      Ev(JournalEventType::kEntryEvicted, 1, 0, 5, 300, 100, 0, 0),
+      Ev(JournalEventType::kEntryInstalled, 2, 0, 4, 100),  // unknown plan
+      Ev(JournalEventType::kEntryInvalidated, 2, 0, 4, 100, 50, 0, 0),
+  });
+
+  PrefetchAudit::Snapshot snap = audit.snapshot();
+  // The counters and the snapshot are two views of one fold: sums over
+  // either label dimension must equal the snapshot totals exactly.
+  for (const char* dim : {"plan", "edge"}) {
+    EXPECT_EQ(SumCounters(registry, "chrono_prefetch_installed_total", dim),
+              snap.TotalInstalled())
+        << dim;
+    EXPECT_EQ(SumCounters(registry, "chrono_prefetch_used_total", dim),
+              snap.TotalUsed())
+        << dim;
+    EXPECT_EQ(SumCounters(registry, "chrono_prefetch_invalidated_total", dim),
+              snap.TotalInvalidated())
+        << dim;
+    EXPECT_EQ(SumCounters(registry, "chrono_prefetch_wasted_bytes_total", dim),
+              snap.TotalWastedBytes())
+        << dim;
+  }
+  EXPECT_EQ(snap.TotalInstalled(), 3u);
+  EXPECT_EQ(snap.TotalUsed(), 1u);
+  EXPECT_EQ(snap.TotalInvalidated(), 1u);
+  EXPECT_EQ(snap.TotalWastedBytes(), 400u);  // 300 evicted + 100 invalidated
+}
+
+// End-to-end: a real ChronoServer run whose scraped chrono_prefetch_*
+// counters must reconcile with the audit snapshot from the same journal —
+// the property that makes /metrics and chrono_audit interchangeable.
+TEST(PrefetchAuditE2E, ServerCountersReconcileWithAuditSnapshot) {
+  db::Database db;
+  ASSERT_TRUE(db.ExecuteText("CREATE TABLE t (id INT, v TEXT)").ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.ExecuteText("INSERT INTO t (id, v) VALUES (" +
+                               std::to_string(i) + ", 'v" +
+                               std::to_string(i) + "')")
+                    .ok());
+  }
+
+  MetricsRegistry registry;
+  runtime::ServerConfig config;
+  config.workers = 2;
+  config.extract_every = 2;
+  config.registry = &registry;
+  runtime::ChronoServer server(&db, config);
+  ASSERT_NE(server.journal(), nullptr);
+  ASSERT_NE(server.audit(), nullptr);
+
+  // The same learnable pattern as the runtime tests: an id read drives a
+  // dependent lookup, so the graph mines a combined plan and prefetches.
+  for (int round = 0; round < 12; ++round) {
+    int id = round % 4;
+    ASSERT_TRUE(server
+                    .Submit(1, "SELECT id FROM t WHERE id = " +
+                                   std::to_string(id))
+                    .get()
+                    .ok());
+    ASSERT_TRUE(server
+                    .Submit(1, "SELECT v FROM t WHERE id = " +
+                                   std::to_string(id))
+                    .get()
+                    .ok());
+  }
+  server.Shutdown();  // drains queued background prefetches
+  runtime::ServerMetrics m = server.metrics();
+  server.journal()->Stop();  // final drain into the audit sink
+  EXPECT_EQ(server.journal()->events_dropped(), 0u);
+
+  PrefetchAudit::Snapshot snap = server.audit()->snapshot();
+  EXPECT_EQ(snap.requests, 24u);  // one kRequest per served statement
+  EXPECT_GT(m.remote_combined + m.predictions_cached, 0u)
+      << "workload must actually trigger prefetching";
+  // Every predictively cached entry produced exactly one kEntryInstalled.
+  EXPECT_EQ(snap.TotalInstalled(), m.predictions_cached);
+  if (m.predictions_cached > 0) {
+    EXPECT_FALSE(snap.plans.empty());
+    EXPECT_FALSE(snap.edges.empty());
+  }
+
+  for (const char* dim : {"plan", "edge"}) {
+    EXPECT_EQ(SumCounters(registry, "chrono_prefetch_installed_total", dim),
+              snap.TotalInstalled())
+        << dim;
+    EXPECT_EQ(SumCounters(registry, "chrono_prefetch_used_total", dim),
+              snap.TotalUsed())
+        << dim;
+    EXPECT_EQ(SumCounters(registry, "chrono_prefetch_invalidated_total", dim),
+              snap.TotalInvalidated())
+        << dim;
+    EXPECT_EQ(SumCounters(registry, "chrono_prefetch_wasted_bytes_total", dim),
+              snap.TotalWastedBytes())
+        << dim;
+  }
+}
+
+}  // namespace
+}  // namespace chrono::obs

@@ -9,13 +9,18 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "obs/audit.h"
 #include "obs/export.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/stats_server.h"
 #include "obs/trace.h"
@@ -112,6 +117,25 @@ TEST(PrometheusValidator, RejectsCountBucketMismatch) {
       "h_ns_bucket{le=\"+Inf\"} 5\n"
       "h_ns_sum 5\nh_ns_count 7\n";
   EXPECT_FALSE(ValidatePrometheusText(text).ok());
+}
+
+TEST(PrometheusValidator, RejectsCounterWithoutTotalSuffix) {
+  Status s = ValidatePrometheusText(
+      "# HELP reqs h\n# TYPE reqs counter\nreqs 3\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("must end in '_total'"), std::string::npos);
+  // Gauges and histograms carry no suffix requirement.
+  EXPECT_TRUE(
+      ValidatePrometheusText("# HELP d h\n# TYPE d gauge\nd 3\n").ok());
+}
+
+TEST(PrometheusValidator, RejectsHelpAfterFirstSample) {
+  std::string text =
+      "# HELP x_total h\n# TYPE x_total counter\nx_total{op=\"r\"} 1\n"
+      "# HELP x_total late\nx_total{op=\"w\"} 2\n";
+  Status s = ValidatePrometheusText(text);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("after its first sample"), std::string::npos);
 }
 
 TEST(PrometheusValidator, AcceptsHandWrittenValidHistogram) {
@@ -240,6 +264,100 @@ TEST(StatsServer, NullTraceRingServesEmptyList) {
   ASSERT_TRUE(server.Start(0).ok());
   std::string traces = HttpGet(server.port(), "/traces");
   EXPECT_NE(traces.find("{\"traces\":[]}"), std::string::npos);
+}
+
+TEST(StatsServer, HealthzReportsUptimeWithoutAudit) {
+  MetricsRegistry r;
+  r.GetCounter("one_total", "h")->Increment();
+  StatsServer server(&r, nullptr);
+  ASSERT_TRUE(server.Start(0).ok());
+  std::string health = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.find("\"uptime_seconds\":"), std::string::npos);
+  // No audit attached: /prefetch degrades to an explicit "off" document.
+  EXPECT_NE(HttpGet(server.port(), "/prefetch").find("\"enabled\":false"),
+            std::string::npos);
+}
+
+TEST(StatsServer, PrefetchEndpointRendersAuditScoreboards) {
+  MetricsRegistry r;
+  r.GetCounter("one_total", "h")->Increment();
+  PrefetchAudit audit(nullptr);
+  JournalEvent events[3] = {};
+  events[0].type = JournalEventType::kPlanMined;
+  events[0].ts_us = 1;
+  events[0].plan = 1;
+  events[0].tmpl = 5;
+  events[0].a = 2;
+  events[1].type = JournalEventType::kEntryInstalled;
+  events[1].ts_us = 2;
+  events[1].plan = 1;
+  events[1].tmpl = 7;
+  events[1].src = 5;
+  events[1].a = 100;
+  events[2].type = JournalEventType::kEntryUsed;
+  events[2].ts_us = 3;
+  events[2].plan = 1;
+  events[2].tmpl = 7;
+  events[2].src = 5;
+  events[2].a = 100;
+  events[2].b = 50;
+  audit.OnEvents(events, 3);
+
+  StatsServer server(&r, nullptr, &audit);
+  ASSERT_TRUE(server.Start(0).ok());
+  std::string body = Body(HttpGet(server.port(), "/prefetch"));
+  EXPECT_NE(body.find("\"plans\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"5\""), std::string::npos) << body;   // plan root
+  EXPECT_NE(body.find("5->7"), std::string::npos) << body;    // edge key
+  EXPECT_NE(body.find("\"installed\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"used\":1"), std::string::npos) << body;
+}
+
+TEST(StatsServer, SurvivesConcurrentScrapes) {
+  std::unique_ptr<MetricsRegistry> r(GoldenRegistry());
+  TraceRing ring(4);
+  StatsServer server(r.get(), &ring);
+  ASSERT_TRUE(server.Start(0).ok());
+  int port = server.port();
+
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 12;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([port, t, &bad] {
+      const char* paths[] = {"/metrics", "/metrics.json", "/traces",
+                             "/prefetch", "/healthz"};
+      for (int i = 0; i < kRequests; ++i) {
+        std::string path = paths[(t + i) % 5];
+        std::string response = HttpGet(port, path);
+        if (response.find("200 OK") == std::string::npos) {
+          ++bad;
+          continue;
+        }
+        // Every response must be complete: Content-Length == body size.
+        size_t cl = response.find("Content-Length: ");
+        size_t body_at = response.find("\r\n\r\n");
+        if (cl == std::string::npos || body_at == std::string::npos) {
+          ++bad;
+          continue;
+        }
+        size_t want = std::strtoull(response.c_str() + cl + 16, nullptr, 10);
+        if (response.size() - (body_at + 4) != want) ++bad;
+        if (path == std::string("/metrics") &&
+            !ValidatePrometheusText(response.substr(body_at + 4)).ok()) {
+          ++bad;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GE(server.requests_served(),
+            static_cast<uint64_t>(kThreads * kRequests));
 }
 
 }  // namespace

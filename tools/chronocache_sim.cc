@@ -42,6 +42,9 @@ void Usage() {
       "  --runs N          seeded repetitions (default 1)\n"
       "  --seed N          base RNG seed (default 1)\n"
       "  --groups N        security groups, clients round-robin (default 1)\n"
+      "  --journal-out F   persist the prefetch-efficacy event journal to F\n"
+      "                    (virtual timestamps; analyze with chrono_audit;\n"
+      "                    with --runs N the file holds the last run)\n"
       "  --timeline        print the per-bucket learning curve\n"
       "  --no-loops / --no-loop-constants / --no-combining /\n"
       "  --no-subsumption / --no-redundancy-check\n"
@@ -107,6 +110,8 @@ int main(int argc, char** argv) {
       config.seed = static_cast<uint64_t>(std::atoll(next().c_str()));
     } else if (arg == "--groups") {
       config.security_groups = std::atoi(next().c_str());
+    } else if (arg == "--journal-out") {
+      config.journal_out = next();
     } else if (arg == "--timeline") {
       timeline = true;
     } else if (arg == "--no-loops") {
@@ -194,6 +199,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(last.errors),
               last.errors > 0 ? " first: " : "",
               last.errors > 0 ? last.first_error.c_str() : "");
+  if (!config.journal_out.empty()) {
+    std::printf("journal          : %llu events -> %s\n",
+                static_cast<unsigned long long>(last.journal_events),
+                config.journal_out.c_str());
+  }
 
   if (!last.by_transaction.empty()) {
     std::printf("\nper transaction type (avg query latency):\n");

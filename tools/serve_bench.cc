@@ -24,7 +24,9 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "db/database.h"
+#include "obs/audit.h"
 #include "obs/export.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/stats_server.h"
 #include "runtime/server.h"
@@ -51,6 +53,10 @@ struct BenchOptions {
   std::string json_path;
   int stats_port = -1;       // -1 disables the HTTP stats endpoint
   std::string metrics_path;  // --metrics-out: JSON registry dump (last run)
+  std::string journal_path;  // --journal-out: binary event journal (last run)
+  std::string trace_path;    // --trace-out: final trace ring JSON (last run)
+  bool journal = true;       // --no-journal: A/B the journal overhead
+  int chain_pct = 0;         // flight lookup -> flight_avail follow-up %
   bool progress = true;      // per-second qps/hit-rate/queue-depth line
 };
 
@@ -63,6 +69,11 @@ struct RunResult {
   double p99_ms = 0;
   double mean_ms = 0;
   runtime::ServerMetrics metrics;
+  // Prefetch-efficacy scoreboard totals (zero when --no-journal).
+  uint64_t prefetch_installed = 0;
+  uint64_t prefetch_used = 0;
+  uint64_t prefetch_wasted_bytes = 0;
+  double prefetch_precision = 0;
 };
 
 void Usage() {
@@ -79,12 +90,22 @@ void Usage() {
       "  --hot-pct N       requests hitting the hot key set (default 80)\n"
       "  --customers N / --flights N   SEATS scale (default 2000/2000)\n"
       "  --seed N          base RNG seed (default 1)\n"
+      "  --chain-pct N     after a flight lookup, follow up with the\n"
+      "                    matching flight_avail lookup N%% of the time —\n"
+      "                    a learnable transition the predictor can mine\n"
+      "                    (default 0)\n"
       "  --json FILE       write results as JSON\n"
-      "  --stats-port N    serve /metrics, /metrics.json and /traces on\n"
-      "                    127.0.0.1:N while running (0 = ephemeral port;\n"
-      "                    off by default)\n"
+      "  --stats-port N    serve /metrics, /metrics.json, /traces,\n"
+      "                    /prefetch and /healthz on 127.0.0.1:N while\n"
+      "                    running (0 = ephemeral port; off by default)\n"
       "  --metrics-out F   write a JSON metrics-registry snapshot to F\n"
       "                    after the run (last run when sweeping)\n"
+      "  --journal-out F   persist the prefetch-efficacy event journal\n"
+      "                    to F (binary; analyze with chrono_audit;\n"
+      "                    last run when sweeping)\n"
+      "  --trace-out F     dump the final request-trace ring to F as\n"
+      "                    JSON (last run when sweeping)\n"
+      "  --no-journal      disable the event journal (A/B its overhead)\n"
       "  --no-progress     suppress the per-second progress line\n");
 }
 
@@ -139,9 +160,22 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
   config.cache_bytes = opt.cache_mb << 20;
   config.db_latency_us = opt.db_latency_us;
   config.registry = &registry;
+  config.enable_journal = opt.journal;
+  // Declared before the server: the journal's final drain (in the server
+  // destructor) must find the file sink still alive.
+  std::unique_ptr<obs::JournalFileSink> journal_sink;
+  if (opt.journal && !opt.journal_path.empty()) {
+    journal_sink = obs::JournalFileSink::Open(opt.journal_path);
+    if (journal_sink == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", opt.journal_path.c_str());
+    }
+  }
   runtime::ChronoServer server(db, config);
+  if (journal_sink != nullptr && server.journal() != nullptr) {
+    server.journal()->AddSink(journal_sink.get());
+  }
 
-  obs::StatsServer stats(server.registry(), server.traces());
+  obs::StatsServer stats(server.registry(), server.traces(), server.audit());
   if (opt.stats_port >= 0) {
     Status started = stats.Start(opt.stats_port);
     if (!started.ok()) {
@@ -168,8 +202,21 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
               static_cast<uint64_t>(c));
       SampleStats& lat = per_client[static_cast<size_t>(c)];
       uint64_t ops = 0;
+      int64_t chain_key = -1;  // flight id awaiting its follow-up lookup
       while (!stop.load(std::memory_order_relaxed)) {
-        std::string sql = NextQuery(&rng, opt);
+        std::string sql;
+        if (chain_key >= 0) {
+          sql = "SELECT fa_seats_left FROM flight_avail WHERE fa_f_id = " +
+                std::to_string(chain_key);
+          chain_key = -1;
+        } else {
+          sql = NextQuery(&rng, opt);
+          if (opt.chain_pct > 0 &&
+              sql.rfind("SELECT f_id, f_al_id", 0) == 0 &&
+              rng.NextInt(0, 99) < opt.chain_pct) {
+            chain_key = std::atoll(sql.c_str() + sql.rfind('=') + 1);
+          }
+        }
         auto t0 = std::chrono::steady_clock::now();
         auto result = server.Submit(c, std::move(sql)).get();
         auto t1 = std::chrono::steady_clock::now();
@@ -199,11 +246,16 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
     uint64_t done = m.reads + m.writes;
     double interval = std::chrono::duration<double>(now - last_tick).count();
     double secs = std::chrono::duration<double>(now - started).count();
-    std::printf("  t=%4.1fs  %7.1f qps  hit-rate %5.1f%%  queue %zu\n", secs,
-                interval > 0
-                    ? static_cast<double>(done - last_done) / interval
-                    : 0,
-                100.0 * m.CacheHitRate(), server.pool().queue_depth());
+    double precision = server.audit() != nullptr
+                           ? server.audit()->snapshot().OverallPrecision()
+                           : 0;
+    std::printf(
+        "  t=%4.1fs  %7.1f qps  hit-rate %5.1f%%  prefetch-prec %5.1f%%  "
+        "queue %zu\n",
+        secs,
+        interval > 0 ? static_cast<double>(done - last_done) / interval : 0,
+        100.0 * m.CacheHitRate(), 100.0 * precision,
+        server.pool().queue_depth());
     std::fflush(stdout);
     last_done = done;
     last_tick = now;
@@ -241,6 +293,33 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
   }
   stats.Stop();
   server.Shutdown();
+
+  // Workers are joined: the journal can take its exact final drain, and
+  // the audit scoreboards are complete.
+  if (server.journal() != nullptr) server.journal()->Stop();
+  if (server.audit() != nullptr) {
+    obs::PrefetchAudit::Snapshot snap = server.audit()->snapshot();
+    out.prefetch_installed = snap.TotalInstalled();
+    out.prefetch_used = snap.TotalUsed();
+    out.prefetch_wasted_bytes = snap.TotalWastedBytes();
+    out.prefetch_precision = snap.OverallPrecision();
+  }
+  if (journal_sink != nullptr) {
+    journal_sink->Flush();
+    std::printf("wrote %s (%llu events)\n", opt.journal_path.c_str(),
+                static_cast<unsigned long long>(journal_sink->events_written()));
+  }
+  if (!opt.trace_path.empty() && server.traces() != nullptr) {
+    FILE* f = std::fopen(opt.trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", opt.trace_path.c_str());
+    } else {
+      std::string json = obs::TracesToJson(server.traces()->Snapshot());
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", opt.trace_path.c_str());
+    }
+  }
   return out;
 }
 
@@ -271,12 +350,18 @@ void WriteJson(const BenchOptions& opt, const std::vector<RunResult>& runs) {
         "    {\"workers\": %d, \"ops\": %llu, \"throughput_qps\": %.1f, "
         "\"mean_ms\": %.3f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
         "\"cache_hit_rate\": %.4f, \"remote_plain\": %llu, "
-        "\"remote_combined\": %llu, \"predictions_cached\": %llu}%s\n",
+        "\"remote_combined\": %llu, \"predictions_cached\": %llu, "
+        "\"prefetch_installed\": %llu, \"prefetch_used\": %llu, "
+        "\"prefetch_precision\": %.4f, \"prefetch_wasted_bytes\": %llu}%s\n",
         r.workers, static_cast<unsigned long long>(r.ops), r.throughput,
         r.mean_ms, r.p50_ms, r.p99_ms, r.metrics.CacheHitRate(),
         static_cast<unsigned long long>(r.metrics.remote_plain),
         static_cast<unsigned long long>(r.metrics.remote_combined),
         static_cast<unsigned long long>(r.metrics.predictions_cached),
+        static_cast<unsigned long long>(r.prefetch_installed),
+        static_cast<unsigned long long>(r.prefetch_used),
+        r.prefetch_precision,
+        static_cast<unsigned long long>(r.prefetch_wasted_bytes),
         i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -342,6 +427,14 @@ int main(int argc, char** argv) {
       opt.stats_port = std::atoi(next().c_str());
     } else if (arg == "--metrics-out") {
       opt.metrics_path = next();
+    } else if (arg == "--journal-out") {
+      opt.journal_path = next();
+    } else if (arg == "--trace-out") {
+      opt.trace_path = next();
+    } else if (arg == "--no-journal") {
+      opt.journal = false;
+    } else if (arg == "--chain-pct") {
+      opt.chain_pct = std::atoi(next().c_str());
     } else if (arg == "--no-progress") {
       opt.progress = false;
     } else {
