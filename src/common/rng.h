@@ -7,6 +7,22 @@
 
 namespace chrono {
 
+/// SplitMix64 finaliser: hashes a counter into an independent uniform
+/// 64-bit value. Stateless, so concurrent callers can derive deterministic
+/// per-event randomness from an atomic ordinal (net::FaultInjector, retry
+/// jitter) without sharing generator state.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Maps a 64-bit hash to a uniform double in [0, 1).
+inline double HashToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
 /// \brief Deterministic pseudo-random number generator (xoshiro256**).
 /// Every simulated client and workload generator owns a seeded Rng so
 /// experiments are bit-reproducible run to run.

@@ -19,6 +19,8 @@ class Status {
     kExecutionError,
     kUnsupported,
     kInternal,
+    kUnavailable,       // backend unreachable / injected fault / breaker open
+    kDeadlineExceeded,  // remote call abandoned at its deadline budget
   };
 
   Status() : code_(Code::kOk) {}
@@ -41,6 +43,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -1,6 +1,8 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 
 namespace chrono {
 
@@ -33,6 +35,54 @@ std::string ToUpper(std::string_view s) {
   std::string out(s);
   for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
   return out;
+}
+
+namespace {
+
+/// strtoll/strtod accept leading whitespace and stop at the first bad
+/// character; flag parsing wants neither, so pre-check the shape and demand
+/// full consumption of a NUL-terminated copy.
+bool PrepareNumeric(std::string_view s, std::string* buf) {
+  if (s.empty() || std::isspace(static_cast<unsigned char>(s.front()))) {
+    return false;
+  }
+  buf->assign(s);
+  return true;
+}
+
+}  // namespace
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  std::string buf;
+  if (!PrepareNumeric(s, &buf)) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  std::string buf;
+  if (!PrepareNumeric(s, &buf) || buf.front() == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  std::string buf;
+  if (!PrepareNumeric(s, &buf)) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
 }
 
 bool EqualsIgnoreCase(std::string_view a, std::string_view b) {

@@ -22,6 +22,14 @@ std::string ToUpper(std::string_view s);
 /// True if both strings are equal ignoring ASCII case.
 bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
+/// Strict numeric parsers for command-line flags: the whole string must be
+/// one well-formed number (no trailing junk, no empty input, no overflow).
+/// Returns false without touching *out on malformed input — unlike atoi,
+/// which silently yields 0 for garbage.
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseUint64(std::string_view s, uint64_t* out);
+bool ParseDouble(std::string_view s, double* out);
+
 }  // namespace chrono
 
 #endif  // CHRONOCACHE_COMMON_STRING_UTIL_H_

@@ -7,6 +7,8 @@
 #include <chrono>
 #include <map>
 
+#include "common/rng.h"
+
 namespace chrono::core {
 
 const char* SystemModeName(SystemMode mode) {
@@ -75,13 +77,31 @@ void RemoteDbServer::Submit(std::string sql_text, DbCallback done) {
 
 void RemoteDbServer::Submit(DbRequest request, DbCallback done) {
   ++requests_;
+  double service_multiplier = 1.0;
+  if (fault_ != nullptr && fault_->enabled()) {
+    net::FaultDecision fd = fault_->Decide(events_->now());
+    if (fd.fail) {
+      // The call dies on the WAN: the caller still pays the full round
+      // trip before Unavailable comes back. Blackout failures take the
+      // same path — virtual time has no client deadline to cut short.
+      events_->ScheduleAfter(latency_.wan_rtt,
+                             [done = std::move(done)](SimTime now) {
+                               done(now, Status::Unavailable(
+                                             "injected backend failure"));
+                             });
+      return;
+    }
+    service_multiplier = fd.latency_multiplier;
+  }
   // Outbound WAN half, then queue for a database worker.
-  events_->ScheduleAfter(latency_.wan_rtt / 2,
-                         [this, req = std::move(request),
-                          done = std::move(done)](SimTime) mutable {
-                           waiting_.push_back(Job{std::move(req), std::move(done)});
-                           TryDispatch();
-                         });
+  events_->ScheduleAfter(
+      latency_.wan_rtt / 2,
+      [this, req = std::move(request), done = std::move(done),
+       service_multiplier](SimTime) mutable {
+        waiting_.push_back(
+            Job{std::move(req), std::move(done), service_multiplier});
+        TryDispatch();
+      });
 }
 
 void RemoteDbServer::TryDispatch() {
@@ -113,6 +133,10 @@ void RemoteDbServer::TryDispatch() {
     uint64_t rows = outcome.ok() ? outcome->stats.rows_scanned : 0;
     if (outcome.ok()) rows_scanned_ += rows;
     SimTime service = latency_.DbServiceTime(rows);
+    if (job.service_multiplier > 1.0) {
+      service = static_cast<SimTime>(static_cast<double>(service) *
+                                     job.service_multiplier);
+    }
     busy_time_ += service;
     auto shared =
         std::make_shared<Result<db::ExecOutcome>>(std::move(outcome));
@@ -149,7 +173,8 @@ Middleware::Middleware(EventQueue* events, RemoteDbServer* remote,
       sessions_(config.multi_node),
       extractor_(GraphExtractor::Options{
           config.tau, config.min_occurrences, config.enable_loops,
-          config.enable_loop_constants, /*max_nodes=*/8}) {}
+          config.enable_loop_constants, /*max_nodes=*/8}),
+      retry_(config.retry) {}
 
 Middleware::~Middleware() {
   if (metrics_registry_ != nullptr) {
@@ -196,6 +221,9 @@ void Middleware::RegisterMetrics(obs::MetricsRegistry* registry) {
   mirror("chrono_cascaded_fires_total",
          "Graphs fired by text-availability cascades (sim only)",
          &metrics_.cascaded_fires);
+  mirror("chrono_backend_retries_total",
+         "Demand-read retries after backend transport failures",
+         &metrics_.backend_retries);
 
   // The two query-path caches, uniform family shared with the runtime.
   auto cache_family = [&](const char* which, std::function<double()> hits,
@@ -550,16 +578,49 @@ void Middleware::RemotePlain(ClientId client, int security_group,
   inflight_[key].push_back(PendingRequest{client, std::move(done)});
   inflight_tmpl_[key] = {tmpl, bound_text, security_group};
   ++metrics_.remote_plain;
+  IssuePlainFetch(client, security_group, tmpl, std::move(bound_text), key,
+                  /*attempts=*/1);
+}
 
+void Middleware::IssuePlainFetch(ClientId client, int security_group,
+                                 TemplateId tmpl, std::string bound_text,
+                                 std::string key, int attempts) {
   remote_->Submit(
       bound_text,
-      [this, client, security_group, tmpl, key, bound_text](
+      [this, client, security_group, tmpl, key, bound_text, attempts](
           SimTime, Result<db::ExecOutcome> outcome) {
         sessions_.OnRemoteAccess();
-        auto waiters = std::move(inflight_[key]);
-        inflight_.erase(key);
-        inflight_tmpl_.erase(key);
         if (!outcome.ok()) {
+          // Idempotent demand read: reschedule after a full-jitter backoff
+          // while the waiters (and any late joiners) stay parked under the
+          // in-flight key. Writes and prefetch never take this path.
+          if (config_.enable_retries &&
+              net::RetryPolicy::IsRetryable(outcome.status()) &&
+              retry_.ShouldRetry(attempts)) {
+            ++metrics_.backend_retries;
+            double u =
+                HashToUnit(SplitMix64(config_.retry_seed ^ retry_ordinal_++));
+            SimTime backoff =
+                static_cast<SimTime>(retry_.BackoffUs(attempts, u));
+            obs::JournalEvent event;
+            event.type = obs::JournalEventType::kBackendRetry;
+            event.tmpl = static_cast<uint64_t>(tmpl);
+            event.client = static_cast<uint32_t>(client);
+            event.a = static_cast<uint64_t>(attempts);
+            event.b = static_cast<uint64_t>(backoff);
+            event.c = 0;  // no per-request deadline in virtual time
+            Journal(event);
+            events_->ScheduleAfter(
+                backoff, [this, client, security_group, tmpl, bound_text, key,
+                          attempts](SimTime) {
+                  IssuePlainFetch(client, security_group, tmpl, bound_text,
+                                  key, attempts + 1);
+                });
+            return;
+          }
+          auto waiters = std::move(inflight_[key]);
+          inflight_.erase(key);
+          inflight_tmpl_.erase(key);
           deferred_seq_.erase(key);
           for (auto& w : waiters) {
             JournalRequest(w.client, tmpl, obs::TraceOutcome::kError);
@@ -570,6 +631,9 @@ void Middleware::RemotePlain(ClientId client, int security_group,
           }
           return;
         }
+        auto waiters = std::move(inflight_[key]);
+        inflight_.erase(key);
+        inflight_tmpl_.erase(key);
         CachePut(client, security_group, tmpl, bound_text, outcome->result);
         for (auto& w : waiters) {
           // Fresh database read: Vc = Vd (§5.2).

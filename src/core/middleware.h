@@ -20,7 +20,9 @@
 #include "core/template_registry.h"
 #include "core/transition_graph.h"
 #include "db/database.h"
+#include "net/fault_injector.h"
 #include "net/latency_model.h"
+#include "net/retry_policy.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -57,6 +59,14 @@ struct MiddlewareConfig {
   size_t extract_every = 4;                   // model-mining cadence
   bool enable_subsumption = true;             // §3 redundancy elimination
   bool enable_redundancy_check = true;        // §5.1 cached-prediction skip
+
+  // Fault tolerance. Idempotent demand reads retry transport failures with
+  // full-jitter exponential backoff in virtual time; writes and prefetch
+  // never auto-retry. Backoff jitter is derived deterministically from
+  // retry_seed so repeated runs replay byte-identical.
+  net::RetryOptions retry;
+  bool enable_retries = true;
+  uint64_t retry_seed = 42;
 
   // Capability switches derived from `mode` by Finalize(); individual
   // flags can be overridden afterwards for ablation studies.
@@ -100,6 +110,13 @@ class RemoteDbServer {
   /// the two execution paths.
   void set_text_roundtrip(bool v) { text_roundtrip_ = v; }
 
+  /// Attaches a fault injector consulted once per submission (non-owning;
+  /// must outlive the server, or be detached with nullptr). An injected
+  /// failure costs the caller a full WAN round trip and delivers
+  /// Status::Unavailable; a latency spike stretches the statement's
+  /// service time at dispatch.
+  void SetFaultInjector(net::FaultInjector* injector) { fault_ = injector; }
+
   uint64_t requests() const { return requests_; }
   uint64_t rows_scanned() const { return rows_scanned_; }
   /// Requests executed via a handed-off AST (no server-side parse).
@@ -110,6 +127,7 @@ class RemoteDbServer {
   struct Job {
     DbRequest request;
     DbCallback done;
+    double service_multiplier = 1.0;  // >1 under an injected latency spike
   };
   void TryDispatch();
 
@@ -119,6 +137,7 @@ class RemoteDbServer {
   int workers_;
   int busy_ = 0;
   bool text_roundtrip_ = false;
+  net::FaultInjector* fault_ = nullptr;  // non-owning; null = healthy
   std::deque<Job> waiting_;
   uint64_t requests_ = 0;
   uint64_t rows_scanned_ = 0;
@@ -140,6 +159,7 @@ struct MiddlewareMetrics {
   uint64_t inflight_joins = 0;      // §5.1 duplicate-request coalescing
   uint64_t sequential_prefetches = 0;  // Apollo-style predictions
   uint64_t cascaded_fires = 0;      // graphs fired by split_mark_text_avail
+  uint64_t backend_retries = 0;     // demand-read retries after failures
 
   double CacheHitRate() const {
     return reads == 0 ? 0 : static_cast<double>(cache_hits) /
@@ -268,6 +288,13 @@ class Middleware {
   void RemotePlain(ClientId client, int security_group, TemplateId tmpl,
                    std::string bound_text, ResponseCallback done);
 
+  /// One attempt (1-based) of the plain demand fetch for `key`. Transport
+  /// failures of this idempotent read reschedule the fetch after a
+  /// full-jitter backoff while the waiters stay parked under the in-flight
+  /// key; retries exhausted (or retries disabled) delivers the error.
+  void IssuePlainFetch(ClientId client, int security_group, TemplateId tmpl,
+                       std::string bound_text, std::string key, int attempts);
+
   void Respond(ClientId client, TemplateId tmpl, const sql::ResultSet& result,
                const ResponseCallback& done);
 
@@ -318,6 +345,8 @@ class Middleware {
   obs::MetricsRegistry* metrics_registry_ = nullptr;  // null until attached
   obs::EventJournal* journal_ = nullptr;              // null until attached
   uint64_t next_plan_id_ = 1;
+  net::RetryPolicy retry_;        // schedule for idempotent demand reads
+  uint64_t retry_ordinal_ = 0;    // deterministic backoff-jitter counter
 };
 
 }  // namespace chrono::core

@@ -105,6 +105,8 @@ ExperimentResult RunExperiment(
 
   core::RemoteDbServer remote(&events, &database, config.latency,
                               config.db_workers);
+  net::FaultInjector fault(config.fault);
+  if (fault.enabled()) remote.SetFaultInjector(&fault);
 
   std::vector<std::unique_ptr<core::Middleware>> nodes;
   for (int n = 0; n < config.nodes; ++n) {
@@ -204,7 +206,9 @@ ExperimentResult RunExperiment(
     result.metrics.inflight_joins += m.inflight_joins;
     result.metrics.sequential_prefetches += m.sequential_prefetches;
     result.metrics.cascaded_fires += m.cascaded_fires;
+    result.metrics.backend_retries += m.backend_retries;
   }
+  result.faults_injected = fault.faults_injected();
   result.cache_hit_rate = result.metrics.CacheHitRate();
   for (const auto& [name, stats] : by_transaction) {
     result.by_transaction.emplace_back(name, stats.Mean(),

@@ -1,0 +1,56 @@
+#include "net/fault_injector.h"
+
+#include "common/rng.h"
+
+namespace chrono::net {
+
+FaultInjector::FaultInjector(FaultOptions options) : options_(options) {
+  enabled_ = options_.error_pct > 0.0 ||
+             (options_.spike_multiplier > 1.0 && options_.spike_pct > 0.0) ||
+             options_.blackout_us > 0;
+}
+
+bool FaultInjector::InBlackout(uint64_t now_us) const {
+  if (options_.blackout_us == 0) return false;
+  if (now_us < options_.blackout_start_us) return false;
+  uint64_t offset = now_us - options_.blackout_start_us;
+  if (options_.blackout_period_us > 0) {
+    offset %= options_.blackout_period_us;
+  }
+  return offset < options_.blackout_us;
+}
+
+FaultDecision FaultInjector::Decide(uint64_t now_us) {
+  FaultDecision decision;
+  if (!enabled_) return decision;
+  uint64_t ordinal = ordinal_.fetch_add(1, std::memory_order_relaxed);
+  if (InBlackout(now_us)) {
+    decision.fail = true;
+    decision.blackout = true;
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    blackout_faults_.fetch_add(1, std::memory_order_relaxed);
+    return decision;
+  }
+  // Three independent uniforms from one hashed ordinal stream.
+  uint64_t base = SplitMix64(options_.seed ^ (ordinal * 0x9e3779b97f4a7c15ULL));
+  double u_error = HashToUnit(base);
+  double u_spike = HashToUnit(SplitMix64(base));
+  double u_jitter = HashToUnit(SplitMix64(base + 1));
+  if (u_error * 100.0 < options_.error_pct) {
+    decision.fail = true;
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    return decision;
+  }
+  if (options_.spike_multiplier > 1.0 &&
+      u_spike * 100.0 < options_.spike_pct) {
+    // Jitter the spike in [mult/2, mult] so spiked calls do not stack into
+    // lockstep convoys.
+    decision.latency_multiplier =
+        options_.spike_multiplier * (0.5 + 0.5 * u_jitter);
+    if (decision.latency_multiplier < 1.0) decision.latency_multiplier = 1.0;
+    spikes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return decision;
+}
+
+}  // namespace chrono::net

@@ -1,0 +1,18 @@
+#include "net/retry_policy.h"
+
+namespace chrono::net {
+
+uint64_t RetryPolicy::BackoffCapUs(int attempts_made) const {
+  if (attempts_made < 1) attempts_made = 1;
+  double cap = static_cast<double>(options_.initial_backoff_us);
+  for (int i = 1; i < attempts_made; ++i) {
+    cap *= options_.multiplier;
+    if (cap >= static_cast<double>(options_.max_backoff_us)) {
+      return options_.max_backoff_us;
+    }
+  }
+  uint64_t out = static_cast<uint64_t>(cap);
+  return out > options_.max_backoff_us ? options_.max_backoff_us : out;
+}
+
+}  // namespace chrono::net

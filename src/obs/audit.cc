@@ -9,8 +9,9 @@ namespace chrono::obs {
 
 namespace {
 
-const char* kOutcomeNames[5] = {"cache_hit", "prediction_hit", "remote_plain",
-                                "write", "error"};
+const char* kOutcomeNames[kTraceOutcomeCount] = {
+    "cache_hit", "prediction_hit", "remote_plain",
+    "write",     "error",          "stale_hit"};
 const char* kStageNames[PrefetchAudit::kStageSlots] = {
     "analyze", "cache_lookup", "learn_combine",
     "db_execute", "split_decode", "total"};
@@ -101,6 +102,23 @@ Counter* PrefetchAudit::CounterFor(const char* family, const char* help,
       registry_->GetCounter(family, help, {{label_key, label_value}});
   counters_.emplace(std::move(key), counter);
   return counter;
+}
+
+void PrefetchAudit::BumpPlain(const char* family, const char* help,
+                              uint64_t delta) {
+  if (registry_ == nullptr || delta == 0) return;
+  std::string key;
+  key.reserve(48);
+  key.append(family).push_back('\0');
+  auto it = counters_.find(key);
+  Counter* counter;
+  if (it != counters_.end()) {
+    counter = it->second;
+  } else {
+    counter = registry_->GetCounter(family, help, {});
+    counters_.emplace(std::move(key), counter);
+  }
+  counter->Increment(delta);
 }
 
 void PrefetchAudit::BumpFamilies(const char* family, const char* help,
@@ -202,9 +220,72 @@ void PrefetchAudit::Fold(const JournalEvent& event) {
       }
       break;
     }
+    case JournalEventType::kBackendRetry: {
+      ++availability_.backend_retries;
+      availability_.backoff_us += event.b;
+      BumpPlain("chrono_backend_retries_total",
+                "Demand-read retries after transport failures.");
+      break;
+    }
+    case JournalEventType::kBackendTimeout: {
+      ++availability_.backend_timeouts;
+      if (event.flags & kJournalFlagWrite) ++availability_.write_timeouts;
+      BumpPlain("chrono_backend_timeouts_total",
+                "Remote calls abandoned at their deadline budget.");
+      break;
+    }
+    case JournalEventType::kBreakerTransition: {
+      const char* to = "closed";
+      switch (event.a) {
+        case 0:
+          ++availability_.breaker_closed;
+          to = "closed";
+          break;
+        case 1:
+          ++availability_.breaker_open;
+          to = "open";
+          break;
+        case 2:
+          ++availability_.breaker_half_open;
+          to = "half_open";
+          break;
+      }
+      if (registry_ != nullptr) {
+        CounterFor("chrono_breaker_transitions_total",
+                   "Circuit-breaker state transitions by target state.",
+                   "to", to)
+            ->Increment(1);
+      }
+      break;
+    }
+    case JournalEventType::kStaleServe: {
+      ++availability_.stale_serves;
+      availability_.stale_age_us += event.a;
+      BumpPlain("chrono_stale_serves_total",
+                "Demand reads answered from stale cache entries after a "
+                "backend failure.");
+      break;
+    }
+    case JournalEventType::kShed: {
+      const char* kind;
+      if (event.a == kShedQueueFull) {
+        ++availability_.shed_queue;
+        kind = "prefetch_queue";
+      } else {
+        ++availability_.shed_breaker;
+        kind = "prefetch_breaker";
+      }
+      if (registry_ != nullptr) {
+        CounterFor("chrono_shed_total",
+                   "Best-effort work shed instead of queued or retried.",
+                   "kind", kind)
+            ->Increment(1);
+      }
+      break;
+    }
     case JournalEventType::kRequest: {
       ++requests_;
-      int outcome = std::min<int>(event.flags & 0x0f, 4);
+      int outcome = std::min<int>(event.flags & 0x0f, kTraceOutcomeCount - 1);
       ++outcome_counts_[outcome];
       bool has_latency = (event.flags & kJournalFlagNoLatency) == 0;
       uint64_t total_us = UnpackHi(event.c);
@@ -297,7 +378,10 @@ PrefetchAudit::Snapshot PrefetchAudit::snapshot() const {
   Snapshot out;
   out.events_folded = events_folded_;
   out.requests = requests_;
-  for (int i = 0; i < 5; ++i) out.outcome_counts[i] = outcome_counts_[i];
+  out.availability = availability_;
+  for (int i = 0; i < kTraceOutcomeCount; ++i) {
+    out.outcome_counts[i] = outcome_counts_[i];
+  }
   for (int i = 0; i < kStageSlots; ++i) out.stage_sum_us[i] = stage_sum_us_[i];
   out.requests_with_latency = requests_with_latency_;
 
@@ -327,7 +411,7 @@ PrefetchAudit::Snapshot PrefetchAudit::snapshot() const {
     TemplateStats stats;
     stats.tmpl = tmpl;
     stats.requests = agg.requests;
-    for (int o = 0; o < 5; ++o) {
+    for (int o = 0; o < kTraceOutcomeCount; ++o) {
       const Digest& digest = agg.by_outcome[o];
       stats.outcomes[o].count = digest.count;
       stats.outcomes[o].mean_us = digest.Mean();
@@ -425,7 +509,7 @@ std::string PrefetchAuditJson(const PrefetchAudit::Snapshot& snapshot) {
   out.append("{\"events\":").append(std::to_string(snapshot.events_folded));
   out.append(",\"requests\":").append(std::to_string(snapshot.requests));
   out.append(",\"outcomes\":{");
-  for (int i = 0; i < 5; ++i) {
+  for (int i = 0; i < kTraceOutcomeCount; ++i) {
     if (i > 0) out.push_back(',');
     out.push_back('"');
     out.append(kOutcomeNames[i]);
@@ -440,6 +524,22 @@ std::string PrefetchAuditJson(const PrefetchAudit::Snapshot& snapshot) {
       .append(std::to_string(snapshot.TotalWastedBytes()));
   out.append(",\"invalidated\":")
       .append(std::to_string(snapshot.TotalInvalidated()));
+  const PrefetchAudit::Availability& av = snapshot.availability;
+  out.append("},\"availability\":{\"backend_retries\":")
+      .append(std::to_string(av.backend_retries));
+  out.append(",\"backoff_us\":").append(std::to_string(av.backoff_us));
+  out.append(",\"backend_timeouts\":")
+      .append(std::to_string(av.backend_timeouts));
+  out.append(",\"write_timeouts\":").append(std::to_string(av.write_timeouts));
+  out.append(",\"stale_serves\":").append(std::to_string(av.stale_serves));
+  out.append(",\"stale_age_us\":").append(std::to_string(av.stale_age_us));
+  out.append(",\"shed_queue\":").append(std::to_string(av.shed_queue));
+  out.append(",\"shed_breaker\":").append(std::to_string(av.shed_breaker));
+  out.append(",\"breaker_open\":").append(std::to_string(av.breaker_open));
+  out.append(",\"breaker_half_open\":")
+      .append(std::to_string(av.breaker_half_open));
+  out.append(",\"breaker_closed\":")
+      .append(std::to_string(av.breaker_closed));
   out.append("},\"stage_sum_us\":{");
   for (int i = 0; i < PrefetchAudit::kStageSlots; ++i) {
     if (i > 0) out.push_back(',');
@@ -465,7 +565,7 @@ std::string PrefetchAuditJson(const PrefetchAudit::Snapshot& snapshot) {
     out.append(",\"requests\":").append(std::to_string(t.requests));
     out.append(",\"outcomes\":{");
     bool first = true;
-    for (int o = 0; o < 5; ++o) {
+    for (int o = 0; o < kTraceOutcomeCount; ++o) {
       if (t.outcomes[o].count == 0) continue;
       if (!first) out.push_back(',');
       first = false;

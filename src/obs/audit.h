@@ -9,6 +9,7 @@
 
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace chrono::obs {
 
@@ -80,7 +81,32 @@ class PrefetchAudit : public JournalSink {
   struct TemplateStats {
     uint64_t tmpl = 0;
     uint64_t requests = 0;
-    OutcomeLatency outcomes[5];  // indexed by TraceOutcome
+    OutcomeLatency outcomes[kTraceOutcomeCount];  // indexed by TraceOutcome
+  };
+
+  /// Availability/degradation board folded from the fault-tolerance
+  /// events (retries, timeouts, breaker transitions, stale serves, shed
+  /// work). The same fold drives chrono_backend_retries_total,
+  /// chrono_backend_timeouts_total, chrono_stale_serves_total,
+  /// chrono_shed_total{kind} and chrono_breaker_transitions_total{to}, so
+  /// scraped counters reconcile with the journal by construction.
+  struct Availability {
+    uint64_t backend_retries = 0;
+    uint64_t backoff_us = 0;        // summed backoff waits
+    uint64_t backend_timeouts = 0;
+    uint64_t write_timeouts = 0;    // subset of timeouts on writes
+    uint64_t stale_serves = 0;
+    uint64_t stale_age_us = 0;      // summed age of served stale entries
+    uint64_t shed_queue = 0;        // prefetch shed: pool queue saturated
+    uint64_t shed_breaker = 0;      // prefetch shed: breaker unhealthy
+    uint64_t breaker_open = 0;      // transitions into each state
+    uint64_t breaker_half_open = 0;
+    uint64_t breaker_closed = 0;    // re-closes only (not the initial state)
+
+    bool Any() const {
+      return backend_retries | backend_timeouts | stale_serves | shed_queue |
+             shed_breaker | breaker_open | breaker_half_open | breaker_closed;
+    }
   };
 
   static constexpr int kStageSlots = 6;  // 5 pipeline stages + total
@@ -88,7 +114,8 @@ class PrefetchAudit : public JournalSink {
   struct Snapshot {
     uint64_t events_folded = 0;
     uint64_t requests = 0;
-    uint64_t outcome_counts[5] = {};
+    uint64_t outcome_counts[kTraceOutcomeCount] = {};
+    Availability availability;
     /// Summed µs per pipeline stage across all requests with latency:
     /// analyze, cache-lookup, learn/combine, db-execute, split/decode,
     /// total (the same order as obs::Stage, total last).
@@ -138,7 +165,7 @@ class PrefetchAudit : public JournalSink {
 
   struct TemplateAgg {
     uint64_t requests = 0;
-    Digest by_outcome[5];
+    Digest by_outcome[kTraceOutcomeCount];
   };
 
   void Fold(const JournalEvent& event);
@@ -147,6 +174,8 @@ class PrefetchAudit : public JournalSink {
   /// Cached get-or-create of one chrono_prefetch_* counter instance.
   Counter* CounterFor(const char* family, const char* help,
                       const char* label_key, const std::string& label_value);
+  /// Cached get-or-create of an unlabelled availability counter.
+  void BumpPlain(const char* family, const char* help, uint64_t delta = 1);
   void BumpFamilies(const char* family, const char* help,
                     const std::string& plan_key, const std::string& edge_key,
                     uint64_t delta);
@@ -159,7 +188,8 @@ class PrefetchAudit : public JournalSink {
   mutable std::mutex mutex_;
   uint64_t events_folded_ = 0;
   uint64_t requests_ = 0;
-  uint64_t outcome_counts_[5] = {};
+  uint64_t outcome_counts_[kTraceOutcomeCount] = {};
+  Availability availability_;
   uint64_t stage_sum_us_[kStageSlots] = {};
   uint64_t requests_with_latency_ = 0;
   std::map<uint64_t, uint64_t> plan_root_;  // plan instance id -> root tmpl

@@ -37,6 +37,11 @@ const char* JournalEventTypeName(JournalEventType type) {
     case JournalEventType::kEntryEvicted: return "entry_evicted";
     case JournalEventType::kEntryInvalidated: return "entry_invalidated";
     case JournalEventType::kRequest: return "request";
+    case JournalEventType::kBackendRetry: return "backend_retry";
+    case JournalEventType::kBackendTimeout: return "backend_timeout";
+    case JournalEventType::kBreakerTransition: return "breaker_transition";
+    case JournalEventType::kStaleServe: return "stale_serve";
+    case JournalEventType::kShed: return "shed";
   }
   return "?";
 }

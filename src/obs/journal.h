@@ -32,6 +32,11 @@ enum class JournalEventType : uint8_t {
   kEntryEvicted,      // LRU/replace eviction (flags bit0 = was used)
   kEntryInvalidated,  // removed as stale after a write (flags bit0 = used)
   kRequest,           // one served client statement (flags = outcome)
+  kBackendRetry,      // demand read backing off before another attempt
+  kBackendTimeout,    // remote call abandoned at its deadline budget
+  kBreakerTransition, // circuit breaker changed state (a = to, b = from)
+  kStaleServe,        // demand fetch failed; served a stale cached entry
+  kShed,              // best-effort work shed (a = shed kind)
 };
 
 const char* JournalEventTypeName(JournalEventType type);
@@ -46,6 +51,12 @@ inline constexpr uint8_t kJournalEvictReplaced = 1u << 1;
 /// event whose stage durations are not wall-clock µs (the simulator
 /// journals virtual time and zero latencies) so latency digests skip it.
 inline constexpr uint8_t kJournalFlagNoLatency = 1u << 6;
+/// kBackendTimeout: set when the abandoned call was a write.
+inline constexpr uint8_t kJournalFlagWrite = 1u << 1;
+
+/// kShed payload `a`: why best-effort work was dropped.
+inline constexpr uint64_t kShedQueueFull = 0;       // pool queue saturated
+inline constexpr uint64_t kShedBreakerUnhealthy = 1; // breaker not closed
 
 /// \brief One fixed-size binary journal record. Payload fields `a`/`b`/`c`
 /// are typed per event (see DESIGN.md §10 for the full schema):
@@ -60,6 +71,13 @@ inline constexpr uint8_t kJournalFlagNoLatency = 1u << 6;
 ///   kRequest         a = analyze µs | cache-lookup µs << 32
 ///                    b = learn/combine µs | db-execute µs << 32
 ///                    c = split/decode µs | total µs << 32
+///   kBackendRetry    a = attempts made so far, b = backoff µs,
+///                    c = deadline remaining µs (0 = unlimited)
+///   kBackendTimeout  a = attempt budget µs (flags bit1 = write)
+///   kBreakerTransition a = new state, b = old state
+///                      (net::CircuitBreaker::State numeric values)
+///   kStaleServe      a = entry age µs, b = allowed bound µs
+///   kShed            a = shed kind (kShedQueueFull / kShedBreakerUnhealthy)
 ///
 /// `plan`/`src`/`tmpl` carry prefetch attribution: the combined-plan id,
 /// the transition-graph edge source template (0 = plan root), and the

@@ -168,12 +168,25 @@ void StatsServer::HandleConnection(int fd) {
     WriteAll(fd, HttpResponse(200, "OK", "application/json", body));
   } else if (path == "/healthz") {
     uint64_t uptime_us = MonotonicMicros() - started_us_;
-    std::string body =
-        "{\"status\":\"ok\",\"uptime_seconds\":" +
-        std::to_string(static_cast<double>(uptime_us) / 1e6) +
-        ",\"requests_served\":" +
-        std::to_string(served_.load(std::memory_order_relaxed)) + "}";
-    WriteAll(fd, HttpResponse(200, "OK", "application/json", body));
+    Health health;
+    if (health_) health = health_();
+    std::string body = "{\"status\":\"";
+    body += health.ok ? "ok" : "degraded";
+    body += "\"";
+    if (!health.ok) {
+      // Reasons are fixed internal strings; no JSON escaping needed.
+      body += ",\"reason\":\"" + health.reason + "\"";
+    }
+    body += ",\"uptime_seconds\":" +
+            std::to_string(static_cast<double>(uptime_us) / 1e6) +
+            ",\"requests_served\":" +
+            std::to_string(served_.load(std::memory_order_relaxed)) + "}";
+    if (health.ok) {
+      WriteAll(fd, HttpResponse(200, "OK", "application/json", body));
+    } else {
+      WriteAll(fd, HttpResponse(503, "Service Unavailable",
+                                "application/json", body));
+    }
   } else {
     WriteAll(fd, HttpResponse(404, "Not Found", "text/plain",
                               "try /metrics, /metrics.json, /traces, "

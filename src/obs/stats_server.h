@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <thread>
 
 #include "common/status.h"
@@ -21,7 +23,8 @@ class PrefetchAudit;
 ///   GET /metrics.json  JSON snapshot (same data, serve_bench --metrics-out)
 ///   GET /traces        recent RequestTraces as JSON, newest first
 ///   GET /prefetch      prefetch-efficacy scoreboards as JSON (§10)
-///   GET /healthz       liveness: 200 with uptime + request count
+///   GET /healthz       readiness: 200 when healthy, 503 with a reason
+///                      while degraded (breaker open, stale-serving)
 ///
 /// Off by default everywhere; serve_bench enables it with --stats-port.
 /// The server reads the registry and ring through the same snapshot paths
@@ -58,6 +61,21 @@ class StatsServer {
   /// default 2000 ms. Call before Start().
   void set_io_timeout_ms(int ms) { io_timeout_ms_ = ms; }
 
+  /// Node health as reported by /healthz: ok=false turns the endpoint into
+  /// a 503 carrying `reason`, so external probes pull a degraded node out
+  /// of rotation while it rides out a flaky backend.
+  struct Health {
+    bool ok = true;
+    std::string reason;
+  };
+  using HealthCallback = std::function<Health()>;
+
+  /// Installs the health source (e.g. ChronoServer breaker/stale state).
+  /// Call before Start(); without one, /healthz always reports healthy.
+  void SetHealthCallback(HealthCallback callback) {
+    health_ = std::move(callback);
+  }
+
  private:
   void Serve();
   void HandleConnection(int fd);
@@ -65,6 +83,7 @@ class StatsServer {
   const MetricsRegistry* registry_;
   const TraceRing* traces_;
   const PrefetchAudit* audit_;
+  HealthCallback health_;
   int io_timeout_ms_ = 2000;
   uint64_t started_us_ = 0;  // monotonic clock at Start()
   int listen_fd_ = -1;

@@ -32,6 +32,8 @@ const char* TraceOutcomeName(TraceOutcome outcome) {
       return "write";
     case TraceOutcome::kError:
       return "error";
+    case TraceOutcome::kStaleHit:
+      return "stale_hit";
   }
   return "unknown";
 }

@@ -38,7 +38,11 @@ enum class TraceOutcome {
   kRemotePlain,     // plain uncombined remote read
   kWrite,           // DML/DDL
   kError,           // statement returned a status
+  kStaleHit,        // demand fetch failed; answered from a stale entry
 };
+
+/// Number of TraceOutcome values; sizes audit scoreboards and loops.
+inline constexpr int kTraceOutcomeCount = 6;
 
 const char* TraceOutcomeName(TraceOutcome outcome);
 

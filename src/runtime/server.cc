@@ -1,8 +1,10 @@
 #include "runtime/server.h"
 
+#include <algorithm>
 #include <thread>
 #include <utility>
 
+#include "common/rng.h"
 #include "core/combiner_lateral.h"
 
 namespace chrono::runtime {
@@ -73,7 +75,13 @@ ChronoServer::ChronoServer(db::Database* db, ServerConfig config)
       template_cache_(config.template_cache_entries),
       versions_(/*multi_node=*/false),
       cache_(config.cache_bytes, config.cache_shards),
-      pool_(config.workers, config.queue_capacity) {
+      fault_(config.fault),
+      retry_(config.retry),
+      breaker_(config.breaker, [this] { return NowMicros(); }),
+      pool_(config.workers, config.queue_capacity,
+            config.queue_background_headroom == SIZE_MAX
+                ? config.queue_capacity / 8
+                : config.queue_background_headroom) {
   // Reader-locked execution must never trigger a lazy index build.
   db_->WarmIndexes();
   if (config_.registry != nullptr) {
@@ -94,6 +102,18 @@ ChronoServer::ChronoServer(db::Database* db, ServerConfig config)
     journal_->AddSink(audit_.get());
     InstallEvictionJournal();
   }
+  // Breaker transitions flow into the journal (the listener runs under
+  // the breaker mutex; journal Record is a leaf, so this cannot invert
+  // the lock order). The audit fold turns these into
+  // chrono_breaker_transitions_total and the availability board.
+  breaker_.SetTransitionListener(
+      [this](net::CircuitBreaker::State from, net::CircuitBreaker::State to) {
+        obs::JournalEvent event;
+        event.type = obs::JournalEventType::kBreakerTransition;
+        event.a = static_cast<uint64_t>(to);
+        event.b = static_cast<uint64_t>(from);
+        Journal(event);
+      });
   RegisterMetrics();
 }
 
@@ -200,6 +220,31 @@ void ChronoServer::RegisterMetrics() {
   r->RegisterCallbackGauge(
       "chrono_sessions", "Live client sessions", {},
       [this] { return static_cast<double>(session_count()); }, owner);
+
+  // Fault-tolerance surface. The journal-fed audit owns the canonical
+  // chrono_backend_retries_total / chrono_backend_timeouts_total /
+  // chrono_stale_serves_total / chrono_shed_total families — they reconcile
+  // with journaled events by construction — so what is registered here is
+  // only state that never flows through the journal.
+  r->RegisterCallbackGauge(
+      "chrono_breaker_state",
+      "Remote-DB circuit breaker state (0=closed, 1=open, 2=half-open)", {},
+      [this] {
+        return static_cast<double>(static_cast<int>(breaker_.state()));
+      },
+      owner);
+  server_counter("chrono_breaker_rejects_total",
+                 "Demand calls rejected fast while the breaker was open",
+                 &metrics_.breaker_rejects);
+  r->RegisterCallbackCounter(
+      "chrono_faults_injected_total",
+      "Transport faults injected by the scripted fault schedule", {},
+      [this] { return static_cast<double>(fault_.faults_injected()); },
+      owner);
+  r->RegisterCallbackCounter(
+      "chrono_pool_tasks_shed_total",
+      "Best-effort tasks rejected by TrySubmit queue headroom", {},
+      [this] { return static_cast<double>(pool_.tasks_shed()); }, owner);
 
   // The three query-path caches under uniform names (satellite task):
   // hits/misses/evictions/entries per cache, one label to tell them apart.
@@ -391,10 +436,179 @@ uint64_t ChronoServer::NowMicros() const {
           .count());
 }
 
-void ChronoServer::SimulateWan() const {
-  if (config_.db_latency_us == 0) return;
-  std::this_thread::sleep_for(
-      std::chrono::microseconds(config_.db_latency_us));
+void ChronoServer::SimulateWan() const { SleepMicros(config_.db_latency_us); }
+
+void ChronoServer::SleepMicros(uint64_t us) const {
+  if (us == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+ChronoServer::HealthStatus ChronoServer::Health() const {
+  switch (breaker_.state()) {
+    case net::CircuitBreaker::State::kOpen:
+      return {false, "circuit breaker open"};
+    case net::CircuitBreaker::State::kHalfOpen:
+      return {false, "circuit breaker half-open (probing)"};
+    case net::CircuitBreaker::State::kClosed:
+      break;
+  }
+  uint64_t last = last_stale_us_.load(std::memory_order_relaxed);
+  if (last != 0 && NowMicros() - last < 2'000'000) {
+    return {false, "serving stale results"};
+  }
+  return {};
+}
+
+Result<db::ExecOutcome> ChronoServer::CallBackend(
+    const BackendCall& call,
+    const std::function<Result<db::ExecOutcome>()>& exec) {
+  net::Deadline deadline(config_.request_deadline_us,
+                         [this] { return NowMicros(); });
+
+  // Breaker admission, once per call. Prefetch admission happens at the
+  // caller (ExecuteCombined sheds before the plan is issued). The breaker
+  // judges whole calls, not attempts: failures the retry schedule absorbs
+  // never reach it, so a background error rate keeps flowing (retried)
+  // while a genuine outage — every call failing post-retry — trips it.
+  auto admission = net::CircuitBreaker::Admission::kAdmitted;
+  if (!call.is_prefetch) {
+    admission = breaker_.AdmitDemand();
+    if (admission == net::CircuitBreaker::Admission::kRejected) {
+      metrics_.breaker_rejects.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("circuit breaker open");
+    }
+  }
+
+  int attempts = 0;
+  for (;;) {
+    ++attempts;
+
+    uint64_t attempt_cap = deadline.remaining_us();  // UINT64_MAX: unlimited
+    if (config_.attempt_timeout_us > 0 &&
+        config_.attempt_timeout_us < attempt_cap) {
+      attempt_cap = config_.attempt_timeout_us;
+    }
+
+    net::FaultDecision fd;
+    if (fault_.enabled()) fd = fault_.Decide(NowMicros());
+    uint64_t latency = config_.db_latency_us;
+    if (fd.latency_multiplier > 1.0) {
+      latency = static_cast<uint64_t>(static_cast<double>(latency) *
+                                      fd.latency_multiplier);
+    }
+
+    Result<db::ExecOutcome> outcome = Status::OK();
+    bool timed_out = false;
+    if (fd.fail) {
+      // The request dies in the WAN. A blackout behaves like a hang that
+      // the attempt budget cuts off (without a deadline it degenerates to
+      // a refused connection); a plain fault surfaces as a refusal after
+      // the — possibly truncated — round trip.
+      if (fd.blackout && attempt_cap != UINT64_MAX) {
+        SleepMicros(attempt_cap);
+        timed_out = true;
+        outcome =
+            Status::DeadlineExceeded("backend blackout: attempt timed out");
+      } else {
+        SleepMicros(std::min(latency, attempt_cap));
+        outcome = Status::Unavailable("injected backend failure");
+      }
+    } else if (attempt_cap != UINT64_MAX && latency > attempt_cap) {
+      // Healthy but (spike-)slow: give up at the budget, not after it.
+      SleepMicros(attempt_cap);
+      timed_out = true;
+      outcome =
+          Status::DeadlineExceeded("backend latency exceeded attempt budget");
+    } else {
+      SleepMicros(latency);
+      outcome = exec();
+    }
+
+    bool transport_failed =
+        !outcome.ok() && IsBackendFailure(outcome.status());
+    if (timed_out) {
+      metrics_.backend_timeouts.fetch_add(1, std::memory_order_relaxed);
+      obs::JournalEvent event;
+      event.type = obs::JournalEventType::kBackendTimeout;
+      event.tmpl = call.tmpl;
+      event.client = static_cast<uint32_t>(call.client);
+      event.a = attempt_cap;
+      if (call.is_write) event.flags = obs::kJournalFlagWrite;
+      Journal(event);
+    }
+    if (!transport_failed) {
+      breaker_.OnResult(admission, true);
+      return outcome;
+    }
+
+    // Retry only idempotent demand reads, within the deadline. Writes are
+    // never safely retryable here (no dedup tokens), and prefetch is
+    // best-effort by contract.
+    if (call.is_write || call.is_prefetch || !config_.enable_retries ||
+        !retry_.ShouldRetry(attempts)) {
+      breaker_.OnResult(admission, false);
+      return outcome;
+    }
+    uint64_t left = deadline.remaining_us();
+    if (left == 0) {
+      breaker_.OnResult(admission, false);
+      return outcome;
+    }
+    // Full jitter from a counter hash: deterministic for a fixed seed,
+    // lock-free, and de-correlated across concurrent workers.
+    double u = HashToUnit(SplitMix64(
+        config_.fault.seed ^ 0x5deece66dULL ^
+        jitter_ordinal_.fetch_add(1, std::memory_order_relaxed)));
+    uint64_t backoff = retry_.BackoffUs(attempts, u);
+    if (left != UINT64_MAX && backoff >= left) backoff = left / 2;
+    metrics_.backend_retries.fetch_add(1, std::memory_order_relaxed);
+    obs::JournalEvent event;
+    event.type = obs::JournalEventType::kBackendRetry;
+    event.tmpl = call.tmpl;
+    event.client = static_cast<uint32_t>(call.client);
+    event.a = static_cast<uint64_t>(attempts);
+    event.b = backoff;
+    event.c = left == UINT64_MAX ? 0 : left;
+    Journal(event);
+    SleepMicros(backoff);
+  }
+}
+
+void ChronoServer::ShedPrefetch(uint64_t kind, uint64_t plan_id,
+                                ClientId client) {
+  if (kind == obs::kShedQueueFull) {
+    metrics_.prefetches_dropped.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    metrics_.prefetches_shed_breaker.fetch_add(1, std::memory_order_relaxed);
+  }
+  obs::JournalEvent event;
+  event.type = obs::JournalEventType::kShed;
+  event.a = kind;
+  event.plan = plan_id;
+  event.client = static_cast<uint32_t>(client);
+  Journal(event);
+}
+
+std::optional<sql::ResultSet> ChronoServer::TryServeStale(
+    const std::optional<cache::CachedResult>& candidate, uint64_t tmpl,
+    ClientId client, ReqCtx* ctx) {
+  if (config_.stale_serve_us == 0 || !candidate.has_value()) {
+    return std::nullopt;
+  }
+  uint64_t now = NowMicros();
+  uint64_t age = now > candidate->install_us ? now - candidate->install_us : 0;
+  if (age > config_.stale_serve_us) return std::nullopt;
+  metrics_.stale_serves.fetch_add(1, std::memory_order_relaxed);
+  last_stale_us_.store(now, std::memory_order_relaxed);
+  if (ctx != nullptr) ctx->outcome = obs::TraceOutcome::kStaleHit;
+  obs::JournalEvent event;
+  event.type = obs::JournalEventType::kStaleServe;
+  event.tmpl = tmpl;
+  event.a = age;
+  event.b = config_.stale_serve_us;
+  event.client = static_cast<uint32_t>(client);
+  Journal(event);
+  return candidate->result;
 }
 
 size_t ChronoServer::session_count() const {
@@ -420,6 +634,14 @@ ServerMetrics ChronoServer::metrics() const {
   m.prefetches_dropped =
       metrics_.prefetches_dropped.load(std::memory_order_relaxed);
   m.errors = metrics_.errors.load(std::memory_order_relaxed);
+  m.backend_retries = metrics_.backend_retries.load(std::memory_order_relaxed);
+  m.backend_timeouts =
+      metrics_.backend_timeouts.load(std::memory_order_relaxed);
+  m.stale_serves = metrics_.stale_serves.load(std::memory_order_relaxed);
+  m.prefetches_shed_breaker =
+      metrics_.prefetches_shed_breaker.load(std::memory_order_relaxed);
+  m.breaker_rejects = metrics_.breaker_rejects.load(std::memory_order_relaxed);
+  m.faults_injected = fault_.faults_injected();
   return m;
 }
 
@@ -518,16 +740,22 @@ Result<sql::ParsedQuery> ChronoServer::Analyze(const std::string& sql) {
 Result<sql::ResultSet> ChronoServer::DoWrite(ClientId client,
                                              const sql::ParsedQuery& parsed,
                                              ReqCtx* ctx) {
+  BackendCall call;
+  call.is_write = true;
+  call.tmpl = static_cast<uint64_t>(parsed.tmpl->id);
+  call.client = client;
   Result<db::ExecOutcome> outcome = Status::OK();
   {
     StageTimer timer(this, ctx, obs::Stage::kDbExecute);
-    SimulateWan();
-    std::unique_lock<std::shared_mutex> lock(db_mutex_);
-    // Exclusive access: ExecuteText may touch the statement cache.
-    outcome = db_->ExecuteText(parsed.bound_text);
-    // DDL may have created tables whose indexes are still lazy; re-warm
-    // under the same writer lock (no-op when everything is warm).
-    db_->WarmIndexes();
+    outcome = CallBackend(call, [&] {
+      std::unique_lock<std::shared_mutex> lock(db_mutex_);
+      // Exclusive access: ExecuteText may touch the statement cache.
+      Result<db::ExecOutcome> out = db_->ExecuteText(parsed.bound_text);
+      // DDL may have created tables whose indexes are still lazy; re-warm
+      // under the same writer lock (no-op when everything is warm).
+      db_->WarmIndexes();
+      return out;
+    });
   }
   if (!outcome.ok()) {
     metrics_.errors.fetch_add(1, std::memory_order_relaxed);
@@ -623,15 +851,19 @@ Result<sql::ResultSet> ChronoServer::DoRead(ClientId client,
                       /*ctx=*/nullptr);
     });
     if (!queued) {
-      metrics_.prefetches_dropped.fetch_add(1, std::memory_order_relaxed);
+      ShedPrefetch(obs::kShedQueueFull, p.plan_id, client);
     }
   }
 
+  // A version-stale (but security-cleared) entry seen during the lookup:
+  // kept around as the degraded answer of last resort.
+  std::optional<cache::CachedResult> stale_candidate;
   {
     std::optional<cache::CachedResult> hit;
     {
       StageTimer timer(this, ctx, obs::Stage::kCacheLookup);
-      hit = CacheGet(client, security_group, parsed.bound_text);
+      hit = CacheGet(client, security_group, parsed.bound_text,
+                     &stale_candidate);
     }
     if (hit.has_value()) {
       metrics_.cache_hits.fetch_add(1, std::memory_order_relaxed);
@@ -675,14 +907,29 @@ Result<sql::ResultSet> ChronoServer::DoRead(ClientId client,
   ctx->outcome = obs::TraceOutcome::kRemotePlain;
   std::unique_ptr<sql::Statement> stmt =
       sql::BindParams(*parsed.tmpl->ast, parsed.params);
+  BackendCall call;
+  call.tmpl = static_cast<uint64_t>(tmpl);
+  call.client = client;
   Result<db::ExecOutcome> outcome = Status::OK();
   {
     StageTimer timer(this, ctx, obs::Stage::kDbExecute);
-    SimulateWan();
-    std::shared_lock<std::shared_mutex> lock(db_mutex_);
-    outcome = db_->Execute(*stmt);
+    outcome = CallBackend(call, [&] {
+      std::shared_lock<std::shared_mutex> lock(db_mutex_);
+      return db_->Execute(*stmt);
+    });
   }
   if (!outcome.ok()) {
+    // Transport-level failure after every retry: degrade to the
+    // version-stale entry if the operator opted in, rather than surface
+    // an error. Explicitly stale results skip respond() — the mapper must
+    // never train on superseded rows.
+    if (IsBackendFailure(outcome.status())) {
+      if (auto stale = TryServeStale(stale_candidate,
+                                     static_cast<uint64_t>(tmpl), client,
+                                     ctx)) {
+        return *stale;
+      }
+    }
     metrics_.errors.fetch_add(1, std::memory_order_relaxed);
     return outcome.status();
   }
@@ -698,6 +945,13 @@ bool ChronoServer::ExecuteCombined(ClientId client, int security_group,
                                    SessionState* session,
                                    const core::CombinedQuery& plan,
                                    uint64_t plan_id, ReqCtx* ctx) {
+  // Combined queries are predictive work, inline or not: while the breaker
+  // is unhealthy they are shed before touching the backend, so prefetch
+  // never consumes capacity (or probe slots) demand traffic needs.
+  if (!breaker_.AdmitPrefetch()) {
+    ShedPrefetch(obs::kShedBreakerUnhealthy, plan_id, client);
+    return false;
+  }
   metrics_.remote_combined.fetch_add(1, std::memory_order_relaxed);
   {
     obs::JournalEvent event;
@@ -707,12 +961,16 @@ bool ChronoServer::ExecuteCombined(ClientId client, int security_group,
     Journal(event);
   }
   auto db_begin = std::chrono::steady_clock::now();
+  BackendCall call;
+  call.is_prefetch = true;
+  call.client = client;
   Result<db::ExecOutcome> outcome = Status::OK();
   {
     StageTimer timer(this, ctx, obs::Stage::kDbExecute);
-    SimulateWan();
-    std::shared_lock<std::shared_mutex> lock(db_mutex_);
-    outcome = db_->Execute(*plan.ast);
+    outcome = CallBackend(call, [&] {
+      std::shared_lock<std::shared_mutex> lock(db_mutex_);
+      return db_->Execute(*plan.ast);
+    });
   }
   {
     obs::JournalEvent event;
@@ -773,7 +1031,8 @@ bool ChronoServer::ExecuteCombined(ClientId client, int security_group,
 }
 
 std::optional<cache::CachedResult> ChronoServer::CacheGet(
-    ClientId client, int security_group, const std::string& bound_text) {
+    ClientId client, int security_group, const std::string& bound_text,
+    std::optional<cache::CachedResult>* stale_candidate) {
   std::string key = CacheKey(client, bound_text);
   std::optional<cache::CachedResult> entry = cache_.Get(key);
   if (!entry.has_value()) return std::nullopt;
@@ -789,12 +1048,23 @@ std::optional<cache::CachedResult> ChronoServer::CacheGet(
   }
   if (!version_ok) {
     metrics_.cache_rejects.fetch_add(1, std::memory_order_relaxed);
+    // A security-cleared entry that merely failed the version check is
+    // exactly what stale-serving may fall back to; hand the caller a copy
+    // before any invalidation below.
+    if (stale_candidate != nullptr && config_.stale_serve_us > 0) {
+      *stale_candidate = *entry;
+    }
     // A prefetched entry that fails the version check is stale for every
     // client that has seen the write (database versions are monotonic) —
     // drop it now so the audit sees invalidated-by-write instead of a
     // misleading evicted-unused later. The eviction callback turns this
-    // Erase into the kEntryInvalidated journal event.
-    if (entry->prefetch_plan != 0) cache_.Invalidate(key);
+    // Erase into the kEntryInvalidated journal event. While the breaker
+    // is unhealthy and stale-serving is on, keep the entry resident: it
+    // may be the only answer this node can still give.
+    bool keep_for_stale =
+        config_.stale_serve_us > 0 &&
+        breaker_.state() != net::CircuitBreaker::State::kClosed;
+    if (entry->prefetch_plan != 0 && !keep_for_stale) cache_.Invalidate(key);
     return std::nullopt;
   }
   // First demand hit on a prefetched entry: the cache just bumped

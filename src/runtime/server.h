@@ -23,6 +23,9 @@
 #include "core/template_registry.h"
 #include "core/transition_graph.h"
 #include "db/database.h"
+#include "net/circuit_breaker.h"
+#include "net/fault_injector.h"
+#include "net/retry_policy.h"
 #include "obs/audit.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
@@ -78,6 +81,30 @@ struct ServerConfig {
   size_t journal_buffer_events = 8192;
   /// Journal drainer cadence; 0 = no drainer thread (manual Drain()).
   uint64_t journal_drain_ms = 5;
+
+  // --- Fault tolerance (DESIGN.md §11) ---
+
+  /// Scripted fault schedule applied to every remote-database call
+  /// (serve_bench --fault-*). Off by default.
+  net::FaultOptions fault;
+  /// Deadline budget per remote operation, wall µs; 0 = unlimited. The
+  /// budget spans all retry attempts of one demand read.
+  uint64_t request_deadline_us = 0;
+  /// Per-attempt timeout within the deadline; 0 = whatever remains of the
+  /// deadline. A blackout burns one attempt budget, not the whole deadline.
+  uint64_t attempt_timeout_us = 0;
+  /// Backoff schedule for idempotent demand-read retries. Writes never
+  /// auto-retry; prefetch never retries (it is shed instead).
+  net::RetryOptions retry;
+  bool enable_retries = true;
+  /// Circuit breaker thresholds for the remote-database path.
+  net::CircuitBreaker::Options breaker;
+  /// Serve version-stale cached entries (age-bounded) when a demand fetch
+  /// fails at the transport level; 0 disables (--stale-serve-ms).
+  uint64_t stale_serve_us = 0;
+  /// Queue slots reserved for demand work: prefetch TrySubmit sheds once
+  /// depth reaches queue_capacity - headroom (default: capacity / 8).
+  size_t queue_background_headroom = SIZE_MAX;
 };
 
 /// \brief Wall-clock serving metrics (relaxed atomics; Snapshot() copies).
@@ -94,6 +121,12 @@ struct ServerMetrics {
   uint64_t prefetched_hits = 0;     // cache hits on predictively cached rows
   uint64_t prefetches_dropped = 0;  // background tasks rejected (queue full)
   uint64_t errors = 0;              // statements that returned a status
+  uint64_t backend_retries = 0;     // demand-read retries after failures
+  uint64_t backend_timeouts = 0;    // remote calls abandoned at deadline
+  uint64_t stale_serves = 0;        // demand reads answered from stale data
+  uint64_t prefetches_shed_breaker = 0;  // prefetch shed: breaker unhealthy
+  uint64_t breaker_rejects = 0;     // demand rejected while breaker open
+  uint64_t faults_injected = 0;     // injected transport failures
 
   double CacheHitRate() const {
     return reads == 0 ? 0 : static_cast<double>(cache_hits) /
@@ -148,6 +181,17 @@ class ChronoServer {
   void Shutdown();
 
   ServerMetrics metrics() const;
+
+  /// Node health for /healthz: degraded while the circuit breaker is not
+  /// closed or a stale result was served within the last 2 s.
+  struct HealthStatus {
+    bool ok = true;
+    std::string reason;
+  };
+  HealthStatus Health() const;
+
+  const net::CircuitBreaker& breaker() const { return breaker_; }
+  const net::FaultInjector& fault_injector() const { return fault_; }
   const ShardedCache& cache() const { return cache_; }
   const ThreadPool& pool() const { return pool_; }
   const ServerConfig& config() const { return config_; }
@@ -228,10 +272,44 @@ class ChronoServer {
                        SessionState* session, const core::CombinedQuery& plan,
                        uint64_t plan_id, ReqCtx* ctx);
 
-  /// Cache lookup honouring security groups + session semantics.
-  std::optional<cache::CachedResult> CacheGet(ClientId client,
-                                              int security_group,
-                                              const std::string& bound_text);
+  /// One remote-database operation routed through the fault-tolerance
+  /// layer (fault injection → breaker admission → deadline/attempt budget
+  /// → WAN sleep → execute → retry with backoff for demand reads).
+  struct BackendCall {
+    bool is_write = false;
+    bool is_prefetch = false;  // best-effort: no retries, breaker-shed
+    uint64_t tmpl = 0;         // journal attribution
+    ClientId client = 0;
+  };
+  /// `exec` performs the actual (locked) database execution; CallBackend
+  /// owns the WAN sleep, so `exec` must not call SimulateWan itself.
+  Result<db::ExecOutcome> CallBackend(
+      const BackendCall& call,
+      const std::function<Result<db::ExecOutcome>()>& exec);
+
+  /// True for transport-level failures (unavailable / deadline exceeded)
+  /// as opposed to application errors from a healthy backend.
+  static bool IsBackendFailure(const Status& status) {
+    return net::RetryPolicy::IsRetryable(status);
+  }
+
+  /// Journals + counts one shed prefetch (kind = kShedQueueFull /
+  /// kShedBreakerUnhealthy).
+  void ShedPrefetch(uint64_t kind, uint64_t plan_id, ClientId client);
+
+  /// Serves `candidate` as an explicitly stale result if stale-serving is
+  /// enabled and the entry is within the age bound; nullopt otherwise.
+  std::optional<sql::ResultSet> TryServeStale(
+      const std::optional<cache::CachedResult>& candidate, uint64_t tmpl,
+      ClientId client, ReqCtx* ctx);
+
+  /// Cache lookup honouring security groups + session semantics. When
+  /// `stale_candidate` is non-null and stale-serving is enabled, a
+  /// version-rejected entry is copied there before invalidation so the
+  /// caller can fall back to it if the demand fetch fails.
+  std::optional<cache::CachedResult> CacheGet(
+      ClientId client, int security_group, const std::string& bound_text,
+      std::optional<cache::CachedResult>* stale_candidate = nullptr);
   /// `prefetch_plan`/`prefetch_src` tag predictively installed entries
   /// (zero for demand fills) so later hits can be attributed.
   void CachePut(ClientId client, int security_group, core::TemplateId tmpl,
@@ -257,6 +335,7 @@ class ChronoServer {
 
   /// Sleeps the configured WAN latency; never called holding a lock.
   void SimulateWan() const;
+  void SleepMicros(uint64_t us) const;
 
   db::Database* db_;
   ServerConfig config_;
@@ -283,8 +362,20 @@ class ChronoServer {
     std::atomic<uint64_t> reads{0}, writes{0}, cache_hits{0},
         cache_rejects{0}, remote_plain{0}, remote_combined{0},
         predictions_cached{0}, prediction_hits{0}, prediction_fallbacks{0},
-        prefetched_hits{0}, prefetches_dropped{0}, errors{0};
+        prefetched_hits{0}, prefetches_dropped{0}, errors{0},
+        backend_retries{0}, backend_timeouts{0}, stale_serves{0},
+        prefetches_shed_breaker{0}, breaker_rejects{0};
   } metrics_;
+
+  // Fault-tolerance layer (DESIGN.md §11). The breaker mutex and the
+  // injector's atomics sit outside the server lock order: backend call
+  // sites hold no other lock when touching them, and the breaker's
+  // transition listener only records journal events (a leaf).
+  net::FaultInjector fault_;
+  net::RetryPolicy retry_;
+  net::CircuitBreaker breaker_;
+  std::atomic<uint64_t> jitter_ordinal_{0};  // deterministic backoff jitter
+  std::atomic<uint64_t> last_stale_us_{0};   // NowMicros of last stale serve
 
   // Observability: one registry for the whole node. Stage histograms are
   // raw pointers into the registry (stable for its lifetime); the trace

@@ -16,8 +16,10 @@ uint64_t ElapsedNs(std::chrono::steady_clock::time_point from,
 
 }  // namespace
 
-ThreadPool::ThreadPool(int workers, size_t queue_capacity)
-    : capacity_(std::max<size_t>(queue_capacity, 1)) {
+ThreadPool::ThreadPool(int workers, size_t queue_capacity,
+                       size_t background_headroom)
+    : capacity_(std::max<size_t>(queue_capacity, 1)),
+      headroom_(std::min(background_headroom, capacity_ - 1)) {
   int n = std::max(workers, 1);
   threads_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -49,7 +51,11 @@ bool ThreadPool::Submit(std::function<void()> task) {
 bool ThreadPool::TrySubmit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (shutdown_ || queue_.size() >= capacity_) return false;
+    if (shutdown_) return false;
+    if (queue_.size() + headroom_ >= capacity_) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     queue_.push_back({std::move(task), std::chrono::steady_clock::now()});
     peak_depth_ = std::max(peak_depth_, queue_.size());
   }

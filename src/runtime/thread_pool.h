@@ -27,8 +27,13 @@ namespace chrono::runtime {
 class ThreadPool {
  public:
   /// Spawns `workers` threads (minimum 1). `queue_capacity` bounds the
-  /// number of queued-but-not-yet-running tasks.
-  explicit ThreadPool(int workers, size_t queue_capacity = 1024);
+  /// number of queued-but-not-yet-running tasks. `background_headroom`
+  /// reserves that many queue slots for blocking Submit (demand work):
+  /// TrySubmit starts shedding once depth reaches
+  /// capacity - headroom, so under saturation best-effort prefetch is
+  /// dropped before demand ever has to wait. Clamped to capacity - 1.
+  explicit ThreadPool(int workers, size_t queue_capacity = 1024,
+                      size_t background_headroom = 0);
 
   /// Drains and joins. Equivalent to Shutdown().
   ~ThreadPool();
@@ -41,7 +46,9 @@ class ThreadPool {
   /// (before or while waiting for space).
   bool Submit(std::function<void()> task);
 
-  /// Non-blocking enqueue: false if the queue is full or shut down.
+  /// Non-blocking enqueue for best-effort work: false — shedding the task
+  /// — if the queue has fewer than background_headroom free slots or the
+  /// pool is shut down. Sheds are counted (tasks_shed).
   bool TrySubmit(std::function<void()> task);
 
   /// Stops accepting tasks, lets workers finish everything already
@@ -63,6 +70,11 @@ class ThreadPool {
   uint64_t tasks_failed() const {
     return failed_.load(std::memory_order_relaxed);
   }
+  /// TrySubmit calls rejected because the queue lacked headroom.
+  uint64_t tasks_shed() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  size_t background_headroom() const { return headroom_; }
 
   /// Attaches queue-wait and run-time histograms (wall-clock nanoseconds).
   /// Either may be null to leave that dimension uninstrumented. Takes the
@@ -79,6 +91,7 @@ class ThreadPool {
   void WorkerLoop();
 
   const size_t capacity_;
+  const size_t headroom_;  // queue slots TrySubmit may not use
   mutable std::mutex mutex_;
   std::mutex join_mutex_;
   std::condition_variable not_empty_;  // workers wait here
@@ -90,6 +103,7 @@ class ThreadPool {
   obs::Histogram* run_ns_ = nullptr;         // guarded by mutex_
   std::atomic<uint64_t> executed_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> shed_{0};
   std::vector<std::thread> threads_;
 };
 

@@ -1,0 +1,188 @@
+// Circuit-breaker state machine tests: closed → open → half-open → closed
+// transitions under an injected clock, probe-slot accounting, prefetch
+// admission policy, and a multi-threaded hammer that TSan watches for
+// races on the admission/result paths.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/circuit_breaker.h"
+
+namespace chrono::net {
+namespace {
+
+using State = CircuitBreaker::State;
+using Admission = CircuitBreaker::Admission;
+
+CircuitBreaker::Options SmallOptions() {
+  CircuitBreaker::Options opt;
+  opt.failure_threshold = 3;
+  opt.open_cooldown_us = 1'000;
+  opt.half_open_probes = 1;
+  opt.close_threshold = 2;
+  return opt;
+}
+
+TEST(CircuitBreaker, StartsClosedAndAdmitsEverything) {
+  uint64_t now = 0;
+  CircuitBreaker breaker(SmallOptions(), [&now] { return now; });
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_EQ(breaker.AdmitDemand(), Admission::kAdmitted);
+  breaker.OnResult(Admission::kAdmitted, true);
+  EXPECT_TRUE(breaker.AdmitPrefetch());
+}
+
+TEST(CircuitBreaker, ConsecutiveFailuresOpen) {
+  uint64_t now = 0;
+  CircuitBreaker breaker(SmallOptions(), [&now] { return now; });
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(breaker.AdmitDemand(), Admission::kAdmitted);
+    breaker.OnResult(Admission::kAdmitted, false);
+  }
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  // Open: demand fails fast, prefetch is refused, counters tick.
+  EXPECT_EQ(breaker.AdmitDemand(), Admission::kRejected);
+  EXPECT_FALSE(breaker.AdmitPrefetch());
+  EXPECT_EQ(breaker.demand_rejected(), 1u);
+  EXPECT_EQ(breaker.prefetch_rejected(), 1u);
+}
+
+TEST(CircuitBreaker, SuccessResetsConsecutiveCount) {
+  uint64_t now = 0;
+  CircuitBreaker breaker(SmallOptions(), [&now] { return now; });
+  for (int round = 0; round < 5; ++round) {
+    breaker.OnResult(breaker.AdmitDemand(), false);
+    breaker.OnResult(breaker.AdmitDemand(), false);
+    breaker.OnResult(breaker.AdmitDemand(), true);  // streak broken
+  }
+  EXPECT_EQ(breaker.state(), State::kClosed);
+}
+
+TEST(CircuitBreaker, CooldownAdmitsOneProbeThenCloses) {
+  uint64_t now = 0;
+  CircuitBreaker breaker(SmallOptions(), [&now] { return now; });
+  for (int i = 0; i < 3; ++i) {
+    breaker.OnResult(breaker.AdmitDemand(), false);
+  }
+  ASSERT_EQ(breaker.state(), State::kOpen);
+  // Before the cooldown elapses nothing is admitted.
+  now += 999;
+  EXPECT_EQ(breaker.AdmitDemand(), Admission::kRejected);
+  // After the cooldown the next call probes; a second concurrent call is
+  // still rejected (half_open_probes = 1).
+  now += 1;
+  Admission probe = breaker.AdmitDemand();
+  EXPECT_EQ(probe, Admission::kProbe);
+  EXPECT_EQ(breaker.state(), State::kHalfOpen);
+  EXPECT_EQ(breaker.AdmitDemand(), Admission::kRejected);
+  // Prefetch is not admitted while half-open: probes belong to demand.
+  EXPECT_FALSE(breaker.AdmitPrefetch());
+  // Two probe successes (close_threshold) re-close the breaker.
+  breaker.OnResult(probe, true);
+  ASSERT_EQ(breaker.state(), State::kHalfOpen);
+  Admission probe2 = breaker.AdmitDemand();
+  EXPECT_EQ(probe2, Admission::kProbe);
+  breaker.OnResult(probe2, true);
+  EXPECT_EQ(breaker.state(), State::kClosed);
+  EXPECT_TRUE(breaker.AdmitPrefetch());
+}
+
+TEST(CircuitBreaker, ProbeFailureReopensAndRestartsCooldown) {
+  uint64_t now = 0;
+  CircuitBreaker breaker(SmallOptions(), [&now] { return now; });
+  for (int i = 0; i < 3; ++i) {
+    breaker.OnResult(breaker.AdmitDemand(), false);
+  }
+  now += 1'000;
+  Admission probe = breaker.AdmitDemand();
+  ASSERT_EQ(probe, Admission::kProbe);
+  breaker.OnResult(probe, false);
+  EXPECT_EQ(breaker.state(), State::kOpen);
+  // The cooldown restarted at the probe failure: still rejecting.
+  now += 999;
+  EXPECT_EQ(breaker.AdmitDemand(), Admission::kRejected);
+  now += 1;
+  EXPECT_EQ(breaker.AdmitDemand(), Admission::kProbe);
+}
+
+TEST(CircuitBreaker, TransitionListenerSeesEveryEdge) {
+  uint64_t now = 0;
+  CircuitBreaker breaker(SmallOptions(), [&now] { return now; });
+  std::vector<std::pair<State, State>> edges;
+  breaker.SetTransitionListener(
+      [&edges](State from, State to) { edges.emplace_back(from, to); });
+  for (int i = 0; i < 3; ++i) {
+    breaker.OnResult(breaker.AdmitDemand(), false);
+  }
+  now += 1'000;
+  Admission probe = breaker.AdmitDemand();
+  breaker.OnResult(probe, true);
+  probe = breaker.AdmitDemand();
+  breaker.OnResult(probe, true);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], std::make_pair(State::kClosed, State::kOpen));
+  EXPECT_EQ(edges[1], std::make_pair(State::kOpen, State::kHalfOpen));
+  EXPECT_EQ(edges[2], std::make_pair(State::kHalfOpen, State::kClosed));
+  EXPECT_EQ(breaker.transitions(), 3u);
+}
+
+// Many threads race admissions, results, and the advancing clock through
+// every state of the machine. TSan verifies the locking; the test itself
+// verifies the breaker stays in a legal state and probe slots are never
+// leaked (the machine keeps admitting probes after every storm).
+TEST(CircuitBreaker, ConcurrentHammerKeepsInvariants) {
+  CircuitBreaker::Options opt;
+  opt.failure_threshold = 2;
+  opt.open_cooldown_us = 50;
+  opt.half_open_probes = 2;
+  opt.close_threshold = 2;
+  std::atomic<uint64_t> now{0};
+  CircuitBreaker breaker(opt, [&now] { return now.load(); });
+  std::atomic<uint64_t> transitions_seen{0};
+  breaker.SetTransitionListener(
+      [&transitions_seen](State, State) { ++transitions_seen; });
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&breaker, &now, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        now.fetch_add(7, std::memory_order_relaxed);
+        if ((t + i) % 5 == 0) {
+          breaker.AdmitPrefetch();
+          continue;
+        }
+        Admission a = breaker.AdmitDemand();
+        if (a == Admission::kRejected) continue;
+        // Mixed outcomes keep the machine cycling through all states.
+        breaker.OnResult(a, (i % 3) != 0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  State s = breaker.state();
+  EXPECT_TRUE(s == State::kClosed || s == State::kOpen ||
+              s == State::kHalfOpen);
+  EXPECT_EQ(breaker.transitions(), transitions_seen.load());
+  // No leaked probe slots: drive the machine to closed from wherever the
+  // storm left it. From open, a cooldown and `close_threshold` successful
+  // probes must always suffice.
+  for (int round = 0; round < 8 && breaker.state() != State::kClosed;
+       ++round) {
+    now.fetch_add(1'000);
+    Admission a = breaker.AdmitDemand();
+    if (a != Admission::kRejected) breaker.OnResult(a, true);
+  }
+  EXPECT_EQ(breaker.state(), State::kClosed);
+}
+
+}  // namespace
+}  // namespace chrono::net

@@ -1,0 +1,129 @@
+// Fault-injector tests: a disabled injector is free, decision sequences
+// are deterministic per seed, error rates track the configured
+// percentage, and blackout windows (one-shot and periodic) cover exactly
+// the configured span of the caller's timeline.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/fault_injector.h"
+
+namespace chrono::net {
+namespace {
+
+TEST(FaultInjector, DefaultIsDisabledAndDecidesNothing) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  FaultDecision d = injector.Decide(1'000);
+  EXPECT_FALSE(d.fail);
+  EXPECT_FALSE(d.blackout);
+  EXPECT_EQ(d.latency_multiplier, 1.0);
+  EXPECT_EQ(injector.faults_injected(), 0u);
+}
+
+TEST(FaultInjector, ZeroedOptionsStayDisabled) {
+  FaultOptions opt;  // error 0, spike 1.0, blackout_us 0
+  FaultInjector injector(opt);
+  EXPECT_FALSE(injector.enabled());
+}
+
+TEST(FaultInjector, SameSeedSameDecisionSequence) {
+  FaultOptions opt;
+  opt.error_pct = 40;
+  opt.spike_multiplier = 8.0;
+  opt.spike_pct = 25;
+  opt.seed = 1234;
+  FaultInjector a(opt);
+  FaultInjector b(opt);
+  for (int i = 0; i < 500; ++i) {
+    FaultDecision da = a.Decide(0);
+    FaultDecision db = b.Decide(0);
+    EXPECT_EQ(da.fail, db.fail);
+    EXPECT_EQ(da.latency_multiplier, db.latency_multiplier);
+  }
+  opt.seed = 99;
+  FaultInjector c(opt);
+  int diverged = 0;
+  for (int i = 0; i < 500; ++i) {
+    FaultDecision da = a.Decide(0);
+    FaultDecision dc = c.Decide(0);
+    if (da.fail != dc.fail ||
+        da.latency_multiplier != dc.latency_multiplier) {
+      ++diverged;
+    }
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(FaultInjector, ErrorRateTracksConfiguredPercentage) {
+  FaultOptions opt;
+  opt.error_pct = 30;
+  opt.seed = 7;
+  FaultInjector injector(opt);
+  ASSERT_TRUE(injector.enabled());
+  const int kCalls = 20'000;
+  int failed = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    if (injector.Decide(0).fail) ++failed;
+  }
+  double rate = 100.0 * failed / kCalls;
+  EXPECT_NEAR(rate, 30.0, 1.5);
+  EXPECT_EQ(injector.faults_injected(), static_cast<uint64_t>(failed));
+  EXPECT_EQ(injector.decisions(), static_cast<uint64_t>(kCalls));
+}
+
+TEST(FaultInjector, SpikeMultiplierStaysInJitterBand) {
+  FaultOptions opt;
+  opt.spike_multiplier = 10.0;
+  opt.spike_pct = 100;  // every call spikes
+  FaultInjector injector(opt);
+  for (int i = 0; i < 1'000; ++i) {
+    FaultDecision d = injector.Decide(0);
+    ASSERT_FALSE(d.fail);
+    EXPECT_GE(d.latency_multiplier, 5.0);
+    EXPECT_LE(d.latency_multiplier, 10.0);
+  }
+  EXPECT_EQ(injector.spikes(), 1'000u);
+}
+
+TEST(FaultInjector, BlackoutWindowCoversExactSpan) {
+  FaultOptions opt;
+  opt.blackout_start_us = 1'000'000;
+  opt.blackout_us = 500'000;
+  FaultInjector injector(opt);
+  ASSERT_TRUE(injector.enabled());
+  EXPECT_FALSE(injector.InBlackout(999'999));
+  EXPECT_TRUE(injector.InBlackout(1'000'000));
+  EXPECT_TRUE(injector.InBlackout(1'499'999));
+  EXPECT_FALSE(injector.InBlackout(1'500'000));
+  // Inside the window every call fails, flagged as a blackout failure.
+  FaultDecision d = injector.Decide(1'200'000);
+  EXPECT_TRUE(d.fail);
+  EXPECT_TRUE(d.blackout);
+  d = injector.Decide(2'000'000);
+  EXPECT_FALSE(d.fail);
+  EXPECT_EQ(injector.blackout_faults(), 1u);
+}
+
+TEST(FaultInjector, PeriodicBlackoutRepeats) {
+  FaultOptions opt;
+  opt.blackout_start_us = 100;
+  opt.blackout_us = 50;
+  opt.blackout_period_us = 1'000;
+  FaultInjector injector(opt);
+  for (uint64_t period = 0; period < 5; ++period) {
+    uint64_t base = 100 + period * 1'000;
+    EXPECT_FALSE(injector.InBlackout(base - 1)) << period;
+    EXPECT_TRUE(injector.InBlackout(base)) << period;
+    EXPECT_TRUE(injector.InBlackout(base + 49)) << period;
+    EXPECT_FALSE(injector.InBlackout(base + 50)) << period;
+  }
+  // Times before the first window never black out.
+  EXPECT_FALSE(injector.InBlackout(0));
+  EXPECT_FALSE(injector.InBlackout(99));
+}
+
+}  // namespace
+}  // namespace chrono::net

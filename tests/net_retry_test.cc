@@ -1,0 +1,107 @@
+// Unit tests for the remote-call deadline budget and the full-jitter
+// exponential backoff schedule (both driven by injected clocks, so every
+// assertion is deterministic).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "net/retry_policy.h"
+
+namespace chrono::net {
+namespace {
+
+TEST(Deadline, DefaultIsUnlimited) {
+  Deadline d;
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_EQ(d.remaining_us(), UINT64_MAX);
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, ZeroBudgetIsUnlimited) {
+  uint64_t now = 100;
+  Deadline d(0, [&now] { return now; });
+  EXPECT_TRUE(d.unlimited());
+  now += 1'000'000'000;
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, CountsDownAgainstInjectedClock) {
+  uint64_t now = 1'000;
+  Deadline d(500, [&now] { return now; });
+  EXPECT_FALSE(d.unlimited());
+  EXPECT_EQ(d.remaining_us(), 500u);
+  now += 200;
+  EXPECT_EQ(d.remaining_us(), 300u);
+  now += 299;
+  EXPECT_EQ(d.remaining_us(), 1u);
+  EXPECT_FALSE(d.expired());
+  now += 1;
+  EXPECT_TRUE(d.expired());
+  // Past the deadline it stays expired, never wraps.
+  now += 10'000;
+  EXPECT_EQ(d.remaining_us(), 0u);
+}
+
+TEST(RetryPolicy, ShouldRetryHonorsMaxAttempts) {
+  RetryOptions opt;
+  opt.max_attempts = 3;
+  RetryPolicy policy(opt);
+  EXPECT_TRUE(policy.ShouldRetry(1));
+  EXPECT_TRUE(policy.ShouldRetry(2));
+  EXPECT_FALSE(policy.ShouldRetry(3));
+  EXPECT_FALSE(policy.ShouldRetry(4));
+}
+
+TEST(RetryPolicy, SingleAttemptMeansNoRetry) {
+  RetryOptions opt;
+  opt.max_attempts = 1;
+  RetryPolicy policy(opt);
+  EXPECT_FALSE(policy.ShouldRetry(1));
+}
+
+TEST(RetryPolicy, BackoffCapGrowsExponentiallyToCeiling) {
+  RetryOptions opt;
+  opt.max_attempts = 10;
+  opt.initial_backoff_us = 5'000;
+  opt.max_backoff_us = 100'000;
+  opt.multiplier = 2.0;
+  RetryPolicy policy(opt);
+  EXPECT_EQ(policy.BackoffCapUs(1), 5'000u);
+  EXPECT_EQ(policy.BackoffCapUs(2), 10'000u);
+  EXPECT_EQ(policy.BackoffCapUs(3), 20'000u);
+  EXPECT_EQ(policy.BackoffCapUs(4), 40'000u);
+  EXPECT_EQ(policy.BackoffCapUs(5), 80'000u);
+  // The ceiling binds from here on, for arbitrarily late attempts.
+  EXPECT_EQ(policy.BackoffCapUs(6), 100'000u);
+  EXPECT_EQ(policy.BackoffCapUs(30), 100'000u);
+}
+
+TEST(RetryPolicy, FullJitterSpansZeroToCap) {
+  RetryOptions opt;
+  opt.initial_backoff_us = 8'000;
+  RetryPolicy policy(opt);
+  EXPECT_EQ(policy.BackoffUs(1, 0.0), 0u);
+  EXPECT_EQ(policy.BackoffUs(1, 0.5), 4'000u);
+  // u01 lives in [0, 1): the backoff never reaches the cap exactly.
+  EXPECT_LT(policy.BackoffUs(1, 0.999999), 8'000u);
+  for (double u : {0.1, 0.37, 0.62, 0.93}) {
+    uint64_t b = policy.BackoffUs(2, u);
+    EXPECT_LE(b, policy.BackoffCapUs(2));
+  }
+}
+
+TEST(RetryPolicy, OnlyTransportFailuresAreRetryable) {
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::Unavailable("conn reset")));
+  EXPECT_TRUE(
+      RetryPolicy::IsRetryable(Status::DeadlineExceeded("attempt timeout")));
+  // Application-level failures would fail identically on every try.
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::ParseError("bad sql")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::ExecutionError("div by 0")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::NotFound("no table")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::OK()));
+}
+
+}  // namespace
+}  // namespace chrono::net

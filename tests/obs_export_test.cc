@@ -280,6 +280,28 @@ TEST(StatsServer, HealthzReportsUptimeWithoutAudit) {
             std::string::npos);
 }
 
+TEST(StatsServer, HealthzReturns503WhileDegraded) {
+  MetricsRegistry r;
+  r.GetCounter("one_total", "h")->Increment();
+  StatsServer server(&r, nullptr);
+  bool healthy = false;
+  server.SetHealthCallback([&healthy]() -> StatsServer::Health {
+    if (healthy) return {true, ""};
+    return {false, "circuit breaker open"};
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  std::string degraded = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(degraded.find("503 Service Unavailable"), std::string::npos);
+  EXPECT_NE(degraded.find("\"status\":\"degraded\""), std::string::npos);
+  EXPECT_NE(degraded.find("\"reason\":\"circuit breaker open\""),
+            std::string::npos);
+  // Recovery flips the same endpoint back to 200 without a restart.
+  healthy = true;
+  std::string ok = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("\"status\":\"ok\""), std::string::npos);
+}
+
 TEST(StatsServer, PrefetchEndpointRendersAuditScoreboards) {
   MetricsRegistry r;
   r.GetCounter("one_total", "h")->Increment();

@@ -132,7 +132,7 @@ int main(int argc, char** argv) {
   std::printf("journal: %s (%zu events)\n", path.c_str(), events->size());
   std::printf("requests: %llu",
               static_cast<unsigned long long>(snap.requests));
-  for (int o = 0; o < 5; ++o) {
+  for (int o = 0; o < obs::kTraceOutcomeCount; ++o) {
     if (snap.outcome_counts[o] == 0) continue;
     std::printf("  %s=%llu",
                 obs::TraceOutcomeName(static_cast<obs::TraceOutcome>(o)),
@@ -152,6 +152,36 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(snap.TotalInvalidated()));
   std::printf("  wasted WAN bytes : %s\n",
               HumanBytes(snap.TotalWastedBytes()).c_str());
+
+  // Availability/degradation board: how the fault-tolerant remote path
+  // behaved — retries absorbed, calls timed out, breaker trips, stale
+  // fallbacks served, best-effort work shed.
+  if (snap.availability.Any()) {
+    const obs::PrefetchAudit::Availability& av = snap.availability;
+    std::printf("\navailability / degradation\n");
+    std::printf("  backend retries  : %llu (%.1f ms backoff waited)\n",
+                static_cast<unsigned long long>(av.backend_retries),
+                static_cast<double>(av.backoff_us) / 1e3);
+    std::printf("  backend timeouts : %llu (%llu on writes)\n",
+                static_cast<unsigned long long>(av.backend_timeouts),
+                static_cast<unsigned long long>(av.write_timeouts));
+    std::printf("  breaker trips    : %llu open, %llu half-open, "
+                "%llu re-closed\n",
+                static_cast<unsigned long long>(av.breaker_open),
+                static_cast<unsigned long long>(av.breaker_half_open),
+                static_cast<unsigned long long>(av.breaker_closed));
+    std::printf("  stale serves     : %llu",
+                static_cast<unsigned long long>(av.stale_serves));
+    if (av.stale_serves > 0) {
+      std::printf("  (mean age %.1f ms)",
+                  static_cast<double>(av.stale_age_us) /
+                      static_cast<double>(av.stale_serves) / 1e3);
+    }
+    std::printf("\n");
+    std::printf("  prefetches shed  : %llu queue-full, %llu breaker\n",
+                static_cast<unsigned long long>(av.shed_queue),
+                static_cast<unsigned long long>(av.shed_breaker));
+  }
 
   // Stage-time profile across all requests that carried latency.
   if (snap.requests_with_latency > 0) {
@@ -208,7 +238,7 @@ int main(int argc, char** argv) {
       std::snprintf(tmpl_buf, sizeof(tmpl_buf), "%" PRIu64, t.tmpl);
       std::snprintf(req_buf, sizeof(req_buf), "%" PRIu64, t.requests);
       bool first = true;
-      for (int o = 0; o < 5; ++o) {
+      for (int o = 0; o < obs::kTraceOutcomeCount; ++o) {
         const obs::PrefetchAudit::OutcomeLatency& lat = t.outcomes[o];
         if (lat.count == 0) continue;
         std::printf("  %-20s %9s  %-14s %8llu %10.1f %10.1f %10.1f\n",

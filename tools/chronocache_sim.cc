@@ -12,6 +12,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/string_util.h"
 #include "harness/experiment.h"
 #include "workloads/auctionmark.h"
 #include "workloads/seats.h"
@@ -48,7 +49,20 @@ void Usage() {
       "  --timeline        print the per-bucket learning curve\n"
       "  --no-loops / --no-loop-constants / --no-combining /\n"
       "  --no-subsumption / --no-redundancy-check\n"
-      "                    ablation switches (chrono mode)\n");
+      "                    ablation switches (chrono mode)\n"
+      "\nfault injection (deterministic; all off by default):\n"
+      "  --fault-error-pct X      fail X%% of backend calls with Unavailable\n"
+      "  --fault-spike M          latency-spike multiplier (default 1 = off)\n"
+      "  --fault-spike-pct X      %% of calls spiked when --fault-spike > 1\n"
+      "                           (default 10)\n"
+      "  --fault-blackout-ms N    every backend call fails for N virtual ms\n"
+      "  --fault-blackout-at-ms N blackout start offset (default 3000)\n"
+      "  --fault-blackout-period-ms N  repeat the blackout every N ms\n"
+      "  --fault-seed N           fault schedule seed (default 42)\n"
+      "  --retries N              max demand-read attempts (default 3)\n"
+      "  --no-retries             disable demand-read retries\n"
+      "With faults enabled the exit code stays 0 even when some requests\n"
+      "error — surviving the schedule is the experiment.\n");
 }
 
 core::SystemMode ParseMode(const std::string& name) {
@@ -59,6 +73,40 @@ core::SystemMode ParseMode(const std::string& name) {
   if (name == "lru") return core::SystemMode::kLru;
   std::fprintf(stderr, "unknown mode: %s\n", name.c_str());
   std::exit(2);
+}
+
+// Strict flag-value parsers: reject malformed numbers with a clear message
+// and exit 2 instead of silently reading atoi's 0.
+int64_t IntFlag(const std::string& flag, const std::string& value) {
+  int64_t out = 0;
+  if (!ParseInt64(value, &out)) {
+    std::fprintf(stderr, "invalid value for %s: '%s' (expected an integer)\n",
+                 flag.c_str(), value.c_str());
+    std::exit(2);
+  }
+  return out;
+}
+
+uint64_t UintFlag(const std::string& flag, const std::string& value) {
+  uint64_t out = 0;
+  if (!ParseUint64(value, &out)) {
+    std::fprintf(stderr,
+                 "invalid value for %s: '%s' (expected a non-negative "
+                 "integer)\n",
+                 flag.c_str(), value.c_str());
+    std::exit(2);
+  }
+  return out;
+}
+
+double DoubleFlag(const std::string& flag, const std::string& value) {
+  double out = 0;
+  if (!ParseDouble(value, &out)) {
+    std::fprintf(stderr, "invalid value for %s: '%s' (expected a number)\n",
+                 flag.c_str(), value.c_str());
+    std::exit(2);
+  }
+  return out;
 }
 
 }  // namespace
@@ -90,26 +138,46 @@ int main(int argc, char** argv) {
     } else if (arg == "--mode") {
       config.middleware.mode = ParseMode(next());
     } else if (arg == "--clients") {
-      config.clients = std::atoi(next().c_str());
+      config.clients = static_cast<int>(IntFlag(arg, next()));
     } else if (arg == "--nodes") {
-      config.nodes = std::atoi(next().c_str());
+      config.nodes = static_cast<int>(IntFlag(arg, next()));
     } else if (arg == "--warmup") {
-      config.warmup = std::atoll(next().c_str()) * kMicrosPerSecond;
+      config.warmup = IntFlag(arg, next()) * kMicrosPerSecond;
     } else if (arg == "--duration") {
-      config.duration = std::atoll(next().c_str()) * kMicrosPerSecond;
+      config.duration = IntFlag(arg, next()) * kMicrosPerSecond;
     } else if (arg == "--tau") {
-      config.middleware.tau = std::atof(next().c_str());
+      config.middleware.tau = DoubleFlag(arg, next());
     } else if (arg == "--cache-kb") {
       config.middleware.cache_bytes =
-          static_cast<size_t>(std::atoll(next().c_str())) * 1024;
+          static_cast<size_t>(UintFlag(arg, next())) * 1024;
     } else if (arg == "--wan-ms") {
-      config.latency.wan_rtt = std::atoll(next().c_str()) * kMicrosPerMilli;
+      config.latency.wan_rtt = IntFlag(arg, next()) * kMicrosPerMilli;
     } else if (arg == "--runs") {
-      runs = std::atoi(next().c_str());
+      runs = static_cast<int>(IntFlag(arg, next()));
     } else if (arg == "--seed") {
-      config.seed = static_cast<uint64_t>(std::atoll(next().c_str()));
+      config.seed = UintFlag(arg, next());
     } else if (arg == "--groups") {
-      config.security_groups = std::atoi(next().c_str());
+      config.security_groups = static_cast<int>(IntFlag(arg, next()));
+    } else if (arg == "--fault-error-pct") {
+      config.fault.error_pct = DoubleFlag(arg, next());
+    } else if (arg == "--fault-spike") {
+      config.fault.spike_multiplier = DoubleFlag(arg, next());
+    } else if (arg == "--fault-spike-pct") {
+      config.fault.spike_pct = DoubleFlag(arg, next());
+    } else if (arg == "--fault-blackout-ms") {
+      config.fault.blackout_us = UintFlag(arg, next()) * kMicrosPerMilli;
+    } else if (arg == "--fault-blackout-at-ms") {
+      config.fault.blackout_start_us = UintFlag(arg, next()) * kMicrosPerMilli;
+    } else if (arg == "--fault-blackout-period-ms") {
+      config.fault.blackout_period_us =
+          UintFlag(arg, next()) * kMicrosPerMilli;
+    } else if (arg == "--fault-seed") {
+      config.fault.seed = UintFlag(arg, next());
+    } else if (arg == "--retries") {
+      config.middleware.retry.max_attempts =
+          static_cast<int>(IntFlag(arg, next()));
+    } else if (arg == "--no-retries") {
+      config.middleware.enable_retries = false;
     } else if (arg == "--journal-out") {
       config.journal_out = next();
     } else if (arg == "--timeline") {
@@ -129,6 +197,31 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // Range checks: well-formed but nonsensical values also exit 2.
+  auto reject = [](const char* flag, const char* why) {
+    std::fprintf(stderr, "invalid value for %s: %s\n", flag, why);
+    std::exit(2);
+  };
+  if (config.clients < 1) reject("--clients", "must be >= 1");
+  if (config.nodes < 1) reject("--nodes", "must be >= 1");
+  if (config.duration <= 0) reject("--duration", "must be > 0");
+  if (config.warmup < 0) reject("--warmup", "must be >= 0");
+  if (runs < 1) reject("--runs", "must be >= 1");
+  if (config.fault.error_pct < 0 || config.fault.error_pct > 100 ||
+      config.fault.spike_pct < 0 || config.fault.spike_pct > 100) {
+    reject("--fault-error-pct/--fault-spike-pct", "must be in [0, 100]");
+  }
+  if (config.fault.spike_multiplier < 1.0) {
+    reject("--fault-spike", "multiplier must be >= 1");
+  }
+  if (config.middleware.retry.max_attempts < 1) {
+    reject("--retries", "must be >= 1");
+  }
+
+  // One seed drives both the fault schedule and the retry-backoff jitter
+  // so a run replays byte-identical.
+  config.middleware.retry_seed = config.fault.seed;
 
   std::function<std::unique_ptr<workloads::Workload>()> make_workload;
   if (!trace_path.empty()) {
@@ -199,6 +292,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(last.errors),
               last.errors > 0 ? " first: " : "",
               last.errors > 0 ? last.first_error.c_str() : "");
+  const bool faults_on = net::FaultInjector(config.fault).enabled();
+  if (faults_on) {
+    std::printf("faults injected  : %llu\n",
+                static_cast<unsigned long long>(last.faults_injected));
+    std::printf("backend retries  : %llu\n",
+                static_cast<unsigned long long>(last.metrics.backend_retries));
+  }
   if (!config.journal_out.empty()) {
     std::printf("journal          : %llu events -> %s\n",
                 static_cast<unsigned long long>(last.journal_events),
@@ -221,5 +321,8 @@ int main(int argc, char** argv) {
                   "############################################################");
     }
   }
+  // Under an injected fault schedule, residual errors are the experiment's
+  // point, not a tool failure.
+  if (faults_on) return 0;
   return last.errors == 0 ? 0 : 1;
 }

@@ -23,6 +23,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/string_util.h"
 #include "db/database.h"
 #include "obs/audit.h"
 #include "obs/export.h"
@@ -58,6 +59,15 @@ struct BenchOptions {
   bool journal = true;       // --no-journal: A/B the journal overhead
   int chain_pct = 0;         // flight lookup -> flight_avail follow-up %
   bool progress = true;      // per-second qps/hit-rate/queue-depth line
+
+  // Fault tolerance (DESIGN.md §11). Deadline/attempt-timeout defaults
+  // activate only when a fault schedule is configured; -1 = auto.
+  net::FaultOptions fault;
+  int64_t deadline_ms = -1;         // per-request budget (auto: 100 under faults)
+  int64_t attempt_timeout_ms = -1;  // per-attempt cap (auto: 25 under faults)
+  uint64_t stale_serve_ms = 0;      // --stale-serve-ms degradation bound
+  int retries = 3;                  // max demand-read attempts
+  bool enable_retries = true;       // --no-retries
 };
 
 struct RunResult {
@@ -68,7 +78,20 @@ struct RunResult {
   double p50_ms = 0;
   double p99_ms = 0;
   double mean_ms = 0;
+  // Client-side demand accounting: a request "succeeds" when it returns a
+  // result, fresh or explicitly stale.
+  uint64_t reads_ok = 0;
+  uint64_t reads_failed = 0;
+  uint64_t writes_ok = 0;
+  uint64_t writes_failed = 0;
   runtime::ServerMetrics metrics;
+
+  double DemandSuccessRate() const {
+    uint64_t total = reads_ok + reads_failed + writes_ok + writes_failed;
+    return total == 0 ? 1.0
+                      : static_cast<double>(reads_ok + writes_ok) /
+                            static_cast<double>(total);
+  }
   // Prefetch-efficacy scoreboard totals (zero when --no-journal).
   uint64_t prefetch_installed = 0;
   uint64_t prefetch_used = 0;
@@ -106,7 +129,56 @@ void Usage() {
       "  --trace-out F     dump the final request-trace ring to F as\n"
       "                    JSON (last run when sweeping)\n"
       "  --no-journal      disable the event journal (A/B its overhead)\n"
-      "  --no-progress     suppress the per-second progress line\n");
+      "  --no-progress     suppress the per-second progress line\n"
+      "\nfault tolerance (DESIGN.md §11; faults off by default):\n"
+      "  --fault-error-pct X      fail X%% of backend calls\n"
+      "  --fault-spike M          latency-spike multiplier (1 = off)\n"
+      "  --fault-spike-pct X      %% of calls spiked (default 10)\n"
+      "  --fault-blackout-ms N    total backend blackout for N ms\n"
+      "  --fault-blackout-at-ms N blackout start offset (default 3000)\n"
+      "  --fault-seed N           fault schedule seed (default 42)\n"
+      "  --deadline-ms N          per-request budget (default 100 when\n"
+      "                           faults are on, unlimited otherwise)\n"
+      "  --attempt-timeout-ms N   per-attempt cap (default 25 under faults)\n"
+      "  --retries N              max demand-read attempts (default 3)\n"
+      "  --no-retries             disable demand-read retries\n"
+      "  --stale-serve-ms N       serve cached-but-stale results up to N ms\n"
+      "                           old when a demand fetch fails (default\n"
+      "                           off)\n");
+}
+
+// Strict flag-value parsers: reject malformed numbers with a clear message
+// and exit 2 instead of silently reading atoi's 0.
+int64_t IntFlag(const std::string& flag, const std::string& value) {
+  int64_t out = 0;
+  if (!ParseInt64(value, &out)) {
+    std::fprintf(stderr, "invalid value for %s: '%s' (expected an integer)\n",
+                 flag.c_str(), value.c_str());
+    std::exit(2);
+  }
+  return out;
+}
+
+uint64_t UintFlag(const std::string& flag, const std::string& value) {
+  uint64_t out = 0;
+  if (!ParseUint64(value, &out)) {
+    std::fprintf(stderr,
+                 "invalid value for %s: '%s' (expected a non-negative "
+                 "integer)\n",
+                 flag.c_str(), value.c_str());
+    std::exit(2);
+  }
+  return out;
+}
+
+double DoubleFlag(const std::string& flag, const std::string& value) {
+  double out = 0;
+  if (!ParseDouble(value, &out)) {
+    std::fprintf(stderr, "invalid value for %s: '%s' (expected a number)\n",
+                 flag.c_str(), value.c_str());
+    std::exit(2);
+  }
+  return out;
 }
 
 int64_t PickKey(Rng* rng, const BenchOptions& opt, int64_t keyspace) {
@@ -161,6 +233,24 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
   config.db_latency_us = opt.db_latency_us;
   config.registry = &registry;
   config.enable_journal = opt.journal;
+  config.fault = opt.fault;
+  config.retry.max_attempts = opt.retries;
+  config.enable_retries = opt.enable_retries;
+  config.stale_serve_us = opt.stale_serve_ms * 1000;
+  const bool faults_on = net::FaultInjector(opt.fault).enabled();
+  // A fault schedule without a deadline would let blackout calls hang for
+  // the whole window; default to a bounded budget when faults are on.
+  if (opt.deadline_ms >= 0) {
+    config.request_deadline_us = static_cast<uint64_t>(opt.deadline_ms) * 1000;
+  } else if (faults_on) {
+    config.request_deadline_us = 100'000;
+  }
+  if (opt.attempt_timeout_ms >= 0) {
+    config.attempt_timeout_us =
+        static_cast<uint64_t>(opt.attempt_timeout_ms) * 1000;
+  } else if (faults_on) {
+    config.attempt_timeout_us = 25'000;
+  }
   // Declared before the server: the journal's final drain (in the server
   // destructor) must find the file sink still alive.
   std::unique_ptr<obs::JournalFileSink> journal_sink;
@@ -176,6 +266,10 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
   }
 
   obs::StatsServer stats(server.registry(), server.traces(), server.audit());
+  stats.SetHealthCallback([&server] {
+    runtime::ChronoServer::HealthStatus h = server.Health();
+    return obs::StatsServer::Health{h.ok, h.reason};
+  });
   if (opt.stats_port >= 0) {
     Status started = stats.Start(opt.stats_port);
     if (!started.ok()) {
@@ -189,6 +283,8 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> total_ops{0};
+  std::atomic<uint64_t> reads_ok{0}, reads_failed{0};
+  std::atomic<uint64_t> writes_ok{0}, writes_failed{0};
   // SampleStats external-locking contract: one private instance per
   // client thread, merged after the threads are joined.
   std::vector<SampleStats> per_client(static_cast<size_t>(opt.clients));
@@ -217,9 +313,16 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
             chain_key = std::atoll(sql.c_str() + sql.rfind('=') + 1);
           }
         }
+        const bool is_write = sql.rfind("UPDATE", 0) == 0;
         auto t0 = std::chrono::steady_clock::now();
         auto result = server.Submit(c, std::move(sql)).get();
         auto t1 = std::chrono::steady_clock::now();
+        // A stale result is still a success from the client's seat — the
+        // degradation is accounted server-side (chrono_stale_serves_total).
+        std::atomic<uint64_t>& bucket =
+            result.ok() ? (is_write ? writes_ok : reads_ok)
+                        : (is_write ? writes_failed : reads_failed);
+        bucket.fetch_add(1, std::memory_order_relaxed);
         if (result.ok()) {
           lat.Add(std::chrono::duration<double, std::milli>(t1 - t0).count());
           ++ops;
@@ -277,6 +380,10 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
   out.p50_ms = all.empty() ? 0 : all.Percentile(0.5);
   out.p99_ms = all.empty() ? 0 : all.Percentile(0.99);
   out.mean_ms = all.empty() ? 0 : all.Mean();
+  out.reads_ok = reads_ok.load();
+  out.reads_failed = reads_failed.load();
+  out.writes_ok = writes_ok.load();
+  out.writes_failed = writes_failed.load();
   out.metrics = server.metrics();
 
   // Snapshot before the server tears down its registry callbacks.
@@ -352,7 +459,12 @@ void WriteJson(const BenchOptions& opt, const std::vector<RunResult>& runs) {
         "\"cache_hit_rate\": %.4f, \"remote_plain\": %llu, "
         "\"remote_combined\": %llu, \"predictions_cached\": %llu, "
         "\"prefetch_installed\": %llu, \"prefetch_used\": %llu, "
-        "\"prefetch_precision\": %.4f, \"prefetch_wasted_bytes\": %llu}%s\n",
+        "\"prefetch_precision\": %.4f, \"prefetch_wasted_bytes\": %llu, "
+        "\"demand_success_rate\": %.6f, \"faults_injected\": %llu, "
+        "\"backend_retries\": %llu, \"backend_timeouts\": %llu, "
+        "\"stale_serves\": %llu, \"breaker_rejects\": %llu, "
+        "\"prefetches_shed_queue\": %llu, "
+        "\"prefetches_shed_breaker\": %llu}%s\n",
         r.workers, static_cast<unsigned long long>(r.ops), r.throughput,
         r.mean_ms, r.p50_ms, r.p99_ms, r.metrics.CacheHitRate(),
         static_cast<unsigned long long>(r.metrics.remote_plain),
@@ -362,6 +474,14 @@ void WriteJson(const BenchOptions& opt, const std::vector<RunResult>& runs) {
         static_cast<unsigned long long>(r.prefetch_used),
         r.prefetch_precision,
         static_cast<unsigned long long>(r.prefetch_wasted_bytes),
+        r.DemandSuccessRate(),
+        static_cast<unsigned long long>(r.metrics.faults_injected),
+        static_cast<unsigned long long>(r.metrics.backend_retries),
+        static_cast<unsigned long long>(r.metrics.backend_timeouts),
+        static_cast<unsigned long long>(r.metrics.stale_serves),
+        static_cast<unsigned long long>(r.metrics.breaker_rejects),
+        static_cast<unsigned long long>(r.metrics.prefetches_dropped),
+        static_cast<unsigned long long>(r.metrics.prefetches_shed_breaker),
         i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -375,7 +495,8 @@ std::vector<int> ParseSweep(const std::string& list) {
   while (pos < list.size()) {
     size_t comma = list.find(',', pos);
     if (comma == std::string::npos) comma = list.size();
-    out.push_back(std::atoi(list.substr(pos, comma - pos).c_str()));
+    out.push_back(
+        static_cast<int>(IntFlag("--sweep", list.substr(pos, comma - pos))));
     pos = comma + 1;
   }
   return out;
@@ -398,33 +519,55 @@ int main(int argc, char** argv) {
       Usage();
       return 0;
     } else if (arg == "--workers") {
-      opt.worker_counts = {std::atoi(next().c_str())};
+      opt.worker_counts = {static_cast<int>(IntFlag(arg, next()))};
     } else if (arg == "--sweep") {
       opt.worker_counts = ParseSweep(next());
     } else if (arg == "--clients") {
-      opt.clients = std::atoi(next().c_str());
+      opt.clients = static_cast<int>(IntFlag(arg, next()));
     } else if (arg == "--seconds") {
-      opt.seconds = std::atof(next().c_str());
+      opt.seconds = DoubleFlag(arg, next());
     } else if (arg == "--shards") {
-      opt.shards = static_cast<size_t>(std::atoi(next().c_str()));
+      opt.shards = static_cast<size_t>(UintFlag(arg, next()));
     } else if (arg == "--cache-mb") {
-      opt.cache_mb = static_cast<size_t>(std::atoi(next().c_str()));
+      opt.cache_mb = static_cast<size_t>(UintFlag(arg, next()));
     } else if (arg == "--db-us") {
-      opt.db_latency_us = static_cast<uint64_t>(std::atoll(next().c_str()));
+      opt.db_latency_us = UintFlag(arg, next());
     } else if (arg == "--write-pct") {
-      opt.write_pct = std::atoi(next().c_str());
+      opt.write_pct = static_cast<int>(IntFlag(arg, next()));
     } else if (arg == "--hot-pct") {
-      opt.hot_pct = std::atoi(next().c_str());
+      opt.hot_pct = static_cast<int>(IntFlag(arg, next()));
     } else if (arg == "--customers") {
-      opt.customers = std::atoll(next().c_str());
+      opt.customers = IntFlag(arg, next());
     } else if (arg == "--flights") {
-      opt.flights = std::atoll(next().c_str());
+      opt.flights = IntFlag(arg, next());
     } else if (arg == "--seed") {
-      opt.seed = static_cast<uint64_t>(std::atoll(next().c_str()));
+      opt.seed = UintFlag(arg, next());
     } else if (arg == "--json") {
       opt.json_path = next();
     } else if (arg == "--stats-port") {
-      opt.stats_port = std::atoi(next().c_str());
+      opt.stats_port = static_cast<int>(IntFlag(arg, next()));
+    } else if (arg == "--fault-error-pct") {
+      opt.fault.error_pct = DoubleFlag(arg, next());
+    } else if (arg == "--fault-spike") {
+      opt.fault.spike_multiplier = DoubleFlag(arg, next());
+    } else if (arg == "--fault-spike-pct") {
+      opt.fault.spike_pct = DoubleFlag(arg, next());
+    } else if (arg == "--fault-blackout-ms") {
+      opt.fault.blackout_us = UintFlag(arg, next()) * 1000;
+    } else if (arg == "--fault-blackout-at-ms") {
+      opt.fault.blackout_start_us = UintFlag(arg, next()) * 1000;
+    } else if (arg == "--fault-seed") {
+      opt.fault.seed = UintFlag(arg, next());
+    } else if (arg == "--deadline-ms") {
+      opt.deadline_ms = IntFlag(arg, next());
+    } else if (arg == "--attempt-timeout-ms") {
+      opt.attempt_timeout_ms = IntFlag(arg, next());
+    } else if (arg == "--retries") {
+      opt.retries = static_cast<int>(IntFlag(arg, next()));
+    } else if (arg == "--no-retries") {
+      opt.enable_retries = false;
+    } else if (arg == "--stale-serve-ms") {
+      opt.stale_serve_ms = UintFlag(arg, next());
     } else if (arg == "--metrics-out") {
       opt.metrics_path = next();
     } else if (arg == "--journal-out") {
@@ -434,7 +577,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-journal") {
       opt.journal = false;
     } else if (arg == "--chain-pct") {
-      opt.chain_pct = std::atoi(next().c_str());
+      opt.chain_pct = static_cast<int>(IntFlag(arg, next()));
     } else if (arg == "--no-progress") {
       opt.progress = false;
     } else {
@@ -443,6 +586,33 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // Well-formed but out-of-range values get the same exit-2 treatment as
+  // malformed ones; a bench that silently does nothing helps nobody.
+  auto reject = [](const char* flag, const char* why) {
+    std::fprintf(stderr, "invalid value for %s: %s\n", flag, why);
+    std::exit(2);
+  };
+  if (!(opt.seconds > 0)) reject("--seconds", "must be > 0");
+  if (opt.clients < 1) reject("--clients", "must be >= 1");
+  for (int w : opt.worker_counts) {
+    if (w < 1) reject("--workers/--sweep", "worker counts must be >= 1");
+  }
+  if (opt.customers < 1 || opt.flights < 1) {
+    reject("--customers/--flights", "keyspace must be >= 1");
+  }
+  if (opt.write_pct < 0 || opt.write_pct > 100 || opt.hot_pct < 0 ||
+      opt.hot_pct > 100 || opt.chain_pct < 0 || opt.chain_pct > 100) {
+    reject("--write-pct/--hot-pct/--chain-pct", "must be in [0, 100]");
+  }
+  if (opt.fault.error_pct < 0 || opt.fault.error_pct > 100 ||
+      opt.fault.spike_pct < 0 || opt.fault.spike_pct > 100) {
+    reject("--fault-error-pct/--fault-spike-pct", "must be in [0, 100]");
+  }
+  if (opt.fault.spike_multiplier < 1.0) {
+    reject("--fault-spike", "multiplier must be >= 1");
+  }
+  if (opt.retries < 1) reject("--retries", "must be >= 1");
 
   std::printf("Populating SEATS (%lld customers, %lld flights)...\n",
               static_cast<long long>(opt.customers),
@@ -468,6 +638,24 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.metrics.remote_combined),
         static_cast<unsigned long long>(r.metrics.predictions_cached),
         static_cast<unsigned long long>(r.metrics.errors));
+    if (net::FaultInjector(opt.fault).enabled() || opt.stale_serve_ms > 0) {
+      std::printf(
+          "  degradation: success %.2f%% (reads %llu/%llu, writes %llu/%llu)"
+          "  faults %llu  retries %llu  timeouts %llu  stale %llu  "
+          "breaker-rejects %llu  shed q/brk %llu/%llu\n",
+          100.0 * r.DemandSuccessRate(),
+          static_cast<unsigned long long>(r.reads_ok),
+          static_cast<unsigned long long>(r.reads_ok + r.reads_failed),
+          static_cast<unsigned long long>(r.writes_ok),
+          static_cast<unsigned long long>(r.writes_ok + r.writes_failed),
+          static_cast<unsigned long long>(r.metrics.faults_injected),
+          static_cast<unsigned long long>(r.metrics.backend_retries),
+          static_cast<unsigned long long>(r.metrics.backend_timeouts),
+          static_cast<unsigned long long>(r.metrics.stale_serves),
+          static_cast<unsigned long long>(r.metrics.breaker_rejects),
+          static_cast<unsigned long long>(r.metrics.prefetches_dropped),
+          static_cast<unsigned long long>(r.metrics.prefetches_shed_breaker));
+    }
   }
 
   if (runs.size() > 1) {
