@@ -4,11 +4,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+
+#include "cache/lru_cache.h"
 #include "core/combiner_lateral.h"
 #include "core/middleware.h"
 #include "db/database.h"
+#include "runtime/sharded_cache.h"
 #include "sql/parser.h"
+#include "sql/result_set.h"
 #include "sql/template.h"
+#include "sql/value.h"
 #include "sql/writer.h"
 #include "workloads/tpce.h"
 
@@ -137,6 +144,51 @@ void BM_CombinedAstHandoff(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CombinedAstHandoff);
+
+// ---- Zero-copy cache hit path (DESIGN.md §12) ---------------------------
+//
+// BM_ShardedCacheGetCopy is the pre-refactor hit cost: every Get deep-
+// copied the rows out of the entry, so hits scaled with payload size.
+// BM_ShardedCacheGetShared is the shipped path: a hit hands back the
+// shared immutable payload, a ref-count bump regardless of row count.
+// CI's bench job fails if the shared path regresses to within 2x of the
+// copying baseline at the widest payload.
+
+cache::CachedResult MakeWideEntry(int64_t rows) {
+  cache::CachedResult entry;
+  sql::ResultSet rs({"id", "payload"});
+  for (int64_t i = 0; i < rows; ++i) {
+    rs.AddRow({sql::Value::Int(i),
+               sql::Value::String("row-payload-" + std::to_string(i))});
+  }
+  entry.SetResult(std::move(rs));
+  entry.version = {{0, 1}};
+  return entry;
+}
+
+void BM_ShardedCacheGetCopy(benchmark::State& state) {
+  runtime::ShardedCache cache(64 << 20, 8);
+  cache.Put("k", MakeWideEntry(state.range(0)));
+  for (auto _ : state) {
+    auto hit = cache.Get("k");
+    sql::ResultSet copy = *hit->result;  // the old per-hit materialization
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardedCacheGetCopy)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_ShardedCacheGetShared(benchmark::State& state) {
+  runtime::ShardedCache cache(64 << 20, 8);
+  cache.Put("k", MakeWideEntry(state.range(0)));
+  for (auto _ : state) {
+    auto hit = cache.Get("k");
+    std::shared_ptr<const sql::ResultSet> payload = hit->result;
+    benchmark::DoNotOptimize(payload);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardedCacheGetShared)->Arg(1)->Arg(64)->Arg(1024);
 
 void BM_TransitionGraphObserve(benchmark::State& state) {
   core::TransitionGraph graph(200 * kMicrosPerMilli);

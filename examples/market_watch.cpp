@@ -44,7 +44,7 @@ void ShowSplit(const core::CombinedQuery& plan, const sql::ResultSet& result,
   std::printf("decoded into %zu result sets:\n", split->size());
   for (const auto& entry : *split) {
     std::printf("--- key: %s\n%s", entry.key.c_str(),
-                entry.result.ToString().c_str());
+                entry.result->ToString().c_str());
   }
 }
 

@@ -67,7 +67,9 @@ void LruCache::Clear() {
 
 size_t LruCache::EntryBytes(const std::string& key,
                             const CachedResult& value) {
-  return key.size() + value.result.ByteSize() +
+  // result_bytes was measured once when the payload was frozen; a shared
+  // payload must never be re-walked here (EntryBytes runs on every Put).
+  return key.size() + value.result_bytes +
          value.version.size() * sizeof(value.version[0]) + 64;
 }
 

@@ -5,8 +5,10 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sql/result_set.h"
@@ -21,11 +23,30 @@ using VersionVector = std::vector<std::pair<int, uint64_t>>;
 /// access-control layers need: the database version vector at caching time,
 /// the caching client's security group (§5.2.1), and the middleware node id
 /// (multi-node deployments must not share results across nodes, §5.2).
+///
+/// The payload is an immutable, shared `ResultSet`: a cache hit hands the
+/// same `shared_ptr` to every reader (a ref-count bump, not a deep copy),
+/// so the rows must never be mutated after publication. `result_bytes` is
+/// the payload's footprint measured exactly once at SetResult time — the
+/// byte accounting must not re-walk a shared payload on every lookup.
 struct CachedResult {
-  sql::ResultSet result;
+  std::shared_ptr<const sql::ResultSet> result;
+  size_t result_bytes = 0;
   VersionVector version;
   int security_group = 0;
   int node_id = 0;
+
+  /// Adopts an already-shared immutable payload, measuring it once.
+  void SetResult(std::shared_ptr<const sql::ResultSet> shared) {
+    result_bytes = shared ? shared->ByteSize() : 0;
+    result = std::move(shared);
+  }
+
+  /// Freezes `rows` into a shared immutable payload (the only copy/move
+  /// the result ever sees on its way into the cache).
+  void SetResult(sql::ResultSet rows) {
+    SetResult(std::make_shared<const sql::ResultSet>(std::move(rows)));
+  }
 
   // Prefetch provenance for hit attribution (observability layer): the
   // combined-plan id that installed this entry ahead of demand and the

@@ -499,10 +499,10 @@ void Middleware::HandleRead(SimTime now, ClientId client, int security_group,
     ++metrics_.cache_hits;
     JournalRequest(client, tmpl, obs::TraceOutcome::kCacheHit,
                    hit->prefetch_plan, hit->prefetch_src);
-    sql::ResultSet result = hit->result;  // copy before any cache mutation
+    // Share the immutable payload (safe across any later cache mutation).
     // Answer from the edge cache first (Respond records the fresh result
     // into the mapper), then fire background predictions off it.
-    Respond(client, tmpl, result, done);
+    Respond(client, tmpl, hit->result, done);
     for (const DependencyGraph* g : to_fire) {
       if (config_.enable_combining) {
         FireGraph(client, security_group, *g, /*wait_key=*/"");
@@ -634,12 +634,16 @@ void Middleware::IssuePlainFetch(ClientId client, int security_group,
         auto waiters = std::move(inflight_[key]);
         inflight_.erase(key);
         inflight_tmpl_.erase(key);
-        CachePut(client, security_group, tmpl, bound_text, outcome->result);
+        // Freeze the fetched rows once; the cache entry and every waiter
+        // share the same immutable payload.
+        auto payload = std::make_shared<const sql::ResultSet>(
+            std::move(outcome->result));
+        CachePut(client, security_group, tmpl, bound_text, payload);
         for (auto& w : waiters) {
           // Fresh database read: Vc = Vd (§5.2).
           sessions_.SyncClientToDb(w.client);
           JournalRequest(w.client, tmpl, obs::TraceOutcome::kRemotePlain);
-          Respond(w.client, tmpl, outcome->result, w.done);
+          Respond(w.client, tmpl, payload, w.done);
         }
         // Fire deferred sequential predictions now that the result they
         // bind from is recorded in the mapper.
@@ -851,9 +855,11 @@ void Middleware::FireSequential(ClientId client, int security_group,
                                SimTime, Result<db::ExecOutcome> outcome) {
       sessions_.OnRemoteAccess();
       if (!outcome.ok()) return;
-      CachePut(client, security_group, node, bound, outcome->result);
+      auto payload = std::make_shared<const sql::ResultSet>(
+          std::move(outcome->result));
+      CachePut(client, security_group, node, bound, payload);
       // Feed the model so deeper predictions can bind next time.
-      StateFor(client)->mapper.ObserveResult(node, outcome->result);
+      StateFor(client)->mapper.ObserveResult(node, *payload);
     });
   }
 }
@@ -900,18 +906,18 @@ bool Middleware::PredictionsCached(ClientId client, int security_group,
         base[p] = node_lp->second[p];
       }
     }
-    for (size_t r = 0; r < root_hit->result.row_count(); ++r) {
+    for (size_t r = 0; r < root_hit->result->row_count(); ++r) {
       std::vector<sql::Value> params = base;
       bool bindable = true;
       for (const auto* e : incoming) {
         for (const auto& b : e->bindings) {
-          int col = root_hit->result.ColumnIndex(b.src_column);
+          int col = root_hit->result->ColumnIndex(b.src_column);
           if (col < 0) {
             bindable = false;
             break;
           }
           params[static_cast<size_t>(b.dst_param)] =
-              root_hit->result.row(r)[static_cast<size_t>(col)];
+              root_hit->result->row(r)[static_cast<size_t>(col)];
         }
       }
       if (!bindable) return false;
@@ -932,24 +938,28 @@ bool Middleware::PredictionsCached(ClientId client, int security_group,
 }
 
 void Middleware::Respond(ClientId client, TemplateId tmpl,
-                         const sql::ResultSet& result,
+                         std::shared_ptr<const sql::ResultSet> result,
                          const ResponseCallback& done) {
   if (config_.enable_learning) {
-    StateFor(client)->mapper.ObserveResult(tmpl, result);
+    StateFor(client)->mapper.ObserveResult(tmpl, *result);
   }
+  // The scheduled delivery carries only the shared_ptr; the single copy
+  // into the client's Result<ResultSet> happens at the LAN edge.
   events_->ScheduleAfter(latency_.edge_rtt / 2,
-                         [done, result](SimTime now2) { done(now2, result); });
+                         [done, result = std::move(result)](SimTime now2) {
+                           done(now2, *result);
+                         });
 }
 
 void Middleware::CachePut(ClientId client, int security_group, TemplateId tmpl,
                           const std::string& bound_text,
-                          const sql::ResultSet& result, uint64_t prefetch_plan,
-                          uint64_t prefetch_src) {
+                          std::shared_ptr<const sql::ResultSet> result,
+                          uint64_t prefetch_plan, uint64_t prefetch_src) {
   const sql::QueryTemplate* qt = registry_.Find(tmpl);
   std::vector<std::string> reads;
   if (qt != nullptr) reads = sql::CollectTableAccess(*qt->ast).reads;
   cache::CachedResult entry;
-  entry.result = result;
+  entry.SetResult(std::move(result));
   entry.version = sessions_.SnapshotFor(reads);
   entry.security_group = security_group;
   entry.node_id = config_.node_id;

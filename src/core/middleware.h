@@ -295,14 +295,20 @@ class Middleware {
   void IssuePlainFetch(ClientId client, int security_group, TemplateId tmpl,
                        std::string bound_text, std::string key, int attempts);
 
-  void Respond(ClientId client, TemplateId tmpl, const sql::ResultSet& result,
+  /// Ships the shared immutable payload to the client (the one copy into
+  /// the client's Result happens at the LAN edge delivery, never here).
+  void Respond(ClientId client, TemplateId tmpl,
+               std::shared_ptr<const sql::ResultSet> result,
                const ResponseCallback& done);
 
   /// Cache write with session/security tagging. `prefetch_plan`/
   /// `prefetch_src` tag predictively installed entries (zero for demand
-  /// fills) for hit attribution and the lifecycle journal.
+  /// fills) for hit attribution and the lifecycle journal. The payload is
+  /// adopted as-is: the caller's shared_ptr and the cached entry alias
+  /// one immutable ResultSet.
   void CachePut(ClientId client, int security_group, TemplateId tmpl,
-                const std::string& bound_text, const sql::ResultSet& result,
+                const std::string& bound_text,
+                std::shared_ptr<const sql::ResultSet> result,
                 uint64_t prefetch_plan = 0, uint64_t prefetch_src = 0);
 
   /// Cache read honouring session semantics + security groups. Returns

@@ -77,7 +77,8 @@ Result<std::vector<SplitEntry>> SplitResult(const CombinedQuery& combined,
     entry.tmpl = combined.slots[k].tmpl;
     entry.key = *st.current_key;
     entry.params = std::move(st.current_params);
-    entry.result = std::move(st.current);
+    entry.result =
+        std::make_shared<const sql::ResultSet>(std::move(st.current));
     out.push_back(std::move(entry));
     st.current = sql::ResultSet(combined.slots[k].result_names);
     st.current_key.reset();
@@ -180,7 +181,8 @@ Result<std::vector<SplitEntry>> SplitResult(const CombinedQuery& combined,
         entry.tmpl = root.tmpl;
         entry.key = sql::RenderBoundText(*tmpl, root.bound_params);
         entry.params = root.bound_params;
-        entry.result = sql::ResultSet(root.result_names);
+        entry.result =
+            std::make_shared<const sql::ResultSet>(root.result_names);
         out.push_back(std::move(entry));
       }
     }

@@ -55,12 +55,14 @@ struct CombinedQuery {
 /// \brief One decoded result set: the cache key (the exact text of the
 /// original query that would have produced it, §4.1.1), the parameter
 /// values of that query instance (Algorithm 1's split_mark_text_avail
-/// needs them to cascade readiness), and the rows.
+/// needs them to cascade readiness), and the rows — already frozen into
+/// the shared immutable form the caches store, so installing a split
+/// entry never re-materializes the rows.
 struct SplitEntry {
   TemplateId tmpl = 0;
   std::string key;
   std::vector<sql::Value> params;
-  sql::ResultSet result;
+  std::shared_ptr<const sql::ResultSet> result;
 };
 
 /// Splits a combined query's result set into the result sets of the

@@ -10,8 +10,8 @@ namespace chrono::obs {
 namespace {
 
 const char* kOutcomeNames[kTraceOutcomeCount] = {
-    "cache_hit", "prediction_hit", "remote_plain",
-    "write",     "error",          "stale_hit"};
+    "cache_hit", "prediction_hit", "remote_plain", "write",
+    "error",     "stale_hit",      "coalesced_hit"};
 const char* kStageNames[PrefetchAudit::kStageSlots] = {
     "analyze", "cache_lookup", "learn_combine",
     "db_execute", "split_decode", "total"};
@@ -283,6 +283,13 @@ void PrefetchAudit::Fold(const JournalEvent& event) {
       }
       break;
     }
+    case JournalEventType::kBackendCoalesced: {
+      ++availability_.backend_coalesced;
+      BumpPlain("chrono_backend_coalesced_total",
+                "Demand misses that joined another thread's in-flight "
+                "backend fetch instead of issuing their own.");
+      break;
+    }
     case JournalEventType::kRequest: {
       ++requests_;
       int outcome = std::min<int>(event.flags & 0x0f, kTraceOutcomeCount - 1);
@@ -540,6 +547,8 @@ std::string PrefetchAuditJson(const PrefetchAudit::Snapshot& snapshot) {
       .append(std::to_string(av.breaker_half_open));
   out.append(",\"breaker_closed\":")
       .append(std::to_string(av.breaker_closed));
+  out.append(",\"backend_coalesced\":")
+      .append(std::to_string(av.backend_coalesced));
   out.append("},\"stage_sum_us\":{");
   for (int i = 0; i < PrefetchAudit::kStageSlots; ++i) {
     if (i > 0) out.push_back(',');

@@ -86,10 +86,12 @@ class PrefetchAudit : public JournalSink {
 
   /// Availability/degradation board folded from the fault-tolerance
   /// events (retries, timeouts, breaker transitions, stale serves, shed
-  /// work). The same fold drives chrono_backend_retries_total,
-  /// chrono_backend_timeouts_total, chrono_stale_serves_total,
-  /// chrono_shed_total{kind} and chrono_breaker_transitions_total{to}, so
-  /// scraped counters reconcile with the journal by construction.
+  /// work, coalesced fetches). The same fold drives
+  /// chrono_backend_retries_total, chrono_backend_timeouts_total,
+  /// chrono_stale_serves_total, chrono_shed_total{kind},
+  /// chrono_breaker_transitions_total{to} and
+  /// chrono_backend_coalesced_total, so scraped counters reconcile with
+  /// the journal by construction.
   struct Availability {
     uint64_t backend_retries = 0;
     uint64_t backoff_us = 0;        // summed backoff waits
@@ -102,10 +104,12 @@ class PrefetchAudit : public JournalSink {
     uint64_t breaker_open = 0;      // transitions into each state
     uint64_t breaker_half_open = 0;
     uint64_t breaker_closed = 0;    // re-closes only (not the initial state)
+    uint64_t backend_coalesced = 0; // misses joined an in-flight demand fetch
 
     bool Any() const {
       return backend_retries | backend_timeouts | stale_serves | shed_queue |
-             shed_breaker | breaker_open | breaker_half_open | breaker_closed;
+             shed_breaker | breaker_open | breaker_half_open | breaker_closed |
+             backend_coalesced;
     }
   };
 

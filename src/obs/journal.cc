@@ -42,6 +42,7 @@ const char* JournalEventTypeName(JournalEventType type) {
     case JournalEventType::kBreakerTransition: return "breaker_transition";
     case JournalEventType::kStaleServe: return "stale_serve";
     case JournalEventType::kShed: return "shed";
+    case JournalEventType::kBackendCoalesced: return "backend_coalesced";
   }
   return "?";
 }

@@ -37,6 +37,7 @@ enum class JournalEventType : uint8_t {
   kBreakerTransition, // circuit breaker changed state (a = to, b = from)
   kStaleServe,        // demand fetch failed; served a stale cached entry
   kShed,              // best-effort work shed (a = shed kind)
+  kBackendCoalesced,  // demand miss joined another thread's in-flight fetch
 };
 
 const char* JournalEventTypeName(JournalEventType type);
@@ -78,6 +79,8 @@ inline constexpr uint64_t kShedBreakerUnhealthy = 1; // breaker not closed
 ///                      (net::CircuitBreaker::State numeric values)
 ///   kStaleServe      a = entry age µs, b = allowed bound µs
 ///   kShed            a = shed kind (kShedQueueFull / kShedBreakerUnhealthy)
+///   kBackendCoalesced a = waiters already parked on the leader's fetch
+///                     (flags bit0 = the leader's call succeeded)
 ///
 /// `plan`/`src`/`tmpl` carry prefetch attribution: the combined-plan id,
 /// the transition-graph edge source template (0 = plan root), and the

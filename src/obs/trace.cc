@@ -34,6 +34,8 @@ const char* TraceOutcomeName(TraceOutcome outcome) {
       return "error";
     case TraceOutcome::kStaleHit:
       return "stale_hit";
+    case TraceOutcome::kCoalescedHit:
+      return "coalesced_hit";
   }
   return "unknown";
 }

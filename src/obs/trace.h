@@ -39,10 +39,11 @@ enum class TraceOutcome {
   kWrite,           // DML/DDL
   kError,           // statement returned a status
   kStaleHit,        // demand fetch failed; answered from a stale entry
+  kCoalescedHit,    // miss joined another thread's in-flight demand fetch
 };
 
 /// Number of TraceOutcome values; sizes audit scoreboards and loops.
-inline constexpr int kTraceOutcomeCount = 6;
+inline constexpr int kTraceOutcomeCount = 7;
 
 const char* TraceOutcomeName(TraceOutcome outcome);
 

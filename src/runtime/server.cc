@@ -589,15 +589,15 @@ void ChronoServer::ShedPrefetch(uint64_t kind, uint64_t plan_id,
   Journal(event);
 }
 
-std::optional<sql::ResultSet> ChronoServer::TryServeStale(
+SharedResult ChronoServer::TryServeStale(
     const std::optional<cache::CachedResult>& candidate, uint64_t tmpl,
     ClientId client, ReqCtx* ctx) {
   if (config_.stale_serve_us == 0 || !candidate.has_value()) {
-    return std::nullopt;
+    return nullptr;
   }
   uint64_t now = NowMicros();
   uint64_t age = now > candidate->install_us ? now - candidate->install_us : 0;
-  if (age > config_.stale_serve_us) return std::nullopt;
+  if (age > config_.stale_serve_us) return nullptr;
   metrics_.stale_serves.fetch_add(1, std::memory_order_relaxed);
   last_stale_us_.store(now, std::memory_order_relaxed);
   if (ctx != nullptr) ctx->outcome = obs::TraceOutcome::kStaleHit;
@@ -623,6 +623,8 @@ ServerMetrics ChronoServer::metrics() const {
   m.cache_hits = metrics_.cache_hits.load(std::memory_order_relaxed);
   m.cache_rejects = metrics_.cache_rejects.load(std::memory_order_relaxed);
   m.remote_plain = metrics_.remote_plain.load(std::memory_order_relaxed);
+  m.backend_coalesced =
+      metrics_.backend_coalesced.load(std::memory_order_relaxed);
   m.remote_combined = metrics_.remote_combined.load(std::memory_order_relaxed);
   m.predictions_cached =
       metrics_.predictions_cached.load(std::memory_order_relaxed);
@@ -662,11 +664,11 @@ std::string ChronoServer::CacheKey(ClientId client,
   return "c" + std::to_string(client) + "#" + bound_text;
 }
 
-std::future<Result<sql::ResultSet>> ChronoServer::Submit(ClientId client,
-                                                         std::string sql,
-                                                         int security_group) {
-  auto promise = std::make_shared<std::promise<Result<sql::ResultSet>>>();
-  std::future<Result<sql::ResultSet>> future = promise->get_future();
+std::future<Result<SharedResult>> ChronoServer::Submit(ClientId client,
+                                                       std::string sql,
+                                                       int security_group) {
+  auto promise = std::make_shared<std::promise<Result<SharedResult>>>();
+  std::future<Result<SharedResult>> future = promise->get_future();
   bool accepted = pool_.Submit(
       [this, promise, client, security_group, sql = std::move(sql)]() {
         promise->set_value(Execute(client, sql, security_group));
@@ -678,9 +680,9 @@ std::future<Result<sql::ResultSet>> ChronoServer::Submit(ClientId client,
   return future;
 }
 
-Result<sql::ResultSet> ChronoServer::Execute(ClientId client,
-                                             const std::string& sql,
-                                             int security_group) {
+Result<SharedResult> ChronoServer::Execute(ClientId client,
+                                           const std::string& sql,
+                                           int security_group) {
   ReqCtx ctx;
   ctx.t0 = std::chrono::steady_clock::now();
   ctx.start_us = NowMicros();
@@ -699,7 +701,7 @@ Result<sql::ResultSet> ChronoServer::Execute(ClientId client,
   ctx.tmpl = parsed->tmpl->id;
   const bool read_only = parsed->tmpl->read_only;
 
-  Result<sql::ResultSet> result = Status::OK();
+  Result<SharedResult> result = Status::OK();
   if (!read_only) {
     metrics_.writes.fetch_add(1, std::memory_order_relaxed);
     ctx.outcome = obs::TraceOutcome::kWrite;
@@ -737,9 +739,9 @@ Result<sql::ParsedQuery> ChronoServer::Analyze(const std::string& sql) {
   return parsed;
 }
 
-Result<sql::ResultSet> ChronoServer::DoWrite(ClientId client,
-                                             const sql::ParsedQuery& parsed,
-                                             ReqCtx* ctx) {
+Result<SharedResult> ChronoServer::DoWrite(ClientId client,
+                                           const sql::ParsedQuery& parsed,
+                                           ReqCtx* ctx) {
   BackendCall call;
   call.is_write = true;
   call.tmpl = static_cast<uint64_t>(parsed.tmpl->id);
@@ -765,7 +767,7 @@ Result<sql::ResultSet> ChronoServer::DoWrite(ClientId client,
     std::lock_guard<std::mutex> lock(versions_mutex_);
     versions_.OnClientWrite(client, outcome->tables_written);
   }
-  return outcome->result;
+  return std::make_shared<const sql::ResultSet>(std::move(outcome->result));
 }
 
 std::vector<ChronoServer::PreparedPlan> ChronoServer::LearnAndCombine(
@@ -816,10 +818,10 @@ std::vector<ChronoServer::PreparedPlan> ChronoServer::LearnAndCombine(
   return plans;
 }
 
-Result<sql::ResultSet> ChronoServer::DoRead(ClientId client,
-                                            int security_group,
-                                            const sql::ParsedQuery& parsed,
-                                            ReqCtx* ctx) {
+Result<SharedResult> ChronoServer::DoRead(ClientId client,
+                                          int security_group,
+                                          const sql::ParsedQuery& parsed,
+                                          ReqCtx* ctx) {
   SessionState* session = SessionFor(client);
   const core::TemplateId tmpl = parsed.tmpl->id;
 
@@ -829,10 +831,12 @@ Result<sql::ResultSet> ChronoServer::DoRead(ClientId client,
     plans = LearnAndCombine(session, client, parsed);
   }
 
-  auto respond = [&](const sql::ResultSet& result) {
+  // Ships the shared payload to the caller: a ref-count bump, never a row
+  // copy. The mapper reads through the pointer (the payload is immutable).
+  auto respond = [&](const SharedResult& result) {
     if (config_.enable_learning) {
       std::lock_guard<std::mutex> lock(session->mutex);
-      session->mapper.ObserveResult(tmpl, result);
+      session->mapper.ObserveResult(tmpl, *result);
     }
     return result;
   };
@@ -901,8 +905,69 @@ Result<sql::ResultSet> ChronoServer::DoRead(ClientId client,
     metrics_.prediction_fallbacks.fetch_add(1, std::memory_order_relaxed);
   }
 
-  // Plain remote execution: bind the template's AST (no re-parse) and run
-  // it under reader access.
+  // Plain remote execution, single-flighted per cache key: the first
+  // thread to miss (the leader) performs the backend call with the full
+  // retry/breaker/deadline semantics; threads that miss the same key
+  // while it is in flight park on the leader's shared future instead of
+  // issuing duplicate backend calls.
+  std::string flight_key = CacheKey(client, parsed.bound_text);
+  std::promise<Result<SharedResult>> flight_promise;
+  std::shared_ptr<InflightFetch> flight;
+  bool leader = false;
+  uint64_t parked_before = 0;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto [it, inserted] = inflight_.try_emplace(flight_key);
+    if (inserted) {
+      it->second = std::make_shared<InflightFetch>();
+      it->second->result = flight_promise.get_future().share();
+      leader = true;
+    } else {
+      parked_before = it->second->waiters++;
+    }
+    flight = it->second;
+  }
+
+  if (!leader) {
+    // Follower: the wait surfaces as db-execute time (that is what it
+    // replaces). No CachePut, no retries, no breaker feed — the leader
+    // owns all backend semantics; its Status fans out verbatim.
+    metrics_.backend_coalesced.fetch_add(1, std::memory_order_relaxed);
+    ctx->outcome = obs::TraceOutcome::kCoalescedHit;
+    Result<SharedResult> shared = Status::OK();
+    {
+      StageTimer timer(this, ctx, obs::Stage::kDbExecute);
+      shared = flight->result.get();
+    }
+    {
+      obs::JournalEvent event;
+      event.type = obs::JournalEventType::kBackendCoalesced;
+      event.tmpl = static_cast<uint64_t>(tmpl);
+      event.client = static_cast<uint32_t>(client);
+      event.a = parked_before;
+      event.flags = shared.ok() ? obs::kJournalFlagOk : 0;
+      Journal(event);
+    }
+    if (!shared.ok()) {
+      if (IsBackendFailure(shared.status())) {
+        if (auto stale = TryServeStale(stale_candidate,
+                                       static_cast<uint64_t>(tmpl), client,
+                                       ctx)) {
+          return stale;
+        }
+      }
+      metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+      return shared.status();
+    }
+    {
+      std::lock_guard<std::mutex> lock(versions_mutex_);
+      versions_.SyncClientToDb(client);  // fresh read: Vc = Vd (§5.2)
+    }
+    return respond(*shared);
+  }
+
+  // Leader: bind the template's AST (no re-parse) and run it under reader
+  // access.
   metrics_.remote_plain.fetch_add(1, std::memory_order_relaxed);
   ctx->outcome = obs::TraceOutcome::kRemotePlain;
   std::unique_ptr<sql::Statement> stmt =
@@ -918,6 +983,26 @@ Result<sql::ResultSet> ChronoServer::DoRead(ClientId client,
       return db_->Execute(*stmt);
     });
   }
+
+  // Freeze the rows into the shared immutable payload exactly once, then
+  // retire the flight and wake every parked follower. The map entry goes
+  // first so a late joiner becomes a fresh leader instead of parking on a
+  // completed fetch that will never install anything newer.
+  SharedResult payload;
+  if (outcome.ok()) {
+    payload = std::make_shared<const sql::ResultSet>(
+        std::move(outcome->result));
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_.erase(flight_key);
+  }
+  if (outcome.ok()) {
+    flight_promise.set_value(payload);
+  } else {
+    flight_promise.set_value(outcome.status());
+  }
+
   if (!outcome.ok()) {
     // Transport-level failure after every retry: degrade to the
     // version-stale entry if the operator opted in, rather than surface
@@ -927,18 +1012,18 @@ Result<sql::ResultSet> ChronoServer::DoRead(ClientId client,
       if (auto stale = TryServeStale(stale_candidate,
                                      static_cast<uint64_t>(tmpl), client,
                                      ctx)) {
-        return *stale;
+        return stale;
       }
     }
     metrics_.errors.fetch_add(1, std::memory_order_relaxed);
     return outcome.status();
   }
-  CachePut(client, security_group, tmpl, parsed.bound_text, outcome->result);
+  CachePut(client, security_group, tmpl, parsed.bound_text, payload);
   {
     std::lock_guard<std::mutex> lock(versions_mutex_);
     versions_.SyncClientToDb(client);  // fresh read: Vc = Vd (§5.2)
   }
-  return respond(outcome->result);
+  return respond(payload);
 }
 
 bool ChronoServer::ExecuteCombined(ClientId client, int security_group,
@@ -1023,7 +1108,7 @@ bool ChronoServer::ExecuteCombined(ClientId client, int security_group,
   if (config_.enable_learning) {
     std::lock_guard<std::mutex> lock(session->mutex);
     for (const core::SplitEntry& entry : *split) {
-      session->mapper.ObserveResult(entry.tmpl, entry.result);
+      session->mapper.ObserveResult(entry.tmpl, *entry.result);
       session->latest_params[entry.tmpl] = entry.params;
     }
   }
@@ -1087,7 +1172,7 @@ std::optional<cache::CachedResult> ChronoServer::CacheGet(
 void ChronoServer::CachePut(ClientId client, int security_group,
                             core::TemplateId tmpl,
                             const std::string& bound_text,
-                            const sql::ResultSet& result,
+                            SharedResult result,
                             uint64_t prefetch_plan, uint64_t prefetch_src) {
   std::vector<std::string> reads;
   {
@@ -1097,7 +1182,7 @@ void ChronoServer::CachePut(ClientId client, int security_group,
     }
   }
   cache::CachedResult entry;
-  entry.result = result;
+  entry.SetResult(std::move(result));
   {
     std::lock_guard<std::mutex> lock(versions_mutex_);
     entry.version = versions_.SnapshotFor(reads);

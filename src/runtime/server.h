@@ -39,6 +39,11 @@ namespace chrono::runtime {
 
 using core::ClientId;
 
+/// A result payload shared between the cache, in-flight coalesced waiters
+/// and client futures. Immutable after publication: a cache hit is a
+/// ref-count bump, never a row copy (DESIGN.md §12).
+using SharedResult = std::shared_ptr<const sql::ResultSet>;
+
 /// \brief Tuning knobs for one wall-clock serving node. Mirrors the
 /// simulator's MiddlewareConfig where the concepts overlap; times are real
 /// microseconds instead of virtual SimTime.
@@ -114,6 +119,7 @@ struct ServerMetrics {
   uint64_t cache_hits = 0;          // client reads answered from the cache
   uint64_t cache_rejects = 0;       // present but failed session/security
   uint64_t remote_plain = 0;        // uncombined remote reads
+  uint64_t backend_coalesced = 0;   // misses that joined an in-flight fetch
   uint64_t remote_combined = 0;     // combined queries executed
   uint64_t predictions_cached = 0;  // result sets cached ahead of time
   uint64_t prediction_hits = 0;     // misses answered by an inline combine
@@ -168,14 +174,16 @@ class ChronoServer {
   /// Asynchronous client entry point: enqueues the statement on the
   /// worker pool (blocking while the queue is full) and returns a future
   /// for the response. After Shutdown() the future holds an error status.
-  std::future<Result<sql::ResultSet>> Submit(ClientId client, std::string sql,
-                                             int security_group = 0);
+  /// The payload is a shared immutable result — callers must not mutate
+  /// it; concurrent futures may alias the same rows.
+  std::future<Result<SharedResult>> Submit(ClientId client, std::string sql,
+                                           int security_group = 0);
 
   /// Synchronous entry point: runs the full analyze → predict → combine →
   /// decode pipeline in the calling thread. Safe to call from any number
   /// of threads concurrently (the worker pool itself calls this).
-  Result<sql::ResultSet> Execute(ClientId client, const std::string& sql,
-                                 int security_group = 0);
+  Result<SharedResult> Execute(ClientId client, const std::string& sql,
+                               int security_group = 0);
 
   /// Stops accepting work, drains the queue, joins the workers.
   void Shutdown();
@@ -251,10 +259,10 @@ class ChronoServer {
   /// template in the shared registry.
   Result<sql::ParsedQuery> Analyze(const std::string& sql);
 
-  Result<sql::ResultSet> DoWrite(ClientId client,
-                                 const sql::ParsedQuery& parsed, ReqCtx* ctx);
-  Result<sql::ResultSet> DoRead(ClientId client, int security_group,
-                                const sql::ParsedQuery& parsed, ReqCtx* ctx);
+  Result<SharedResult> DoWrite(ClientId client,
+                               const sql::ParsedQuery& parsed, ReqCtx* ctx);
+  Result<SharedResult> DoRead(ClientId client, int security_group,
+                              const sql::ParsedQuery& parsed, ReqCtx* ctx);
 
   /// Learning + graph readiness + combining for one read arrival. Returns
   /// the plans mined ready on this arrival (lock order: registry reader →
@@ -298,8 +306,9 @@ class ChronoServer {
   void ShedPrefetch(uint64_t kind, uint64_t plan_id, ClientId client);
 
   /// Serves `candidate` as an explicitly stale result if stale-serving is
-  /// enabled and the entry is within the age bound; nullopt otherwise.
-  std::optional<sql::ResultSet> TryServeStale(
+  /// enabled and the entry is within the age bound; null otherwise. The
+  /// returned payload aliases the cached entry (no copy).
+  SharedResult TryServeStale(
       const std::optional<cache::CachedResult>& candidate, uint64_t tmpl,
       ClientId client, ReqCtx* ctx);
 
@@ -311,9 +320,10 @@ class ChronoServer {
       ClientId client, int security_group, const std::string& bound_text,
       std::optional<cache::CachedResult>* stale_candidate = nullptr);
   /// `prefetch_plan`/`prefetch_src` tag predictively installed entries
-  /// (zero for demand fills) so later hits can be attributed.
+  /// (zero for demand fills) so later hits can be attributed. The payload
+  /// is adopted as-is: the cache shares it with every future hit.
   void CachePut(ClientId client, int security_group, core::TemplateId tmpl,
-                const std::string& bound_text, const sql::ResultSet& result,
+                const std::string& bound_text, SharedResult result,
                 uint64_t prefetch_plan = 0, uint64_t prefetch_src = 0);
 
   /// Registers every pull-mode metric (counters mirroring ServerMetrics,
@@ -358,9 +368,23 @@ class ChronoServer {
 
   ShardedCache cache_;
 
+  /// Single-flight table (DESIGN.md §12): one entry per cache key with a
+  /// plain demand fetch in flight. The leader inserts its shared future
+  /// before calling the backend and erases the entry after publishing the
+  /// payload; followers copy the future under the mutex and wait on it
+  /// with no lock held. `inflight_mutex_` is a server-level lock acquired
+  /// on its own — never while any other lock in the order is held.
+  struct InflightFetch {
+    std::shared_future<Result<SharedResult>> result;
+    uint64_t waiters = 0;  // followers parked on this fetch so far
+  };
+  std::mutex inflight_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<InflightFetch>> inflight_;
+
   struct {
     std::atomic<uint64_t> reads{0}, writes{0}, cache_hits{0},
-        cache_rejects{0}, remote_plain{0}, remote_combined{0},
+        cache_rejects{0}, remote_plain{0}, backend_coalesced{0},
+        remote_combined{0},
         predictions_cached{0}, prediction_hits{0}, prediction_fallbacks{0},
         prefetched_hits{0}, prefetches_dropped{0}, errors{0},
         backend_retries{0}, backend_timeouts{0}, stale_serves{0},

@@ -1,6 +1,7 @@
 #ifndef CHRONOCACHE_RUNTIME_SHARDED_CACHE_H_
 #define CHRONOCACHE_RUNTIME_SHARDED_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -21,14 +22,23 @@ namespace chrono::runtime {
 /// trade).
 ///
 /// The surface mirrors LruCache's Get/Peek/Put/Erase, with one difference
-/// forced by concurrency: lookups return a *copy* of the entry
+/// forced by concurrency: lookups copy the entry *metadata* out
 /// (`std::optional<CachedResult>`), because a pointer into a shard would
 /// dangle the moment another thread evicts the entry after we drop the
-/// shard lock.
+/// shard lock. The payload itself is never copied: `CachedResult::result`
+/// is an immutable `shared_ptr<const sql::ResultSet>`, so a hit costs a
+/// ref-count bump plus ~100 bytes of version/attribution metadata — the
+/// copied-out payload stays valid (and unchanged) even after the entry is
+/// evicted or replaced under another thread.
 ///
 /// Lock order: shard mutexes are leaf locks — no callback or other lock
 /// is ever taken while one is held, and at most one shard is locked at a
-/// time (aggregate accessors visit shards sequentially).
+/// time (locking accessors visit shards sequentially). The aggregate
+/// counters (hits/misses/entry_count/used_bytes/evictions) are served
+/// from relaxed atomics maintained as deltas by the mutating calls, so a
+/// stats scrape or bench progress tick never takes a single shard mutex
+/// and cannot contend with the hot path; under concurrent mutation they
+/// trail the locked per-shard views by at most the in-flight calls.
 class ShardedCache {
  public:
   /// `capacity_bytes` is the total budget, split evenly; `shards` is
@@ -42,11 +52,12 @@ class ShardedCache {
   /// serving starts; not synchronised against concurrent mutation.
   void SetEvictionCallback(cache::EvictionCallback callback);
 
-  /// Copying lookup; refreshes LRU recency and hit/miss counters in the
+  /// Zero-copy lookup: shares the immutable payload, copies only the
+  /// entry metadata. Refreshes LRU recency and hit/miss counters in the
   /// owning shard. nullopt on miss.
   std::optional<cache::CachedResult> Get(const std::string& key);
 
-  /// Side-effect-free copying lookup: no recency update, no accounting.
+  /// Side-effect-free lookup: no recency update, no accounting.
   std::optional<cache::CachedResult> Peek(const std::string& key) const;
 
   bool Contains(const std::string& key) const;
@@ -60,8 +71,10 @@ class ShardedCache {
 
   void Clear();
 
-  // Aggregates across shards. Each shard is locked in turn, so under
-  // concurrent mutation the totals are per-shard-consistent snapshots.
+  // Aggregates across shards, served from relaxed atomics — no locks, so
+  // the stats path never contends with serving threads. Exact whenever no
+  // mutation is in flight (each mutating call publishes its delta right
+  // after releasing the shard lock).
   size_t entry_count() const;
   size_t used_bytes() const;
   size_t capacity_bytes() const;
@@ -85,7 +98,24 @@ class ShardedCache {
     explicit Shard(size_t bytes) : cache(bytes) {}
   };
 
+  /// Occupancy movement one mutating call produced, measured inside the
+  /// shard lock and published to the lock-free aggregates after release.
+  struct Delta {
+    int64_t entries = 0;
+    int64_t bytes = 0;
+    uint64_t evictions = 0;
+  };
+  void PublishDelta(const Delta& delta);
+
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Lock-free aggregate mirrors (relaxed: monotonic counters plus
+  // occupancy deltas; readers need totals, not ordering).
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<int64_t> entry_count_{0};
+  std::atomic<int64_t> used_bytes_{0};
 };
 
 }  // namespace chrono::runtime

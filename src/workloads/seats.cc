@@ -1,5 +1,6 @@
 #include "workloads/seats.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace chrono::workloads {
@@ -44,25 +45,34 @@ void SeatsWorkload::Populate(db::Database* db) {
   (void)reservation;
 
   Rng rng(config_.seed);
+  // rows_per_key > 1 duplicates each logical key so every point lookup
+  // returns that many rows; the keyspace and query mix are unchanged.
+  const int64_t reps = std::max<int64_t>(1, config_.rows_per_key);
   for (int64_t a = 0; a < config_.airlines; ++a) {
-    (void)airline->Insert(
-        {Value::Int(a), Value::String("Airline " + std::to_string(a))});
+    for (int64_t rep = 0; rep < reps; ++rep) {
+      (void)airline->Insert(
+          {Value::Int(a), Value::String("Airline " + std::to_string(a))});
+    }
   }
   for (int64_t c = 0; c < config_.customers; ++c) {
-    (void)customer->Insert(
-        {Value::Int(c), Value::String("FF" + std::to_string(c)),
-         Value::String("user" + std::to_string(c)),
-         Value::Double(rng.NextDouble() * 1000)});
+    for (int64_t rep = 0; rep < reps; ++rep) {
+      (void)customer->Insert(
+          {Value::Int(c), Value::String("FF" + std::to_string(c)),
+           Value::String("user" + std::to_string(c)),
+           Value::Double(rng.NextDouble() * 1000)});
+    }
   }
   for (int64_t f = 0; f < config_.flights; ++f) {
     int64_t route = f % config_.routes;
-    (void)flight->Insert(
-        {Value::Int(f), Value::Int(route),
-         Value::Int(rng.NextInt(0, config_.airlines - 1)),
-         Value::String("AP" + std::to_string(route * 2)),
-         Value::String("AP" + std::to_string(route * 2 + 1))});
-    (void)flight_avail->Insert(
-        {Value::Int(f), Value::Int(rng.NextInt(10, 200))});
+    for (int64_t rep = 0; rep < reps; ++rep) {
+      (void)flight->Insert(
+          {Value::Int(f), Value::Int(route),
+           Value::Int(rng.NextInt(0, config_.airlines - 1)),
+           Value::String("AP" + std::to_string(route * 2)),
+           Value::String("AP" + std::to_string(route * 2 + 1))});
+      (void)flight_avail->Insert(
+          {Value::Int(f), Value::Int(rng.NextInt(10, 200))});
+    }
     for (int64_t d = 0; d < config_.days; ++d) {
       (void)flight_price->Insert(
           {Value::Int(f), Value::Int(d),

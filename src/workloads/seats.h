@@ -20,6 +20,10 @@ class SeatsWorkload : public Workload {
     int64_t routes = 400;
     int64_t airlines = 50;
     int64_t days = 30;
+    /// Rows inserted per logical key (customer/flight/availability/airline).
+    /// Values > 1 widen every point-lookup result without changing the query
+    /// mix — serve_bench --payload-rows uses this to scale payload sizes.
+    int64_t rows_per_key = 1;
     uint64_t seed = 13;
   };
 

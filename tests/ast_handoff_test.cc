@@ -137,7 +137,7 @@ TEST_F(AstHandoffTest, SplitIsIdenticalAcrossExecutionPaths) {
   ASSERT_EQ(split_ast->size(), split_text->size());
   for (size_t i = 0; i < split_ast->size(); ++i) {
     EXPECT_EQ((*split_ast)[i].key, (*split_text)[i].key);
-    EXPECT_EQ((*split_ast)[i].result, (*split_text)[i].result);
+    EXPECT_EQ(*(*split_ast)[i].result, *(*split_text)[i].result);
   }
 }
 

@@ -13,10 +13,11 @@ using sql::Value;
 
 CachedResult MakeEntry(int rows = 1) {
   CachedResult entry;
-  entry.result = ResultSet({"a"});
+  ResultSet rs({"a"});
   for (int i = 0; i < rows; ++i) {
-    entry.result.AddRow({Value::Int(i)});
+    rs.AddRow({Value::Int(i)});
   }
+  entry.SetResult(std::move(rs));
   entry.version = {{0, 1}};
   return entry;
 }
@@ -26,8 +27,21 @@ TEST(LruCache, PutGetRoundTrip) {
   cache.Put("k", MakeEntry());
   const CachedResult* hit = cache.Get("k");
   ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(hit->result.row_count(), 1u);
+  EXPECT_EQ(hit->result->row_count(), 1u);
   EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(LruCache, CopiedEntriesShareThePayload) {
+  // The zero-copy contract: copying a CachedResult out of the cache bumps
+  // a refcount instead of duplicating rows, and the measured byte size
+  // rides along so nothing ever re-walks the payload.
+  LruCache cache(1 << 20);
+  cache.Put("k", MakeEntry(3));
+  const CachedResult* hit = cache.Get("k");
+  ASSERT_NE(hit, nullptr);
+  CachedResult copy = *hit;
+  EXPECT_EQ(copy.result.get(), hit->result.get());
+  EXPECT_EQ(copy.result_bytes, hit->result->ByteSize());
 }
 
 TEST(LruCache, MissCounts) {
@@ -43,13 +57,13 @@ TEST(LruCache, ReplaceUpdatesValueAndBytes) {
   cache.Put("k", MakeEntry(100));
   EXPECT_EQ(cache.entry_count(), 1u);
   EXPECT_GT(cache.used_bytes(), small);
-  EXPECT_EQ(cache.Get("k")->result.row_count(), 100u);
+  EXPECT_EQ(cache.Get("k")->result->row_count(), 100u);
 }
 
 TEST(LruCache, EvictsLeastRecentlyUsed) {
   // Size the cache to hold about 3 entries.
   CachedResult probe = MakeEntry(10);
-  size_t entry_bytes = probe.result.ByteSize() + 100;
+  size_t entry_bytes = probe.result->ByteSize() + 100;
   LruCache cache(entry_bytes * 3);
   cache.Put("a", MakeEntry(10));
   cache.Put("b", MakeEntry(10));
@@ -70,7 +84,7 @@ TEST(LruCache, OversizedEntryDropped) {
 
 TEST(LruCache, OversizedReplacementErasesOldEntry) {
   CachedResult small = MakeEntry(1);
-  LruCache cache(small.result.ByteSize() + 200);
+  LruCache cache(small.result->ByteSize() + 200);
   cache.Put("k", MakeEntry(1));
   ASSERT_NE(cache.Peek("k"), nullptr);
   cache.Put("k", MakeEntry(100000));  // larger than the whole cache
@@ -79,7 +93,7 @@ TEST(LruCache, OversizedReplacementErasesOldEntry) {
 
 TEST(LruCache, PeekDoesNotTouchRecencyOrCounters) {
   CachedResult probe = MakeEntry(10);
-  size_t entry_bytes = probe.result.ByteSize() + 100;
+  size_t entry_bytes = probe.result->ByteSize() + 100;
   LruCache cache(entry_bytes * 2);
   cache.Put("a", MakeEntry(10));
   cache.Put("b", MakeEntry(10));
@@ -172,7 +186,7 @@ CachedResult MakePrefetched(uint64_t plan, uint64_t src, uint64_t tmpl,
 
 TEST(LruCache, EvictionCallbackDistinguishesUnusedFromUsed) {
   CachedResult probe = MakeEntry(10);
-  size_t entry_bytes = probe.result.ByteSize() + 100;
+  size_t entry_bytes = probe.result->ByteSize() + 100;
   LruCache cache(entry_bytes * 2);
   std::vector<Removal> removals;
   cache.SetEvictionCallback(Collect(&removals));
@@ -233,7 +247,7 @@ TEST(LruCache, CallbackFiresOnOverwriteEraseAndClear) {
 
 TEST(LruCache, OversizedReplacementReportsBothRemovals) {
   CachedResult small = MakeEntry(1);
-  LruCache cache(small.result.ByteSize() + 200);
+  LruCache cache(small.result->ByteSize() + 200);
   std::vector<Removal> removals;
   cache.SetEvictionCallback(Collect(&removals));
 

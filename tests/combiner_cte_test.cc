@@ -146,7 +146,7 @@ TEST_F(CteCombinerTest, SplitReproducesSequentialExecution) {
 
   for (const auto& entry : *split) {
     sql::ResultSet direct = Exec(entry.key);
-    EXPECT_EQ(entry.result, direct) << entry.key;
+    EXPECT_EQ(*entry.result, direct) << entry.key;
   }
 }
 
@@ -163,7 +163,7 @@ TEST_F(CteCombinerTest, SplitHandlesUnmatchedRows) {
   // Q1 (4 rows) + 4 Q2 iterations, one of which is empty.
   ASSERT_EQ(split->size(), 5u);
   for (const auto& entry : *split) {
-    EXPECT_EQ(entry.result, Exec(entry.key)) << entry.key;
+    EXPECT_EQ(*entry.result, Exec(entry.key)) << entry.key;
   }
 }
 
@@ -195,7 +195,7 @@ TEST_F(CteCombinerTest, ThreeLevelChain) {
   // single iteration result set).
   EXPECT_EQ(split->size(), 7u);
   for (const auto& entry : *split) {
-    EXPECT_EQ(entry.result, Exec(entry.key)) << entry.key;
+    EXPECT_EQ(*entry.result, Exec(entry.key)) << entry.key;
   }
 }
 
@@ -223,7 +223,7 @@ TEST_F(CteCombinerTest, SiblingChildren) {
   auto split = SplitResult(*combined, outcome->result, registry_);
   ASSERT_TRUE(split.ok());
   for (const auto& entry : *split) {
-    EXPECT_EQ(entry.result, Exec(entry.key)) << entry.key;
+    EXPECT_EQ(*entry.result, Exec(entry.key)) << entry.key;
   }
 }
 
@@ -251,7 +251,7 @@ TEST_F(CteCombinerTest, PerLoopConstantBoundFromLatestText) {
   auto split = SplitResult(*combined, outcome->result, registry_);
   ASSERT_TRUE(split.ok());
   for (const auto& entry : *split) {
-    EXPECT_EQ(entry.result, Exec(entry.key)) << entry.key;
+    EXPECT_EQ(*entry.result, Exec(entry.key)) << entry.key;
   }
 }
 
@@ -284,11 +284,11 @@ TEST_F(CteCombinerTest, DuplicateSourceRowsDeduplicatedByCandidateKey) {
   auto split = SplitResult(*combined, outcome->result, registry_);
   ASSERT_TRUE(split.ok());
   for (const auto& entry : *split) {
-    EXPECT_EQ(entry.result, Exec(entry.key)) << entry.key;
+    EXPECT_EQ(*entry.result, Exec(entry.key)) << entry.key;
   }
   // Q1's decoded result has 4 rows (duplicate symbol preserved).
   for (const auto& entry : *split) {
-    if (entry.tmpl == q1) EXPECT_EQ(entry.result.row_count(), 4u);
+    if (entry.tmpl == q1) EXPECT_EQ(entry.result->row_count(), 4u);
   }
 }
 
@@ -304,7 +304,7 @@ TEST_F(CteCombinerTest, EmptyDriverStillCachesEmptyRoot) {
   ASSERT_TRUE(split.ok());
   ASSERT_EQ(split->size(), 1u);
   EXPECT_EQ((*split)[0].tmpl, q1);
-  EXPECT_TRUE((*split)[0].result.empty());
+  EXPECT_TRUE((*split)[0].result->empty());
 }
 
 TEST_F(CteCombinerTest, StrategySelectionPrefersCte) {

@@ -67,7 +67,7 @@ class LateralCombinerTest : public ::testing::Test {
     ASSERT_TRUE(split.ok()) << split.status().ToString();
     ASSERT_FALSE(split->empty());
     for (const auto& entry : *split) {
-      EXPECT_EQ(entry.result, Exec(entry.key)) << entry.key;
+      EXPECT_EQ(*entry.result, Exec(entry.key)) << entry.key;
     }
   }
 
@@ -195,8 +195,8 @@ TEST_F(LateralCombinerTest, EmptyIterationsPreserved) {
   ASSERT_EQ(split->size(), 5u);
   bool empty_found = false;
   for (const auto& entry : *split) {
-    EXPECT_EQ(entry.result, Exec(entry.key)) << entry.key;
-    if (entry.result.empty() && entry.tmpl != q1) empty_found = true;
+    EXPECT_EQ(*entry.result, Exec(entry.key)) << entry.key;
+    if (entry.result->empty() && entry.tmpl != q1) empty_found = true;
   }
   EXPECT_TRUE(empty_found);
 }

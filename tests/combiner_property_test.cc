@@ -81,7 +81,7 @@ class CombinerProperty : public ::testing::TestWithParam<uint64_t> {
     ASSERT_TRUE(split.ok());
     EXPECT_GE(split->size(), min_entries);
     for (const auto& entry : *split) {
-      EXPECT_EQ(entry.result, Direct(entry.key)) << entry.key;
+      EXPECT_EQ(*entry.result, Direct(entry.key)) << entry.key;
       // The carried params must re-render to the same key.
       const sql::QueryTemplate* tmpl = registry_.Find(entry.tmpl);
       ASSERT_NE(tmpl, nullptr);

@@ -81,10 +81,10 @@ TEST_F(SplitterTest, BasicLoopDecomposition) {
   }
   (void)q1_entry;
   ASSERT_NE(root, nullptr);
-  EXPECT_EQ(root->result.row_count(), 2u);
+  EXPECT_EQ(root->result->row_count(), 2u);
   ASSERT_EQ(q2_entries.size(), 2u);
-  EXPECT_EQ(q2_entries[0]->result.row_count(), 1u);
-  EXPECT_EQ(q2_entries[0]->result.row(0)[0], Value::Int(100));
+  EXPECT_EQ(q2_entries[0]->result->row_count(), 1u);
+  EXPECT_EQ(q2_entries[0]->result->row(0)[0], Value::Int(100));
   // Iteration keys are the parameterised query texts (§4.1.1).
   EXPECT_NE(q2_entries[0]->key.find("'AAA'"), std::string::npos);
   EXPECT_NE(q2_entries[1]->key.find("'BBB'"), std::string::npos);
@@ -113,11 +113,11 @@ TEST_F(SplitterTest, Figure8Deduplication) {
   }
   ASSERT_NE(root, nullptr);
   // Rows 1+2 deduplicate (same ck); row 3 is kept (different ck).
-  EXPECT_EQ(root->result.row_count(), 2u);
+  EXPECT_EQ(root->result->row_count(), 2u);
   // First Q2 iteration has BOTH matched rows; second has one.
   ASSERT_EQ(children.size(), 2u);
-  EXPECT_EQ(children[0]->result.row_count(), 2u);
-  EXPECT_EQ(children[1]->result.row_count(), 1u);
+  EXPECT_EQ(children[0]->result->row_count(), 2u);
+  EXPECT_EQ(children[1]->result->row_count(), 1u);
 }
 
 TEST_F(SplitterTest, NullChildCandidateKeyMeansEmptyIteration) {
@@ -130,7 +130,7 @@ TEST_F(SplitterTest, NullChildCandidateKeyMeansEmptyIteration) {
   ASSERT_EQ(split->size(), 2u);
   for (const auto& e : *split) {
     if (e.tmpl == q2_) {
-      EXPECT_TRUE(e.result.empty());
+      EXPECT_TRUE(e.result->empty());
       EXPECT_NE(e.key.find("'AAA'"), std::string::npos);
     }
   }
@@ -141,8 +141,8 @@ TEST_F(SplitterTest, EmptyCombinedStillEmitsEmptyRoot) {
   ASSERT_TRUE(split.ok());
   ASSERT_EQ(split->size(), 1u);
   EXPECT_EQ((*split)[0].tmpl, q1_);
-  EXPECT_TRUE((*split)[0].result.empty());
-  EXPECT_EQ((*split)[0].result.columns(), (std::vector<std::string>{"symb"}));
+  EXPECT_TRUE((*split)[0].result->empty());
+  EXPECT_EQ((*split)[0].result->columns(), (std::vector<std::string>{"symb"}));
 }
 
 TEST_F(SplitterTest, SplitColumnsMatchOriginalNames) {
@@ -154,9 +154,9 @@ TEST_F(SplitterTest, SplitColumnsMatchOriginalNames) {
   ASSERT_TRUE(split.ok());
   for (const auto& e : *split) {
     if (e.tmpl == q1_) {
-      EXPECT_EQ(e.result.columns(), (std::vector<std::string>{"symb"}));
+      EXPECT_EQ(e.result->columns(), (std::vector<std::string>{"symb"}));
     } else {
-      EXPECT_EQ(e.result.columns(), (std::vector<std::string>{"num_out"}));
+      EXPECT_EQ(e.result->columns(), (std::vector<std::string>{"num_out"}));
     }
   }
 }

@@ -140,8 +140,8 @@ TEST_F(ChaosTest, BlackoutTripsBreakerAndStaleServesWarmKeys) {
   // the superseded row, which is exactly what stale-serving promises.
   auto stale = server.Submit(1, "SELECT v FROM t WHERE id = 7").get();
   ASSERT_TRUE(stale.ok()) << stale.status().ToString();
-  ASSERT_EQ(stale->row_count(), 1u);
-  EXPECT_EQ(stale->rows()[0][0].AsString(), "v7");  // pre-write value
+  ASSERT_EQ((*stale)->row_count(), 1u);
+  EXPECT_EQ((*stale)->rows()[0][0].AsString(), "v7");  // pre-write value
   ServerMetrics m = server.metrics();
   EXPECT_EQ(m.stale_serves, 1u);
   EXPECT_GT(m.backend_timeouts, 0u);

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,8 +28,9 @@ using sql::Value;
 
 cache::CachedResult MakeEntry(int64_t tag) {
   cache::CachedResult entry;
-  entry.result = ResultSet({"tag"});
-  entry.result.AddRow({Value::Int(tag)});
+  ResultSet rs({"tag"});
+  rs.AddRow({Value::Int(tag)});
+  entry.SetResult(std::move(rs));
   entry.version = {{0, 1}};
   return entry;
 }
@@ -55,7 +57,7 @@ TEST(RuntimeStress, ShardedCacheOverlappingKeys) {
             // The copy must stay intact even while other threads evict or
             // replace the entry.
             if (hit.has_value()) {
-              observed_rows.fetch_add(hit->result.row_count(),
+              observed_rows.fetch_add(hit->result->row_count(),
                                       std::memory_order_relaxed);
             }
             break;
@@ -66,7 +68,7 @@ TEST(RuntimeStress, ShardedCacheOverlappingKeys) {
           default: {
             auto peek = cache.Peek(key);
             if (peek.has_value()) {
-              ASSERT_EQ(peek->result.row_count(), 1u);
+              ASSERT_EQ(peek->result->row_count(), 1u);
             }
             break;
           }
@@ -86,6 +88,44 @@ TEST(RuntimeStress, ShardedCacheOverlappingKeys) {
   EXPECT_EQ(cache.entry_count(), entry_sum);
   EXPECT_EQ(cache.used_bytes(), byte_sum);
   EXPECT_LE(cache.used_bytes(), cache.capacity_bytes());
+}
+
+TEST(RuntimeStress, SharedPayloadImmutableAfterPublication) {
+  // Zero-copy hits hand every reader a pointer to the same immutable
+  // payload. Replacing or invalidating the key must never mutate rows a
+  // reader already holds: readers snapshot the tag when they acquire the
+  // payload and re-check it while a writer churns the same key.
+  constexpr int kReaders = 6;
+  constexpr int kWriterIters = 2000;
+  ShardedCache cache(1 << 20, 4);
+  cache.Put("hot", MakeEntry(0));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> mutations{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto hit = cache.Get("hot");
+        if (!hit.has_value()) continue;
+        std::shared_ptr<const ResultSet> payload = hit->result;
+        int64_t tag = payload->row(0)[0].AsInt();
+        for (int i = 0; i < 16; ++i) {
+          if (payload->row_count() != 1 ||
+              payload->row(0)[0].AsInt() != tag) {
+            mutations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (int64_t i = 1; i <= kWriterIters; ++i) {
+    cache.Put("hot", MakeEntry(i));
+    if (i % 64 == 0) cache.Invalidate("hot");
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(mutations.load(), 0u);
 }
 
 TEST(RuntimeStress, ThreadPoolConcurrentSubmitAndShutdown) {
@@ -190,7 +230,7 @@ TEST(RuntimeStress, ServerManyClientsSharedHotKeys) {
         std::string sql = "SELECT v FROM hot WHERE id = " +
                           std::to_string(i % 4);  // everyone, same 4 keys
         auto result = server.Submit(c, sql).get();
-        if (!result.ok() || result->row_count() != 1) {
+        if (!result.ok() || (*result)->row_count() != 1) {
           failures.fetch_add(1, std::memory_order_relaxed);
         }
       }

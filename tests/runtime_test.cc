@@ -121,8 +121,9 @@ TEST(ThreadPool, TracksQueueDepth) {
 
 cache::CachedResult MakeEntry(int rows = 1) {
   cache::CachedResult entry;
-  entry.result = ResultSet({"a"});
-  for (int i = 0; i < rows; ++i) entry.result.AddRow({Value::Int(i)});
+  ResultSet rs({"a"});
+  for (int i = 0; i < rows; ++i) rs.AddRow({Value::Int(i)});
+  entry.SetResult(std::move(rs));
   entry.version = {{0, 1}};
   return entry;
 }
@@ -132,7 +133,7 @@ TEST(ShardedCache, PutGetRoundTrip) {
   cache.Put("k", MakeEntry(3));
   auto hit = cache.Get("k");
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(hit->result.row_count(), 3u);
+  EXPECT_EQ(hit->result->row_count(), 3u);
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_FALSE(cache.Get("missing").has_value());
   EXPECT_EQ(cache.misses(), 1u);
@@ -231,7 +232,7 @@ TEST_F(ChronoServerTest, ServesReadsAndMatchesDirectExecution) {
     auto direct = db_.ExecuteText(sql);
     ASSERT_TRUE(via_server.ok()) << via_server.status().ToString();
     ASSERT_TRUE(direct.ok());
-    EXPECT_EQ(*via_server, direct->result) << sql;
+    EXPECT_EQ(**via_server, direct->result) << sql;
   }
   EXPECT_EQ(server.metrics().reads, 10u);
 }
@@ -265,8 +266,8 @@ TEST_F(ChronoServerTest, WritesInvalidateViaSessionVersions) {
   // cached entry is rejected and re-fetched fresh.
   auto after = server.Submit(1, read).get();
   ASSERT_TRUE(after.ok());
-  ASSERT_EQ(after->row_count(), 1u);
-  EXPECT_EQ(after->At(0, "v").AsString(), "changed");
+  ASSERT_EQ((*after)->row_count(), 1u);
+  EXPECT_EQ((*after)->At(0, "v").AsString(), "changed");
   EXPECT_GE(server.metrics().cache_rejects, 1u);
 }
 

@@ -181,6 +181,8 @@ int main(int argc, char** argv) {
     std::printf("  prefetches shed  : %llu queue-full, %llu breaker\n",
                 static_cast<unsigned long long>(av.shed_queue),
                 static_cast<unsigned long long>(av.shed_breaker));
+    std::printf("  coalesced fetches: %llu joined an in-flight demand call\n",
+                static_cast<unsigned long long>(av.backend_coalesced));
   }
 
   // Stage-time profile across all requests that carried latency.

@@ -51,6 +51,7 @@ struct BenchOptions {
   uint64_t seed = 1;
   int64_t customers = 2000;
   int64_t flights = 2000;
+  int64_t payload_rows = 1;  // rows returned per point lookup
   std::string json_path;
   int stats_port = -1;       // -1 disables the HTTP stats endpoint
   std::string metrics_path;  // --metrics-out: JSON registry dump (last run)
@@ -112,6 +113,9 @@ void Usage() {
       "  --write-pct N     UPDATE share of the mix (default 10)\n"
       "  --hot-pct N       requests hitting the hot key set (default 80)\n"
       "  --customers N / --flights N   SEATS scale (default 2000/2000)\n"
+      "  --payload-rows N  rows returned per point lookup (default 1) —\n"
+      "                    widens every cached payload to stress the\n"
+      "                    zero-copy hit path\n"
       "  --seed N          base RNG seed (default 1)\n"
       "  --chain-pct N     after a flight lookup, follow up with the\n"
       "                    matching flight_avail lookup N%% of the time —\n"
@@ -446,10 +450,12 @@ void WriteJson(const BenchOptions& opt, const std::vector<RunResult>& runs) {
                "  \"write_pct\": %d,\n"
                "  \"cache_mb\": %zu,\n"
                "  \"shards\": %zu,\n"
+               "  \"payload_rows\": %lld,\n"
                "  \"runs\": [\n",
                opt.clients, opt.seconds,
                static_cast<unsigned long long>(opt.db_latency_us),
-               opt.write_pct, opt.cache_mb, opt.shards);
+               opt.write_pct, opt.cache_mb, opt.shards,
+               static_cast<long long>(opt.payload_rows));
   for (size_t i = 0; i < runs.size(); ++i) {
     const RunResult& r = runs[i];
     std::fprintf(
@@ -457,6 +463,7 @@ void WriteJson(const BenchOptions& opt, const std::vector<RunResult>& runs) {
         "    {\"workers\": %d, \"ops\": %llu, \"throughput_qps\": %.1f, "
         "\"mean_ms\": %.3f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
         "\"cache_hit_rate\": %.4f, \"remote_plain\": %llu, "
+        "\"backend_coalesced\": %llu, "
         "\"remote_combined\": %llu, \"predictions_cached\": %llu, "
         "\"prefetch_installed\": %llu, \"prefetch_used\": %llu, "
         "\"prefetch_precision\": %.4f, \"prefetch_wasted_bytes\": %llu, "
@@ -468,6 +475,7 @@ void WriteJson(const BenchOptions& opt, const std::vector<RunResult>& runs) {
         r.workers, static_cast<unsigned long long>(r.ops), r.throughput,
         r.mean_ms, r.p50_ms, r.p99_ms, r.metrics.CacheHitRate(),
         static_cast<unsigned long long>(r.metrics.remote_plain),
+        static_cast<unsigned long long>(r.metrics.backend_coalesced),
         static_cast<unsigned long long>(r.metrics.remote_combined),
         static_cast<unsigned long long>(r.metrics.predictions_cached),
         static_cast<unsigned long long>(r.prefetch_installed),
@@ -540,6 +548,8 @@ int main(int argc, char** argv) {
       opt.customers = IntFlag(arg, next());
     } else if (arg == "--flights") {
       opt.flights = IntFlag(arg, next());
+    } else if (arg == "--payload-rows") {
+      opt.payload_rows = IntFlag(arg, next());
     } else if (arg == "--seed") {
       opt.seed = UintFlag(arg, next());
     } else if (arg == "--json") {
@@ -601,6 +611,7 @@ int main(int argc, char** argv) {
   if (opt.customers < 1 || opt.flights < 1) {
     reject("--customers/--flights", "keyspace must be >= 1");
   }
+  if (opt.payload_rows < 1) reject("--payload-rows", "must be >= 1");
   if (opt.write_pct < 0 || opt.write_pct > 100 || opt.hot_pct < 0 ||
       opt.hot_pct > 100 || opt.chain_pct < 0 || opt.chain_pct > 100) {
     reject("--write-pct/--hot-pct/--chain-pct", "must be in [0, 100]");
@@ -614,13 +625,16 @@ int main(int argc, char** argv) {
   }
   if (opt.retries < 1) reject("--retries", "must be >= 1");
 
-  std::printf("Populating SEATS (%lld customers, %lld flights)...\n",
-              static_cast<long long>(opt.customers),
-              static_cast<long long>(opt.flights));
+  std::printf(
+      "Populating SEATS (%lld customers, %lld flights, %lld rows/key)...\n",
+      static_cast<long long>(opt.customers),
+      static_cast<long long>(opt.flights),
+      static_cast<long long>(opt.payload_rows));
   db::Database db;
   workloads::SeatsWorkload::Config seats_config;
   seats_config.customers = opt.customers;
   seats_config.flights = opt.flights;
+  seats_config.rows_per_key = opt.payload_rows;
   workloads::SeatsWorkload seats(seats_config);
   seats.Populate(&db);
 
@@ -630,11 +644,12 @@ int main(int argc, char** argv) {
     runs.push_back(r);
     std::printf(
         "workers=%d  clients=%d  %.1f qps  mean %.2f ms  p50 %.2f ms  "
-        "p99 %.2f ms  hit-rate %.1f%%  (plain %llu, combined %llu, "
-        "predicted %llu, errors %llu)\n",
+        "p99 %.2f ms  hit-rate %.1f%%  (plain %llu, coalesced %llu, "
+        "combined %llu, predicted %llu, errors %llu)\n",
         r.workers, opt.clients, r.throughput, r.mean_ms, r.p50_ms, r.p99_ms,
         100.0 * r.metrics.CacheHitRate(),
         static_cast<unsigned long long>(r.metrics.remote_plain),
+        static_cast<unsigned long long>(r.metrics.backend_coalesced),
         static_cast<unsigned long long>(r.metrics.remote_combined),
         static_cast<unsigned long long>(r.metrics.predictions_cached),
         static_cast<unsigned long long>(r.metrics.errors));
