@@ -905,39 +905,77 @@ Result<SharedResult> ChronoServer::DoRead(ClientId client,
     metrics_.prediction_fallbacks.fetch_add(1, std::memory_order_relaxed);
   }
 
-  // Plain remote execution, single-flighted per cache key: the first
-  // thread to miss (the leader) performs the backend call with the full
-  // retry/breaker/deadline semantics; threads that miss the same key
-  // while it is in flight park on the leader's shared future instead of
-  // issuing duplicate backend calls.
-  std::string flight_key = CacheKey(client, parsed.bound_text);
-  std::promise<Result<SharedResult>> flight_promise;
-  std::shared_ptr<InflightFetch> flight;
-  bool leader = false;
-  uint64_t parked_before = 0;
-  {
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
-    auto [it, inserted] = inflight_.try_emplace(flight_key);
-    if (inserted) {
-      it->second = std::make_shared<InflightFetch>();
-      it->second->result = flight_promise.get_future().share();
-      leader = true;
-    } else {
-      parked_before = it->second->waiters++;
-    }
-    flight = it->second;
-  }
+  // Plain remote execution, single-flighted per {cache key, security
+  // group}: the first thread to miss (the leader) performs the backend
+  // call with the full retry/breaker/deadline semantics; threads that
+  // miss the same key in the same group while it is in flight park on the
+  // leader's shared future instead of issuing duplicate backend calls.
+  // The group suffix keeps cross-group misses on separate flights — the
+  // coalescing path must honour the same access-control model CacheGet
+  // enforces (§5.2.1).
+  const std::string flight_key = CacheKey(client, parsed.bound_text) +
+                                 "#g" + std::to_string(security_group);
 
-  if (!leader) {
+  // A follower validates the inherited payload against its own session
+  // vector before accepting it; on rejection it loops and leads a fresh
+  // fetch itself. After kMaxRejectedFlights rejections it stops
+  // coalescing and fetches alone, so a write-heavy client cannot be
+  // starved parking behind flights it can never use.
+  constexpr int kMaxRejectedFlights = 2;
+  int rejected_flights = 0;
+  std::promise<Result<FlightPayload>> flight_promise;
+  bool registered = false;
+  cache::VersionVector flight_version;
+  for (;;) {
+    // Pre-read Vd snapshot of the template's read set, taken before the
+    // flight is published (and therefore before the backend read): a
+    // write committing after this point advances Vd past the snapshot,
+    // so the writer's own follower fails CanUse below and refetches
+    // rather than treating possibly pre-write rows as fresh (§5.2).
+    {
+      std::vector<std::string> reads;
+      {
+        std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+        if (const sql::QueryTemplate* qt = registry_.Find(tmpl)) {
+          reads = sql::CollectTableAccess(*qt->ast).reads;
+        }
+      }
+      std::lock_guard<std::mutex> lock(versions_mutex_);
+      flight_version = versions_.SnapshotFor(reads);
+    }
+
+    std::shared_ptr<InflightFetch> flight;
+    uint64_t parked_before = 0;
+    if (rejected_flights < kMaxRejectedFlights) {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      auto [it, inserted] = inflight_.try_emplace(flight_key);
+      if (inserted) {
+        it->second = std::make_shared<InflightFetch>();
+        it->second->result = flight_promise.get_future().share();
+        registered = true;
+      } else {
+        parked_before = it->second->waiters++;
+        flight = it->second;
+      }
+    }
+    if (flight == nullptr) break;  // leader (or flying alone): fetch below
+
     // Follower: the wait surfaces as db-execute time (that is what it
     // replaces). No CachePut, no retries, no breaker feed — the leader
     // owns all backend semantics; its Status fans out verbatim.
-    metrics_.backend_coalesced.fetch_add(1, std::memory_order_relaxed);
-    ctx->outcome = obs::TraceOutcome::kCoalescedHit;
-    Result<SharedResult> shared = Status::OK();
+    Result<FlightPayload> shared = Status::OK();
     {
       StageTimer timer(this, ctx, obs::Stage::kDbExecute);
       shared = flight->result.get();
+    }
+    // The flight's snapshot proves freshness only up to the point the
+    // leader issued its read: absorb it — never SyncClientToDb — and
+    // only if this client's session has not moved past it since.
+    bool version_ok = false;
+    if (shared.ok()) {
+      std::lock_guard<std::mutex> lock(versions_mutex_);
+      version_ok = versions_.CanUse(client, shared->version);
+      if (version_ok) versions_.AbsorbResult(client, shared->version);
     }
     {
       obs::JournalEvent event;
@@ -945,10 +983,13 @@ Result<SharedResult> ChronoServer::DoRead(ClientId client,
       event.tmpl = static_cast<uint64_t>(tmpl);
       event.client = static_cast<uint32_t>(client);
       event.a = parked_before;
+      event.b = shared.ok() && !version_ok ? 1 : 0;  // session-rejected
       event.flags = shared.ok() ? obs::kJournalFlagOk : 0;
       Journal(event);
     }
     if (!shared.ok()) {
+      metrics_.backend_coalesced.fetch_add(1, std::memory_order_relaxed);
+      ctx->outcome = obs::TraceOutcome::kCoalescedHit;
       if (IsBackendFailure(shared.status())) {
         if (auto stale = TryServeStale(stale_candidate,
                                        static_cast<uint64_t>(tmpl), client,
@@ -959,17 +1000,45 @@ Result<SharedResult> ChronoServer::DoRead(ClientId client,
       metrics_.errors.fetch_add(1, std::memory_order_relaxed);
       return shared.status();
     }
-    {
-      std::lock_guard<std::mutex> lock(versions_mutex_);
-      versions_.SyncClientToDb(client);  // fresh read: Vc = Vd (§5.2)
+    if (version_ok) {
+      metrics_.backend_coalesced.fetch_add(1, std::memory_order_relaxed);
+      ctx->outcome = obs::TraceOutcome::kCoalescedHit;
+      return respond(shared->result);
     }
-    return respond(*shared);
+    // Inherited rows may predate this client's own writes: go around and
+    // fetch fresh (not counted as coalesced — the wait saved nothing).
+    ++rejected_flights;
   }
 
   // Leader: bind the template's AST (no re-parse) and run it under reader
   // access.
   metrics_.remote_plain.fetch_add(1, std::memory_order_relaxed);
   ctx->outcome = obs::TraceOutcome::kRemotePlain;
+
+  // Resolves the registered flight exactly once: the map entry goes first
+  // so a late joiner becomes a fresh leader instead of parking on a
+  // completed fetch, then the promise wakes every parked follower. If the
+  // leader unwinds without resolving (an exception between registration
+  // and publication), the destructor fails the flight instead of leaking
+  // the entry and breaking every follower's future.
+  struct FlightResolver {
+    ChronoServer* server;
+    const std::string& key;
+    std::promise<Result<FlightPayload>>* promise;  // null: not registered
+    void Resolve(Result<FlightPayload> value) {
+      if (promise == nullptr) return;
+      {
+        std::lock_guard<std::mutex> lock(server->inflight_mutex_);
+        server->inflight_.erase(key);
+      }
+      promise->set_value(std::move(value));
+      promise = nullptr;
+    }
+    ~FlightResolver() {
+      Resolve(Status::Internal("backend fetch abandoned before resolution"));
+    }
+  } resolver{this, flight_key, registered ? &flight_promise : nullptr};
+
   std::unique_ptr<sql::Statement> stmt =
       sql::BindParams(*parsed.tmpl->ast, parsed.params);
   BackendCall call;
@@ -985,22 +1054,14 @@ Result<SharedResult> ChronoServer::DoRead(ClientId client,
   }
 
   // Freeze the rows into the shared immutable payload exactly once, then
-  // retire the flight and wake every parked follower. The map entry goes
-  // first so a late joiner becomes a fresh leader instead of parking on a
-  // completed fetch that will never install anything newer.
+  // retire the flight and wake every parked follower.
   SharedResult payload;
   if (outcome.ok()) {
     payload = std::make_shared<const sql::ResultSet>(
         std::move(outcome->result));
-  }
-  {
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
-    inflight_.erase(flight_key);
-  }
-  if (outcome.ok()) {
-    flight_promise.set_value(payload);
+    resolver.Resolve(FlightPayload{payload, std::move(flight_version)});
   } else {
-    flight_promise.set_value(outcome.status());
+    resolver.Resolve(outcome.status());
   }
 
   if (!outcome.ok()) {

@@ -368,18 +368,41 @@ class ChronoServer {
 
   ShardedCache cache_;
 
-  /// Single-flight table (DESIGN.md §12): one entry per cache key with a
-  /// plain demand fetch in flight. The leader inserts its shared future
-  /// before calling the backend and erases the entry after publishing the
-  /// payload; followers copy the future under the mutex and wait on it
-  /// with no lock held. `inflight_mutex_` is a server-level lock acquired
-  /// on its own — never while any other lock in the order is held.
+  /// What a resolved single-flight fetch hands each parked follower: the
+  /// immutable payload plus a Vd snapshot of the query's read relations
+  /// taken *before* the leader's backend read. Pre-read, the snapshot can
+  /// only under-claim freshness — any write committed after it advances Vd
+  /// past it, so a follower whose session vector moved (its own write
+  /// included) fails `CanUse` and refetches instead of accepting rows that
+  /// may predate the write (§5.2 read-your-writes). Followers that accept
+  /// absorb the snapshot; they never claim a full Vc = Vd sync — only the
+  /// leader actually performed the read.
+  struct FlightPayload {
+    SharedResult result;
+    cache::VersionVector version;
+  };
+
+  /// Single-flight table (DESIGN.md §12): one entry per {cache key,
+  /// security group} with a plain demand fetch in flight — folding the
+  /// group into the key keeps the coalescing path under the same
+  /// access-control model CacheGet enforces (§5.2.1). The leader inserts
+  /// its shared future before calling the backend and erases the entry
+  /// after publishing the payload (a scope guard fails the flight instead
+  /// of leaking it if the leader unwinds early); followers copy the future
+  /// under the mutex and wait on it with no lock held. `inflight_mutex_`
+  /// is a server-level lock acquired on its own — never while any other
+  /// lock in the order is held.
   struct InflightFetch {
-    std::shared_future<Result<SharedResult>> result;
+    std::shared_future<Result<FlightPayload>> result;
     uint64_t waiters = 0;  // followers parked on this fetch so far
   };
   std::mutex inflight_mutex_;
   std::unordered_map<std::string, std::shared_ptr<InflightFetch>> inflight_;
+
+  /// Test-only back door (runtime_singleflight_test.cc): advances session
+  /// version state at a deterministic point inside a coalescing race that
+  /// cannot be scheduled reliably through the public API.
+  friend struct SingleFlightTestPeer;
 
   struct {
     std::atomic<uint64_t> reads{0}, writes{0}, cache_hits{0},

@@ -6,12 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "db/database.h"
@@ -20,6 +22,20 @@
 #include "sql/result_set.h"
 
 namespace chrono::runtime {
+
+/// Befriended by ChronoServer: lets a test advance a client's session
+/// vector at a deterministic point inside a coalescing race (a real write
+/// shares the WAN latency with the in-flight read, so its commit cannot be
+/// scheduled between the leader's snapshot and the follower's park through
+/// the public API alone).
+struct SingleFlightTestPeer {
+  static void BumpClientWrite(ChronoServer& server, ClientId client,
+                              const std::vector<std::string>& tables) {
+    std::lock_guard<std::mutex> lock(server.versions_mutex_);
+    server.versions_.OnClientWrite(client, tables);
+  }
+};
+
 namespace {
 
 /// Collects every journaled event in memory for post-run assertions.
@@ -173,6 +189,76 @@ TEST_F(SingleFlightTest, PerClientKeysDoNotCoalesceAcrossClients) {
   ServerMetrics m = server.metrics();
   EXPECT_EQ(m.remote_plain, 2u);
   EXPECT_EQ(m.backend_coalesced, 0u);
+}
+
+TEST_F(SingleFlightTest, CrossSecurityGroupMissesDoNotCoalesce) {
+  // share_across_clients (the default) shares cache keys, but coalescing
+  // must still honour security groups: a follower in another group must
+  // not inherit the leader's rows when CacheGet would have rejected the
+  // same share (§5.2.1).
+  ChronoServer server(&db_, SlowBackendConfig());
+
+  auto f1 = server.Submit(1, "SELECT v FROM t WHERE id = 4",
+                          /*security_group=*/0);
+  auto f2 = server.Submit(2, "SELECT v FROM t WHERE id = 4",
+                          /*security_group=*/7);
+  ASSERT_TRUE(f1.get().ok());
+  ASSERT_TRUE(f2.get().ok());
+
+  ServerMetrics m = server.metrics();
+  EXPECT_EQ(m.remote_plain, 2u);
+  EXPECT_EQ(m.backend_coalesced, 0u);
+  EXPECT_EQ(m.errors, 0u);
+}
+
+TEST_F(SingleFlightTest, FollowerWithNewerSessionRefetchesInsteadOfInheriting) {
+  ServerConfig config = SlowBackendConfig();
+  config.db_latency_us = 200'000;
+  config.journal_drain_ms = 0;
+  ChronoServer server(&db_, config);
+  CollectSink sink;
+  ASSERT_NE(server.journal(), nullptr);
+  server.journal()->AddSink(&sink);
+
+  const std::string kSql = "SELECT v FROM t WHERE id = 6";
+  auto leader = server.Submit(1, kSql);
+  // The leader increments remote_plain after taking its pre-read version
+  // snapshot and publishing the flight, so once the counter reads 1 the
+  // snapshot is in the past and a write bump lands strictly after it.
+  while (server.metrics().remote_plain == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  SingleFlightTestPeer::BumpClientWrite(server, /*client=*/2, {"t"});
+
+  // Client 2 now parks on client 1's flight (200 ms still on the wire),
+  // but the flight's snapshot predates its write: read-your-writes (§5.2)
+  // forbids inheriting the leader's possibly pre-write rows, so it must
+  // reject the payload and lead a fresh fetch of its own.
+  auto follower = server.Submit(2, kSql);
+  ASSERT_TRUE(leader.get().ok());
+  Result<SharedResult> refetched = follower.get();
+  ASSERT_TRUE(refetched.ok()) << refetched.status().ToString();
+  ASSERT_EQ((*refetched)->row_count(), 1u);
+  EXPECT_EQ((*refetched)->rows()[0][0].AsString(), "v6");
+
+  ServerMetrics m = server.metrics();
+  EXPECT_EQ(m.remote_plain, 2u);  // the rejected wait saved nothing
+  EXPECT_EQ(m.backend_coalesced, 0u);
+  EXPECT_EQ(m.errors, 0u);
+
+  // The park is journaled, flagged ok but marked session-rejected (b = 1).
+  server.journal()->Drain();
+  int rejected_parks = 0;
+  for (const obs::JournalEvent& e : sink.Take()) {
+    if (static_cast<obs::JournalEventType>(e.type) !=
+        obs::JournalEventType::kBackendCoalesced) {
+      continue;
+    }
+    EXPECT_NE(e.flags & obs::kJournalFlagOk, 0u);
+    EXPECT_EQ(e.b, 1u);
+    ++rejected_parks;
+  }
+  EXPECT_EQ(rejected_parks, 1);
 }
 
 TEST_F(SingleFlightTest, LateArrivalAfterCompletionHitsTheCache) {
