@@ -1,0 +1,174 @@
+#include "net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace chrono::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+Status FillAddr(const std::string& host, int port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+Status SetTimeoutMs(int fd, int ms, int option) {
+  timeval tv{};
+  if (ms > 0) {
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+  }
+  if (::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_*TIMEO)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Status SetReuseAddr(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  return Status::OK();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Status SetRecvTimeoutMs(int fd, int ms) {
+  return SetTimeoutMs(fd, ms, SO_RCVTIMEO);
+}
+
+Status SetSendTimeoutMs(int fd, int ms) {
+  return SetTimeoutMs(fd, ms, SO_SNDTIMEO);
+}
+
+Result<int> ListenTcp(const std::string& host, int port, int backlog,
+                      int* bound_port) {
+  sockaddr_in addr{};
+  CHRONO_RETURN_NOT_OK(FillAddr(host, port, &addr));
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  Status status = SetReuseAddr(fd);
+  if (status.ok() &&
+      ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    status = Status::Internal("bind " + host + ":" + std::to_string(port) +
+                              ": " + std::strerror(errno));
+  }
+  if (status.ok() && ::listen(fd, backlog) < 0) status = Errno("listen");
+  if (status.ok()) {
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+      status = Errno("getsockname");
+    } else {
+      *bound_port = ntohs(addr.sin_port);
+    }
+  }
+  if (!status.ok()) {
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+Result<int> ConnectTcp(const std::string& host, int port, int timeout_ms) {
+  sockaddr_in addr{};
+  CHRONO_RETURN_NOT_OK(FillAddr(host, port, &addr));
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  if (timeout_ms > 0) {
+    // SO_SNDTIMEO bounds a blocking connect() on Linux, and the timeouts
+    // stay installed for subsequent I/O on the connection.
+    Status status = SetSendTimeoutMs(fd, timeout_ms);
+    if (status.ok()) status = SetRecvTimeoutMs(fd, timeout_ms);
+    if (!status.ok()) {
+      ::close(fd);
+      return status;
+    }
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("connect " + host + ":" +
+                               std::to_string(port) + ": " + err);
+  }
+  SetNoDelay(fd);
+  return fd;
+}
+
+bool SendAll(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::send(fd, p + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // peer gone, timeout, or hard error
+  }
+  return true;
+}
+
+Status RecvAll(int fd, void* data, size_t len) {
+  char* p = static_cast<char*>(data);
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::recv(fd, p + off, len - off, 0);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return Status::Unavailable("connection closed by peer");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("socket read timed out");
+    }
+    return Errno("recv");
+  }
+  return Status::OK();
+}
+
+int PollReadable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  int n;
+  do {
+    n = ::poll(&pfd, 1, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  return n < 0 ? -errno : n;
+}
+
+}  // namespace chrono::net

@@ -1,0 +1,64 @@
+#ifndef CHRONOCACHE_NET_SOCKET_UTIL_H_
+#define CHRONOCACHE_NET_SOCKET_UTIL_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace chrono::net {
+
+/// \brief Shared POSIX TCP plumbing for every socket-facing component
+/// (obs::StatsServer, wire::WireServer, wire::WireClient). Centralising the
+/// fcntl/setsockopt/bind boilerplate keeps error handling uniform and —
+/// because ListenTcp resolves an ephemeral bind to its real port before
+/// returning — removes the bind-port-0-then-re-resolve race individual
+/// call sites used to carry.
+
+/// Puts the descriptor in non-blocking mode (O_NONBLOCK).
+Status SetNonBlocking(int fd);
+
+/// Enables SO_REUSEADDR so restarted listeners do not trip on TIME_WAIT.
+Status SetReuseAddr(int fd);
+
+/// Disables Nagle (TCP_NODELAY); request/response protocols want their
+/// small frames on the wire immediately. Best-effort (ignored on failure).
+void SetNoDelay(int fd);
+
+/// Bounds one socket direction with SO_RCVTIMEO / SO_SNDTIMEO. ms <= 0
+/// clears the timeout (blocking forever).
+Status SetRecvTimeoutMs(int fd, int ms);
+Status SetSendTimeoutMs(int fd, int ms);
+
+/// Creates a TCP listener bound to `host`:`port` (IPv4 dotted quad;
+/// "127.0.0.1" for loopback-only). `port` 0 binds an ephemeral port; the
+/// port actually bound is written to *bound_port (never null) before the
+/// fd is returned, so callers observe a fully-resolved endpoint
+/// atomically. The returned fd is blocking; callers that want a
+/// non-blocking accept loop apply SetNonBlocking themselves.
+Result<int> ListenTcp(const std::string& host, int port, int backlog,
+                      int* bound_port);
+
+/// Blocking TCP connect to `host`:`port` (IPv4 dotted quad). A positive
+/// `timeout_ms` bounds the connect itself and initialises both I/O
+/// timeouts on the returned fd.
+Result<int> ConnectTcp(const std::string& host, int port, int timeout_ms);
+
+/// Writes the whole buffer, riding out partial sends and EINTR. Uses
+/// MSG_NOSIGNAL so a vanished peer yields an error, not SIGPIPE. Returns
+/// false once the peer is gone (or the send timeout fires).
+bool SendAll(int fd, const void* data, size_t len);
+
+/// Reads exactly `len` bytes. Fails on EOF, timeout, or a socket error;
+/// short reads are retried.
+Status RecvAll(int fd, void* data, size_t len);
+
+/// Waits up to `timeout_ms` for the fd to become readable (poll).
+/// Returns 1 when readable, 0 on timeout, negative errno on failure.
+/// timeout_ms < 0 waits indefinitely.
+int PollReadable(int fd, int timeout_ms);
+
+}  // namespace chrono::net
+
+#endif  // CHRONOCACHE_NET_SOCKET_UTIL_H_

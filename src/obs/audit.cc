@@ -290,6 +290,16 @@ void PrefetchAudit::Fold(const JournalEvent& event) {
                 "backend fetch instead of issuing their own.");
       break;
     }
+    case JournalEventType::kWireRequest: {
+      // The WireServer drives its own chrono_wire_* registry metrics at
+      // record time; folding here only feeds the offline report and the
+      // snapshot JSON, so the counters are never double-bumped.
+      ++wire_requests_;
+      if ((event.flags & kJournalFlagOk) == 0) ++wire_failed_;
+      wire_bytes_ += event.b;
+      wire_latency_us_.Record(event.a);
+      break;
+    }
     case JournalEventType::kRequest: {
       ++requests_;
       int outcome = std::min<int>(event.flags & 0x0f, kTraceOutcomeCount - 1);
@@ -386,6 +396,12 @@ PrefetchAudit::Snapshot PrefetchAudit::snapshot() const {
   out.events_folded = events_folded_;
   out.requests = requests_;
   out.availability = availability_;
+  out.wire.requests = wire_requests_;
+  out.wire.failed = wire_failed_;
+  out.wire.response_bytes = wire_bytes_;
+  out.wire.mean_latency_us = wire_latency_us_.Mean();
+  out.wire.p50_latency_us = wire_latency_us_.Percentile(0.5);
+  out.wire.p99_latency_us = wire_latency_us_.Percentile(0.99);
   for (int i = 0; i < kTraceOutcomeCount; ++i) {
     out.outcome_counts[i] = outcome_counts_[i];
   }
@@ -549,6 +565,18 @@ std::string PrefetchAuditJson(const PrefetchAudit::Snapshot& snapshot) {
       .append(std::to_string(av.breaker_closed));
   out.append(",\"backend_coalesced\":")
       .append(std::to_string(av.backend_coalesced));
+  const PrefetchAudit::Wire& wire = snapshot.wire;
+  out.append("},\"wire\":{\"requests\":")
+      .append(std::to_string(wire.requests));
+  out.append(",\"failed\":").append(std::to_string(wire.failed));
+  out.append(",\"response_bytes\":")
+      .append(std::to_string(wire.response_bytes));
+  out.append(",\"mean_latency_us\":")
+      .append(FormatDouble(wire.mean_latency_us));
+  out.append(",\"p50_latency_us\":")
+      .append(FormatDouble(wire.p50_latency_us));
+  out.append(",\"p99_latency_us\":")
+      .append(FormatDouble(wire.p99_latency_us));
   out.append("},\"stage_sum_us\":{");
   for (int i = 0; i < PrefetchAudit::kStageSlots; ++i) {
     if (i > 0) out.push_back(',');

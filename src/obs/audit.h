@@ -113,6 +113,21 @@ class PrefetchAudit : public JournalSink {
     }
   };
 
+  /// Wire-frontend board folded from kWireRequest events: the network-hop
+  /// view of the served requests, so an offline chrono_audit run over a
+  /// journal recorded behind TCP (§13) still reconciles with the node's
+  /// scraped chrono_wire_* counters.
+  struct Wire {
+    uint64_t requests = 0;
+    uint64_t failed = 0;          // answered with an Error frame
+    uint64_t response_bytes = 0;  // summed encoded response frames
+    double mean_latency_us = 0;   // frame decoded -> response queued
+    double p50_latency_us = 0;
+    double p99_latency_us = 0;
+
+    bool Any() const { return requests != 0; }
+  };
+
   static constexpr int kStageSlots = 6;  // 5 pipeline stages + total
 
   struct Snapshot {
@@ -120,6 +135,7 @@ class PrefetchAudit : public JournalSink {
     uint64_t requests = 0;
     uint64_t outcome_counts[kTraceOutcomeCount] = {};
     Availability availability;
+    Wire wire;
     /// Summed µs per pipeline stage across all requests with latency:
     /// analyze, cache-lookup, learn/combine, db-execute, split/decode,
     /// total (the same order as obs::Stage, total last).
@@ -194,6 +210,10 @@ class PrefetchAudit : public JournalSink {
   uint64_t requests_ = 0;
   uint64_t outcome_counts_[kTraceOutcomeCount] = {};
   Availability availability_;
+  uint64_t wire_requests_ = 0;
+  uint64_t wire_failed_ = 0;
+  uint64_t wire_bytes_ = 0;
+  Digest wire_latency_us_;
   uint64_t stage_sum_us_[kStageSlots] = {};
   uint64_t requests_with_latency_ = 0;
   std::map<uint64_t, uint64_t> plan_root_;  // plan instance id -> root tmpl

@@ -43,6 +43,7 @@ const char* JournalEventTypeName(JournalEventType type) {
     case JournalEventType::kStaleServe: return "stale_serve";
     case JournalEventType::kShed: return "shed";
     case JournalEventType::kBackendCoalesced: return "backend_coalesced";
+    case JournalEventType::kWireRequest: return "wire_request";
   }
   return "?";
 }

@@ -38,6 +38,7 @@ enum class JournalEventType : uint8_t {
   kStaleServe,        // demand fetch failed; served a stale cached entry
   kShed,              // best-effort work shed (a = shed kind)
   kBackendCoalesced,  // demand miss joined another thread's in-flight fetch
+  kWireRequest,       // one request answered over the TCP wire frontend
 };
 
 const char* JournalEventTypeName(JournalEventType type);
@@ -81,6 +82,9 @@ inline constexpr uint64_t kShedBreakerUnhealthy = 1; // breaker not closed
 ///   kShed            a = shed kind (kShedQueueFull / kShedBreakerUnhealthy)
 ///   kBackendCoalesced a = waiters already parked on the leader's fetch
 ///                     (flags bit0 = the leader's call succeeded)
+///   kWireRequest     a = wire latency µs (frame decoded -> response
+///                    queued), b = response frame bytes
+///                    (flags bit0 = request succeeded)
 ///
 /// `plan`/`src`/`tmpl` carry prefetch attribution: the combined-plan id,
 /// the transition-graph edge source template (0 = plan root), and the

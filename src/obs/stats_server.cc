@@ -1,7 +1,5 @@
 #include "obs/stats_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -10,6 +8,7 @@
 #include <cstring>
 #include <string>
 
+#include "net/socket_util.h"
 #include "obs/audit.h"
 #include "obs/export.h"
 
@@ -18,12 +17,7 @@ namespace chrono::obs {
 namespace {
 
 void WriteAll(int fd, const std::string& data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) return;  // peer gone; nothing useful to do
-    off += static_cast<size_t>(n);
-  }
+  net::SendAll(fd, data.data(), data.size());  // peer gone: nothing to do
 }
 
 std::string HttpResponse(int code, const char* reason,
@@ -55,31 +49,9 @@ Status StatsServer::Start(int port) {
   if (running_.load(std::memory_order_acquire)) {
     return Status::Internal("stats server already running");
   }
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
-  }
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    std::string err = std::strerror(errno);
-    ::close(fd);
-    return Status::Internal("bind port " + std::to_string(port) + ": " + err);
-  }
-  if (::listen(fd, 8) < 0) {
-    std::string err = std::strerror(errno);
-    ::close(fd);
-    return Status::Internal("listen: " + err);
-  }
-  socklen_t len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
-    port_ = ntohs(addr.sin_port);
-  }
-  listen_fd_ = fd;
+  Result<int> fd = net::ListenTcp("127.0.0.1", port, /*backlog=*/8, &port_);
+  if (!fd.ok()) return fd.status();
+  listen_fd_ = *fd;
   started_us_ = MonotonicMicros();
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -108,11 +80,8 @@ void StatsServer::Serve() {
     }
     // A scraper that sends nothing — or stops reading its response —
     // should not wedge the accept loop: bound both socket directions.
-    timeval tv{};
-    tv.tv_sec = io_timeout_ms_ / 1000;
-    tv.tv_usec = (io_timeout_ms_ % 1000) * 1000;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    net::SetRecvTimeoutMs(fd, io_timeout_ms_);
+    net::SetSendTimeoutMs(fd, io_timeout_ms_);
     HandleConnection(fd);
     ::close(fd);
   }
@@ -166,6 +135,10 @@ void StatsServer::HandleConnection(int fd) {
             ? std::string("{\"enabled\":false}")
             : PrefetchAuditJson(audit_->snapshot());
     WriteAll(fd, HttpResponse(200, "OK", "application/json", body));
+  } else if (path == "/wire") {
+    std::string body =
+        wire_ ? wire_() : std::string("{\"enabled\":false}");
+    WriteAll(fd, HttpResponse(200, "OK", "application/json", body));
   } else if (path == "/healthz") {
     uint64_t uptime_us = MonotonicMicros() - started_us_;
     Health health;
@@ -190,7 +163,7 @@ void StatsServer::HandleConnection(int fd) {
   } else {
     WriteAll(fd, HttpResponse(404, "Not Found", "text/plain",
                               "try /metrics, /metrics.json, /traces, "
-                              "/prefetch or /healthz\n"));
+                              "/prefetch, /wire or /healthz\n"));
   }
 }
 

@@ -23,6 +23,9 @@ class PrefetchAudit;
 ///   GET /metrics.json  JSON snapshot (same data, serve_bench --metrics-out)
 ///   GET /traces        recent RequestTraces as JSON, newest first
 ///   GET /prefetch      prefetch-efficacy scoreboards as JSON (§10)
+///   GET /wire          connection-frontend aggregates as JSON (§13):
+///                      active/accepted/closed-by-{client,idle,error},
+///                      bytes, p99 wire latency
 ///   GET /healthz       readiness: 200 when healthy, 503 with a reason
 ///                      while degraded (breaker open, stale-serving)
 ///
@@ -76,6 +79,13 @@ class StatsServer {
     health_ = std::move(callback);
   }
 
+  /// Installs the /wire document source (wire::WireServer::StatsJson).
+  /// Call before Start(); without one, /wire reports {"enabled":false}.
+  /// The callback must stay valid for the StatsServer's lifetime and be
+  /// safe to call from the accept thread.
+  using WireCallback = std::function<std::string()>;
+  void SetWireCallback(WireCallback callback) { wire_ = std::move(callback); }
+
  private:
   void Serve();
   void HandleConnection(int fd);
@@ -84,6 +94,7 @@ class StatsServer {
   const TraceRing* traces_;
   const PrefetchAudit* audit_;
   HealthCallback health_;
+  WireCallback wire_;
   int io_timeout_ms_ = 2000;
   uint64_t started_us_ = 0;  // monotonic clock at Start()
   int listen_fd_ = -1;

@@ -680,6 +680,24 @@ std::future<Result<SharedResult>> ChronoServer::Submit(ClientId client,
   return future;
 }
 
+void ChronoServer::SubmitAsync(
+    ClientId client, std::string sql, int security_group,
+    std::function<void(Result<SharedResult>)> done) {
+  // The pool copies the task before running it; share the callback so a
+  // rejected submission can still deliver the mandatory error callback.
+  auto callback =
+      std::make_shared<std::function<void(Result<SharedResult>)>>(
+          std::move(done));
+  bool accepted = pool_.Submit(
+      [this, callback, client, security_group, sql = std::move(sql)]() {
+        (*callback)(Execute(client, sql, security_group));
+      });
+  if (!accepted) {
+    (*callback)(
+        Status::Internal("ChronoServer is shut down; submission rejected"));
+  }
+}
+
 Result<SharedResult> ChronoServer::Execute(ClientId client,
                                            const std::string& sql,
                                            int security_group) {

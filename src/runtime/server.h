@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -178,6 +179,15 @@ class ChronoServer {
   /// it; concurrent futures may alias the same rows.
   std::future<Result<SharedResult>> Submit(ClientId client, std::string sql,
                                            int security_group = 0);
+
+  /// Callback-style asynchronous entry point for event-driven callers
+  /// (the wire frontend): enqueues the statement and invokes `done` from
+  /// the worker thread that executed it — exactly once, including after
+  /// Shutdown() (then with an error status, from the calling thread).
+  /// `done` must not block: the wire frontend hands the response to its
+  /// IO thread via an eventfd-signalled completion queue.
+  void SubmitAsync(ClientId client, std::string sql, int security_group,
+                   std::function<void(Result<SharedResult>)> done);
 
   /// Synchronous entry point: runs the full analyze → predict → combine →
   /// decode pipeline in the calling thread. Safe to call from any number

@@ -1,0 +1,185 @@
+#include "wire/wire_client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "net/socket_util.h"
+
+namespace chrono::wire {
+
+WireClient::~WireClient() { Close(); }
+
+Status WireClient::Connect(const std::string& host, int port,
+                           uint64_t client_id, int32_t security_group,
+                           int timeout_ms) {
+  if (fd_ >= 0) return Status::Internal("wire client already connected");
+  Result<int> fd = net::ConnectTcp(host, port, timeout_ms);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
+  net::SetNoDelay(fd_);
+  inbuf_.clear();
+  next_request_id_ = 1;
+
+  HelloBody hello;
+  hello.client_id = client_id;
+  hello.security_group = security_group;
+  uint64_t id = next_request_id_++;
+  Status sent = SendFrame(EncodeHello(id, hello));
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  Result<Frame> ack = ReadFrame(timeout_ms);
+  if (!ack.ok()) {
+    Close();
+    return ack.status();
+  }
+  if (ack->header.type == MessageType::kError) {
+    Status server_error;
+    Status parsed = DecodeError(ack->payload, &server_error);
+    Close();
+    return parsed.ok() ? server_error
+                       : Status::Internal("wire: malformed Error ack");
+  }
+  if (ack->header.type != MessageType::kHello ||
+      ack->header.request_id != id) {
+    Close();
+    return Status::Internal("wire: handshake expected a Hello ack");
+  }
+  return Status::OK();
+}
+
+void WireClient::Close() {
+  if (fd_ < 0) return;
+  // Best-effort clean shutdown; the server counts this as closed_by_client.
+  std::string bye = EncodeGoodbye(0);
+  net::SendAll(fd_, bye.data(), bye.size());
+  ::close(fd_);
+  fd_ = -1;
+  inbuf_.clear();
+}
+
+Status WireClient::SendFrame(const std::string& frame) {
+  if (fd_ < 0) return Status::Unavailable("wire client not connected");
+  if (!net::SendAll(fd_, frame.data(), frame.size())) {
+    return Status::Unavailable("wire: send failed (peer closed?)");
+  }
+  return Status::OK();
+}
+
+Status WireClient::SendRaw(const void* data, size_t size) {
+  if (fd_ < 0) return Status::Unavailable("wire client not connected");
+  if (!net::SendAll(fd_, data, size)) {
+    return Status::Unavailable("wire: raw send failed");
+  }
+  return Status::OK();
+}
+
+Result<Frame> WireClient::ReadFrame(int timeout_ms) {
+  if (fd_ < 0) return Status::Unavailable("wire client not connected");
+  char buf[64 * 1024];
+  for (;;) {
+    Frame frame;
+    size_t consumed = 0;
+    Status error;
+    DecodeStatus status = DecodeFrame(inbuf_.data(), inbuf_.size(),
+                                     max_frame_bytes_, &frame, &consumed,
+                                     &error);
+    if (status == DecodeStatus::kFrame) {
+      inbuf_.erase(0, consumed);
+      return frame;
+    }
+    if (status == DecodeStatus::kError) return error;
+
+    int readable = net::PollReadable(fd_, timeout_ms);
+    if (readable == 0) {
+      return Status::DeadlineExceeded("wire: timed out waiting for a frame");
+    }
+    if (readable < 0) {
+      return Status::Unavailable("wire: poll failed on the connection");
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Status::Unavailable("wire: server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("wire: recv failed");
+    }
+    inbuf_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Status WireClient::SendQuery(const std::string& sql, uint64_t* request_id) {
+  uint64_t id = next_request_id_++;
+  Status sent = SendFrame(EncodeQuery(id, sql));
+  if (!sent.ok()) return sent;
+  if (request_id != nullptr) *request_id = id;
+  return Status::OK();
+}
+
+Result<WireClient::Response> WireClient::ReadResponse(int timeout_ms) {
+  for (;;) {
+    Result<Frame> frame = ReadFrame(timeout_ms);
+    if (!frame.ok()) return frame.status();
+    Response response;
+    response.request_id = frame->header.request_id;
+    response.flags = frame->header.flags;
+    switch (frame->header.type) {
+      case MessageType::kResult: {
+        response.result = DecodeResult(frame->payload);
+        return response;
+      }
+      case MessageType::kError: {
+        Status server_error;
+        Status parsed = DecodeError(frame->payload, &server_error);
+        response.result =
+            parsed.ok() ? server_error
+                        : Status::Internal("wire: malformed Error frame");
+        return response;
+      }
+      case MessageType::kGoodbye: {
+        response.goodbye = true;
+        response.result = Status::Unavailable("wire: server said Goodbye");
+        return response;
+      }
+      case MessageType::kPing: {
+        continue;  // liveness echo; not a response
+      }
+      default:
+        return Status::Internal("wire: unexpected frame type in response");
+    }
+  }
+}
+
+Result<sql::ResultSet> WireClient::Query(const std::string& sql,
+                                         int timeout_ms) {
+  uint64_t id = 0;
+  Status sent = SendQuery(sql, &id);
+  if (!sent.ok()) return sent;
+  Result<Response> response = ReadResponse(timeout_ms);
+  if (!response.ok()) return response.status();
+  if (response->goodbye) return response->result.status();
+  if (response->request_id != id) {
+    return Status::Internal("wire: response id mismatch in simple mode");
+  }
+  return std::move(response->result);
+}
+
+Status WireClient::Ping(int timeout_ms) {
+  uint64_t id = next_request_id_++;
+  Status sent = SendFrame(EncodePing(id));
+  if (!sent.ok()) return sent;
+  Result<Frame> frame = ReadFrame(timeout_ms);
+  if (!frame.ok()) return frame.status();
+  if (frame->header.type != MessageType::kPing ||
+      frame->header.request_id != id) {
+    return Status::Internal("wire: expected a Ping echo");
+  }
+  return Status::OK();
+}
+
+}  // namespace chrono::wire

@@ -1,0 +1,82 @@
+#ifndef CHRONOCACHE_WIRE_WIRE_CLIENT_H_
+#define CHRONOCACHE_WIRE_WIRE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sql/result_set.h"
+#include "wire/protocol.h"
+
+namespace chrono::wire {
+
+/// \brief Blocking wire-protocol client: one TCP connection to a
+/// WireServer. Connect() performs the Hello handshake; Query() is a
+/// simple request–response round trip; SendQuery()/ReadResponse() expose
+/// the pipelined form (many requests in flight, responses matched to
+/// requests by id — possibly out of order, since the server completes
+/// them on a worker pool). Not thread-safe: one thread per client, which
+/// is exactly how serve_bench drives its connection fleet.
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Connects, sends Hello{client_id, security_group} and waits for the
+  /// server's Hello acknowledgement.
+  Status Connect(const std::string& host, int port, uint64_t client_id,
+                 int32_t security_group = 0, int timeout_ms = 5000);
+
+  /// Sends Goodbye and closes. Safe to call when not connected.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// One decoded server response.
+  struct Response {
+    uint64_t request_id = 0;
+    uint16_t flags = 0;
+    /// kResult decodes into rows; kError carries the server's Status.
+    Result<sql::ResultSet> result = Status::OK();
+    bool goodbye = false;  // server said Goodbye: connection is draining
+  };
+
+  /// Simple mode: send one Query and block for its response (responses
+  /// for other request ids are a protocol violation in this mode).
+  Result<sql::ResultSet> Query(const std::string& sql,
+                               int timeout_ms = 10'000);
+
+  /// Pipelined mode: enqueue a Query without waiting. Returns the
+  /// request id that the matching Response will carry.
+  Status SendQuery(const std::string& sql, uint64_t* request_id);
+
+  /// Blocks for the next response frame (any request id). Pings from the
+  /// liveness probe are consumed transparently.
+  Result<Response> ReadResponse(int timeout_ms = 10'000);
+
+  /// Round-trips a Ping frame (liveness check).
+  Status Ping(int timeout_ms = 5000);
+
+  /// Raw socket access for protocol-robustness tests: send arbitrary
+  /// bytes as-is (malformed frames, truncated headers).
+  Status SendRaw(const void* data, size_t size);
+  int fd() const { return fd_; }
+
+ private:
+  /// Reads until one complete frame is decoded from inbuf_ + socket.
+  Result<Frame> ReadFrame(int timeout_ms);
+  Status SendFrame(const std::string& frame);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  std::string inbuf_;
+  uint32_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace chrono::wire
+
+#endif  // CHRONOCACHE_WIRE_WIRE_CLIENT_H_

@@ -1,0 +1,656 @@
+#include "wire/wire_server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "net/socket_util.h"
+#include "obs/journal.h"
+
+namespace chrono::wire {
+
+namespace {
+
+/// FormatDouble-equivalent for the JSON document: fixed 6 digits is fine
+/// for microsecond latencies and keeps the output locale-independent.
+std::string JsonDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+WireServer::WireServer(runtime::ChronoServer* server, Options options)
+    : server_(server), options_(std::move(options)) {
+  obs::MetricsRegistry* registry = server_->registry();
+  if (registry != nullptr) {
+    active_gauge_ = registry->GetGauge(
+        "chrono_wire_connections",
+        "Current wire connections by state.", {{"state", "active"}});
+    accepted_counter_ = registry->GetCounter(
+        "chrono_wire_connections_accepted_total",
+        "Wire connections accepted since start.");
+    rejected_counter_ = registry->GetCounter(
+        "chrono_wire_connections_rejected_total",
+        "Wire connections refused at the max_connections admission cap.");
+    const char* closed_help = "Wire connections closed, by reason.";
+    closed_client_counter_ =
+        registry->GetCounter("chrono_wire_connections_closed_total",
+                             closed_help, {{"reason", "client"}});
+    closed_idle_counter_ =
+        registry->GetCounter("chrono_wire_connections_closed_total",
+                             closed_help, {{"reason", "idle"}});
+    closed_error_counter_ =
+        registry->GetCounter("chrono_wire_connections_closed_total",
+                             closed_help, {{"reason", "error"}});
+    const char* bytes_help = "Wire payload traffic in bytes, by direction.";
+    bytes_in_counter_ = registry->GetCounter("chrono_wire_bytes_total",
+                                             bytes_help, {{"direction", "in"}});
+    bytes_out_counter_ = registry->GetCounter(
+        "chrono_wire_bytes_total", bytes_help, {{"direction", "out"}});
+    const char* frames_help = "Wire frames processed, by direction.";
+    frames_in_counter_ = registry->GetCounter(
+        "chrono_wire_frames_total", frames_help, {{"direction", "in"}});
+    frames_out_counter_ = registry->GetCounter(
+        "chrono_wire_frames_total", frames_help, {{"direction", "out"}});
+    protocol_errors_counter_ = registry->GetCounter(
+        "chrono_wire_protocol_errors_total",
+        "Malformed or oversized frames that forced a connection close.");
+    latency_hist_ = registry->GetHistogram(
+        "chrono_wire_request_latency_us",
+        "Wire request latency in microseconds: frame decoded to response "
+        "frame queued for the socket.");
+  }
+}
+
+WireServer::~WireServer() { Stop(); }
+
+uint64_t WireServer::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Status WireServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::Internal("wire server already running");
+  }
+  Result<int> listen =
+      net::ListenTcp(options_.host, options_.port, /*backlog=*/512, &port_);
+  if (!listen.ok()) return listen.status();
+  listen_fd_ = *listen;
+  Status nonblocking = net::SetNonBlocking(listen_fd_);
+  if (!nonblocking.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return nonblocking;
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    return Status::Internal("wire: epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered for listener and wakeups
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    completions_open_ = true;
+  }
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void WireServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    completions_open_ = false;
+    completions_.clear();
+  }
+  ::close(epoll_fd_);
+  ::close(wake_fd_);
+  epoll_fd_ = wake_fd_ = listen_fd_ = -1;
+  port_ = 0;
+}
+
+void WireServer::Loop() {
+  constexpr int kMaxEvents = 256;
+  epoll_event events[kMaxEvents];
+  // Wake up at least this often to run idle-timeout sweeps.
+  const int tick_ms =
+      options_.idle_timeout_ms > 0
+          ? std::max(10, options_.idle_timeout_ms / 4)
+          : 500;
+  while (!stop_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, tick_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        DrainCompletions();
+        continue;
+      }
+      if (fd == listen_fd_) {
+        AcceptAll();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      std::shared_ptr<Conn> conn = it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConn(conn, CloseReason::kClient);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) HandleWritable(conn);
+      if (conn->dead.load(std::memory_order_relaxed)) continue;
+      if (events[i].events & EPOLLIN) HandleReadable(conn);
+    }
+    // Completions can also arrive while we were busy with socket events.
+    DrainCompletions();
+    CloseIdleConns();
+  }
+  GracefulDrain();
+}
+
+void WireServer::AcceptAll() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or the listener is gone
+    }
+    if (conns_.size() >= static_cast<size_t>(options_.max_connections)) {
+      // Admission control: answer with one Error frame, then close. The
+      // socket is new and its buffer empty, so a best-effort blocking-ish
+      // send of a tiny frame is safe.
+      std::string frame = EncodeError(
+          0, Status::Unavailable("server at max_connections; try later"));
+      net::SendAll(fd, frame.data(), frame.size());
+      ::close(fd);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (rejected_counter_) rejected_counter_->Increment();
+      continue;
+    }
+    net::SetNoDelay(fd);
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->last_activity_us = NowMicros();
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, conn);
+    active_.fetch_add(1, std::memory_order_relaxed);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (accepted_counter_) accepted_counter_->Increment();
+    if (active_gauge_) {
+      active_gauge_->Set(static_cast<double>(conns_.size()));
+    }
+  }
+}
+
+void WireServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
+  if (conn->stopped_reading || conn->draining) return;
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->inbuf.append(buf, static_cast<size_t>(n));
+      bytes_in_.fetch_add(static_cast<uint64_t>(n),
+                          std::memory_order_relaxed);
+      if (bytes_in_counter_) {
+        bytes_in_counter_->Increment(static_cast<uint64_t>(n));
+      }
+      conn->last_activity_us = NowMicros();
+      if (!DrainInbuf(conn)) return;  // connection closed
+      if (conn->stopped_reading) return;  // backpressure kicked in
+      continue;
+    }
+    if (n == 0) {
+      CloseConn(conn, CloseReason::kClient);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // ET: fully read
+    CloseConn(conn, CloseReason::kError);
+    return;
+  }
+}
+
+bool WireServer::DrainInbuf(const std::shared_ptr<Conn>& conn) {
+  for (;;) {
+    Frame frame;
+    size_t consumed = 0;
+    Status error;
+    DecodeStatus status =
+        DecodeFrame(conn->inbuf.data(), conn->inbuf.size(),
+                    options_.max_frame_bytes, &frame, &consumed, &error);
+    if (status == DecodeStatus::kNeedMore) return true;
+    if (status == DecodeStatus::kError) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (protocol_errors_counter_) protocol_errors_counter_->Increment();
+      ProtocolError(conn, 0, error);
+      return false;
+    }
+    conn->inbuf.erase(0, consumed);
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    if (frames_in_counter_) frames_in_counter_->Increment();
+
+    const uint64_t request_id = frame.header.request_id;
+    if (!conn->hello_done && frame.header.type != MessageType::kHello) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (protocol_errors_counter_) protocol_errors_counter_->Increment();
+      ProtocolError(conn, request_id,
+                    Status::InvalidArgument("first frame must be Hello"));
+      return false;
+    }
+    switch (frame.header.type) {
+      case MessageType::kHello: {
+        Result<HelloBody> hello = DecodeHello(frame.payload);
+        if (!hello.ok()) {
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          if (protocol_errors_counter_) protocol_errors_counter_->Increment();
+          ProtocolError(conn, request_id, hello.status());
+          return false;
+        }
+        conn->client_id = hello->client_id;
+        conn->security_group = hello->security_group;
+        conn->hello_done = true;
+        // Echo the Hello as the acknowledgement; the client waits for it
+        // before pipelining queries.
+        SendFrame(conn, EncodeHello(request_id, *hello));
+        break;
+      }
+      case MessageType::kQuery: {
+        Result<std::string> sql = DecodeQuery(frame.payload);
+        if (!sql.ok()) {
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          if (protocol_errors_counter_) protocol_errors_counter_->Increment();
+          ProtocolError(conn, request_id, sql.status());
+          return false;
+        }
+        DispatchQuery(conn, request_id, *std::move(sql));
+        break;
+      }
+      case MessageType::kPing: {
+        SendFrame(conn, EncodePing(request_id));
+        break;
+      }
+      case MessageType::kGoodbye: {
+        // Clean shutdown: stop reading, flush what is queued, close.
+        conn->draining = true;
+        SendFrame(conn, EncodeGoodbye(request_id));
+        if (conn->inflight == 0 && conn->out_offset >= conn->outbuf.size()) {
+          CloseConn(conn, CloseReason::kClient);
+        }
+        return !conn->dead.load(std::memory_order_relaxed);
+      }
+      case MessageType::kResult:
+      case MessageType::kError: {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        if (protocol_errors_counter_) protocol_errors_counter_->Increment();
+        ProtocolError(conn, request_id,
+                      Status::InvalidArgument(
+                          "clients may not send Result/Error frames"));
+        return false;
+      }
+    }
+    if (conn->dead.load(std::memory_order_relaxed)) return false;
+    UpdateReadInterest(conn);
+    if (conn->stopped_reading) return true;
+  }
+}
+
+void WireServer::DispatchQuery(const std::shared_ptr<Conn>& conn,
+                               uint64_t request_id, std::string sql) {
+  ++conn->inflight;
+  const uint64_t t0 = NowMicros();
+  const auto client = static_cast<runtime::ClientId>(conn->client_id);
+  const int group = conn->security_group;
+  // ChronoServer::SubmitAsync blocks while the pool queue is full — that
+  // (plus the per-conn pipeline cap) is the dispatch-side backpressure.
+  // The callback runs on a worker thread: it encodes the response frame
+  // and records latency off the IO thread, then posts the completion.
+  server_->SubmitAsync(
+      client, std::move(sql), group,
+      [this, conn, request_id, t0](Result<runtime::SharedResult> result) {
+        std::string frame;
+        uint8_t ok_flag = 0;
+        if (result.ok()) {
+          frame = EncodeResult(request_id, **result);
+          ok_flag = obs::kJournalFlagOk;
+        } else {
+          frame = EncodeError(request_id, result.status());
+        }
+        const uint64_t latency_us = NowMicros() - t0;
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        if (latency_hist_) latency_hist_->Record(latency_us);
+        if (obs::EventJournal* journal = server_->journal()) {
+          obs::JournalEvent event;
+          event.type = obs::JournalEventType::kWireRequest;
+          event.client = static_cast<uint32_t>(conn->client_id);
+          event.a = latency_us;
+          event.b = frame.size();
+          event.flags = ok_flag;
+          journal->Record(event);
+        }
+        std::lock_guard<std::mutex> lock(completions_mutex_);
+        if (!completions_open_) return;  // server already stopped
+        completions_.push_back(Completion{conn, std::move(frame)});
+        // The wakeup happens under the lock so Stop() (which flips
+        // completions_open_ under the same lock after joining the IO
+        // thread) can never close wake_fd_ concurrently with this write.
+        uint64_t one = 1;
+        [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+      });
+}
+
+void WireServer::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    const std::shared_ptr<Conn>& conn = completion.conn;
+    if (conn->inflight > 0) --conn->inflight;
+    if (conn->dead.load(std::memory_order_relaxed)) continue;
+    SendFrame(conn, std::move(completion.frame));
+    if (conn->dead.load(std::memory_order_relaxed)) continue;
+    if (conn->draining && conn->inflight == 0 &&
+        conn->out_offset >= conn->outbuf.size()) {
+      CloseConn(conn, CloseReason::kClient);
+      continue;
+    }
+    UpdateReadInterest(conn);
+  }
+}
+
+void WireServer::SendFrame(const std::shared_ptr<Conn>& conn,
+                           std::string frame) {
+  if (conn->dead.load(std::memory_order_relaxed)) return;
+  // Compact the sent prefix occasionally so outbuf does not grow without
+  // bound across a long-lived connection.
+  if (conn->out_offset > 0 && conn->out_offset == conn->outbuf.size()) {
+    conn->outbuf.clear();
+    conn->out_offset = 0;
+  } else if (conn->out_offset > (1u << 20)) {
+    conn->outbuf.erase(0, conn->out_offset);
+    conn->out_offset = 0;
+  }
+  frames_out_.fetch_add(1, std::memory_order_relaxed);
+  if (frames_out_counter_) frames_out_counter_->Increment();
+  conn->outbuf += frame;
+  FlushOut(conn);
+}
+
+bool WireServer::FlushOut(const std::shared_ptr<Conn>& conn) {
+  while (conn->out_offset < conn->outbuf.size()) {
+    ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->out_offset,
+                       conn->outbuf.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      bytes_out_.fetch_add(static_cast<uint64_t>(n),
+                           std::memory_order_relaxed);
+      if (bytes_out_counter_) {
+        bytes_out_counter_->Increment(static_cast<uint64_t>(n));
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_write) {
+        conn->want_write = true;
+        EpollMod(*conn);
+      }
+      return true;
+    }
+    CloseConn(conn, CloseReason::kError);
+    return false;
+  }
+  // Fully flushed: compact and disarm EPOLLOUT.
+  conn->outbuf.clear();
+  conn->out_offset = 0;
+  if (conn->want_write) {
+    conn->want_write = false;
+    EpollMod(*conn);
+  }
+  return true;
+}
+
+void WireServer::HandleWritable(const std::shared_ptr<Conn>& conn) {
+  if (!FlushOut(conn)) return;
+  conn->last_activity_us = NowMicros();
+  if (conn->draining && conn->inflight == 0 &&
+      conn->out_offset >= conn->outbuf.size()) {
+    CloseConn(conn, CloseReason::kClient);
+    return;
+  }
+  UpdateReadInterest(conn);
+}
+
+void WireServer::UpdateReadInterest(const std::shared_ptr<Conn>& conn) {
+  if (conn->dead.load(std::memory_order_relaxed) || conn->draining) return;
+  const size_t queued = conn->outbuf.size() - conn->out_offset;
+  const bool should_stop =
+      conn->inflight >= options_.max_pipeline ||
+      queued > options_.write_buffer_limit_bytes;
+  if (should_stop == conn->stopped_reading) return;
+  conn->stopped_reading = should_stop;
+  EpollMod(*conn);
+  if (!should_stop) {
+    // Frames may have finished buffering while reads were off; the edge
+    // will not re-fire for bytes already in inbuf, so drain now.
+    DrainInbuf(conn);
+  }
+}
+
+bool WireServer::EpollMod(const Conn& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLET;
+  if (!conn.stopped_reading && !conn.draining) ev.events |= EPOLLIN;
+  if (conn.want_write) ev.events |= EPOLLOUT;
+  ev.data.fd = conn.fd;
+  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0;
+}
+
+void WireServer::ProtocolError(const std::shared_ptr<Conn>& conn,
+                               uint64_t request_id, const Status& status) {
+  // Best-effort: queue the Error frame, try to flush it, then close. A
+  // peer that already vanished just skips to the close.
+  if (!conn->dead.load(std::memory_order_relaxed)) {
+    conn->outbuf += EncodeError(request_id, status);
+    frames_out_.fetch_add(1, std::memory_order_relaxed);
+    if (frames_out_counter_) frames_out_counter_->Increment();
+    FlushOut(conn);
+  }
+  if (!conn->dead.load(std::memory_order_relaxed)) {
+    CloseConn(conn, CloseReason::kError);
+  }
+}
+
+void WireServer::CloseConn(const std::shared_ptr<Conn>& conn,
+                           CloseReason reason) {
+  if (conn->dead.exchange(true, std::memory_order_acq_rel)) return;
+  // Account before close(): once the fd closes a test's client sees EOF
+  // and may read stats() immediately.
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  switch (reason) {
+    case CloseReason::kClient:
+      closed_by_client_.fetch_add(1, std::memory_order_relaxed);
+      if (closed_client_counter_) closed_client_counter_->Increment();
+      break;
+    case CloseReason::kIdle:
+      closed_by_idle_.fetch_add(1, std::memory_order_relaxed);
+      if (closed_idle_counter_) closed_idle_counter_->Increment();
+      break;
+    case CloseReason::kError:
+      closed_by_error_.fetch_add(1, std::memory_order_relaxed);
+      if (closed_error_counter_) closed_error_counter_->Increment();
+      break;
+    case CloseReason::kShutdown:
+      // Server-initiated drain; not a client or error close.
+      break;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
+  if (active_gauge_) active_gauge_->Set(static_cast<double>(conns_.size()));
+}
+
+void WireServer::CloseIdleConns() {
+  if (options_.idle_timeout_ms <= 0) return;
+  const uint64_t now = NowMicros();
+  const uint64_t limit =
+      static_cast<uint64_t>(options_.idle_timeout_ms) * 1000;
+  // Collect first: CloseConn mutates conns_.
+  std::vector<std::shared_ptr<Conn>> idle;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn->inflight == 0 && now - conn->last_activity_us > limit) {
+      idle.push_back(conn);
+    }
+  }
+  for (const auto& conn : idle) CloseConn(conn, CloseReason::kIdle);
+}
+
+void WireServer::GracefulDrain() {
+  // 1. Stop admitting: close the listener.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  ::close(listen_fd_);
+  // 2. Stop reading everywhere — no new requests can arrive.
+  for (const auto& [fd, conn] : conns_) {
+    conn->draining = true;
+    EpollMod(*conn);
+  }
+  // 3. Let in-flight requests finish and their responses flush.
+  const uint64_t deadline =
+      NowMicros() + static_cast<uint64_t>(options_.drain_timeout_ms) * 1000;
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  for (;;) {
+    bool pending = false;
+    for (const auto& [fd, conn] : conns_) {
+      if (conn->inflight > 0 || conn->out_offset < conn->outbuf.size()) {
+        pending = true;
+        break;
+      }
+    }
+    if (!pending || NowMicros() >= deadline) break;
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 50);
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it != conns_.end() && (events[i].events & EPOLLOUT)) {
+        FlushOut(it->second);
+      }
+    }
+    DrainCompletions();
+  }
+  // 4. Say Goodbye and close everything still open.
+  std::vector<std::shared_ptr<Conn>> remaining;
+  remaining.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) remaining.push_back(conn);
+  for (const auto& conn : remaining) {
+    if (!conn->dead.load(std::memory_order_relaxed)) {
+      std::string bye = EncodeGoodbye(0);
+      net::SendAll(conn->fd, bye.data(), bye.size());
+      frames_out_.fetch_add(1, std::memory_order_relaxed);
+      if (frames_out_counter_) frames_out_counter_->Increment();
+      bytes_out_.fetch_add(bye.size(), std::memory_order_relaxed);
+      if (bytes_out_counter_) bytes_out_counter_->Increment(bye.size());
+    }
+    CloseConn(conn, CloseReason::kShutdown);
+  }
+  // Completions posted by workers that raced the drain: consume them so
+  // the queue does not keep their Conn tokens (and payloads) alive.
+  DrainCompletions();
+}
+
+WireServer::Stats WireServer::stats() const {
+  Stats out;
+  out.accepted = accepted_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.closed_by_client = closed_by_client_.load(std::memory_order_relaxed);
+  out.closed_by_idle = closed_by_idle_.load(std::memory_order_relaxed);
+  out.closed_by_error = closed_by_error_.load(std::memory_order_relaxed);
+  out.active = active_.load(std::memory_order_relaxed);
+  out.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  out.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  out.frames_in = frames_in_.load(std::memory_order_relaxed);
+  out.frames_out = frames_out_.load(std::memory_order_relaxed);
+  out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  out.requests = requests_.load(std::memory_order_relaxed);
+  if (latency_hist_ != nullptr) {
+    obs::HistogramSnapshot hist = latency_hist_->Snapshot();
+    out.p50_latency_us = hist.Percentile(0.5);
+    out.p99_latency_us = hist.Percentile(0.99);
+  }
+  return out;
+}
+
+std::string WireServer::StatsJson() const {
+  Stats s = stats();
+  std::string out;
+  out.reserve(512);
+  out.append("{\"enabled\":true,\"connections\":{\"active\":")
+      .append(std::to_string(s.active));
+  out.append(",\"accepted\":").append(std::to_string(s.accepted));
+  out.append(",\"rejected\":").append(std::to_string(s.rejected));
+  out.append(",\"closed_by_client\":")
+      .append(std::to_string(s.closed_by_client));
+  out.append(",\"closed_by_idle\":").append(std::to_string(s.closed_by_idle));
+  out.append(",\"closed_by_error\":")
+      .append(std::to_string(s.closed_by_error));
+  out.append("},\"bytes\":{\"in\":").append(std::to_string(s.bytes_in));
+  out.append(",\"out\":").append(std::to_string(s.bytes_out));
+  out.append("},\"frames\":{\"in\":").append(std::to_string(s.frames_in));
+  out.append(",\"out\":").append(std::to_string(s.frames_out));
+  out.append("},\"protocol_errors\":")
+      .append(std::to_string(s.protocol_errors));
+  out.append(",\"requests\":").append(std::to_string(s.requests));
+  out.append(",\"p50_latency_us\":").append(JsonDouble(s.p50_latency_us));
+  out.append(",\"p99_latency_us\":").append(JsonDouble(s.p99_latency_us));
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace chrono::wire

@@ -185,6 +185,21 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(av.backend_coalesced));
   }
 
+  // Wire frontend (present only when the journal was recorded behind TCP).
+  if (snap.wire.Any()) {
+    const obs::PrefetchAudit::Wire& wire = snap.wire;
+    std::printf("\nwire frontend\n");
+    std::printf("  requests         : %llu (%llu answered with Error)\n",
+                static_cast<unsigned long long>(wire.requests),
+                static_cast<unsigned long long>(wire.failed));
+    std::printf("  response bytes   : %s\n",
+                HumanBytes(wire.response_bytes).c_str());
+    std::printf("  wire latency     : mean %.1f us, p50 %.1f us, "
+                "p99 %.1f us\n",
+                wire.mean_latency_us, wire.p50_latency_us,
+                wire.p99_latency_us);
+  }
+
   // Stage-time profile across all requests that carried latency.
   if (snap.requests_with_latency > 0) {
     std::printf("\nstage-time profile (%llu requests)\n",

@@ -7,6 +7,17 @@
 //   serve_bench --workers 4 --clients 16 --seconds 5
 //   serve_bench --sweep 1,2,4,8 --clients 16 --seconds 5 --json BENCH_serve.json
 //
+// Socket modes (DESIGN.md §13) drive the same workload over the real TCP
+// wire protocol instead of in-process Submit() calls:
+//   serve_bench --wire --connections 1024 --pipeline 4 --seconds 5
+//   serve_bench --wire --conn-sweep 64,256,1024 --json BENCH_serve.json
+//   serve_bench --serve --port 7077 --seconds 30        # server only
+//   serve_bench --connect 127.0.0.1:7077 --connections 256   # client only
+// Open-loop arrivals (--arrival-qps R) draw Poisson inter-arrival gaps and
+// measure latency from the *scheduled* send time, so a stalling server
+// shows up as queueing delay instead of being hidden by coordinated
+// omission.
+//
 // The remote database sits a (simulated) WAN away — --db-us is slept once
 // per database round trip, outside every lock. That wait is what worker
 // threads overlap: it is the paper's deployment premise (§6 places the
@@ -14,9 +25,11 @@
 // scaling meaningful even on small CPU-count machines.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +44,8 @@
 #include "obs/metrics.h"
 #include "obs/stats_server.h"
 #include "runtime/server.h"
+#include "wire/wire_client.h"
+#include "wire/wire_server.h"
 #include "workloads/seats.h"
 #include "workloads/workload.h"
 
@@ -69,6 +84,15 @@ struct BenchOptions {
   uint64_t stale_serve_ms = 0;      // --stale-serve-ms degradation bound
   int retries = 3;                  // max demand-read attempts
   bool enable_retries = true;       // --no-retries
+
+  // Socket modes (DESIGN.md §13).
+  bool wire = false;            // --wire: in-process WireServer + TCP clients
+  bool serve = false;           // --serve: server only, wait out --seconds
+  std::string connect;          // --connect host:port: client fleet only
+  int port = 0;                 // --port for --serve (0 = ephemeral)
+  std::vector<int> conn_counts;  // --connections N / --conn-sweep LIST
+  int pipeline = 1;             // --pipeline D: per-conn in-flight window
+  double arrival_qps = 0;       // --arrival-qps R: open-loop Poisson total
 };
 
 struct RunResult {
@@ -98,6 +122,16 @@ struct RunResult {
   uint64_t prefetch_used = 0;
   uint64_t prefetch_wasted_bytes = 0;
   double prefetch_precision = 0;
+
+  // Socket-mode extras (zero for in-process runs).
+  bool socket_mode = false;
+  int connections = 0;
+  int pipeline = 0;
+  double arrival_qps = 0;
+  uint64_t wire_accepted = 0;
+  uint64_t wire_protocol_errors = 0;
+  uint64_t wire_requests = 0;
+  double wire_p99_us = 0;
 };
 
 void Usage() {
@@ -148,7 +182,25 @@ void Usage() {
       "  --no-retries             disable demand-read retries\n"
       "  --stale-serve-ms N       serve cached-but-stale results up to N ms\n"
       "                           old when a demand fetch fails (default\n"
-      "                           off)\n");
+      "                           off)\n"
+      "\nsocket modes (DESIGN.md §13; in-process by default):\n"
+      "  --wire                   start a WireServer in-process and drive\n"
+      "                           it with real TCP client connections\n"
+      "  --connections N          socket connections (default: --clients)\n"
+      "  --conn-sweep LIST        comma-separated connection counts, one\n"
+      "                           run each (e.g. 64,256,1024)\n"
+      "  --pipeline D             per-connection in-flight window\n"
+      "                           (default 1 = strict request-response)\n"
+      "  --arrival-qps R          open-loop mode: Poisson arrivals at R\n"
+      "                           qps total across connections; latency\n"
+      "                           measured from the scheduled send time\n"
+      "                           (default 0 = closed loop)\n"
+      "  --serve                  server only: listen for --seconds, then\n"
+      "                           drain gracefully and verify the journal\n"
+      "                           (recorded == drained)\n"
+      "  --port N                 --serve listen port (default ephemeral)\n"
+      "  --connect HOST:PORT      client fleet only, against a --serve\n"
+      "                           node (no in-process database)\n");
 }
 
 // Strict flag-value parsers: reject malformed numbers with a clear message
@@ -225,17 +277,14 @@ std::string NextQuery(Rng* rng, const BenchOptions& opt) {
   return "SELECT al_name FROM airline WHERE al_id = " + std::to_string(al);
 }
 
-RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
-  // One registry per run so sweep runs export clean per-configuration
-  // numbers; it must outlive the server (the server registers callbacks
-  // against it and unregisters them in its destructor).
-  obs::MetricsRegistry registry;
+runtime::ServerConfig MakeServerConfig(const BenchOptions& opt, int workers,
+                                       obs::MetricsRegistry* registry) {
   runtime::ServerConfig config;
   config.workers = workers;
   config.cache_shards = opt.shards;
   config.cache_bytes = opt.cache_mb << 20;
   config.db_latency_us = opt.db_latency_us;
-  config.registry = &registry;
+  config.registry = registry;
   config.enable_journal = opt.journal;
   config.fault = opt.fault;
   config.retry.max_attempts = opt.retries;
@@ -255,6 +304,15 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
   } else if (faults_on) {
     config.attempt_timeout_us = 25'000;
   }
+  return config;
+}
+
+RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
+  // One registry per run so sweep runs export clean per-configuration
+  // numbers; it must outlive the server (the server registers callbacks
+  // against it and unregisters them in its destructor).
+  obs::MetricsRegistry registry;
+  runtime::ServerConfig config = MakeServerConfig(opt, workers, &registry);
   // Declared before the server: the journal's final drain (in the server
   // destructor) must find the file sink still alive.
   std::unique_ptr<obs::JournalFileSink> journal_sink;
@@ -434,6 +492,381 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Socket modes (DESIGN.md §13)
+
+struct FleetResult {
+  uint64_t ops = 0;
+  uint64_t reads_ok = 0, reads_failed = 0;
+  uint64_t writes_ok = 0, writes_failed = 0;
+  uint64_t connect_failures = 0;
+  SampleStats latency;  // ms
+};
+
+/// One socket client connection. Closed loop keeps up to `pipeline`
+/// requests in flight; open loop (`per_conn_qps > 0`) draws Poisson
+/// inter-arrival gaps and measures latency from the scheduled send time.
+void WireClientLoop(const std::string& host, int port,
+                    const BenchOptions& opt, int index, double per_conn_qps,
+                    const std::atomic<bool>& stop, FleetResult* out) {
+  Rng rng(opt.seed + 7'000'000 + static_cast<uint64_t>(index));
+  wire::WireClient client;
+  Status connected =
+      client.Connect(host, port, /*client_id=*/100 + index);
+  if (!connected.ok()) {
+    ++out->connect_failures;
+    return;
+  }
+  using Clock = std::chrono::steady_clock;
+  // request id -> (scheduled send time, is_write)
+  std::map<uint64_t, std::pair<Clock::time_point, bool>> inflight;
+
+  auto account = [&](const wire::WireClient::Response& response,
+                     Clock::time_point now) {
+    auto it = inflight.find(response.request_id);
+    if (it == inflight.end()) return;
+    const bool is_write = it->second.second;
+    if (response.result.ok()) {
+      out->latency.Add(std::chrono::duration<double, std::milli>(
+                           now - it->second.first)
+                           .count());
+      ++(is_write ? out->writes_ok : out->reads_ok);
+      ++out->ops;
+    } else {
+      ++(is_write ? out->writes_failed : out->reads_failed);
+    }
+    inflight.erase(it);
+  };
+  auto send_one = [&](Clock::time_point scheduled) {
+    std::string sql = NextQuery(&rng, opt);
+    const bool is_write = sql.rfind("UPDATE", 0) == 0;
+    uint64_t id = 0;
+    if (!client.SendQuery(sql, &id).ok()) return false;
+    inflight.emplace(id, std::make_pair(scheduled, is_write));
+    return true;
+  };
+
+  if (per_conn_qps > 0) {
+    // Open loop: arrivals fire on schedule whether or not responses came
+    // back; queueing delay lands in the latency numbers where it belongs.
+    auto next_send = Clock::now();
+    auto exp_gap = [&] {
+      double u = rng.NextDouble();
+      if (u >= 1.0) u = 0.999999;
+      double gap_s = -std::log(1.0 - u) / per_conn_qps;
+      return std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(gap_s));
+    };
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto now = Clock::now();
+      if (now >= next_send) {
+        if (!send_one(next_send)) break;
+        next_send += exp_gap();
+        continue;
+      }
+      int wait_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(next_send -
+                                                                now)
+              .count());
+      auto response = client.ReadResponse(std::max(1, wait_ms));
+      if (response.ok()) {
+        account(*response, Clock::now());
+      } else if (response.status().code() !=
+                 Status::Code::kDeadlineExceeded) {
+        break;  // connection gone
+      }
+    }
+  } else {
+    // Closed loop with a pipelining window.
+    const size_t depth = static_cast<size_t>(std::max(1, opt.pipeline));
+    while (!stop.load(std::memory_order_relaxed)) {
+      while (inflight.size() < depth &&
+             !stop.load(std::memory_order_relaxed)) {
+        if (!send_one(Clock::now())) {
+          client.Close();
+          return;
+        }
+      }
+      auto response = client.ReadResponse(1000);
+      if (response.ok()) {
+        account(*response, Clock::now());
+      } else if (response.status().code() !=
+                 Status::Code::kDeadlineExceeded) {
+        client.Close();
+        return;
+      }
+    }
+  }
+  // Drain what is still in flight so the server's journal and our
+  // accounting agree, then say Goodbye.
+  auto drain_deadline = Clock::now() + std::chrono::seconds(5);
+  while (!inflight.empty() && Clock::now() < drain_deadline) {
+    auto response = client.ReadResponse(250);
+    if (response.ok()) {
+      account(*response, Clock::now());
+    } else if (response.status().code() != Status::Code::kDeadlineExceeded) {
+      break;
+    }
+  }
+  client.Close();
+}
+
+/// Drives `connections` socket clients against host:port for the window.
+FleetResult RunWireFleet(const std::string& host, int port,
+                         const BenchOptions& opt, int connections) {
+  std::atomic<bool> stop{false};
+  std::vector<FleetResult> per_conn(static_cast<size_t>(connections));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(connections));
+  const double per_conn_qps =
+      opt.arrival_qps > 0 ? opt.arrival_qps / connections : 0;
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      WireClientLoop(host, port, opt, c, per_conn_qps, stop,
+                     &per_conn[static_cast<size_t>(c)]);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(opt.seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  FleetResult all;
+  for (const FleetResult& f : per_conn) {
+    all.ops += f.ops;
+    all.reads_ok += f.reads_ok;
+    all.reads_failed += f.reads_failed;
+    all.writes_ok += f.writes_ok;
+    all.writes_failed += f.writes_failed;
+    all.connect_failures += f.connect_failures;
+    all.latency.Merge(f.latency);
+  }
+  return all;
+}
+
+/// --wire: in-process node behind a real WireServer, TCP client fleet.
+RunResult RunOnceWire(db::Database* db, const BenchOptions& opt, int workers,
+                      int connections) {
+  obs::MetricsRegistry registry;
+  runtime::ServerConfig config = MakeServerConfig(opt, workers, &registry);
+  std::unique_ptr<obs::JournalFileSink> journal_sink;
+  if (opt.journal && !opt.journal_path.empty()) {
+    journal_sink = obs::JournalFileSink::Open(opt.journal_path);
+    if (journal_sink == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", opt.journal_path.c_str());
+    }
+  }
+  runtime::ChronoServer server(db, config);
+  if (journal_sink != nullptr && server.journal() != nullptr) {
+    server.journal()->AddSink(journal_sink.get());
+  }
+  wire::WireServer::Options wire_options;
+  wire_options.max_connections = std::max(connections * 2, 4096);
+  wire_options.max_pipeline = std::max(opt.pipeline, 8);
+  wire::WireServer wire_server(&server, wire_options);
+  Status started = wire_server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "wire server: %s\n",
+                 std::string(started.message()).c_str());
+    std::exit(1);
+  }
+  obs::StatsServer stats(server.registry(), server.traces(), server.audit());
+  stats.SetHealthCallback([&server] {
+    runtime::ChronoServer::HealthStatus h = server.Health();
+    return obs::StatsServer::Health{h.ok, h.reason};
+  });
+  stats.SetWireCallback([&wire_server] { return wire_server.StatsJson(); });
+  if (opt.stats_port >= 0) {
+    Status stats_started = stats.Start(opt.stats_port);
+    if (stats_started.ok()) {
+      std::printf("stats: http://127.0.0.1:%d/metrics (and /wire)\n",
+                  stats.port());
+    }
+  }
+
+  auto t_start = std::chrono::steady_clock::now();
+  FleetResult fleet = RunWireFleet("127.0.0.1", wire_server.port(), opt,
+                                   connections);
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t_start)
+                       .count();
+
+  RunResult out;
+  out.socket_mode = true;
+  out.connections = connections;
+  out.pipeline = opt.pipeline;
+  out.arrival_qps = opt.arrival_qps;
+  out.workers = workers;
+  out.ops = fleet.ops;
+  out.elapsed_s = elapsed;
+  out.throughput = elapsed > 0 ? static_cast<double>(out.ops) / elapsed : 0;
+  out.p50_ms = fleet.latency.empty() ? 0 : fleet.latency.Percentile(0.5);
+  out.p99_ms = fleet.latency.empty() ? 0 : fleet.latency.Percentile(0.99);
+  out.mean_ms = fleet.latency.empty() ? 0 : fleet.latency.Mean();
+  out.reads_ok = fleet.reads_ok;
+  out.reads_failed = fleet.reads_failed;
+  out.writes_ok = fleet.writes_ok;
+  out.writes_failed = fleet.writes_failed;
+  out.metrics = server.metrics();
+  if (fleet.connect_failures > 0) {
+    std::fprintf(stderr, "warning: %llu connections failed to connect\n",
+                 static_cast<unsigned long long>(fleet.connect_failures));
+  }
+
+  if (!opt.metrics_path.empty()) {
+    FILE* f = std::fopen(opt.metrics_path.c_str(), "w");
+    if (f != nullptr) {
+      std::string json = obs::ToJson(registry.Snapshot());
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", opt.metrics_path.c_str());
+    }
+  }
+  // Frontend first (drains in-flight requests), then the runtime: the
+  // journal's recorded == drained contract survives the network hop.
+  wire_server.Stop();
+  wire::WireServer::Stats ws = wire_server.stats();
+  out.wire_accepted = ws.accepted;
+  out.wire_protocol_errors = ws.protocol_errors;
+  out.wire_requests = ws.requests;
+  out.wire_p99_us = ws.p99_latency_us;
+  stats.Stop();
+  server.Shutdown();
+  if (server.journal() != nullptr) server.journal()->Stop();
+  if (server.audit() != nullptr) {
+    obs::PrefetchAudit::Snapshot snap = server.audit()->snapshot();
+    out.prefetch_installed = snap.TotalInstalled();
+    out.prefetch_used = snap.TotalUsed();
+    out.prefetch_wasted_bytes = snap.TotalWastedBytes();
+    out.prefetch_precision = snap.OverallPrecision();
+  }
+  if (journal_sink != nullptr) journal_sink->Flush();
+  return out;
+}
+
+/// --serve: run the node (WireServer + StatsServer) for the window, then
+/// drain gracefully and verify the journal contract. Returns the exit
+/// code: non-zero when the drain dropped events.
+int RunServe(db::Database* db, const BenchOptions& opt, int workers) {
+  obs::MetricsRegistry registry;
+  runtime::ServerConfig config = MakeServerConfig(opt, workers, &registry);
+  std::unique_ptr<obs::JournalFileSink> journal_sink;
+  if (opt.journal && !opt.journal_path.empty()) {
+    journal_sink = obs::JournalFileSink::Open(opt.journal_path);
+  }
+  runtime::ChronoServer server(db, config);
+  if (journal_sink != nullptr && server.journal() != nullptr) {
+    server.journal()->AddSink(journal_sink.get());
+  }
+  wire::WireServer::Options wire_options;
+  wire_options.port = opt.port;
+  wire_options.max_pipeline = std::max(opt.pipeline, 128);
+  wire::WireServer wire_server(&server, wire_options);
+  Status started = wire_server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "wire server: %s\n",
+                 std::string(started.message()).c_str());
+    return 1;
+  }
+  obs::StatsServer stats(server.registry(), server.traces(), server.audit());
+  stats.SetHealthCallback([&server] {
+    runtime::ChronoServer::HealthStatus h = server.Health();
+    return obs::StatsServer::Health{h.ok, h.reason};
+  });
+  stats.SetWireCallback([&wire_server] { return wire_server.StatsJson(); });
+  if (opt.stats_port >= 0) {
+    Status stats_started = stats.Start(opt.stats_port);
+    if (stats_started.ok()) {
+      std::printf("stats: http://127.0.0.1:%d/metrics (and /wire)\n",
+                  stats.port());
+    }
+  }
+  std::printf("serving on 127.0.0.1:%d for %.1f s\n", wire_server.port(),
+              opt.seconds);
+  std::fflush(stdout);
+
+  auto started_at = std::chrono::steady_clock::now();
+  auto deadline = started_at + std::chrono::duration_cast<
+                                   std::chrono::steady_clock::duration>(
+                                   std::chrono::duration<double>(opt.seconds));
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto tick = std::min(deadline, std::chrono::steady_clock::now() +
+                                       std::chrono::seconds(1));
+    std::this_thread::sleep_until(tick);
+    if (!opt.progress) continue;
+    wire::WireServer::Stats live = wire_server.stats();
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - started_at)
+                      .count();
+    std::printf("  t=%4.1fs  conns %llu  requests %llu  queue %zu\n", secs,
+                static_cast<unsigned long long>(live.active),
+                static_cast<unsigned long long>(live.requests),
+                server.pool().queue_depth());
+    std::fflush(stdout);
+  }
+  wire_server.Stop();
+  wire::WireServer::Stats ws = wire_server.stats();
+  stats.Stop();
+  server.Shutdown();
+  if (server.journal() != nullptr) server.journal()->Stop();
+  if (journal_sink != nullptr) journal_sink->Flush();
+
+  uint64_t recorded = 0, drained = 0, dropped = 0;
+  if (server.journal() != nullptr) {
+    recorded = server.journal()->events_recorded();
+    drained = server.journal()->events_drained();
+    dropped = server.journal()->events_dropped();
+  }
+  std::printf(
+      "wire: accepted %llu  requests %llu  protocol-errors %llu  "
+      "closed client/idle/error %llu/%llu/%llu  bytes in/out %llu/%llu\n",
+      static_cast<unsigned long long>(ws.accepted),
+      static_cast<unsigned long long>(ws.requests),
+      static_cast<unsigned long long>(ws.protocol_errors),
+      static_cast<unsigned long long>(ws.closed_by_client),
+      static_cast<unsigned long long>(ws.closed_by_idle),
+      static_cast<unsigned long long>(ws.closed_by_error),
+      static_cast<unsigned long long>(ws.bytes_in),
+      static_cast<unsigned long long>(ws.bytes_out));
+  std::printf("journal: recorded %llu  drained %llu  dropped %llu\n",
+              static_cast<unsigned long long>(recorded),
+              static_cast<unsigned long long>(drained),
+              static_cast<unsigned long long>(dropped));
+  if (recorded != drained || dropped != 0) {
+    std::fprintf(stderr, "FAIL: journal drain incomplete\n");
+    return 1;
+  }
+  return 0;
+}
+
+/// --connect: client fleet against an external --serve node.
+RunResult RunConnect(const BenchOptions& opt, const std::string& host,
+                     int port, int connections) {
+  auto t_start = std::chrono::steady_clock::now();
+  FleetResult fleet = RunWireFleet(host, port, opt, connections);
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t_start)
+                       .count();
+  RunResult out;
+  out.socket_mode = true;
+  out.connections = connections;
+  out.pipeline = opt.pipeline;
+  out.arrival_qps = opt.arrival_qps;
+  out.ops = fleet.ops;
+  out.elapsed_s = elapsed;
+  out.throughput = elapsed > 0 ? static_cast<double>(out.ops) / elapsed : 0;
+  out.p50_ms = fleet.latency.empty() ? 0 : fleet.latency.Percentile(0.5);
+  out.p99_ms = fleet.latency.empty() ? 0 : fleet.latency.Percentile(0.99);
+  out.mean_ms = fleet.latency.empty() ? 0 : fleet.latency.Mean();
+  out.reads_ok = fleet.reads_ok;
+  out.reads_failed = fleet.reads_failed;
+  out.writes_ok = fleet.writes_ok;
+  out.writes_failed = fleet.writes_failed;
+  if (fleet.connect_failures > 0) {
+    std::fprintf(stderr, "warning: %llu connections failed to connect\n",
+                 static_cast<unsigned long long>(fleet.connect_failures));
+  }
+  return out;
+}
+
 void WriteJson(const BenchOptions& opt, const std::vector<RunResult>& runs) {
   FILE* f = std::fopen(opt.json_path.c_str(), "w");
   if (f == nullptr) {
@@ -471,7 +904,7 @@ void WriteJson(const BenchOptions& opt, const std::vector<RunResult>& runs) {
         "\"backend_retries\": %llu, \"backend_timeouts\": %llu, "
         "\"stale_serves\": %llu, \"breaker_rejects\": %llu, "
         "\"prefetches_shed_queue\": %llu, "
-        "\"prefetches_shed_breaker\": %llu}%s\n",
+        "\"prefetches_shed_breaker\": %llu",
         r.workers, static_cast<unsigned long long>(r.ops), r.throughput,
         r.mean_ms, r.p50_ms, r.p99_ms, r.metrics.CacheHitRate(),
         static_cast<unsigned long long>(r.metrics.remote_plain),
@@ -489,8 +922,22 @@ void WriteJson(const BenchOptions& opt, const std::vector<RunResult>& runs) {
         static_cast<unsigned long long>(r.metrics.stale_serves),
         static_cast<unsigned long long>(r.metrics.breaker_rejects),
         static_cast<unsigned long long>(r.metrics.prefetches_dropped),
-        static_cast<unsigned long long>(r.metrics.prefetches_shed_breaker),
-        i + 1 < runs.size() ? "," : "");
+        static_cast<unsigned long long>(r.metrics.prefetches_shed_breaker));
+    if (r.socket_mode) {
+      std::fprintf(
+          f,
+          ", \"transport\": \"socket\", \"connections\": %d, "
+          "\"pipeline\": %d, \"arrival_qps\": %.1f, "
+          "\"wire_accepted\": %llu, \"wire_protocol_errors\": %llu, "
+          "\"wire_requests\": %llu, \"wire_p99_us\": %.1f",
+          r.connections, r.pipeline, r.arrival_qps,
+          static_cast<unsigned long long>(r.wire_accepted),
+          static_cast<unsigned long long>(r.wire_protocol_errors),
+          static_cast<unsigned long long>(r.wire_requests), r.wire_p99_us);
+    } else {
+      std::fprintf(f, ", \"transport\": \"in-process\"");
+    }
+    std::fprintf(f, "}%s\n", i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -590,6 +1037,22 @@ int main(int argc, char** argv) {
       opt.chain_pct = static_cast<int>(IntFlag(arg, next()));
     } else if (arg == "--no-progress") {
       opt.progress = false;
+    } else if (arg == "--wire") {
+      opt.wire = true;
+    } else if (arg == "--serve") {
+      opt.serve = true;
+    } else if (arg == "--connect") {
+      opt.connect = next();
+    } else if (arg == "--port") {
+      opt.port = static_cast<int>(IntFlag(arg, next()));
+    } else if (arg == "--connections") {
+      opt.conn_counts = {static_cast<int>(IntFlag(arg, next()))};
+    } else if (arg == "--conn-sweep") {
+      opt.conn_counts = ParseSweep(next());
+    } else if (arg == "--pipeline") {
+      opt.pipeline = static_cast<int>(IntFlag(arg, next()));
+    } else if (arg == "--arrival-qps") {
+      opt.arrival_qps = DoubleFlag(arg, next());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       Usage();
@@ -624,6 +1087,43 @@ int main(int argc, char** argv) {
     reject("--fault-spike", "multiplier must be >= 1");
   }
   if (opt.retries < 1) reject("--retries", "must be >= 1");
+  if (opt.pipeline < 1) reject("--pipeline", "must be >= 1");
+  if (opt.arrival_qps < 0) reject("--arrival-qps", "must be >= 0");
+  if (opt.port < 0 || opt.port > 65535) reject("--port", "not a TCP port");
+  for (int c : opt.conn_counts) {
+    if (c < 1) reject("--connections/--conn-sweep", "must be >= 1");
+  }
+  int modes = (opt.wire ? 1 : 0) + (opt.serve ? 1 : 0) +
+              (opt.connect.empty() ? 0 : 1);
+  if (modes > 1) {
+    reject("--wire/--serve/--connect", "modes are mutually exclusive");
+  }
+  if (opt.conn_counts.empty()) opt.conn_counts = {opt.clients};
+
+  // --connect needs no local database: just drive the remote node.
+  if (!opt.connect.empty()) {
+    size_t colon = opt.connect.rfind(':');
+    int64_t port64 = 0;
+    if (colon == std::string::npos || colon == 0 ||
+        !ParseInt64(opt.connect.substr(colon + 1), &port64) || port64 < 1 ||
+        port64 > 65535) {
+      reject("--connect", "expected HOST:PORT");
+    }
+    std::string host = opt.connect.substr(0, colon);
+    std::vector<RunResult> runs;
+    for (int connections : opt.conn_counts) {
+      RunResult r =
+          RunConnect(opt, host, static_cast<int>(port64), connections);
+      runs.push_back(r);
+      std::printf(
+          "connections=%d  pipeline=%d  %.1f qps  mean %.2f ms  "
+          "p50 %.2f ms  p99 %.2f ms  success %.2f%%\n",
+          r.connections, r.pipeline, r.throughput, r.mean_ms, r.p50_ms,
+          r.p99_ms, 100.0 * r.DemandSuccessRate());
+    }
+    if (!opt.json_path.empty()) WriteJson(opt, runs);
+    return 0;
+  }
 
   std::printf(
       "Populating SEATS (%lld customers, %lld flights, %lld rows/key)...\n",
@@ -637,6 +1137,38 @@ int main(int argc, char** argv) {
   seats_config.rows_per_key = opt.payload_rows;
   workloads::SeatsWorkload seats(seats_config);
   seats.Populate(&db);
+
+  if (opt.serve) {
+    return RunServe(&db, opt, opt.worker_counts.front());
+  }
+
+  if (opt.wire) {
+    std::vector<RunResult> runs;
+    for (int connections : opt.conn_counts) {
+      RunResult r =
+          RunOnceWire(&db, opt, opt.worker_counts.front(), connections);
+      runs.push_back(r);
+      std::printf(
+          "connections=%d  pipeline=%d  workers=%d  %.1f qps  mean %.2f ms  "
+          "p50 %.2f ms  p99 %.2f ms  hit-rate %.1f%%  "
+          "(accepted %llu, protocol-errors %llu, wire-p99 %.0f us)\n",
+          r.connections, r.pipeline, r.workers, r.throughput, r.mean_ms,
+          r.p50_ms, r.p99_ms, 100.0 * r.metrics.CacheHitRate(),
+          static_cast<unsigned long long>(r.wire_accepted),
+          static_cast<unsigned long long>(r.wire_protocol_errors),
+          r.wire_p99_us);
+    }
+    if (runs.size() > 1) {
+      double base = runs.front().throughput;
+      for (const RunResult& r : runs) {
+        std::printf("conn scaling %d -> %d: %.2fx\n",
+                    runs.front().connections, r.connections,
+                    base > 0 ? r.throughput / base : 0);
+      }
+    }
+    if (!opt.json_path.empty()) WriteJson(opt, runs);
+    return 0;
+  }
 
   std::vector<RunResult> runs;
   for (int workers : opt.worker_counts) {
