@@ -1,0 +1,196 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <string>
+
+namespace chrono {
+
+namespace {
+
+/// Recursive-descent validator over a byte cursor. Depth is bounded so a
+/// hostile input cannot blow the stack.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  Status Validate() {
+    CHRONO_RETURN_NOT_OK(Value(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Fail("trailing bytes after JSON value");
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Fail(const std::string& what) {
+    return Status::ParseError("json: " + what + " at byte " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Status Value(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return Object(depth);
+      case '[':
+        return Array(depth);
+      case '"':
+        return String();
+      case 't':
+        return ConsumeLiteral("true") ? Status::OK() : Fail("bad literal");
+      case 'f':
+        return ConsumeLiteral("false") ? Status::OK() : Fail("bad literal");
+      case 'n':
+        return ConsumeLiteral("null") ? Status::OK() : Fail("bad literal");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return Number();
+        return Fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Status Object(int depth) {
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key string");
+      }
+      CHRONO_RETURN_NOT_OK(String());
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      CHRONO_RETURN_NOT_OK(Value(depth + 1));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status Array(int depth) {
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      CHRONO_RETURN_NOT_OK(Value(depth + 1));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status String() {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("unterminated escape");
+        char e = text_[pos_];
+        if (e == '"' || e == '\\' || e == '/' || e == 'b' || e == 'f' ||
+            e == 'n' || e == 'r' || e == 't') {
+          ++pos_;
+          continue;
+        }
+        if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i, ++pos_) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+          continue;
+        }
+        return Fail("bad escape character");
+      }
+      if (c < 0x20) return Fail("unescaped control character in string");
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  Status Number() {
+    Consume('-');
+    if (pos_ >= text_.size()) return Fail("truncated number");
+    if (text_[pos_] == '0') {
+      ++pos_;  // no leading zeros: "01" is invalid
+    } else if (text_[pos_] >= '1' && text_[pos_] <= '9') {
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    } else {
+      return Fail("expected digit");
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("expected digit after decimal point");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("expected digit in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ValidateJson(std::string_view text) {
+  return JsonValidator(text).Validate();
+}
+
+}  // namespace chrono

@@ -1,0 +1,22 @@
+#ifndef CHRONOCACHE_COMMON_JSON_H_
+#define CHRONOCACHE_COMMON_JSON_H_
+
+#include <string_view>
+
+#include "common/status.h"
+
+namespace chrono {
+
+/// \brief Strict RFC 8259 well-formedness check: one complete JSON value,
+/// no trailing bytes, objects/arrays/strings/numbers fully validated
+/// (escape sequences, number grammar, UTF-8 left to the producer). Returns
+/// kParseError with a byte offset on the first violation.
+///
+/// This is a validator, not a parser — the repo's exporters *emit* JSON
+/// and the tests/CLI only need to prove the emission is well-formed (the
+/// "strict parser round trip" of DESIGN.md §15) without growing a DOM.
+Status ValidateJson(std::string_view text);
+
+}  // namespace chrono
+
+#endif  // CHRONOCACHE_COMMON_JSON_H_

@@ -186,41 +186,156 @@ std::string ToJson(const RegistrySnapshot& snapshot) {
   return out;
 }
 
+namespace {
+
+/// The body of one trace object (no enclosing braces), shared between the
+/// ring dump and the tail dossier so the two shapes cannot drift.
+std::string TraceObjectBody(const RequestTrace& t) {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "\"id\":%" PRIu64 ",\"client\":%" PRIu64
+                ",\"template\":%" PRIu64 ",\"start_us\":%" PRIu64
+                ",\"total_us\":%" PRIu64 ",\"outcome\":\"%s\"",
+                t.id, t.client, t.tmpl, t.start_us, t.total_us,
+                TraceOutcomeName(t.outcome));
+  out += buf;
+  out += ",\"sql\":\"" + EscapeJson(t.sql) + "\"";
+  if (t.forced) out += ",\"forced\":true";
+  if (t.prefetch_plan != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"prefetch_plan\":%" PRIu64 ",\"prefetch_src\":%" PRIu64,
+                  t.prefetch_plan, t.prefetch_src);
+    out += buf;
+  }
+  out += ",\"spans\":[";
+  bool first_span = true;
+  for (const TraceSpan& s : t.spans) {
+    if (!first_span) out += ',';
+    first_span = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"stage\":\"%s\",\"start_us\":%" PRIu64
+                  ",\"dur_us\":%" PRIu64 "}",
+                  StageName(s.stage), s.start_us, s.dur_us);
+    out += buf;
+  }
+  out += "]";
+  if (!t.annotations.empty()) {
+    out += ",\"annotations\":[";
+    bool first_ann = true;
+    for (const TraceAnnotation& a : t.annotations) {
+      if (!first_ann) out += ',';
+      first_ann = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"kind\":\"%s\",\"at_us\":%" PRIu64
+                    ",\"value\":%" PRIu64 "}",
+                    AnnotationKindName(a.kind), a.at_us, a.value);
+      out += buf;
+    }
+    out += "]";
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string TracesToJson(
     const std::vector<std::shared_ptr<const RequestTrace>>& traces) {
   std::string out = "{\"traces\":[";
   bool first = true;
-  char buf[256];
   for (const auto& t : traces) {
     if (t == nullptr) continue;
     if (!first) out += ',';
     first = false;
+    out += "{" + TraceObjectBody(*t) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TracesToChromeJson(
+    const std::vector<std::shared_ptr<const RequestTrace>>& traces) {
+  std::string out = "{\"traceEvents\":[";
+  char buf[512];
+  bool first = true;
+  auto emit = [&](const char* text) {
+    if (!first) out += ',';
+    first = false;
+    out += text;
+  };
+  std::set<uint64_t> named_pids;
+  for (const auto& t : traces) {
+    if (t == nullptr) continue;
+    // One process row per client, named once so Perfetto groups requests
+    // by the connection that issued them.
+    if (named_pids.insert(t->client).second) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%" PRIu64
+                    ",\"tid\":0,\"args\":{\"name\":\"client %" PRIu64 "\"}}",
+                    t->client, t->client);
+      emit(buf);
+    }
+    // The request itself: an enclosing span named by its outcome, args
+    // carrying the identifying detail a tail investigation needs.
     std::snprintf(buf, sizeof(buf),
-                  "{\"id\":%" PRIu64 ",\"client\":%" PRIu64
-                  ",\"template\":%" PRIu64 ",\"start_us\":%" PRIu64
-                  ",\"total_us\":%" PRIu64 ",\"outcome\":\"%s\"",
-                  t->id, t->client, t->tmpl, t->start_us, t->total_us,
-                  TraceOutcomeName(t->outcome));
+                  "{\"name\":\"%s\",\"cat\":\"request\",\"ph\":\"X\","
+                  "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64 ",\"pid\":%" PRIu64
+                  ",\"tid\":%" PRIu64 ",\"args\":{\"trace_id\":%" PRIu64
+                  ",\"template\":%" PRIu64 ",\"sql\":\"",
+                  TraceOutcomeName(t->outcome), t->start_us, t->total_us,
+                  t->client, t->id, t->id, t->tmpl);
+    out += (first ? "" : ",");
+    first = false;
     out += buf;
-    out += ",\"sql\":\"" + EscapeJson(t->sql) + "\"";
-    if (t->prefetch_plan != 0) {
-      std::snprintf(buf, sizeof(buf),
-                    ",\"prefetch_plan\":%" PRIu64 ",\"prefetch_src\":%" PRIu64,
-                    t->prefetch_plan, t->prefetch_src);
-      out += buf;
-    }
-    out += ",\"spans\":[";
-    bool first_span = true;
+    out += EscapeJson(t->sql) + "\"}}";
     for (const TraceSpan& s : t->spans) {
-      if (!first_span) out += ',';
-      first_span = false;
       std::snprintf(buf, sizeof(buf),
-                    "{\"stage\":\"%s\",\"start_us\":%" PRIu64
-                    ",\"dur_us\":%" PRIu64 "}",
-                    StageName(s.stage), s.start_us, s.dur_us);
-      out += buf;
+                    "{\"name\":\"%s\",\"cat\":\"stage\",\"ph\":\"X\","
+                    "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64 ",\"pid\":%" PRIu64
+                    ",\"tid\":%" PRIu64 "}",
+                    StageName(s.stage), t->start_us + s.start_us, s.dur_us,
+                    t->client, t->id);
+      emit(buf);
     }
-    out += "]}";
+    for (const TraceAnnotation& a : t->annotations) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"cat\":\"backend\",\"ph\":\"i\","
+                    "\"ts\":%" PRIu64 ",\"pid\":%" PRIu64 ",\"tid\":%" PRIu64
+                    ",\"s\":\"t\",\"args\":{\"value\":%" PRIu64 "}}",
+                    AnnotationKindName(a.kind), t->start_us + a.at_us,
+                    t->client, t->id, a.value);
+      emit(buf);
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string TailToJson(
+    const std::vector<std::shared_ptr<const RequestTrace>>& traces,
+    uint64_t offered, uint64_t admitted) {
+  char buf[128];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf),
+                "\"offered\":%" PRIu64 ",\"admitted\":%" PRIu64 ",",
+                offered, admitted);
+  out += buf;
+  out += "\"traces\":[";
+  bool first = true;
+  for (const auto& t : traces) {
+    if (t == nullptr) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{" + TraceObjectBody(*t);
+    // Exemplar link: the chrono_request_latency_ns bucket (le bound, in
+    // ns — the unit that family records) this trace's total landed in.
+    int bucket = Histogram::BucketIndex(t->total_us * 1000);
+    uint64_t le = Histogram::BucketUpperBound(bucket);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"exemplar\":{\"family\":\"chrono_request_latency_ns\","
+                  "\"le\":%" PRIu64 "}}",
+                  le);
+    out += buf;
   }
   out += "]}";
   return out;

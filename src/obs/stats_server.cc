@@ -3,10 +3,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "net/socket_util.h"
 #include "obs/audit.h"
@@ -37,11 +42,35 @@ uint64_t MonotonicMicros() {
           .count());
 }
 
+/// Value of `key` in an RFC-3986-ish query string ("a=1&b=2"); empty when
+/// absent. Values are used verbatim — the endpoints only accept numbers
+/// and enum names, so percent-decoding is deliberately out of scope.
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
 }  // namespace
 
 StatsServer::StatsServer(const MetricsRegistry* registry,
-                         const TraceRing* traces, const PrefetchAudit* audit)
-    : registry_(registry), traces_(traces), audit_(audit) {}
+                         const TraceRing* traces, const PrefetchAudit* audit,
+                         const TailReservoir* tail,
+                         const TimeSeriesRing* timeseries)
+    : registry_(registry),
+      traces_(traces),
+      audit_(audit),
+      tail_(tail),
+      timeseries_(timeseries) {}
 
 StatsServer::~StatsServer() { Stop(); }
 
@@ -107,8 +136,12 @@ void StatsServer::HandleConnection(int fd) {
   }
   std::string method = line.substr(0, sp1);
   std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string query_string;
   size_t query = path.find('?');
-  if (query != std::string::npos) path = path.substr(0, query);
+  if (query != std::string::npos) {
+    query_string = path.substr(query + 1);
+    path = path.substr(0, query);
+  }
   if (method != "GET") {
     WriteAll(fd, HttpResponse(405, "Method Not Allowed", "text/plain",
                               "only GET is supported\n"));
@@ -124,11 +157,65 @@ void StatsServer::HandleConnection(int fd) {
     WriteAll(fd, HttpResponse(200, "OK", "application/json",
                               ToJson(registry_->Snapshot())));
   } else if (path == "/traces") {
+    std::vector<std::shared_ptr<const RequestTrace>> snapshot;
+    if (traces_ != nullptr) snapshot = traces_->Snapshot();
+    std::string outcome_name = QueryParam(query_string, "outcome");
+    if (!outcome_name.empty()) {
+      TraceOutcome wanted;
+      if (!ParseTraceOutcome(outcome_name, &wanted)) {
+        WriteAll(fd, HttpResponse(400, "Bad Request", "text/plain",
+                                  "unknown outcome '" + outcome_name +
+                                      "'\n"));
+        return;
+      }
+      snapshot.erase(std::remove_if(snapshot.begin(), snapshot.end(),
+                                    [&](const auto& t) {
+                                      return t == nullptr ||
+                                             t->outcome != wanted;
+                                    }),
+                     snapshot.end());
+    }
+    std::string n_text = QueryParam(query_string, "n");
+    if (!n_text.empty()) {
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(n_text.c_str(), &end, 10);
+      if (end == n_text.c_str() || *end != '\0') {
+        WriteAll(fd, HttpResponse(400, "Bad Request", "text/plain",
+                                  "n must be a non-negative integer\n"));
+        return;
+      }
+      if (snapshot.size() > n) snapshot.resize(n);
+    }
+    WriteAll(fd, HttpResponse(200, "OK", "application/json",
+                              TracesToJson(snapshot)));
+  } else if (path == "/tail") {
     std::string body =
-        traces_ == nullptr
-            ? std::string("{\"traces\":[]}")
-            : TracesToJson(traces_->Snapshot());
+        tail_ == nullptr
+            ? std::string("{\"offered\":0,\"admitted\":0,\"traces\":[]}")
+            : TailToJson(tail_->Snapshot(), tail_->offered(),
+                         tail_->admitted());
     WriteAll(fd, HttpResponse(200, "OK", "application/json", body));
+  } else if (path == "/timeseries") {
+    std::string body = timeseries_ == nullptr
+                           ? std::string("{\"samples\":[]}")
+                           : timeseries_->ToJson();
+    WriteAll(fd, HttpResponse(200, "OK", "application/json", body));
+  } else if (path == "/traces.chrome") {
+    // Recency ring + tail reservoir merged (dedup by id): a Perfetto load
+    // sees both the recent steady state and the retained outliers.
+    std::vector<std::shared_ptr<const RequestTrace>> merged;
+    if (traces_ != nullptr) merged = traces_->Snapshot();
+    if (tail_ != nullptr) {
+      std::set<uint64_t> seen;
+      for (const auto& t : merged) {
+        if (t != nullptr) seen.insert(t->id);
+      }
+      for (auto& t : tail_->Snapshot()) {
+        if (seen.insert(t->id).second) merged.push_back(std::move(t));
+      }
+    }
+    WriteAll(fd, HttpResponse(200, "OK", "application/json",
+                              TracesToChromeJson(merged)));
   } else if (path == "/prefetch") {
     std::string body =
         audit_ == nullptr
@@ -163,6 +250,7 @@ void StatsServer::HandleConnection(int fd) {
   } else {
     WriteAll(fd, HttpResponse(404, "Not Found", "text/plain",
                               "try /metrics, /metrics.json, /traces, "
+                              "/traces.chrome, /tail, /timeseries, "
                               "/prefetch, /wire or /healthz\n"));
   }
 }

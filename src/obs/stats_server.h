@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace chrono::obs {
@@ -21,7 +22,15 @@ class PrefetchAudit;
 ///
 ///   GET /metrics       Prometheus text exposition of the registry
 ///   GET /metrics.json  JSON snapshot (same data, serve_bench --metrics-out)
-///   GET /traces        recent RequestTraces as JSON, newest first
+///   GET /traces        recent RequestTraces as JSON, newest first;
+///                      ?n=K limits the count, ?outcome=NAME filters
+///                      (e.g. /traces?n=10&outcome=stale_hit)
+///   GET /tail          tail-reservoir dossier (§15): slowest traces per
+///                      window + forced retention, slowest first, each
+///                      with its latency-histogram exemplar link
+///   GET /timeseries    1 s samples of qps/hit-rate/p50/p99/... as JSON
+///   GET /traces.chrome recency ring + tail reservoir merged, rendered as
+///                      Chrome trace-event JSON (open in Perfetto)
 ///   GET /prefetch      prefetch-efficacy scoreboards as JSON (§10)
 ///   GET /wire          connection-frontend aggregates as JSON (§13):
 ///                      active/accepted/closed-by-{client,idle,error},
@@ -37,10 +46,13 @@ class PrefetchAudit;
 /// accept loop.
 class StatsServer {
  public:
-  /// `registry` must outlive the server; `traces` and `audit` may be null
-  /// (the corresponding endpoints then return empty documents).
+  /// `registry` must outlive the server; `traces`, `audit`, `tail` and
+  /// `timeseries` may be null (the corresponding endpoints then return
+  /// empty documents).
   StatsServer(const MetricsRegistry* registry, const TraceRing* traces,
-              const PrefetchAudit* audit = nullptr);
+              const PrefetchAudit* audit = nullptr,
+              const TailReservoir* tail = nullptr,
+              const TimeSeriesRing* timeseries = nullptr);
   ~StatsServer();
 
   StatsServer(const StatsServer&) = delete;
@@ -93,6 +105,8 @@ class StatsServer {
   const MetricsRegistry* registry_;
   const TraceRing* traces_;
   const PrefetchAudit* audit_;
+  const TailReservoir* tail_;
+  const TimeSeriesRing* timeseries_;
   HealthCallback health_;
   WireCallback wire_;
   int io_timeout_ms_ = 2000;

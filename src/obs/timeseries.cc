@@ -1,0 +1,224 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace chrono::obs {
+
+namespace {
+
+/// Walks the union of two sorted cumulative-bucket lists, carrying each
+/// side's cumulative count forward across bounds the sparse snapshot
+/// omitted (a missing bound means "no observation advanced this bucket",
+/// so its cumulative equals the nearest lower present bound's).
+template <typename Combine>
+HistogramSnapshot CombineBuckets(const HistogramSnapshot& a,
+                                 const HistogramSnapshot& b,
+                                 Combine&& combine) {
+  HistogramSnapshot out;
+  size_t ia = 0, ib = 0;
+  uint64_t cum_a = 0, cum_b = 0;
+  while (ia < a.buckets.size() || ib < b.buckets.size()) {
+    double bound;
+    if (ia >= a.buckets.size()) {
+      bound = b.buckets[ib].upper_bound;
+    } else if (ib >= b.buckets.size()) {
+      bound = a.buckets[ia].upper_bound;
+    } else {
+      bound = std::min(a.buckets[ia].upper_bound, b.buckets[ib].upper_bound);
+    }
+    if (ia < a.buckets.size() && a.buckets[ia].upper_bound == bound) {
+      cum_a = a.buckets[ia].cumulative;
+      ++ia;
+    }
+    if (ib < b.buckets.size() && b.buckets[ib].upper_bound == bound) {
+      cum_b = b.buckets[ib].cumulative;
+      ++ib;
+    }
+    out.buckets.push_back({bound, combine(cum_a, cum_b)});
+  }
+  out.count = out.buckets.empty() ? 0 : out.buckets.back().cumulative;
+  return out;
+}
+
+}  // namespace
+
+HistogramSnapshot MergeHistograms(const HistogramSnapshot& a,
+                                  const HistogramSnapshot& b) {
+  HistogramSnapshot out = CombineBuckets(
+      a, b, [](uint64_t ca, uint64_t cb) { return ca + cb; });
+  out.sum = a.sum + b.sum;
+  return out;
+}
+
+HistogramSnapshot DeltaHistogram(const HistogramSnapshot& cur,
+                                 const HistogramSnapshot& prev) {
+  HistogramSnapshot out =
+      CombineBuckets(cur, prev, [](uint64_t ccur, uint64_t cprev) {
+        return ccur > cprev ? ccur - cprev : 0;
+      });
+  out.sum = cur.sum > prev.sum ? cur.sum - prev.sum : 0;
+  // Cumulative-delta monotonicity can wobble when writers race the two
+  // snapshots; re-impose it so Percentile never walks backwards.
+  uint64_t floor = 0;
+  for (auto& bucket : out.buckets) {
+    if (bucket.cumulative < floor) bucket.cumulative = floor;
+    floor = bucket.cumulative;
+  }
+  out.count = out.buckets.empty() ? 0 : out.buckets.back().cumulative;
+  return out;
+}
+
+TimeSeriesRing::TimeSeriesRing(const MetricsRegistry* registry,
+                               const Options& options,
+                               std::function<uint64_t()> clock)
+    : options_([&] {
+        Options o = options;
+        if (o.capacity == 0) o.capacity = 1;
+        if (o.interval_ms == 0) o.interval_ms = 1000;
+        return o;
+      }()),
+      registry_(registry),
+      clock_(std::move(clock)) {
+  ring_.resize(options_.capacity);
+}
+
+TimeSeriesRing::~TimeSeriesRing() { Stop(); }
+
+void TimeSeriesRing::Start() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+  }
+  // Prime the cumulative baseline so the first periodic sample measures
+  // one interval, not everything since process start.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    prev_ = Collect();
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void TimeSeriesRing::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    running_ = false;
+  }
+}
+
+void TimeSeriesRing::Loop() {
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  while (!stop_requested_) {
+    if (wake_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                       [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+  }
+}
+
+TimeSeriesRing::Cumulative TimeSeriesRing::Collect() const {
+  Cumulative c;
+  c.valid = true;
+  c.t_us = clock_();
+  RegistrySnapshot snap = registry_->Snapshot();
+  auto counter = [&](const char* name, const Labels& labels) -> double {
+    const MetricSnapshot* m = snap.Find(name, labels);
+    return m == nullptr ? 0 : m->value;
+  };
+  c.requests = counter("chrono_requests_total", {{"op", "read"}}) +
+               counter("chrono_requests_total", {{"op", "write"}});
+  c.hits = counter("chrono_cache_hits_total", {{"cache", "result"}});
+  c.misses = counter("chrono_cache_misses_total", {{"cache", "result"}});
+  c.errors = counter("chrono_errors_total", {});
+  c.retries = counter("chrono_backend_retries_total", {});
+  c.stale = counter("chrono_stale_serves_total", {});
+  const MetricSnapshot* read =
+      snap.Find("chrono_request_latency_ns", {{"op", "read"}});
+  const MetricSnapshot* write =
+      snap.Find("chrono_request_latency_ns", {{"op", "write"}});
+  static const HistogramSnapshot kEmpty;
+  c.latency = MergeHistograms(read != nullptr ? read->histogram : kEmpty,
+                              write != nullptr ? write->histogram : kEmpty);
+  return c;
+}
+
+void TimeSeriesRing::SampleNow() {
+  Cumulative cur = Collect();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (prev_.valid && cur.t_us > prev_.t_us) {
+    double interval_s =
+        static_cast<double>(cur.t_us - prev_.t_us) / 1'000'000.0;
+    Sample s;
+    s.t_us = cur.t_us;
+    auto rate = [&](double now, double before) {
+      double d = now - before;
+      return d > 0 ? d / interval_s : 0.0;
+    };
+    s.qps = rate(cur.requests, prev_.requests);
+    s.errors_ps = rate(cur.errors, prev_.errors);
+    s.retries_ps = rate(cur.retries, prev_.retries);
+    s.stale_ps = rate(cur.stale, prev_.stale);
+    double dh = cur.hits - prev_.hits;
+    double dm = cur.misses - prev_.misses;
+    s.hit_rate = (dh + dm) > 0 ? dh / (dh + dm) : 0;
+    HistogramSnapshot delta = DeltaHistogram(cur.latency, prev_.latency);
+    // The latency family records nanoseconds; the sample reports µs.
+    s.p50_us = delta.Percentile(0.5) / 1000.0;
+    s.p99_us = delta.Percentile(0.99) / 1000.0;
+    s.requests_total = static_cast<uint64_t>(cur.requests);
+    ring_[next_ % options_.capacity] = s;
+    ++next_;
+    samples_taken_.fetch_add(1, std::memory_order_relaxed);
+  }
+  prev_ = std::move(cur);
+}
+
+std::vector<TimeSeriesRing::Sample> TimeSeriesRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Sample> out;
+  uint64_t count = next_ < options_.capacity ? next_ : options_.capacity;
+  out.reserve(count);
+  for (uint64_t i = next_ - count; i < next_; ++i) {
+    out.push_back(ring_[i % options_.capacity]);
+  }
+  return out;
+}
+
+std::string TimeSeriesRing::ToJson() const {
+  std::vector<Sample> samples = Snapshot();
+  std::string out = "{\"interval_ms\":" + std::to_string(interval_ms()) +
+                    ",\"capacity\":" + std::to_string(capacity()) +
+                    ",\"samples\":[";
+  char buf[256];
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"t_us\":%llu,\"qps\":%.1f,\"hit_rate\":%.4f,"
+                  "\"errors_per_s\":%.1f,\"retries_per_s\":%.1f,"
+                  "\"stale_per_s\":%.1f,\"p50_us\":%.1f,\"p99_us\":%.1f,"
+                  "\"requests_total\":%llu}",
+                  i == 0 ? "" : ",",
+                  static_cast<unsigned long long>(s.t_us), s.qps, s.hit_rate,
+                  s.errors_ps, s.retries_ps, s.stale_ps, s.p50_us, s.p99_us,
+                  static_cast<unsigned long long>(s.requests_total));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace chrono::obs

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <algorithm>
+
 namespace chrono::obs {
 
 const char* StageName(Stage stage) {
@@ -14,8 +16,38 @@ const char* StageName(Stage stage) {
       return "db_execute";
     case Stage::kSplitDecode:
       return "split_decode";
+    case Stage::kWireDecode:
+      return "wire_decode";
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kExecute:
+      return "execute";
+    case Stage::kCompletionWait:
+      return "completion_wait";
+    case Stage::kResponseFlush:
+      return "response_flush";
     case Stage::kCount:
       break;
+  }
+  return "unknown";
+}
+
+const char* AnnotationKindName(AnnotationKind kind) {
+  switch (kind) {
+    case AnnotationKind::kRetry:
+      return "retry";
+    case AnnotationKind::kAttemptTimeout:
+      return "attempt_timeout";
+    case AnnotationKind::kBreakerReject:
+      return "breaker_reject";
+    case AnnotationKind::kBreakerState:
+      return "breaker_state";
+    case AnnotationKind::kCoalesced:
+      return "coalesced";
+    case AnnotationKind::kStaleServe:
+      return "stale_serve";
+    case AnnotationKind::kFault:
+      return "fault";
   }
   return "unknown";
 }
@@ -38,6 +70,17 @@ const char* TraceOutcomeName(TraceOutcome outcome) {
       return "coalesced_hit";
   }
   return "unknown";
+}
+
+bool ParseTraceOutcome(std::string_view name, TraceOutcome* out) {
+  for (int i = 0; i < kTraceOutcomeCount; ++i) {
+    TraceOutcome candidate = static_cast<TraceOutcome>(i);
+    if (name == TraceOutcomeName(candidate)) {
+      *out = candidate;
+      return true;
+    }
+  }
+  return false;
 }
 
 TraceRing::TraceRing(size_t capacity)
@@ -95,6 +138,112 @@ std::vector<std::shared_ptr<const RequestTrace>> TraceRing::Snapshot() const {
     }
     if (t != nullptr) out.push_back(std::move(t));
   }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TailReservoir
+
+namespace {
+
+/// std::*_heap comparator for a min-heap by total latency: front() is the
+/// cheapest retained trace, i.e. the admission floor.
+bool SlowerThan(const std::shared_ptr<const RequestTrace>& a,
+                const std::shared_ptr<const RequestTrace>& b) {
+  return a->total_us > b->total_us;
+}
+
+}  // namespace
+
+TailReservoir::TailReservoir(const Options& options)
+    : options_([&] {
+        Options o = options;
+        if (o.top_k == 0) o.top_k = 1;
+        if (o.window_us == 0) o.window_us = 1;
+        return o;
+      }()),
+      threshold_us_(options.threshold_us) {
+  forced_.resize(options_.forced_capacity);
+}
+
+void TailReservoir::RotateLocked(uint64_t now_us) {
+  if (now_us < current_.window_start_us + options_.window_us) return;
+  if (now_us >= current_.window_start_us + 2 * options_.window_us) {
+    // More than a whole window of silence: the old top-K describes traffic
+    // too stale to show; drop both generations.
+    previous_ = Generation{};
+    current_.heap.clear();
+  } else {
+    previous_ = std::move(current_);
+    current_.heap.clear();
+  }
+  current_.window_start_us = now_us;
+  floor_us_.store(0, std::memory_order_relaxed);
+}
+
+void TailReservoir::Offer(std::shared_ptr<const RequestTrace> trace,
+                          uint64_t now_us) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  const bool force =
+      trace->forced ||
+      (threshold_us_ != 0 && trace->total_us >= threshold_us_);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (current_.window_start_us == 0 && current_.heap.empty()) {
+    current_.window_start_us = now_us;
+  }
+  RotateLocked(now_us);
+
+  bool kept = false;
+  if (force && !forced_.empty()) {
+    forced_[forced_next_ % forced_.size()] = trace;
+    ++forced_next_;
+    kept = true;
+  }
+  if (current_.heap.size() < options_.top_k) {
+    current_.heap.push_back(trace);
+    std::push_heap(current_.heap.begin(), current_.heap.end(), SlowerThan);
+    kept = true;
+  } else if (trace->total_us > current_.heap.front()->total_us) {
+    std::pop_heap(current_.heap.begin(), current_.heap.end(), SlowerThan);
+    current_.heap.back() = trace;
+    std::push_heap(current_.heap.begin(), current_.heap.end(), SlowerThan);
+    kept = true;
+  }
+  // The floor only gates admission once the window holds a full K.
+  floor_us_.store(current_.heap.size() < options_.top_k
+                      ? 0
+                      : current_.heap.front()->total_us,
+                  std::memory_order_relaxed);
+  if (kept) admitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::shared_ptr<const RequestTrace>> TailReservoir::Snapshot()
+    const {
+  std::vector<std::shared_ptr<const RequestTrace>> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(current_.heap.size() + previous_.heap.size() +
+                forced_.size());
+    for (const auto& t : current_.heap) out.push_back(t);
+    for (const auto& t : previous_.heap) out.push_back(t);
+    for (const auto& t : forced_) {
+      if (t != nullptr) out.push_back(t);
+    }
+  }
+  // Dedup by id (a forced trace may also sit in a top-K heap), then order
+  // slowest-first for the dossier view.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a->id < b->id; });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const auto& a, const auto& b) {
+                          return a->id == b->id;
+                        }),
+            out.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a->total_us != b->total_us) return a->total_us > b->total_us;
+    return a->id < b->id;
+  });
   return out;
 }
 

@@ -30,6 +30,22 @@ struct ChronoServer::ReqCtx {
   uint64_t prefetch_plan = 0;
   uint64_t prefetch_src = 0;
   std::vector<obs::TraceSpan> spans;
+  std::vector<obs::TraceAnnotation> annotations;
+
+  // Wire-path deferral (ExecuteInternal): timing from the IO thread, and
+  // the unpublished trace FinishRequest leaves behind for the frontend to
+  // finish (completion-wait / flush spans) and publish.
+  const WireTiming* wire = nullptr;
+  std::shared_ptr<obs::RequestTrace> pending;
+
+  /// Stamps a backend event onto this request's timeline, relative to the
+  /// pipeline start (FinishRequest rebases wire-path annotations onto the
+  /// decode-start origin together with the spans).
+  void Note(obs::AnnotationKind kind, uint64_t value) {
+    annotations.push_back(
+        {kind, NsBetween(t0, std::chrono::steady_clock::now()) / 1000,
+         value});
+  }
 };
 
 /// Times one pipeline stage: records wall-clock nanoseconds into the
@@ -92,6 +108,14 @@ ChronoServer::ChronoServer(db::Database* db, ServerConfig config)
   }
   if (config_.trace_capacity > 0) {
     traces_ = std::make_unique<obs::TraceRing>(config_.trace_capacity);
+    if (config_.tail_top_k > 0) {
+      obs::TailReservoir::Options tail_options;
+      tail_options.top_k = config_.tail_top_k;
+      tail_options.threshold_us = config_.tail_threshold_us;
+      tail_options.window_us = config_.tail_window_us;
+      tail_options.forced_capacity = config_.tail_forced_capacity;
+      tail_ = std::make_unique<obs::TailReservoir>(tail_options);
+    }
   }
   if (config_.enable_journal) {
     audit_ = std::make_unique<obs::PrefetchAudit>(metrics_registry_);
@@ -115,6 +139,16 @@ ChronoServer::ChronoServer(db::Database* db, ServerConfig config)
         Journal(event);
       });
   RegisterMetrics();
+  // The sampler reads the registry whose callbacks capture `this`; start
+  // it last (everything it observes exists) and stop it first in Shutdown.
+  if (config_.timeseries_capacity > 0) {
+    obs::TimeSeriesRing::Options ts_options;
+    ts_options.capacity = config_.timeseries_capacity;
+    ts_options.interval_ms = config_.timeseries_interval_ms;
+    timeseries_ = std::make_unique<obs::TimeSeriesRing>(
+        metrics_registry_, ts_options, [this] { return NowMicros(); });
+    timeseries_->Start();
+  }
 }
 
 ChronoServer::~ChronoServer() {
@@ -124,7 +158,10 @@ ChronoServer::~ChronoServer() {
   metrics_registry_->UnregisterCallbacksOwnedBy(this);
 }
 
-void ChronoServer::Shutdown() { pool_.Shutdown(); }
+void ChronoServer::Shutdown() {
+  if (timeseries_ != nullptr) timeseries_->Stop();  // idempotent
+  pool_.Shutdown();
+}
 
 void ChronoServer::RegisterMetrics() {
   obs::MetricsRegistry* r = metrics_registry_;
@@ -409,9 +446,15 @@ void ChronoServer::FinishRequest(ReqCtx* ctx, ClientId client, bool read_only,
     for (const obs::TraceSpan& span : ctx->spans) {
       stage_us[static_cast<int>(span.stage)] += span.dur_us;
     }
-    event.a = obs::PackDurations(stage_us[0], stage_us[1]);
-    event.b = obs::PackDurations(stage_us[2], stage_us[3]);
-    event.c = obs::PackDurations(stage_us[4], total_ns / 1000);
+    event.a = obs::PackDurations(
+        stage_us[static_cast<int>(obs::Stage::kAnalyze)],
+        stage_us[static_cast<int>(obs::Stage::kCacheLookup)]);
+    event.b = obs::PackDurations(
+        stage_us[static_cast<int>(obs::Stage::kLearnCombine)],
+        stage_us[static_cast<int>(obs::Stage::kDbExecute)]);
+    event.c = obs::PackDurations(
+        stage_us[static_cast<int>(obs::Stage::kSplitDecode)],
+        total_ns / 1000);
     journal_->Record(event);
   }
   if (traces_ == nullptr) return;
@@ -420,13 +463,73 @@ void ChronoServer::FinishRequest(ReqCtx* ctx, ClientId client, bool read_only,
   trace->client = static_cast<uint64_t>(client);
   trace->tmpl = static_cast<uint64_t>(ctx->tmpl);
   trace->sql = sql.substr(0, config_.trace_sql_bytes);
-  trace->start_us = ctx->start_us;
-  trace->total_us = total_ns / 1000;
   trace->outcome = ctx->outcome;
-  trace->spans = std::move(ctx->spans);
   trace->prefetch_plan = ctx->prefetch_plan;
   trace->prefetch_src = ctx->prefetch_src;
-  traces_->Push(std::move(trace));
+  if (ctx->wire != nullptr) {
+    // Wire path: rebase the timeline onto the IO thread's decode start and
+    // tile the frontend stages in front of the worker's pipeline spans.
+    // The trace stays unpublished (ctx->pending): the frontend appends its
+    // completion-wait / response-flush spans at flush time, then hands it
+    // back through PublishTrace.
+    const WireTiming& w = *ctx->wire;
+    uint64_t dispatch = w.dispatch_us > w.decode_start_us
+                            ? w.dispatch_us - w.decode_start_us
+                            : 0;
+    uint64_t exec_start =
+        ctx->start_us > w.decode_start_us ? ctx->start_us - w.decode_start_us
+                                          : dispatch;
+    if (exec_start < dispatch) exec_start = dispatch;
+    trace->start_us = w.decode_start_us;
+    trace->forced = w.traced;
+    trace->spans.push_back({obs::Stage::kWireDecode, 0, dispatch});
+    trace->spans.push_back(
+        {obs::Stage::kQueueWait, dispatch, exec_start - dispatch});
+    trace->spans.push_back(
+        {obs::Stage::kExecute, exec_start, total_ns / 1000});
+    for (obs::TraceSpan span : ctx->spans) {
+      span.start_us += exec_start;
+      trace->spans.push_back(span);
+    }
+    for (obs::TraceAnnotation note : ctx->annotations) {
+      note.at_us += exec_start;
+      trace->annotations.push_back(note);
+    }
+    // Provisional: PublishTrace sees the final value once the frontend has
+    // appended the completion-wait and flush spans.
+    trace->total_us = exec_start + total_ns / 1000;
+    ctx->pending = std::move(trace);
+    return;
+  }
+  trace->start_us = ctx->start_us;
+  trace->total_us = total_ns / 1000;
+  trace->spans = std::move(ctx->spans);
+  trace->annotations = std::move(ctx->annotations);
+  std::shared_ptr<const obs::RequestTrace> published = std::move(trace);
+  traces_->Push(published);
+  OfferTail(published);
+}
+
+void ChronoServer::PublishTrace(std::shared_ptr<obs::RequestTrace> trace) {
+  if (trace == nullptr || traces_ == nullptr) return;
+  // The frontend-side stages never pass through a StageTimer; feed their
+  // histograms here so chrono_stage_latency_ns covers the full round trip.
+  for (const obs::TraceSpan& span : trace->spans) {
+    if (span.stage >= obs::Stage::kWireDecode &&
+        span.stage < obs::Stage::kCount) {
+      stage_hist_[static_cast<int>(span.stage)]->Record(span.dur_us * 1000);
+    }
+  }
+  std::shared_ptr<const obs::RequestTrace> published = std::move(trace);
+  traces_->Push(published);
+  OfferTail(published);
+}
+
+void ChronoServer::OfferTail(
+    const std::shared_ptr<const obs::RequestTrace>& trace) {
+  if (tail_ == nullptr) return;
+  if (!tail_->MightAdmit(trace->total_us, trace->forced)) return;
+  tail_->Offer(trace, NowMicros());
 }
 
 uint64_t ChronoServer::NowMicros() const {
@@ -475,6 +578,10 @@ Result<db::ExecOutcome> ChronoServer::CallBackend(
     admission = breaker_.AdmitDemand();
     if (admission == net::CircuitBreaker::Admission::kRejected) {
       metrics_.breaker_rejects.fetch_add(1, std::memory_order_relaxed);
+      if (call.ctx != nullptr) {
+        call.ctx->Note(obs::AnnotationKind::kBreakerReject,
+                       static_cast<uint64_t>(breaker_.state()));
+      }
       return Status::Unavailable("circuit breaker open");
     }
   }
@@ -491,6 +598,9 @@ Result<db::ExecOutcome> ChronoServer::CallBackend(
 
     net::FaultDecision fd;
     if (fault_.enabled()) fd = fault_.Decide(NowMicros());
+    if (fd.fail && call.ctx != nullptr) {
+      call.ctx->Note(obs::AnnotationKind::kFault, fd.blackout ? 1 : 0);
+    }
     uint64_t latency = config_.db_latency_us;
     if (fd.latency_multiplier > 1.0) {
       latency = static_cast<uint64_t>(static_cast<double>(latency) *
@@ -528,6 +638,9 @@ Result<db::ExecOutcome> ChronoServer::CallBackend(
         !outcome.ok() && IsBackendFailure(outcome.status());
     if (timed_out) {
       metrics_.backend_timeouts.fetch_add(1, std::memory_order_relaxed);
+      if (call.ctx != nullptr) {
+        call.ctx->Note(obs::AnnotationKind::kAttemptTimeout, attempt_cap);
+      }
       obs::JournalEvent event;
       event.type = obs::JournalEventType::kBackendTimeout;
       event.tmpl = call.tmpl;
@@ -562,6 +675,10 @@ Result<db::ExecOutcome> ChronoServer::CallBackend(
     uint64_t backoff = retry_.BackoffUs(attempts, u);
     if (left != UINT64_MAX && backoff >= left) backoff = left / 2;
     metrics_.backend_retries.fetch_add(1, std::memory_order_relaxed);
+    if (call.ctx != nullptr) {
+      call.ctx->Note(obs::AnnotationKind::kRetry,
+                     static_cast<uint64_t>(attempts));
+    }
     obs::JournalEvent event;
     event.type = obs::JournalEventType::kBackendRetry;
     event.tmpl = call.tmpl;
@@ -600,7 +717,10 @@ SharedResult ChronoServer::TryServeStale(
   if (age > config_.stale_serve_us) return nullptr;
   metrics_.stale_serves.fetch_add(1, std::memory_order_relaxed);
   last_stale_us_.store(now, std::memory_order_relaxed);
-  if (ctx != nullptr) ctx->outcome = obs::TraceOutcome::kStaleHit;
+  if (ctx != nullptr) {
+    ctx->outcome = obs::TraceOutcome::kStaleHit;
+    ctx->Note(obs::AnnotationKind::kStaleServe, age);
+  }
   obs::JournalEvent event;
   event.type = obs::JournalEventType::kStaleServe;
   event.tmpl = tmpl;
@@ -698,12 +818,43 @@ void ChronoServer::SubmitAsync(
   }
 }
 
+void ChronoServer::SubmitAsync(
+    ClientId client, std::string sql, int security_group,
+    const WireTiming& wire,
+    std::function<void(Result<SharedResult>,
+                       std::shared_ptr<obs::RequestTrace>)>
+        done) {
+  auto callback = std::make_shared<std::function<void(
+      Result<SharedResult>, std::shared_ptr<obs::RequestTrace>)>>(
+      std::move(done));
+  bool accepted = pool_.Submit(
+      [this, callback, client, security_group, wire, sql = std::move(sql)]() {
+        std::shared_ptr<obs::RequestTrace> pending;
+        Result<SharedResult> result =
+            ExecuteInternal(client, sql, security_group, &wire, &pending);
+        (*callback)(std::move(result), std::move(pending));
+      });
+  if (!accepted) {
+    (*callback)(
+        Status::Internal("ChronoServer is shut down; submission rejected"),
+        nullptr);
+  }
+}
+
 Result<SharedResult> ChronoServer::Execute(ClientId client,
                                            const std::string& sql,
                                            int security_group) {
+  return ExecuteInternal(client, sql, security_group, /*wire=*/nullptr,
+                         /*pending=*/nullptr);
+}
+
+Result<SharedResult> ChronoServer::ExecuteInternal(
+    ClientId client, const std::string& sql, int security_group,
+    const WireTiming* wire, std::shared_ptr<obs::RequestTrace>* pending) {
   ReqCtx ctx;
   ctx.t0 = std::chrono::steady_clock::now();
   ctx.start_us = NowMicros();
+  ctx.wire = wire;
 
   Result<sql::ParsedQuery> parsed = Status::OK();
   {
@@ -714,6 +865,7 @@ Result<SharedResult> ChronoServer::Execute(ClientId client,
     metrics_.errors.fetch_add(1, std::memory_order_relaxed);
     ctx.outcome = obs::TraceOutcome::kError;
     FinishRequest(&ctx, client, /*read_only=*/true, sql);
+    if (pending != nullptr) *pending = std::move(ctx.pending);
     return parsed.status();
   }
   ctx.tmpl = parsed->tmpl->id;
@@ -730,6 +882,7 @@ Result<SharedResult> ChronoServer::Execute(ClientId client,
   }
   if (!result.ok()) ctx.outcome = obs::TraceOutcome::kError;
   FinishRequest(&ctx, client, read_only, parsed->bound_text);
+  if (pending != nullptr) *pending = std::move(ctx.pending);
   return result;
 }
 
@@ -764,6 +917,7 @@ Result<SharedResult> ChronoServer::DoWrite(ClientId client,
   call.is_write = true;
   call.tmpl = static_cast<uint64_t>(parsed.tmpl->id);
   call.client = client;
+  call.ctx = ctx;
   Result<db::ExecOutcome> outcome = Status::OK();
   {
     StageTimer timer(this, ctx, obs::Stage::kDbExecute);
@@ -981,6 +1135,7 @@ Result<SharedResult> ChronoServer::DoRead(ClientId client,
     // Follower: the wait surfaces as db-execute time (that is what it
     // replaces). No CachePut, no retries, no breaker feed — the leader
     // owns all backend semantics; its Status fans out verbatim.
+    ctx->Note(obs::AnnotationKind::kCoalesced, parked_before);
     Result<FlightPayload> shared = Status::OK();
     {
       StageTimer timer(this, ctx, obs::Stage::kDbExecute);
@@ -1062,6 +1217,7 @@ Result<SharedResult> ChronoServer::DoRead(ClientId client,
   BackendCall call;
   call.tmpl = static_cast<uint64_t>(tmpl);
   call.client = client;
+  call.ctx = ctx;
   Result<db::ExecOutcome> outcome = Status::OK();
   {
     StageTimer timer(this, ctx, obs::Stage::kDbExecute);
@@ -1128,6 +1284,7 @@ bool ChronoServer::ExecuteCombined(ClientId client, int security_group,
   BackendCall call;
   call.is_prefetch = true;
   call.client = client;
+  call.ctx = ctx;  // inline covering combine: annotate the demand trace
   Result<db::ExecOutcome> outcome = Status::OK();
   {
     StageTimer timer(this, ctx, obs::Stage::kDbExecute);

@@ -30,6 +30,7 @@
 #include "obs/audit.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "runtime/sharded_cache.h"
 #include "runtime/thread_pool.h"
@@ -77,6 +78,23 @@ struct ServerConfig {
   size_t trace_capacity = 256;
   /// Bound SQL text retained per trace (truncated beyond this).
   size_t trace_sql_bytes = 120;
+
+  /// Tail reservoir (DESIGN.md §15): slowest traces retained per sliding
+  /// window so p99 outliers survive ring wrap. Disabled with tracing
+  /// (trace_capacity == 0) or when tail_top_k == 0.
+  size_t tail_top_k = 16;
+  /// Absolute retention threshold: any trace at least this slow lands in
+  /// the forced ring regardless of the window top-K. 0 = no threshold.
+  uint64_t tail_threshold_us = 0;
+  /// Tail sliding-window width.
+  uint64_t tail_window_us = 60'000'000;
+  /// Forced-retention ring size (kFlagTraced + over-threshold traces).
+  size_t tail_forced_capacity = 32;
+
+  /// Time-series telemetry ring (/timeseries): samples retained and the
+  /// sampling period. timeseries_capacity == 0 disables the sampler.
+  size_t timeseries_capacity = 300;
+  uint64_t timeseries_interval_ms = 1000;
 
   /// Prefetch-efficacy journal (DESIGN.md §10): always on by default —
   /// the full prefetch lifecycle plus request outcomes flow into an
@@ -189,11 +207,42 @@ class ChronoServer {
   void SubmitAsync(ClientId client, std::string sql, int security_group,
                    std::function<void(Result<SharedResult>)> done);
 
+  /// Wire-frontend timing context for one request (server-clock µs, see
+  /// NowMicros): when the IO thread began decoding the frame and when it
+  /// dispatched the request to the pool. `traced` marks a client-forced
+  /// trace (wire kFlagTraced) that bypasses tail-reservoir admission.
+  struct WireTiming {
+    uint64_t decode_start_us = 0;
+    uint64_t dispatch_us = 0;
+    bool traced = false;
+  };
+
+  /// Wire-path variant of SubmitAsync: the finished request's trace is
+  /// handed to `done` still unpublished (null when tracing is off or the
+  /// pool rejected the work). The frontend appends its completion-wait /
+  /// response-flush spans once the response bytes actually leave the
+  /// socket, then hands the trace back via PublishTrace — so a trace's
+  /// timeline covers the full wire round trip, not just the worker.
+  void SubmitAsync(
+      ClientId client, std::string sql, int security_group,
+      const WireTiming& wire,
+      std::function<void(Result<SharedResult>,
+                         std::shared_ptr<obs::RequestTrace>)>
+          done);
+
+  /// Publishes a deferred wire-path trace (ring + tail reservoir +
+  /// wire-stage histograms). The caller must be done mutating it.
+  void PublishTrace(std::shared_ptr<obs::RequestTrace> trace);
+
   /// Synchronous entry point: runs the full analyze → predict → combine →
   /// decode pipeline in the calling thread. Safe to call from any number
   /// of threads concurrently (the worker pool itself calls this).
   Result<SharedResult> Execute(ClientId client, const std::string& sql,
                                int security_group = 0);
+
+  /// Microseconds since server start — the clock every trace timestamp,
+  /// stale-age bound and time-series sample shares.
+  uint64_t NowMicros() const;
 
   /// Stops accepting work, drains the queue, joins the workers.
   void Shutdown();
@@ -230,6 +279,11 @@ class ChronoServer {
   /// Live prefetch cost/benefit scoreboards fed by the journal drainer;
   /// null when enable_journal was false.
   const obs::PrefetchAudit* audit() const { return audit_.get(); }
+  /// Tail-latency reservoir; null when tracing or tail_top_k is disabled.
+  const obs::TailReservoir* tail() const { return tail_.get(); }
+  /// 1 s telemetry samples; null when timeseries_capacity was 0. Non-const
+  /// so tests can drive SampleNow() without waiting out real intervals.
+  obs::TimeSeriesRing* timeseries() const { return timeseries_.get(); }
 
  private:
   /// Per-session serving state: the paper's per-client learned models plus
@@ -262,8 +316,15 @@ class ChronoServer {
   class StageTimer;
 
   SessionState* SessionFor(ClientId client);
-  uint64_t NowMicros() const;
   std::string CacheKey(ClientId client, const std::string& bound_text) const;
+
+  /// Execute() with optional wire timing: when `wire` is non-null the
+  /// finished trace is written to *pending (unpublished) instead of being
+  /// pushed to the ring.
+  Result<SharedResult> ExecuteInternal(
+      ClientId client, const std::string& sql, int security_group,
+      const WireTiming* wire,
+      std::shared_ptr<obs::RequestTrace>* pending);
 
   /// AnalyzeQuery through the memoizing template cache; registers the
   /// template in the shared registry.
@@ -298,6 +359,7 @@ class ChronoServer {
     bool is_prefetch = false;  // best-effort: no retries, breaker-shed
     uint64_t tmpl = 0;         // journal attribution
     ClientId client = 0;
+    ReqCtx* ctx = nullptr;     // trace annotations (null for background)
   };
   /// `exec` performs the actual (locked) database execution; CallBackend
   /// owns the WAN sleep, so `exec` must not call SimulateWan itself.
@@ -349,9 +411,13 @@ class ChronoServer {
   void InstallEvictionJournal();
   /// Bumps the per-edge attributed prediction-hit counter.
   void RecordPrefetchedHit(uint64_t src_tmpl, uint64_t dst_tmpl);
-  /// Publishes the finished request to the histograms and the trace ring.
+  /// Publishes the finished request to the histograms and the trace ring
+  /// (or defers the trace into ctx for the wire path, see ExecuteInternal).
   void FinishRequest(ReqCtx* ctx, ClientId client, bool read_only,
                      const std::string& sql);
+  /// Offers a published trace to the tail reservoir (cheap floor
+  /// pre-check first, so the steady-state cost is one relaxed load).
+  void OfferTail(const std::shared_ptr<const obs::RequestTrace>& trace);
 
   /// Sleeps the configured WAN latency; never called holding a lock.
   void SimulateWan() const;
@@ -441,6 +507,8 @@ class ChronoServer {
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;
   obs::MetricsRegistry* metrics_registry_ = nullptr;
   std::unique_ptr<obs::TraceRing> traces_;
+  std::unique_ptr<obs::TailReservoir> tail_;
+  std::unique_ptr<obs::TimeSeriesRing> timeseries_;
   obs::Histogram* stage_hist_[static_cast<int>(obs::Stage::kCount)] = {};
   obs::Histogram* request_read_hist_ = nullptr;
   obs::Histogram* request_write_hist_ = nullptr;

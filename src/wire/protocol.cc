@@ -176,11 +176,12 @@ std::string EncodeHello(uint64_t request_id, const HelloBody& body) {
   return EncodeFrame(MessageType::kHello, 0, request_id, payload);
 }
 
-std::string EncodeQuery(uint64_t request_id, std::string_view sql) {
+std::string EncodeQuery(uint64_t request_id, std::string_view sql,
+                        uint16_t flags) {
   std::string payload;
   payload.reserve(4 + sql.size());
   PutString(&payload, sql);
-  return EncodeFrame(MessageType::kQuery, 0, request_id, payload);
+  return EncodeFrame(MessageType::kQuery, flags, request_id, payload);
 }
 
 std::string EncodeResult(uint64_t request_id, const sql::ResultSet& rows,

@@ -53,6 +53,11 @@ inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
 /// under the §11 degradation ladder — fresh data was unavailable.
 inline constexpr uint16_t kFlagStale = 1u << 0;
 
+/// Query frame flag: the client asks the server to force-retain this
+/// request's timeline in the tail reservoir (DESIGN.md §15) regardless of
+/// how fast it turns out to be — the wire analogue of a sampled trace.
+inline constexpr uint16_t kFlagTraced = 1u << 1;
+
 struct FrameHeader {
   uint32_t magic = kMagic;
   uint8_t version = kProtocolVersion;
@@ -79,7 +84,8 @@ const char* MessageTypeName(MessageType type);
 // --- Encoding (always produces a complete frame: header + payload) ------
 
 std::string EncodeHello(uint64_t request_id, const HelloBody& body);
-std::string EncodeQuery(uint64_t request_id, std::string_view sql);
+std::string EncodeQuery(uint64_t request_id, std::string_view sql,
+                        uint16_t flags = 0);
 std::string EncodeResult(uint64_t request_id, const sql::ResultSet& rows,
                          uint16_t flags = 0);
 std::string EncodeError(uint64_t request_id, const Status& status);

@@ -113,9 +113,10 @@ Result<Frame> WireClient::ReadFrame(int timeout_ms) {
   }
 }
 
-Status WireClient::SendQuery(const std::string& sql, uint64_t* request_id) {
+Status WireClient::SendQuery(const std::string& sql, uint64_t* request_id,
+                             uint16_t flags) {
   uint64_t id = next_request_id_++;
-  Status sent = SendFrame(EncodeQuery(id, sql));
+  Status sent = SendFrame(EncodeQuery(id, sql, flags));
   if (!sent.ok()) return sent;
   if (request_id != nullptr) *request_id = id;
   return Status::OK();
@@ -156,9 +157,9 @@ Result<WireClient::Response> WireClient::ReadResponse(int timeout_ms) {
 }
 
 Result<sql::ResultSet> WireClient::Query(const std::string& sql,
-                                         int timeout_ms) {
+                                         int timeout_ms, uint16_t flags) {
   uint64_t id = 0;
-  Status sent = SendQuery(sql, &id);
+  Status sent = SendQuery(sql, &id, flags);
   if (!sent.ok()) return sent;
   Result<Response> response = ReadResponse(timeout_ms);
   if (!response.ok()) return response.status();

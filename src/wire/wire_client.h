@@ -47,12 +47,15 @@ class WireClient {
 
   /// Simple mode: send one Query and block for its response (responses
   /// for other request ids are a protocol violation in this mode).
+  /// `flags` are Query-frame bits (kFlagTraced forces tail retention of
+  /// this request's server-side timeline).
   Result<sql::ResultSet> Query(const std::string& sql,
-                               int timeout_ms = 10'000);
+                               int timeout_ms = 10'000, uint16_t flags = 0);
 
   /// Pipelined mode: enqueue a Query without waiting. Returns the
   /// request id that the matching Response will carry.
-  Status SendQuery(const std::string& sql, uint64_t* request_id);
+  Status SendQuery(const std::string& sql, uint64_t* request_id,
+                   uint16_t flags = 0);
 
   /// Blocks for the next response frame (any request id). Pings from the
   /// liveness probe are consumed transparently.

@@ -25,6 +25,14 @@ std::string JsonDouble(double v) {
   return std::string(buf);
 }
 
+/// `now_us` (server clock) relative to the trace's start, clamped so the
+/// next appended span can never run backwards past the spans already
+/// tiled — total_us is always the end of the last span.
+uint64_t RelSince(uint64_t now_us, const obs::RequestTrace& trace) {
+  uint64_t rel = now_us > trace.start_us ? now_us - trace.start_us : 0;
+  return rel < trace.total_us ? trace.total_us : rel;
+}
+
 }  // namespace
 
 WireServer::WireServer(runtime::ChronoServer* server, Options options)
@@ -252,6 +260,10 @@ void WireServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
 
 bool WireServer::DrainInbuf(const std::shared_ptr<Conn>& conn) {
   for (;;) {
+    // Trace origin for any Query this iteration decodes: the timeline's
+    // wire-decode span starts here. Server clock — every span timestamp
+    // shares ChronoServer::NowMicros() (DESIGN.md §15).
+    const uint64_t decode_start_us = server_->NowMicros();
     Frame frame;
     size_t consumed = 0;
     Status error;
@@ -302,7 +314,8 @@ bool WireServer::DrainInbuf(const std::shared_ptr<Conn>& conn) {
           ProtocolError(conn, request_id, sql.status());
           return false;
         }
-        DispatchQuery(conn, request_id, *std::move(sql));
+        DispatchQuery(conn, request_id, *std::move(sql), decode_start_us,
+                      (frame.header.flags & kFlagTraced) != 0);
         break;
       }
       case MessageType::kPing: {
@@ -335,18 +348,26 @@ bool WireServer::DrainInbuf(const std::shared_ptr<Conn>& conn) {
 }
 
 void WireServer::DispatchQuery(const std::shared_ptr<Conn>& conn,
-                               uint64_t request_id, std::string sql) {
+                               uint64_t request_id, std::string sql,
+                               uint64_t decode_start_us, bool traced) {
   ++conn->inflight;
   const uint64_t t0 = NowMicros();
   const auto client = static_cast<runtime::ClientId>(conn->client_id);
   const int group = conn->security_group;
+  runtime::ChronoServer::WireTiming timing;
+  timing.decode_start_us = decode_start_us;
+  timing.dispatch_us = server_->NowMicros();
+  timing.traced = traced;
   // ChronoServer::SubmitAsync blocks while the pool queue is full — that
   // (plus the per-conn pipeline cap) is the dispatch-side backpressure.
   // The callback runs on a worker thread: it encodes the response frame
   // and records latency off the IO thread, then posts the completion.
+  // The trace it receives is still unpublished; the IO thread closes the
+  // completion-wait and response-flush spans before PublishTrace.
   server_->SubmitAsync(
-      client, std::move(sql), group,
-      [this, conn, request_id, t0](Result<runtime::SharedResult> result) {
+      client, std::move(sql), group, timing,
+      [this, conn, request_id, t0](Result<runtime::SharedResult> result,
+                                   std::shared_ptr<obs::RequestTrace> trace) {
         std::string frame;
         uint8_t ok_flag = 0;
         if (result.ok()) {
@@ -369,7 +390,8 @@ void WireServer::DispatchQuery(const std::shared_ptr<Conn>& conn,
         }
         std::lock_guard<std::mutex> lock(completions_mutex_);
         if (!completions_open_) return;  // server already stopped
-        completions_.push_back(Completion{conn, std::move(frame)});
+        completions_.push_back(
+            Completion{conn, std::move(frame), std::move(trace)});
         // The wakeup happens under the lock so Stop() (which flips
         // completions_open_ under the same lock after joining the IO
         // thread) can never close wake_fd_ concurrently with this write.
@@ -387,7 +409,30 @@ void WireServer::DrainCompletions() {
   for (Completion& completion : batch) {
     const std::shared_ptr<Conn>& conn = completion.conn;
     if (conn->inflight > 0) --conn->inflight;
-    if (conn->dead.load(std::memory_order_relaxed)) continue;
+    if (completion.trace != nullptr) {
+      // The worker queued this response at the trace's current total_us;
+      // it reached the IO thread now. That gap is the completion-wait
+      // span (encode + queue + eventfd wakeup).
+      obs::RequestTrace& trace = *completion.trace;
+      uint64_t drain_rel = RelSince(server_->NowMicros(), trace);
+      trace.spans.push_back({obs::Stage::kCompletionWait, trace.total_us,
+                             drain_rel - trace.total_us});
+      trace.total_us = drain_rel;
+    }
+    if (conn->dead.load(std::memory_order_relaxed)) {
+      // No socket left to flush through: close the timeline here.
+      if (completion.trace != nullptr) {
+        FinalizeTrace(std::move(completion.trace));
+      }
+      continue;
+    }
+    if (completion.trace != nullptr) {
+      // Watermark = outbuf bytes once this frame is appended; the flush
+      // span closes when sent_total catches up (FinalizeFlushed).
+      conn->pending_traces.push_back(
+          {conn->enqueued_total + completion.frame.size(),
+           std::move(completion.trace)});
+    }
     SendFrame(conn, std::move(completion.frame));
     if (conn->dead.load(std::memory_order_relaxed)) continue;
     if (conn->draining && conn->inflight == 0 &&
@@ -413,8 +458,26 @@ void WireServer::SendFrame(const std::shared_ptr<Conn>& conn,
   }
   frames_out_.fetch_add(1, std::memory_order_relaxed);
   if (frames_out_counter_) frames_out_counter_->Increment();
+  conn->enqueued_total += frame.size();
   conn->outbuf += frame;
   FlushOut(conn);
+}
+
+void WireServer::FinalizeFlushed(const std::shared_ptr<Conn>& conn) {
+  while (!conn->pending_traces.empty() &&
+         conn->pending_traces.front().watermark <= conn->sent_total) {
+    FinalizeTrace(std::move(conn->pending_traces.front().trace));
+    conn->pending_traces.pop_front();
+  }
+}
+
+void WireServer::FinalizeTrace(std::shared_ptr<obs::RequestTrace> trace) {
+  obs::RequestTrace& t = *trace;
+  uint64_t flush_rel = RelSince(server_->NowMicros(), t);
+  t.spans.push_back({obs::Stage::kResponseFlush, t.total_us,
+                     flush_rel - t.total_us});
+  t.total_us = flush_rel;
+  server_->PublishTrace(std::move(trace));
 }
 
 bool WireServer::FlushOut(const std::shared_ptr<Conn>& conn) {
@@ -423,6 +486,7 @@ bool WireServer::FlushOut(const std::shared_ptr<Conn>& conn) {
                        conn->outbuf.size() - conn->out_offset, MSG_NOSIGNAL);
     if (n > 0) {
       conn->out_offset += static_cast<size_t>(n);
+      conn->sent_total += static_cast<uint64_t>(n);
       bytes_out_.fetch_add(static_cast<uint64_t>(n),
                            std::memory_order_relaxed);
       if (bytes_out_counter_) {
@@ -436,6 +500,7 @@ bool WireServer::FlushOut(const std::shared_ptr<Conn>& conn) {
         conn->want_write = true;
         EpollMod(*conn);
       }
+      FinalizeFlushed(conn);
       return true;
     }
     CloseConn(conn, CloseReason::kError);
@@ -448,6 +513,7 @@ bool WireServer::FlushOut(const std::shared_ptr<Conn>& conn) {
     conn->want_write = false;
     EpollMod(*conn);
   }
+  FinalizeFlushed(conn);
   return true;
 }
 
@@ -492,7 +558,9 @@ void WireServer::ProtocolError(const std::shared_ptr<Conn>& conn,
   // Best-effort: queue the Error frame, try to flush it, then close. A
   // peer that already vanished just skips to the close.
   if (!conn->dead.load(std::memory_order_relaxed)) {
-    conn->outbuf += EncodeError(request_id, status);
+    std::string frame = EncodeError(request_id, status);
+    conn->enqueued_total += frame.size();
+    conn->outbuf += frame;
     frames_out_.fetch_add(1, std::memory_order_relaxed);
     if (frames_out_counter_) frames_out_counter_->Increment();
     FlushOut(conn);
@@ -529,6 +597,12 @@ void WireServer::CloseConn(const std::shared_ptr<Conn>& conn,
   ::close(conn->fd);
   conns_.erase(conn->fd);
   if (active_gauge_) active_gauge_->Set(static_cast<double>(conns_.size()));
+  // Responses that never fully flushed still carry a finished pipeline:
+  // publish their timelines ending now rather than dropping them.
+  while (!conn->pending_traces.empty()) {
+    FinalizeTrace(std::move(conn->pending_traces.front().trace));
+    conn->pending_traces.pop_front();
+  }
 }
 
 void WireServer::CloseIdleConns() {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -110,12 +111,28 @@ class WireServer {
     int inflight = 0;              // dispatched, response not yet queued
     uint64_t last_activity_us = 0;
     std::atomic<bool> dead{false};  // set by IO thread; read by completions
+
+    /// Cumulative bytes ever appended to / flushed from outbuf. A traced
+    /// response is "on the wire" once sent_total reaches the enqueued_total
+    /// watermark recorded when its frame was queued — that moment closes
+    /// the trace's response-flush span (DESIGN.md §15).
+    uint64_t enqueued_total = 0;
+    uint64_t sent_total = 0;
+    struct PendingTrace {
+      uint64_t watermark = 0;  // enqueued_total after this response
+      std::shared_ptr<obs::RequestTrace> trace;
+    };
+    std::deque<PendingTrace> pending_traces;  // watermark-ascending
   };
 
   /// One worker-produced response travelling back to the IO thread.
   struct Completion {
     std::shared_ptr<Conn> conn;
     std::string frame;
+    /// The request's deferred timeline (null when tracing is off): the IO
+    /// thread appends completion-wait and response-flush spans, then hands
+    /// it to ChronoServer::PublishTrace.
+    std::shared_ptr<obs::RequestTrace> trace;
   };
 
   void Loop();
@@ -126,8 +143,13 @@ class WireServer {
   /// false if the connection was closed.
   bool DrainInbuf(const std::shared_ptr<Conn>& conn);
   void DispatchQuery(const std::shared_ptr<Conn>& conn, uint64_t request_id,
-                     std::string sql);
+                     std::string sql, uint64_t decode_start_us, bool traced);
   void DrainCompletions();
+  /// Publishes every pending trace whose response bytes the kernel has
+  /// accepted (sent_total crossed the watermark).
+  void FinalizeFlushed(const std::shared_ptr<Conn>& conn);
+  /// Appends the response-flush span ending now and publishes the trace.
+  void FinalizeTrace(std::shared_ptr<obs::RequestTrace> trace);
   /// Appends a frame to the connection's output queue and flushes
   /// opportunistically.
   void SendFrame(const std::shared_ptr<Conn>& conn, std::string frame);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/json.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -185,6 +186,45 @@ TEST(StringUtil, CaseHelpers) {
   EXPECT_EQ(ToUpper("from"), "FROM");
   EXPECT_TRUE(EqualsIgnoreCase("WHERE", "where"));
   EXPECT_FALSE(EqualsIgnoreCase("WHERE", "wher"));
+}
+
+// ---- ValidateJson -------------------------------------------------------
+
+TEST(ValidateJson, AcceptsEveryValueKind) {
+  for (const char* doc :
+       {"{}", "[]", "null", "true", "false", "0", "-1.5e3", "\"s\"",
+        "{\"a\":[1,2,{\"b\":null}],\"c\":\"\\u00e9\\n\"}",
+        "  [ 1 , 2 ]  ", "1e-300", "{\"nested\":{\"deep\":[[[]]]}}"}) {
+    Status s = ValidateJson(doc);
+    EXPECT_TRUE(s.ok()) << doc << ": " << s.ToString();
+  }
+}
+
+TEST(ValidateJson, RejectsStructuralViolations) {
+  for (const char* doc :
+       {"", "{", "}", "[1,]", "{\"a\":}", "{\"a\" 1}", "{a:1}", "[1 2]",
+        "{} {}", "{\"a\":1} trailing", "nul", "TRUE", "'single'",
+        "{\"a\":1,}", "[,1]"}) {
+    EXPECT_FALSE(ValidateJson(doc).ok()) << doc;
+  }
+}
+
+TEST(ValidateJson, EnforcesNumberAndStringGrammar) {
+  // Leading zeros, bare dots/exponents, and lonely minus are not numbers.
+  for (const char* doc : {"01", "-", "1.", ".5", "1e", "+1", "0x10"}) {
+    EXPECT_FALSE(ValidateJson(doc).ok()) << doc;
+  }
+  // Bad escapes, unterminated strings, raw control characters.
+  for (const char* doc :
+       {"\"\\q\"", "\"unterminated", "\"\\u12g4\"", "\"tab\there\""}) {
+    EXPECT_FALSE(ValidateJson(doc).ok()) << doc;
+  }
+}
+
+TEST(ValidateJson, ReportsTheByteOffsetOfTheFirstViolation) {
+  Status s = ValidateJson("[1, x]");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("4"), std::string::npos) << s.ToString();
 }
 
 }  // namespace

@@ -18,11 +18,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/json.h"
 #include "obs/audit.h"
 #include "obs/export.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/stats_server.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace chrono::obs {
@@ -100,6 +102,41 @@ TEST(PrometheusValidator, RejectsDecreasingCumulativeBuckets) {
       "h_ns_bucket{le=\"2\"} 3\n"
       "h_ns_bucket{le=\"+Inf\"} 5\n"
       "h_ns_sum 9\nh_ns_count 5\n";
+  EXPECT_FALSE(ValidatePrometheusText(text).ok());
+}
+
+TEST(PrometheusValidator, RejectsOutOfOrderLeBuckets) {
+  std::string text =
+      "# HELP h_ns h\n# TYPE h_ns histogram\n"
+      "h_ns_bucket{le=\"2\"} 1\n"
+      "h_ns_bucket{le=\"1\"} 1\n"
+      "h_ns_bucket{le=\"+Inf\"} 2\n"
+      "h_ns_sum 3\nh_ns_count 2\n";
+  Status s = ValidatePrometheusText(text);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("not increasing"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(PrometheusValidator, RejectsDuplicateLeBuckets) {
+  // Strictly ascending: a repeated bound is as invalid as a descending one.
+  std::string text =
+      "# HELP h_ns h\n# TYPE h_ns histogram\n"
+      "h_ns_bucket{le=\"1\"} 1\n"
+      "h_ns_bucket{le=\"1\"} 2\n"
+      "h_ns_bucket{le=\"+Inf\"} 2\n"
+      "h_ns_sum 3\nh_ns_count 2\n";
+  EXPECT_FALSE(ValidatePrometheusText(text).ok());
+}
+
+TEST(PrometheusValidator, RejectsBucketsAfterInf) {
+  // +Inf must be the terminal bound — a finite bucket after it cannot be
+  // ascending.
+  std::string text =
+      "# HELP h_ns h\n# TYPE h_ns histogram\n"
+      "h_ns_bucket{le=\"+Inf\"} 2\n"
+      "h_ns_bucket{le=\"9\"} 1\n"
+      "h_ns_sum 3\nh_ns_count 2\n";
   EXPECT_FALSE(ValidatePrometheusText(text).ok());
 }
 
@@ -181,6 +218,107 @@ TEST(JsonExport, TracesIncludeAttributionOnlyWhenPresent) {
   size_t a_pos = json.find("\"id\":1");
   ASSERT_NE(a_pos, std::string::npos);
   EXPECT_EQ(json.find("prefetch_plan", a_pos), std::string::npos);
+}
+
+// ---- Chrome trace-event export ------------------------------------------
+
+/// Two fixed traces covering every feature the Chrome renderer emits:
+/// process metadata, outcome-named request spans, stage spans, backend
+/// annotations, forced retention and SQL needing escaping.
+std::vector<std::shared_ptr<const RequestTrace>> ChromeFixture() {
+  auto slow = std::make_shared<RequestTrace>();
+  slow->id = 7;
+  slow->client = 3;
+  slow->tmpl = 21;
+  slow->sql = "SELECT \"v\" FROM t";
+  slow->start_us = 1000;
+  slow->total_us = 900;
+  slow->outcome = TraceOutcome::kRemotePlain;
+  slow->forced = true;
+  slow->spans.push_back({Stage::kWireDecode, 0, 10});
+  slow->spans.push_back({Stage::kQueueWait, 10, 40});
+  slow->spans.push_back({Stage::kExecute, 50, 800});
+  slow->spans.push_back({Stage::kDbExecute, 60, 700});
+  slow->spans.push_back({Stage::kCompletionWait, 850, 30});
+  slow->spans.push_back({Stage::kResponseFlush, 880, 20});
+  slow->annotations.push_back({AnnotationKind::kRetry, 400, 2});
+  slow->annotations.push_back({AnnotationKind::kBreakerState, 500, 1});
+
+  auto hit = std::make_shared<RequestTrace>();
+  hit->id = 8;
+  hit->client = 4;
+  hit->sql = "SELECT 1";
+  hit->start_us = 2500;
+  hit->total_us = 40;
+  hit->outcome = TraceOutcome::kCacheHit;
+  hit->prefetch_plan = 5;
+  hit->prefetch_src = 2;
+  hit->spans.push_back({Stage::kCacheLookup, 1, 30});
+  return {slow, hit};
+}
+
+TEST(ChromeExport, MatchesGoldenFile) {
+  std::string got = TracesToChromeJson(ChromeFixture());
+  std::string want = ReadFileOrDie(std::string(CHRONO_TEST_DATA_DIR) +
+                                   "/traces_chrome_golden.json");
+  EXPECT_EQ(got, want) << "rendered trace-event JSON:\n" << got;
+}
+
+TEST(ChromeExport, GoldenRoundTripsThroughStrictParser) {
+  std::string json = TracesToChromeJson(ChromeFixture());
+  Status valid = ValidateJson(json);
+  EXPECT_TRUE(valid.ok()) << valid.ToString() << "\n" << json;
+  // Envelope + the three event kinds Perfetto needs.
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // process names
+  // The request span is named by outcome, placed at absolute ts, on
+  // pid=client / tid=trace id.
+  EXPECT_NE(json.find("{\"name\":\"remote_plain\",\"cat\":\"request\","
+                      "\"ph\":\"X\",\"ts\":1000,\"dur\":900,\"pid\":3,"
+                      "\"tid\":7"),
+            std::string::npos)
+      << json;
+  // Stage spans shift by the trace's start (1000 + 10 = 1010).
+  EXPECT_NE(json.find("{\"name\":\"queue_wait\",\"cat\":\"stage\","
+                      "\"ph\":\"X\",\"ts\":1010,\"dur\":40"),
+            std::string::npos)
+      << json;
+  // Backend annotations become instant events carrying their value.
+  EXPECT_NE(json.find("{\"name\":\"retry\",\"cat\":\"backend\",\"ph\":\"i\","
+                      "\"ts\":1400"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"args\":{\"value\":2}"), std::string::npos) << json;
+}
+
+TEST(ChromeExport, SkipsNullEntriesAndEscapesSql) {
+  auto t = std::make_shared<RequestTrace>();
+  t->id = 1;
+  t->client = 1;
+  t->sql = "SELECT \"x\"";
+  std::string json = TracesToChromeJson({nullptr, t, nullptr});
+  EXPECT_TRUE(ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("SELECT \\\"x\\\""), std::string::npos) << json;
+}
+
+TEST(TailExport, CarriesCountersAndExemplarLinks) {
+  auto t = std::make_shared<RequestTrace>();
+  t->id = 11;
+  t->total_us = 1000;  // 1 ms = 1'000'000 ns
+  t->outcome = TraceOutcome::kRemotePlain;
+  std::string json = TailToJson({t}, /*offered=*/20, /*admitted=*/3);
+  EXPECT_TRUE(ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"offered\":20,\"admitted\":3"), std::string::npos);
+  // The exemplar joins this trace back to the latency histogram bucket
+  // its total (in ns) lands in.
+  uint64_t le =
+      Histogram::BucketUpperBound(Histogram::BucketIndex(1'000'000));
+  EXPECT_NE(json.find("\"exemplar\":{\"family\":"
+                      "\"chrono_request_latency_ns\",\"le\":" +
+                      std::to_string(le) + "}"),
+            std::string::npos)
+      << json;
 }
 
 // ---- StatsServer end-to-end --------------------------------------------
@@ -335,6 +473,116 @@ TEST(StatsServer, PrefetchEndpointRendersAuditScoreboards) {
   EXPECT_NE(body.find("5->7"), std::string::npos) << body;    // edge key
   EXPECT_NE(body.find("\"installed\":1"), std::string::npos) << body;
   EXPECT_NE(body.find("\"used\":1"), std::string::npos) << body;
+}
+
+TEST(StatsServer, UnknownPathsGet404WithEndpointDirectory) {
+  MetricsRegistry r;
+  r.GetCounter("one_total", "h")->Increment();
+  StatsServer server(&r, nullptr);
+  ASSERT_TRUE(server.Start(0).ok());
+  for (const char* path : {"/nope", "/metrics/extra", "/Traces"}) {
+    std::string response = HttpGet(server.port(), path);
+    EXPECT_NE(response.find("404 Not Found"), std::string::npos) << path;
+    // The body is a directory of every real endpoint, so a typo'd scrape
+    // is self-correcting.
+    std::string body = Body(response);
+    for (const char* endpoint :
+         {"/metrics", "/metrics.json", "/traces", "/traces.chrome", "/tail",
+          "/timeseries", "/prefetch", "/wire", "/healthz"}) {
+      EXPECT_NE(body.find(endpoint), std::string::npos) << path << " body";
+    }
+  }
+}
+
+TEST(StatsServer, TracesEndpointSupportsLimitAndOutcomeFilter) {
+  MetricsRegistry r;
+  r.GetCounter("one_total", "h")->Increment();
+  TraceRing ring(8);
+  for (uint64_t i = 1; i <= 6; ++i) {
+    auto t = std::make_shared<RequestTrace>();
+    t->id = i;
+    t->outcome = i % 2 == 0 ? TraceOutcome::kCacheHit
+                            : TraceOutcome::kRemotePlain;
+    ring.Push(std::move(t));
+  }
+  StatsServer server(&r, &ring);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // ?n= keeps the newest n (the ring is most-recent-first).
+  std::string body = Body(HttpGet(server.port(), "/traces?n=2"));
+  EXPECT_NE(body.find("\"id\":6"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"id\":5"), std::string::npos) << body;
+  EXPECT_EQ(body.find("\"id\":4"), std::string::npos) << body;
+
+  // ?outcome= filters before the limit applies.
+  body = Body(HttpGet(server.port(), "/traces?outcome=cache_hit&n=2"));
+  EXPECT_NE(body.find("\"id\":6"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"id\":4"), std::string::npos) << body;
+  EXPECT_EQ(body.find("\"id\":5"), std::string::npos) << body;
+  EXPECT_EQ(body.find("\"id\":2"), std::string::npos) << body;
+
+  // n=0 is a valid (empty) limit; malformed params are 400s.
+  EXPECT_NE(Body(HttpGet(server.port(), "/traces?n=0")).find("[]"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/traces?n=two").find("400 Bad Request"),
+            std::string::npos);
+  EXPECT_NE(
+      HttpGet(server.port(), "/traces?outcome=banana").find("400 Bad Request"),
+      std::string::npos);
+}
+
+TEST(StatsServer, TailAndTimeseriesDegradeToEmptyDocumentsWhenOff) {
+  MetricsRegistry r;
+  r.GetCounter("one_total", "h")->Increment();
+  StatsServer server(&r, nullptr);
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_EQ(Body(HttpGet(server.port(), "/tail")),
+            "{\"offered\":0,\"admitted\":0,\"traces\":[]}");
+  EXPECT_EQ(Body(HttpGet(server.port(), "/timeseries")), "{\"samples\":[]}");
+  // /traces.chrome still renders a valid (empty) envelope.
+  std::string chrome = Body(HttpGet(server.port(), "/traces.chrome"));
+  EXPECT_TRUE(ValidateJson(chrome).ok()) << chrome;
+  EXPECT_NE(chrome.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+TEST(StatsServer, ServesTailAndTimeseriesDocuments) {
+  MetricsRegistry r;
+  Counter* requests =
+      r.GetCounter("chrono_requests_total", "Requests", {{"op", "read"}});
+  TailReservoir::Options tail_opts;
+  tail_opts.top_k = 4;
+  TailReservoir tail(tail_opts);
+  auto slow = std::make_shared<RequestTrace>();
+  slow->id = 99;
+  slow->total_us = 5000;
+  slow->annotations.push_back({AnnotationKind::kRetry, 100, 1});
+  tail.Offer(slow, /*now_us=*/1000);
+
+  uint64_t now_us = 1'000'000;
+  TimeSeriesRing::Options ts_opts;
+  TimeSeriesRing timeseries(&r, ts_opts, [&now_us] { return now_us; });
+  timeseries.SampleNow();
+  requests->Increment(50);
+  now_us = 2'000'000;
+  timeseries.SampleNow();
+
+  StatsServer server(&r, nullptr, nullptr, &tail, &timeseries);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  std::string tail_body = Body(HttpGet(server.port(), "/tail"));
+  EXPECT_TRUE(ValidateJson(tail_body).ok()) << tail_body;
+  EXPECT_NE(tail_body.find("\"id\":99"), std::string::npos) << tail_body;
+  EXPECT_NE(tail_body.find("\"kind\":\"retry\""), std::string::npos);
+  EXPECT_NE(tail_body.find("\"exemplar\""), std::string::npos);
+
+  std::string ts_body = Body(HttpGet(server.port(), "/timeseries"));
+  EXPECT_TRUE(ValidateJson(ts_body).ok()) << ts_body;
+  EXPECT_NE(ts_body.find("\"qps\":50.0"), std::string::npos) << ts_body;
+
+  // The tail's traces also surface in the merged Perfetto view.
+  std::string chrome = Body(HttpGet(server.port(), "/traces.chrome"));
+  EXPECT_TRUE(ValidateJson(chrome).ok()) << chrome;
+  EXPECT_NE(chrome.find("\"trace_id\":99"), std::string::npos) << chrome;
 }
 
 TEST(StatsServer, SurvivesConcurrentScrapes) {

@@ -102,6 +102,101 @@ TEST(TraceRing, ConcurrentPushAndSnapshot) {
   EXPECT_EQ(ring.Snapshot().size(), 16u);
 }
 
+// ---- TailReservoir ------------------------------------------------------
+
+std::shared_ptr<const RequestTrace> MakeTimed(uint64_t id, uint64_t total_us,
+                                              bool forced = false) {
+  auto t = std::make_shared<RequestTrace>();
+  t->id = id;
+  t->total_us = total_us;
+  t->forced = forced;
+  return t;
+}
+
+TEST(TailReservoir, KeepsTopKSlowestPerWindow) {
+  TailReservoir::Options opts;
+  opts.top_k = 3;
+  opts.forced_capacity = 0;
+  TailReservoir tail(opts);
+  for (uint64_t i = 10; i >= 1; --i) {
+    tail.Offer(MakeTimed(i, i * 100), /*now_us=*/1000);
+  }
+  auto got = tail.Snapshot();
+  ASSERT_EQ(got.size(), 3u);
+  // Slowest first: 1000, 900, 800.
+  EXPECT_EQ(got[0]->total_us, 1000u);
+  EXPECT_EQ(got[1]->total_us, 900u);
+  EXPECT_EQ(got[2]->total_us, 800u);
+  EXPECT_EQ(tail.offered(), 10u);
+  EXPECT_LT(tail.admitted(), tail.offered());
+}
+
+TEST(TailReservoir, AdmissionFloorGatesFastTracesOnceWindowIsFull) {
+  TailReservoir::Options opts;
+  opts.top_k = 2;
+  opts.forced_capacity = 0;
+  TailReservoir tail(opts);
+  // Below K entries: everything might be admitted (floor is 0).
+  EXPECT_TRUE(tail.MightAdmit(1, /*forced=*/false));
+  tail.Offer(MakeTimed(1, 500), 1000);
+  tail.Offer(MakeTimed(2, 900), 1000);
+  // Window now holds K traces; the floor is the K-th slowest (500).
+  EXPECT_FALSE(tail.MightAdmit(400, false));
+  EXPECT_FALSE(tail.MightAdmit(500, false));  // must beat, not match
+  EXPECT_TRUE(tail.MightAdmit(501, false));
+  // Forced traces bypass the floor entirely.
+  EXPECT_TRUE(tail.MightAdmit(1, /*forced=*/true));
+}
+
+TEST(TailReservoir, ForcedAndOverThresholdTracesAlwaysRetained) {
+  TailReservoir::Options opts;
+  opts.top_k = 1;
+  opts.threshold_us = 10'000;
+  opts.forced_capacity = 4;
+  TailReservoir tail(opts);
+  tail.Offer(MakeTimed(1, 50'000), 1000);  // occupies the only top-K slot
+  tail.Offer(MakeTimed(2, 5, /*forced=*/true), 1000);   // client-flagged
+  tail.Offer(MakeTimed(3, 20'000), 1000);  // over threshold, beats slot too
+  auto got = tail.Snapshot();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0]->id, 1u);  // 50000 — threshold put it in the forced ring
+  EXPECT_EQ(got[1]->id, 3u);
+  EXPECT_EQ(got[2]->id, 2u);  // the forced fast trace survives
+}
+
+TEST(TailReservoir, WindowRotationRetiresOldGenerations) {
+  TailReservoir::Options opts;
+  opts.top_k = 2;
+  opts.window_us = 1000;
+  opts.forced_capacity = 0;
+  TailReservoir tail(opts);
+  tail.Offer(MakeTimed(1, 700), 100);
+  // One window later: generation rotates, old top-K still visible.
+  tail.Offer(MakeTimed(2, 300), 1200);
+  auto got = tail.Snapshot();
+  ASSERT_EQ(got.size(), 2u);
+  // A fresh window also resets the admission floor.
+  EXPECT_TRUE(tail.MightAdmit(10, false));
+  // Two quiet windows later both generations are stale and dropped.
+  tail.Offer(MakeTimed(3, 100), 5000);
+  got = tail.Snapshot();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0]->id, 3u);
+}
+
+TEST(TailReservoir, SnapshotDeduplicatesForcedAndHeapCopies) {
+  TailReservoir::Options opts;
+  opts.top_k = 4;
+  opts.threshold_us = 100;
+  opts.forced_capacity = 4;
+  TailReservoir tail(opts);
+  // Over threshold AND slow enough for the heap: one snapshot entry.
+  tail.Offer(MakeTimed(7, 5000), 1000);
+  auto got = tail.Snapshot();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0]->id, 7u);
+}
+
 // ---- ChronoServer integration ------------------------------------------
 
 class ServerTraceTest : public ::testing::Test {

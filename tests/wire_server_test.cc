@@ -324,6 +324,96 @@ TEST_F(WireServerTest, StatsJsonAndWireMetricsExposed) {
   EXPECT_NE(snapshot.Find("chrono_wire_request_latency_us"), nullptr);
 }
 
+TEST_F(WireServerTest, WireRequestsPublishTilingEndToEndTimelines) {
+  StartNode();
+  WireClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", wire_->port(), 60).ok());
+  ASSERT_TRUE(client.Query("SELECT v FROM t WHERE id = 9").ok());
+  client.Close();
+
+  // The trace is published only after the response bytes reach the
+  // kernel, so poll the ring for it.
+  ASSERT_NE(server_->traces(), nullptr);
+  std::shared_ptr<const obs::RequestTrace> trace;
+  ASSERT_TRUE(WaitFor([&] {
+    for (const auto& t : server_->traces()->Snapshot()) {
+      for (const obs::TraceSpan& s : t->spans) {
+        if (s.stage == obs::Stage::kResponseFlush) {
+          trace = t;
+          return true;
+        }
+      }
+    }
+    return false;
+  }));
+
+  // Exactly one span per wire stage, tiling the trace with no gaps: each
+  // starts where the previous ended and the last ends at total_us — the
+  // invariant the CI chaos job asserts on scraped tail traces.
+  const obs::Stage wire_stages[] = {
+      obs::Stage::kWireDecode, obs::Stage::kQueueWait, obs::Stage::kExecute,
+      obs::Stage::kCompletionWait, obs::Stage::kResponseFlush};
+  uint64_t cursor = 0;
+  for (obs::Stage stage : wire_stages) {
+    const obs::TraceSpan* found = nullptr;
+    for (const obs::TraceSpan& s : trace->spans) {
+      if (s.stage == stage) {
+        ASSERT_EQ(found, nullptr) << "duplicate " << obs::StageName(stage);
+        found = &s;
+      }
+    }
+    ASSERT_NE(found, nullptr) << "missing " << obs::StageName(stage);
+    EXPECT_EQ(found->start_us, cursor) << obs::StageName(stage);
+    cursor = found->start_us + found->dur_us;
+  }
+  EXPECT_EQ(cursor, trace->total_us);
+  EXPECT_EQ(trace->client, 60u);
+  EXPECT_FALSE(trace->forced);
+
+  // The pipeline stages ride inside the execute span.
+  const obs::TraceSpan* execute = nullptr;
+  const obs::TraceSpan* analyze = nullptr;
+  for (const obs::TraceSpan& s : trace->spans) {
+    if (s.stage == obs::Stage::kExecute) execute = &s;
+    if (s.stage == obs::Stage::kAnalyze) analyze = &s;
+  }
+  ASSERT_NE(analyze, nullptr);
+  EXPECT_GE(analyze->start_us, execute->start_us);
+  EXPECT_LE(analyze->start_us + analyze->dur_us,
+            execute->start_us + execute->dur_us);
+
+  // The wire stages also feed their per-stage histograms.
+  auto snapshot = registry_.Snapshot();
+  const obs::MetricSnapshot* decode = snapshot.Find(
+      "chrono_stage_latency_ns", {{"stage", "wire_decode"}});
+  ASSERT_NE(decode, nullptr);
+  EXPECT_GE(decode->histogram.count, 1u);
+}
+
+TEST_F(WireServerTest, TracedFlagForcesTailRetention) {
+  StartNode();
+  WireClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", wire_->port(), 61).ok());
+  // A sub-microsecond cache hit would never enter the tail on merit; the
+  // kFlagTraced bit forces it in.
+  ASSERT_TRUE(client.Query("SELECT v FROM t WHERE id = 5").ok());
+  ASSERT_TRUE(
+      client.Query("SELECT v FROM t WHERE id = 5", 10'000, kFlagTraced).ok());
+  ASSERT_NE(server_->tail(), nullptr);
+  ASSERT_TRUE(WaitFor([&] {
+    for (const auto& t : server_->tail()->Snapshot()) {
+      if (t->forced) return true;
+    }
+    return false;
+  }));
+  // Only the flagged request is forced.
+  int forced = 0;
+  for (const auto& t : server_->tail()->Snapshot()) {
+    forced += t->forced ? 1 : 0;
+  }
+  EXPECT_EQ(forced, 1);
+}
+
 TEST_F(WireServerTest, StopWithIdleConnectionsSendsGoodbye) {
   StartNode();
   WireClient client;

@@ -73,6 +73,7 @@ struct BenchOptions {
   std::string journal_path;  // --journal-out: binary event journal (last run)
   std::string trace_path;    // --trace-out: final trace ring JSON (last run)
   bool journal = true;       // --no-journal: A/B the journal overhead
+  bool telemetry = true;     // --no-telemetry: A/B tracing + time series
   int chain_pct = 0;         // flight lookup -> flight_avail follow-up %
   bool progress = true;      // per-second qps/hit-rate/queue-depth line
 
@@ -167,6 +168,8 @@ void Usage() {
       "  --trace-out F     dump the final request-trace ring to F as\n"
       "                    JSON (last run when sweeping)\n"
       "  --no-journal      disable the event journal (A/B its overhead)\n"
+      "  --no-telemetry    disable tracing, tail reservoir and the\n"
+      "                    time-series sampler (A/B their overhead)\n"
       "  --no-progress     suppress the per-second progress line\n"
       "\nfault tolerance (DESIGN.md §11; faults off by default):\n"
       "  --fault-error-pct X      fail X%% of backend calls\n"
@@ -286,6 +289,12 @@ runtime::ServerConfig MakeServerConfig(const BenchOptions& opt, int workers,
   config.db_latency_us = opt.db_latency_us;
   config.registry = registry;
   config.enable_journal = opt.journal;
+  if (!opt.telemetry) {
+    // A/B the whole timeline subsystem: no trace ring (which also
+    // disables the tail reservoir) and no time-series sampler.
+    config.trace_capacity = 0;
+    config.timeseries_capacity = 0;
+  }
   config.fault = opt.fault;
   config.retry.max_attempts = opt.retries;
   config.enable_retries = opt.enable_retries;
@@ -327,7 +336,8 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
     server.journal()->AddSink(journal_sink.get());
   }
 
-  obs::StatsServer stats(server.registry(), server.traces(), server.audit());
+  obs::StatsServer stats(server.registry(), server.traces(), server.audit(),
+                         server.tail(), server.timeseries());
   stats.SetHealthCallback([&server] {
     runtime::ChronoServer::HealthStatus h = server.Health();
     return obs::StatsServer::Health{h.ok, h.reason};
@@ -668,7 +678,8 @@ RunResult RunOnceWire(db::Database* db, const BenchOptions& opt, int workers,
                  std::string(started.message()).c_str());
     std::exit(1);
   }
-  obs::StatsServer stats(server.registry(), server.traces(), server.audit());
+  obs::StatsServer stats(server.registry(), server.traces(), server.audit(),
+                         server.tail(), server.timeseries());
   stats.SetHealthCallback([&server] {
     runtime::ChronoServer::HealthStatus h = server.Health();
     return obs::StatsServer::Health{h.ok, h.reason};
@@ -766,7 +777,8 @@ int RunServe(db::Database* db, const BenchOptions& opt, int workers) {
                  std::string(started.message()).c_str());
     return 1;
   }
-  obs::StatsServer stats(server.registry(), server.traces(), server.audit());
+  obs::StatsServer stats(server.registry(), server.traces(), server.audit(),
+                         server.tail(), server.timeseries());
   stats.SetHealthCallback([&server] {
     runtime::ChronoServer::HealthStatus h = server.Health();
     return obs::StatsServer::Health{h.ok, h.reason};
@@ -1033,6 +1045,8 @@ int main(int argc, char** argv) {
       opt.trace_path = next();
     } else if (arg == "--no-journal") {
       opt.journal = false;
+    } else if (arg == "--no-telemetry") {
+      opt.telemetry = false;
     } else if (arg == "--chain-pct") {
       opt.chain_pct = static_cast<int>(IntFlag(arg, next()));
     } else if (arg == "--no-progress") {
