@@ -1,0 +1,37 @@
+#include "obs/build_info.h"
+
+#ifndef CHRONO_VERSION
+#define CHRONO_VERSION "unknown"
+#endif
+#ifndef CHRONO_GIT_SHA
+#define CHRONO_GIT_SHA "unknown"
+#endif
+#ifndef CHRONO_BUILD_TYPE
+#define CHRONO_BUILD_TYPE "unknown"
+#endif
+#ifndef CHRONO_SANITIZER
+#define CHRONO_SANITIZER "none"
+#endif
+
+namespace chrono::obs {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info{CHRONO_VERSION, CHRONO_GIT_SHA,
+                              CHRONO_BUILD_TYPE, CHRONO_SANITIZER};
+  return info;
+}
+
+void RegisterBuildInfo(MetricsRegistry* registry) {
+  const BuildInfo& info = GetBuildInfo();
+  registry
+      ->GetGauge("chrono_build_info",
+                 "Build identity of this binary; constant 1 with the "
+                 "identity carried in labels",
+                 {{"version", info.version},
+                  {"git_sha", info.git_sha},
+                  {"build", info.build_type},
+                  {"sanitizer", info.sanitizer}})
+      ->Set(1);
+}
+
+}  // namespace chrono::obs

@@ -1,0 +1,28 @@
+#ifndef CHRONOCACHE_OBS_BUILD_INFO_H_
+#define CHRONOCACHE_OBS_BUILD_INFO_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace chrono::obs {
+
+/// Compile-time build identity (values injected by CMake onto
+/// build_info.cc alone; "unknown"/"none" when absent).
+struct BuildInfo {
+  std::string version;
+  std::string git_sha;
+  std::string build_type;
+  std::string sanitizer;
+};
+const BuildInfo& GetBuildInfo();
+
+/// Registers the constant `chrono_build_info` gauge (value 1, identity as
+/// labels — the standard Prometheus build-info idiom, promlint-clean) so
+/// every scraped artifact is attributable to the binary that produced it.
+/// Idempotent per registry.
+void RegisterBuildInfo(MetricsRegistry* registry);
+
+}  // namespace chrono::obs
+
+#endif  // CHRONOCACHE_OBS_BUILD_INFO_H_

@@ -1,0 +1,232 @@
+#ifndef CHRONOCACHE_OBS_CONTENTION_H_
+#define CHRONOCACHE_OBS_CONTENTION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace chrono::obs {
+
+/// \brief Per-site lock telemetry (DESIGN.md §16): every instrumented
+/// mutex is tagged with a LockSite whose wait/hold histograms and
+/// contention counters live in the node's MetricsRegistry —
+///   chrono_lock_acquisitions_total{site=...}
+///   chrono_lock_contended_total{site=...}
+///   chrono_lock_wait_ns{site=...}       (histogram)
+///   chrono_lock_hold_ns{site=...}       (histogram)
+/// so /metrics exports them for free and /contention ranks sites by wait
+/// share. Sites are created once (get-or-create by name) and never freed.
+///
+/// Cost discipline: a disarmed site (ContentionRegistry::SetArmed(false),
+/// serve_bench --no-lock-telemetry) reduces every TimedMutex operation to
+/// ONE relaxed atomic load before the plain lock — the A/B'd fast path.
+/// Armed, the uncontended path is a try_lock plus two lock-free Records.
+class LockSite {
+ public:
+  const std::string& name() const { return name_; }
+
+  /// One relaxed load — the entire disarmed fast-path cost.
+  bool armed() const { return armed_->load(std::memory_order_relaxed); }
+
+  void CountAcquisition() { acquisitions_->Increment(); }
+  void RecordWait(uint64_t wait_ns) {
+    contended_->Increment();
+    wait_ns_->Record(wait_ns);
+  }
+  void RecordHold(uint64_t hold_ns) { hold_ns_->Record(hold_ns); }
+
+  uint64_t acquisitions() const { return acquisitions_->value(); }
+  uint64_t contended() const { return contended_->value(); }
+  HistogramSnapshot wait_snapshot() const { return wait_ns_->Snapshot(); }
+  HistogramSnapshot hold_snapshot() const { return hold_ns_->Snapshot(); }
+
+ private:
+  friend class ContentionRegistry;
+  LockSite(std::string name, const std::atomic<bool>* armed,
+           MetricsRegistry* registry);
+
+  std::string name_;
+  const std::atomic<bool>* armed_;  // the owning registry's arm flag
+  Counter* acquisitions_;
+  Counter* contended_;
+  Histogram* wait_ns_;
+  Histogram* hold_ns_;
+};
+
+/// Owns the LockSites of one node and the arm flag they all share.
+/// `registry` must outlive this object (ChronoServer guarantees it by
+/// declaration order).
+class ContentionRegistry {
+ public:
+  explicit ContentionRegistry(MetricsRegistry* registry);
+
+  ContentionRegistry(const ContentionRegistry&) = delete;
+  ContentionRegistry& operator=(const ContentionRegistry&) = delete;
+
+  /// Get-or-create; the returned site lives as long as this registry.
+  LockSite* Site(const std::string& name);
+
+  void SetArmed(bool armed) {
+    armed_.store(armed, std::memory_order_relaxed);
+  }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// The /contention document: every site with acquisition/contention
+  /// counts and wait/hold stats, ranked by total wait share (worst first).
+  std::string ContentionJson() const;
+
+ private:
+  MetricsRegistry* registry_;
+  std::atomic<bool> armed_{true};
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<LockSite>> sites_;  // stable addresses
+  std::unordered_map<std::string, LockSite*> by_name_;
+};
+
+inline uint64_t LockClockNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// std::mutex wrapper satisfying Lockable, with per-site wait/hold
+/// telemetry. Default-constructed or null-site instances behave exactly
+/// like std::mutex. The hold timestamp lives in the object and is only
+/// touched by the current holder — it is guarded by the mutex itself.
+class TimedMutex {
+ public:
+  TimedMutex() = default;
+  explicit TimedMutex(LockSite* site) : site_(site) {}
+
+  TimedMutex(const TimedMutex&) = delete;
+  TimedMutex& operator=(const TimedMutex&) = delete;
+
+  void lock() {
+    LockSite* site = site_;
+    if (site == nullptr || !site->armed()) {
+      mutex_.lock();
+      return;
+    }
+    site->CountAcquisition();
+    if (mutex_.try_lock()) {  // uncontended: no wait sample
+      hold_begin_ns_ = LockClockNs();
+      return;
+    }
+    uint64_t wait_begin = LockClockNs();
+    mutex_.lock();
+    site->RecordWait(LockClockNs() - wait_begin);
+    hold_begin_ns_ = LockClockNs();
+  }
+
+  bool try_lock() {
+    LockSite* site = site_;
+    if (site == nullptr || !site->armed()) return mutex_.try_lock();
+    if (!mutex_.try_lock()) return false;
+    site->CountAcquisition();
+    hold_begin_ns_ = LockClockNs();
+    return true;
+  }
+
+  void unlock() {
+    if (hold_begin_ns_ != 0) {
+      site_->RecordHold(LockClockNs() - hold_begin_ns_);
+      hold_begin_ns_ = 0;
+    }
+    mutex_.unlock();
+  }
+
+ private:
+  std::mutex mutex_;
+  LockSite* site_ = nullptr;
+  uint64_t hold_begin_ns_ = 0;  // nonzero while a timed hold is open
+};
+
+/// std::shared_mutex wrapper (SharedLockable): the exclusive side records
+/// wait + hold against `writer_site`; the shared side records wait only
+/// against `reader_site` (readers overlap, so a shared hold time has no
+/// single owner to attribute it to).
+class TimedSharedMutex {
+ public:
+  TimedSharedMutex() = default;
+  TimedSharedMutex(LockSite* writer_site, LockSite* reader_site)
+      : writer_site_(writer_site), reader_site_(reader_site) {}
+
+  TimedSharedMutex(const TimedSharedMutex&) = delete;
+  TimedSharedMutex& operator=(const TimedSharedMutex&) = delete;
+
+  void lock() {
+    LockSite* site = writer_site_;
+    if (site == nullptr || !site->armed()) {
+      mutex_.lock();
+      return;
+    }
+    site->CountAcquisition();
+    if (mutex_.try_lock()) {
+      hold_begin_ns_ = LockClockNs();
+      return;
+    }
+    uint64_t wait_begin = LockClockNs();
+    mutex_.lock();
+    site->RecordWait(LockClockNs() - wait_begin);
+    hold_begin_ns_ = LockClockNs();
+  }
+
+  bool try_lock() {
+    LockSite* site = writer_site_;
+    if (site == nullptr || !site->armed()) return mutex_.try_lock();
+    if (!mutex_.try_lock()) return false;
+    site->CountAcquisition();
+    hold_begin_ns_ = LockClockNs();
+    return true;
+  }
+
+  void unlock() {
+    if (hold_begin_ns_ != 0) {
+      writer_site_->RecordHold(LockClockNs() - hold_begin_ns_);
+      hold_begin_ns_ = 0;
+    }
+    mutex_.unlock();
+  }
+
+  void lock_shared() {
+    LockSite* site = reader_site_;
+    if (site == nullptr || !site->armed()) {
+      mutex_.lock_shared();
+      return;
+    }
+    site->CountAcquisition();
+    if (mutex_.try_lock_shared()) return;
+    uint64_t wait_begin = LockClockNs();
+    mutex_.lock_shared();
+    site->RecordWait(LockClockNs() - wait_begin);
+  }
+
+  bool try_lock_shared() {
+    LockSite* site = reader_site_;
+    if (site == nullptr || !site->armed()) return mutex_.try_lock_shared();
+    if (!mutex_.try_lock_shared()) return false;
+    site->CountAcquisition();
+    return true;
+  }
+
+  void unlock_shared() { mutex_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mutex_;
+  LockSite* writer_site_ = nullptr;
+  LockSite* reader_site_ = nullptr;
+  uint64_t hold_begin_ns_ = 0;  // exclusive holder only (guarded by it)
+};
+
+}  // namespace chrono::obs
+
+#endif  // CHRONOCACHE_OBS_CONTENTION_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/threads.h"
+
 namespace chrono::obs {
 
 namespace {
@@ -151,6 +153,7 @@ size_t EventJournal::Drain() {
 }
 
 void EventJournal::DrainLoop() {
+  ThreadLease lease(ThreadRole::kDrainer, "chrono-journal");
   std::unique_lock<std::mutex> lock(stop_mutex_);
   while (!stop_requested_) {
     stop_cv_.wait_for(lock, std::chrono::milliseconds(drain_interval_ms_));

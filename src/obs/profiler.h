@@ -1,0 +1,198 @@
+#ifndef CHRONOCACHE_OBS_PROFILER_H_
+#define CHRONOCACHE_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/threads.h"
+
+namespace chrono::obs {
+
+/// Frames retained per sample (leaf-first at capture time).
+inline constexpr size_t kMaxProfileFrames = 48;
+
+/// One CPU sample, written by the SIGPROF handler on the interrupted
+/// thread: program counters leaf-first, walked over frame pointers.
+struct CpuSample {
+  uint16_t depth = 0;
+  uint64_t pcs[kMaxProfileFrames];
+};
+
+/// \brief Per-thread SPSC sample ring with the EventJournal discipline
+/// (DESIGN.md §10): the producer is the signal handler running on the
+/// owning thread (plain slot write + release head store — async-signal-
+/// safe, never blocking, full ring counted as a drop), the consumer is
+/// the profiler's drainer thread. Capacity is rounded up to a power of
+/// two. Rings hang off ThreadRegistry entries and are reused across
+/// profile windows.
+class SampleRing {
+ public:
+  explicit SampleRing(size_t capacity);
+
+  /// Signal-handler side: no allocation, no locks.
+  bool TryPush(const CpuSample& sample);
+
+  /// Drainer side: appends every pending sample to `out`.
+  size_t DrainInto(std::vector<CpuSample>* out);
+
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  const uint64_t mask_;
+  std::vector<CpuSample> slots_;
+  alignas(64) std::atomic<uint64_t> head_{0};     // producer-owned
+  std::atomic<uint64_t> dropped_{0};
+  alignas(64) std::atomic<uint64_t> tail_{0};     // drainer-owned
+};
+
+/// \brief Deterministic stack trie: samples fold into a tree keyed by
+/// 64-bit tokens (program counters, or interned labels for the role /
+/// thread roots). Children are ordered maps and the collapsed export
+/// sorts its lines, so the same multiset of samples renders byte-identical
+/// output regardless of arrival order — the fold-determinism contract the
+/// tests pin down. Not thread-safe; CpuProfiler guards it with a mutex.
+class StackTrie {
+ public:
+  StackTrie();
+
+  /// Token for a string label (role/thread roots). High bit set so labels
+  /// can never collide with user-space code addresses.
+  uint64_t InternLabel(const std::string& label);
+
+  /// Folds one root-first token path, adding `count` to the leaf.
+  void Add(const uint64_t* tokens, size_t n, uint64_t count = 1);
+
+  uint64_t sample_count() const { return samples_; }
+  size_t node_count() const { return nodes_.size(); }
+  void Clear();
+
+  /// Collapsed-stack rendering (flamegraph.pl input): one sorted line per
+  /// leaf with self-count, frames joined by ';'. `resolve` maps a token to
+  /// its display frame.
+  std::string Collapsed(
+      const std::function<std::string(uint64_t)>& resolve) const;
+
+  /// Visits every path with nonzero self count (root-first token path,
+  /// self count) — the JSON exporter and tests walk the trie with this.
+  void ForEachPath(const std::function<void(const std::vector<uint64_t>&,
+                                            uint64_t)>& fn) const;
+
+  /// Display string of an interned label token.
+  const std::string& LabelFor(uint64_t token) const;
+
+ private:
+  struct Node {
+    uint64_t token = 0;
+    uint64_t self = 0;
+    std::map<uint64_t, int> children;  // ordered: deterministic DFS
+  };
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, uint64_t> label_tokens_;
+  uint64_t samples_ = 0;
+};
+
+/// Lazy symbolization: dladdr + demangle, falling back to
+/// "module+0xoff" for addresses inside an image without a named symbol
+/// and "0xaddr" for unresolvable frames. Export-time only — never called
+/// from the signal handler.
+std::string SymbolizePc(uint64_t pc);
+
+/// \brief Timer-driven sampling CPU profiler (DESIGN.md §16): SIGPROF via
+/// setitimer(ITIMER_PROF) fires on whichever thread is burning CPU; the
+/// async-signal-safe handler walks frame pointers (bounds-checked against
+/// the thread's registered stack) into the thread's SampleRing; a drainer
+/// thread folds samples into a StackTrie attributed role;thread;frames.
+/// Symbolization is deferred to export. At most one profiler is armed
+/// process-wide (Start fails otherwise). Stop disarms the timer but
+/// deliberately leaves the (now inert) SIGPROF handler installed, so a
+/// signal already in flight can never hit the default action and kill the
+/// process — the "no signal leaks" contract start/stop/restart tests pin.
+class CpuProfiler : public ThreadRegistry::Observer {
+ public:
+  struct Options {
+    int hz = 99;                     // sampling rate (process CPU time)
+    size_t ring_slots = 512;         // per-thread ring capacity
+    uint64_t drain_interval_ms = 20; // drainer cadence
+  };
+
+  CpuProfiler() : CpuProfiler(Options{}) {}
+  explicit CpuProfiler(Options options);
+  ~CpuProfiler() override;
+
+  CpuProfiler(const CpuProfiler&) = delete;
+  CpuProfiler& operator=(const CpuProfiler&) = delete;
+
+  /// Arms the profiler at `hz` (0 = Options::hz). Fails if this or any
+  /// other profiler is already armed, or hz is out of (0, 1000].
+  Status Start(int hz = 0);
+
+  /// Disarms the timer, drains every ring, joins the drainer. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  int hz() const { return hz_.load(std::memory_order_relaxed); }
+  /// Wall-clock span of the current/last window.
+  uint64_t duration_ms() const;
+
+  uint64_t samples_captured() const {
+    return captured_.load(std::memory_order_relaxed);
+  }
+  uint64_t samples_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// SIGPROF landed on a thread with no registry entry (or no ring).
+  uint64_t samples_unattributed() const {
+    return unattributed_.load(std::memory_order_relaxed);
+  }
+  uint64_t samples_folded() const;
+
+  /// Exports — safe while running (snapshot under the trie mutex).
+  std::string CollapsedStacks() const;
+  std::string ProfileJson() const;
+
+  /// ThreadRegistry::Observer: threads registering mid-window get a ring.
+  void OnThreadRegistered(ThreadRegistry::Entry* entry) override;
+
+ private:
+  void DrainLoop();
+  void DrainOnce();
+  void FoldSamples(ThreadRegistry::Entry* entry,
+                   const std::vector<CpuSample>& samples);
+
+  const Options options_;
+  std::atomic<int> hz_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_drainer_{false};
+  std::thread drainer_;
+
+  std::atomic<uint64_t> captured_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> unattributed_{0};
+
+  std::atomic<uint64_t> window_start_us_{0};
+  std::atomic<uint64_t> window_end_us_{0};  // 0 while running
+
+  mutable std::mutex trie_mutex_;
+  StackTrie trie_;
+  /// Per-thread folded counts for the JSON export (entry -> samples).
+  std::map<ThreadRegistry::Entry*, uint64_t> folded_by_entry_;
+
+  friend void ProfilerSignalHandler(int, void*, void*);
+};
+
+}  // namespace chrono::obs
+
+#endif  // CHRONOCACHE_OBS_PROFILER_H_

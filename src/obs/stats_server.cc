@@ -16,6 +16,8 @@
 #include "net/socket_util.h"
 #include "obs/audit.h"
 #include "obs/export.h"
+#include "obs/profiler.h"
+#include "obs/threads.h"
 
 namespace chrono::obs {
 
@@ -100,6 +102,7 @@ void StatsServer::Stop() {
 }
 
 void StatsServer::Serve() {
+  ThreadLease lease(ThreadRole::kStats, "chrono-stats");
   while (!stop_.load(std::memory_order_acquire)) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
@@ -247,11 +250,73 @@ void StatsServer::HandleConnection(int fd) {
       WriteAll(fd, HttpResponse(503, "Service Unavailable",
                                 "application/json", body));
     }
+  } else if (path == "/threads") {
+    WriteAll(fd, HttpResponse(200, "OK", "application/json",
+                              ThreadRegistry::Instance().ThreadsJson()));
+  } else if (path == "/contention") {
+    std::string body =
+        contention_ ? contention_() : std::string("{\"enabled\":false}");
+    WriteAll(fd, HttpResponse(200, "OK", "application/json", body));
+  } else if (path == "/profile") {
+    if (profiler_ == nullptr) {
+      WriteAll(fd, HttpResponse(404, "Not Found", "text/plain",
+                                "no profiler attached to this node\n"));
+      return;
+    }
+    // Window bounds keep a fat-fingered scrape from pinning SIGPROF
+    // delivery for minutes; the accept thread deliberately blocks for the
+    // whole window, so concurrent scrapes can't start a second profile.
+    long seconds = 2;
+    long hz = 99;
+    std::string text = QueryParam(query_string, "seconds");
+    if (!text.empty()) {
+      char* end = nullptr;
+      seconds = std::strtol(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0' || seconds < 1 ||
+          seconds > 60) {
+        WriteAll(fd, HttpResponse(400, "Bad Request", "text/plain",
+                                  "seconds must be in [1, 60]\n"));
+        return;
+      }
+    }
+    text = QueryParam(query_string, "hz");
+    if (!text.empty()) {
+      char* end = nullptr;
+      hz = std::strtol(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0' || hz < 1 || hz > 1000) {
+        WriteAll(fd, HttpResponse(400, "Bad Request", "text/plain",
+                                  "hz must be in [1, 1000]\n"));
+        return;
+      }
+    }
+    std::string format = QueryParam(query_string, "format");
+    if (format.empty()) format = "collapsed";
+    if (format != "collapsed" && format != "json") {
+      WriteAll(fd, HttpResponse(400, "Bad Request", "text/plain",
+                                "format must be collapsed or json\n"));
+      return;
+    }
+    Status started = profiler_->Start(static_cast<int>(hz));
+    if (!started.ok()) {
+      WriteAll(fd, HttpResponse(409, "Conflict", "text/plain",
+                                started.message() + "\n"));
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    profiler_->Stop();
+    if (format == "json") {
+      WriteAll(fd, HttpResponse(200, "OK", "application/json",
+                                profiler_->ProfileJson()));
+    } else {
+      WriteAll(fd, HttpResponse(200, "OK", "text/plain; charset=utf-8",
+                                profiler_->CollapsedStacks()));
+    }
   } else {
     WriteAll(fd, HttpResponse(404, "Not Found", "text/plain",
                               "try /metrics, /metrics.json, /traces, "
                               "/traces.chrome, /tail, /timeseries, "
-                              "/prefetch, /wire or /healthz\n"));
+                              "/prefetch, /wire, /threads, /contention, "
+                              "/profile or /healthz\n"));
   }
 }
 

@@ -14,6 +14,7 @@
 
 namespace chrono::obs {
 
+class CpuProfiler;
 class PrefetchAudit;
 
 /// \brief Minimal POSIX-socket HTTP/1.0 endpoint for scraping a running
@@ -37,6 +38,18 @@ class PrefetchAudit;
 ///                      bytes, p99 wire latency
 ///   GET /healthz       readiness: 200 when healthy, 503 with a reason
 ///                      while degraded (breaker open, stale-serving)
+///   GET /threads       thread registry as JSON: every registered thread
+///                      with its name, role and liveness (§16)
+///   GET /contention    lock-site contention board as JSON, ranked by
+///                      total wait time (§16)
+///   GET /profile       on-demand CPU profile window (§16):
+///                      ?seconds=N (1..60, default 2) &hz=M (1..1000,
+///                      default 99) &format=collapsed|json. Blocks the
+///                      accept thread for the window — deliberate: one
+///                      scraper, one profile at a time — then returns
+///                      collapsed stacks (flamegraph.pl-ready text) or
+///                      the JSON document. 409 if a window is already
+///                      running, 404 when no profiler is attached.
 ///
 /// Off by default everywhere; serve_bench enables it with --stats-port.
 /// The server reads the registry and ring through the same snapshot paths
@@ -98,6 +111,20 @@ class StatsServer {
   using WireCallback = std::function<std::string()>;
   void SetWireCallback(WireCallback callback) { wire_ = std::move(callback); }
 
+  /// Installs the /contention document source
+  /// (ContentionRegistry::ContentionJson). Call before Start(); without
+  /// one, /contention reports {"enabled":false}.
+  using ContentionCallback = std::function<std::string()>;
+  void SetContentionCallback(ContentionCallback callback) {
+    contention_ = std::move(callback);
+  }
+
+  /// Attaches the CPU profiler driven by /profile. Call before Start();
+  /// the profiler must outlive the server. Without one, /profile returns
+  /// 404. The endpoint owns the window (Start/sleep/Stop) on the accept
+  /// thread.
+  void SetProfiler(CpuProfiler* profiler) { profiler_ = profiler; }
+
  private:
   void Serve();
   void HandleConnection(int fd);
@@ -109,6 +136,8 @@ class StatsServer {
   const TimeSeriesRing* timeseries_;
   HealthCallback health_;
   WireCallback wire_;
+  ContentionCallback contention_;
+  CpuProfiler* profiler_ = nullptr;
   int io_timeout_ms_ = 2000;
   uint64_t started_us_ = 0;  // monotonic clock at Start()
   int listen_fd_ = -1;

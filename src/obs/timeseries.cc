@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/threads.h"
+
 namespace chrono::obs {
 
 namespace {
@@ -118,6 +120,7 @@ void TimeSeriesRing::Stop() {
 }
 
 void TimeSeriesRing::Loop() {
+  ThreadLease lease(ThreadRole::kSampler, "chrono-ts-sampler");
   std::unique_lock<std::mutex> lock(wake_mutex_);
   while (!stop_requested_) {
     if (wake_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),

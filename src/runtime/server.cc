@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "core/combiner_lateral.h"
+#include "obs/build_info.h"
 
 namespace chrono::runtime {
 
@@ -76,8 +77,10 @@ class ChronoServer::StageTimer {
   std::chrono::steady_clock::time_point begin_;
 };
 
-ChronoServer::SessionState::SessionState(const ServerConfig& config)
-    : transitions(static_cast<SimTime>(config.delta_t_us)),
+ChronoServer::SessionState::SessionState(const ServerConfig& config,
+                                         obs::LockSite* lock_site)
+    : mutex(lock_site),
+      transitions(static_cast<SimTime>(config.delta_t_us)),
       mapper(config.min_validations),
       manager(core::DependencyManager::Options{/*enable_subsumption=*/true}) {}
 
@@ -88,24 +91,37 @@ ChronoServer::ChronoServer(db::Database* db, ServerConfig config)
       extractor_(core::GraphExtractor::Options{
           config.tau, config.min_occurrences, /*enable_loops=*/true,
           /*enable_loop_constants=*/true, /*max_nodes=*/8}),
+      owned_registry_(config.registry != nullptr
+                          ? nullptr
+                          : std::make_unique<obs::MetricsRegistry>()),
+      metrics_registry_(config.registry != nullptr ? config.registry
+                                                   : owned_registry_.get()),
+      contention_(std::make_unique<obs::ContentionRegistry>(
+          metrics_registry_)),
+      db_mutex_(contention_->Site("server.db.write"),
+                contention_->Site("server.db.read")),
+      template_mutex_(contention_->Site("server.template_cache")),
       template_cache_(config.template_cache_entries),
+      registry_mutex_(contention_->Site("server.registry.write"),
+                      contention_->Site("server.registry.read")),
+      versions_mutex_(contention_->Site("server.versions")),
       versions_(/*multi_node=*/false),
-      cache_(config.cache_bytes, config.cache_shards),
+      sessions_mutex_(contention_->Site("server.sessions")),
+      session_site_(contention_->Site("server.session")),
+      cache_(config.cache_bytes, config.cache_shards,
+             contention_->Site("cache.shard")),
+      inflight_mutex_(contention_->Site("server.inflight")),
       fault_(config.fault),
       retry_(config.retry),
       breaker_(config.breaker, [this] { return NowMicros(); }),
       pool_(config.workers, config.queue_capacity,
             config.queue_background_headroom == SIZE_MAX
                 ? config.queue_capacity / 8
-                : config.queue_background_headroom) {
+                : config.queue_background_headroom,
+            contention_->Site("pool.queue")) {
   // Reader-locked execution must never trigger a lazy index build.
   db_->WarmIndexes();
-  if (config_.registry != nullptr) {
-    metrics_registry_ = config_.registry;
-  } else {
-    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
-    metrics_registry_ = owned_registry_.get();
-  }
+  contention_->SetArmed(config_.lock_telemetry);
   if (config_.trace_capacity > 0) {
     traces_ = std::make_unique<obs::TraceRing>(config_.trace_capacity);
     if (config_.tail_top_k > 0) {
@@ -166,6 +182,10 @@ void ChronoServer::Shutdown() {
 void ChronoServer::RegisterMetrics() {
   obs::MetricsRegistry* r = metrics_registry_;
   const void* owner = this;
+
+  // Static build identity (version / git sha / build type / sanitizer) as
+  // a constant-1 info gauge.
+  obs::RegisterBuildInfo(r);
 
   // Stage + request latency histograms (push-mode, lock-free hot path).
   for (int s = 0; s < static_cast<int>(obs::Stage::kCount); ++s) {
@@ -312,11 +332,11 @@ void ChronoServer::RegisterMetrics() {
             std::memory_order_relaxed));
       },
       [this] {
-        std::lock_guard<std::mutex> lock(template_mutex_);
+        std::lock_guard<obs::TimedMutex> lock(template_mutex_);
         return static_cast<double>(template_cache_.evictions());
       },
       [this] {
-        std::lock_guard<std::mutex> lock(template_mutex_);
+        std::lock_guard<obs::TimedMutex> lock(template_mutex_);
         return static_cast<double>(template_cache_.size());
       });
   cache_family(
@@ -331,7 +351,7 @@ void ChronoServer::RegisterMetrics() {
       },
       [this] { return static_cast<double>(db_->statement_cache_evictions()); },
       [this] {
-        std::shared_lock<std::shared_mutex> lock(db_mutex_);
+        std::shared_lock<obs::TimedSharedMutex> lock(db_mutex_);
         return static_cast<double>(db_->statement_cache_size());
       });
   cache_family(
@@ -732,7 +752,7 @@ SharedResult ChronoServer::TryServeStale(
 }
 
 size_t ChronoServer::session_count() const {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  std::lock_guard<obs::TimedMutex> lock(sessions_mutex_);
   return sessions_.size();
 }
 
@@ -768,11 +788,12 @@ ServerMetrics ChronoServer::metrics() const {
 }
 
 ChronoServer::SessionState* ChronoServer::SessionFor(ClientId client) {
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  std::lock_guard<obs::TimedMutex> lock(sessions_mutex_);
   auto it = sessions_.find(client);
   if (it == sessions_.end()) {
     it = sessions_
-             .emplace(client, std::make_unique<SessionState>(config_))
+             .emplace(client,
+                      std::make_unique<SessionState>(config_, session_site_))
              .first;
   }
   return it->second.get();
@@ -888,7 +909,7 @@ Result<SharedResult> ChronoServer::ExecuteInternal(
 
 Result<sql::ParsedQuery> ChronoServer::Analyze(const std::string& sql) {
   {
-    std::lock_guard<std::mutex> lock(template_mutex_);
+    std::lock_guard<obs::TimedMutex> lock(template_mutex_);
     if (const sql::ParsedQuery* hit = template_cache_.Get(sql)) {
       return *hit;  // copy out while the lock pins the entry
     }
@@ -900,11 +921,11 @@ Result<sql::ParsedQuery> ChronoServer::Analyze(const std::string& sql) {
   if (!analyzed.ok()) return analyzed.status();
   sql::ParsedQuery parsed;
   {
-    std::lock_guard<std::mutex> lock(template_mutex_);
+    std::lock_guard<obs::TimedMutex> lock(template_mutex_);
     parsed = *template_cache_.Put(sql, std::move(*analyzed));
   }
   {
-    std::unique_lock<std::shared_mutex> lock(registry_mutex_);
+    std::unique_lock<obs::TimedSharedMutex> lock(registry_mutex_);
     registry_.Register(parsed.tmpl);
   }
   return parsed;
@@ -922,7 +943,7 @@ Result<SharedResult> ChronoServer::DoWrite(ClientId client,
   {
     StageTimer timer(this, ctx, obs::Stage::kDbExecute);
     outcome = CallBackend(call, [&] {
-      std::unique_lock<std::shared_mutex> lock(db_mutex_);
+      std::unique_lock<obs::TimedSharedMutex> lock(db_mutex_);
       // Exclusive access: ExecuteText may touch the statement cache.
       Result<db::ExecOutcome> out = db_->ExecuteText(parsed.bound_text);
       // DDL may have created tables whose indexes are still lazy; re-warm
@@ -936,7 +957,7 @@ Result<SharedResult> ChronoServer::DoWrite(ClientId client,
     return outcome.status();
   }
   {
-    std::lock_guard<std::mutex> lock(versions_mutex_);
+    std::lock_guard<obs::TimedMutex> lock(versions_mutex_);
     versions_.OnClientWrite(client, outcome->tables_written);
   }
   return std::make_shared<const sql::ResultSet>(std::move(outcome->result));
@@ -952,8 +973,8 @@ std::vector<ChronoServer::PreparedPlan> ChronoServer::LearnAndCombine(
   // Lock order: registry reader (server level) before the session lock.
   // The extractor and the combiners both read the shared registry while
   // the session's models are being updated.
-  std::shared_lock<std::shared_mutex> registry_lock(registry_mutex_);
-  std::lock_guard<std::mutex> session_lock(session->mutex);
+  std::shared_lock<obs::TimedSharedMutex> registry_lock(registry_mutex_);
+  std::lock_guard<obs::TimedMutex> session_lock(session->mutex);
 
   session->transitions.Observe(tmpl, static_cast<SimTime>(NowMicros()));
   session->mapper.ObserveQuery(tmpl, parsed.params);
@@ -1007,7 +1028,7 @@ Result<SharedResult> ChronoServer::DoRead(ClientId client,
   // copy. The mapper reads through the pointer (the payload is immutable).
   auto respond = [&](const SharedResult& result) {
     if (config_.enable_learning) {
-      std::lock_guard<std::mutex> lock(session->mutex);
+      std::lock_guard<obs::TimedMutex> lock(session->mutex);
       session->mapper.ObserveResult(tmpl, *result);
     }
     return result;
@@ -1107,19 +1128,19 @@ Result<SharedResult> ChronoServer::DoRead(ClientId client,
     {
       std::vector<std::string> reads;
       {
-        std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+        std::shared_lock<obs::TimedSharedMutex> lock(registry_mutex_);
         if (const sql::QueryTemplate* qt = registry_.Find(tmpl)) {
           reads = sql::CollectTableAccess(*qt->ast).reads;
         }
       }
-      std::lock_guard<std::mutex> lock(versions_mutex_);
+      std::lock_guard<obs::TimedMutex> lock(versions_mutex_);
       flight_version = versions_.SnapshotFor(reads);
     }
 
     std::shared_ptr<InflightFetch> flight;
     uint64_t parked_before = 0;
     if (rejected_flights < kMaxRejectedFlights) {
-      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      std::lock_guard<obs::TimedMutex> lock(inflight_mutex_);
       auto [it, inserted] = inflight_.try_emplace(flight_key);
       if (inserted) {
         it->second = std::make_shared<InflightFetch>();
@@ -1146,7 +1167,7 @@ Result<SharedResult> ChronoServer::DoRead(ClientId client,
     // only if this client's session has not moved past it since.
     bool version_ok = false;
     if (shared.ok()) {
-      std::lock_guard<std::mutex> lock(versions_mutex_);
+      std::lock_guard<obs::TimedMutex> lock(versions_mutex_);
       version_ok = versions_.CanUse(client, shared->version);
       if (version_ok) versions_.AbsorbResult(client, shared->version);
     }
@@ -1201,7 +1222,7 @@ Result<SharedResult> ChronoServer::DoRead(ClientId client,
     void Resolve(Result<FlightPayload> value) {
       if (promise == nullptr) return;
       {
-        std::lock_guard<std::mutex> lock(server->inflight_mutex_);
+        std::lock_guard<obs::TimedMutex> lock(server->inflight_mutex_);
         server->inflight_.erase(key);
       }
       promise->set_value(std::move(value));
@@ -1222,7 +1243,7 @@ Result<SharedResult> ChronoServer::DoRead(ClientId client,
   {
     StageTimer timer(this, ctx, obs::Stage::kDbExecute);
     outcome = CallBackend(call, [&] {
-      std::shared_lock<std::shared_mutex> lock(db_mutex_);
+      std::shared_lock<obs::TimedSharedMutex> lock(db_mutex_);
       return db_->Execute(*stmt);
     });
   }
@@ -1255,7 +1276,7 @@ Result<SharedResult> ChronoServer::DoRead(ClientId client,
   }
   CachePut(client, security_group, tmpl, parsed.bound_text, payload);
   {
-    std::lock_guard<std::mutex> lock(versions_mutex_);
+    std::lock_guard<obs::TimedMutex> lock(versions_mutex_);
     versions_.SyncClientToDb(client);  // fresh read: Vc = Vd (§5.2)
   }
   return respond(payload);
@@ -1289,7 +1310,7 @@ bool ChronoServer::ExecuteCombined(ClientId client, int security_group,
   {
     StageTimer timer(this, ctx, obs::Stage::kDbExecute);
     outcome = CallBackend(call, [&] {
-      std::shared_lock<std::shared_mutex> lock(db_mutex_);
+      std::shared_lock<obs::TimedSharedMutex> lock(db_mutex_);
       return db_->Execute(*plan.ast);
     });
   }
@@ -1312,7 +1333,7 @@ bool ChronoServer::ExecuteCombined(ClientId client, int security_group,
   StageTimer split_timer(this, ctx, obs::Stage::kSplitDecode);
   Result<std::vector<core::SplitEntry>> split = Status::OK();
   {
-    std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+    std::shared_lock<obs::TimedSharedMutex> lock(registry_mutex_);
     split = core::SplitResult(plan, outcome->result, registry_);
   }
   if (!split.ok()) return false;
@@ -1338,11 +1359,11 @@ bool ChronoServer::ExecuteCombined(ClientId client, int security_group,
     metrics_.predictions_cached.fetch_add(1, std::memory_order_relaxed);
   }
   {
-    std::lock_guard<std::mutex> lock(versions_mutex_);
+    std::lock_guard<obs::TimedMutex> lock(versions_mutex_);
     versions_.SyncClientToDb(client);
   }
   if (config_.enable_learning) {
-    std::lock_guard<std::mutex> lock(session->mutex);
+    std::lock_guard<obs::TimedMutex> lock(session->mutex);
     for (const core::SplitEntry& entry : *split) {
       session->mapper.ObserveResult(entry.tmpl, *entry.result);
       session->latest_params[entry.tmpl] = entry.params;
@@ -1363,7 +1384,7 @@ std::optional<cache::CachedResult> ChronoServer::CacheGet(
   }
   bool version_ok;
   {
-    std::lock_guard<std::mutex> lock(versions_mutex_);
+    std::lock_guard<obs::TimedMutex> lock(versions_mutex_);
     version_ok = versions_.CanUse(client, entry->version);
     if (version_ok) versions_.AbsorbResult(client, entry->version);
   }
@@ -1412,7 +1433,7 @@ void ChronoServer::CachePut(ClientId client, int security_group,
                             uint64_t prefetch_plan, uint64_t prefetch_src) {
   std::vector<std::string> reads;
   {
-    std::shared_lock<std::shared_mutex> lock(registry_mutex_);
+    std::shared_lock<obs::TimedSharedMutex> lock(registry_mutex_);
     if (const sql::QueryTemplate* qt = registry_.Find(tmpl)) {
       reads = sql::CollectTableAccess(*qt->ast).reads;
     }
@@ -1420,7 +1441,7 @@ void ChronoServer::CachePut(ClientId client, int security_group,
   cache::CachedResult entry;
   entry.SetResult(std::move(result));
   {
-    std::lock_guard<std::mutex> lock(versions_mutex_);
+    std::lock_guard<obs::TimedMutex> lock(versions_mutex_);
     entry.version = versions_.SnapshotFor(reads);
   }
   entry.security_group = security_group;

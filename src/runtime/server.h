@@ -28,6 +28,7 @@
 #include "net/fault_injector.h"
 #include "net/retry_policy.h"
 #include "obs/audit.h"
+#include "obs/contention.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
@@ -129,6 +130,12 @@ struct ServerConfig {
   /// Queue slots reserved for demand work: prefetch TrySubmit sheds once
   /// depth reaches queue_capacity - headroom (default: capacity / 8).
   size_t queue_background_headroom = SIZE_MAX;
+
+  /// Arms per-site lock telemetry (DESIGN.md §16): wait/hold histograms
+  /// on the hot locks, exported at /metrics and ranked at /contention.
+  /// Disarmed (--no-lock-telemetry), every instrumented lock costs one
+  /// relaxed load over a plain mutex — the A/B'd fast path.
+  bool lock_telemetry = true;
 };
 
 /// \brief Wall-clock serving metrics (relaxed atomics; Snapshot() copies).
@@ -271,6 +278,9 @@ class ChronoServer {
   /// The metrics registry every layer of this node reports through
   /// (external when ServerConfig::registry was set, otherwise owned).
   obs::MetricsRegistry* registry() const { return metrics_registry_; }
+  /// Per-site lock telemetry for this node (the /contention document;
+  /// wire frontends get their sites here). Never null.
+  obs::ContentionRegistry* contention() const { return contention_.get(); }
   /// Recent-request traces; null when trace_capacity was 0.
   const obs::TraceRing* traces() const { return traces_.get(); }
   /// The prefetch-lifecycle journal (attach file sinks here); null when
@@ -291,14 +301,14 @@ class ChronoServer {
   /// session — a client's own requests serialise (clients are sequential
   /// in a closed loop anyway), different clients never contend here.
   struct SessionState {
-    std::mutex mutex;
+    obs::TimedMutex mutex;
     core::TransitionGraph transitions;
     core::ParamMapper mapper;
     core::DependencyManager manager;
     std::map<core::TemplateId, std::vector<sql::Value>> latest_params;
     uint64_t observations = 0;
 
-    explicit SessionState(const ServerConfig& config);
+    SessionState(const ServerConfig& config, obs::LockSite* lock_site);
   };
 
   /// A combined prefetch ready to execute: the plan plus the session it
@@ -428,18 +438,33 @@ class ChronoServer {
   std::chrono::steady_clock::time_point start_;
   core::GraphExtractor extractor_;  // stateless after construction
 
-  mutable std::shared_mutex db_mutex_;  // readers: SELECT; writers: DML/DDL
+  // Declared before every instrumented lock (and before cache_/pool_):
+  // the registry/contention pair must outlive the LockSites handed to
+  // them, and construction order hands sites out of contention_ in the
+  // member-init list below.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
+  std::unique_ptr<obs::ContentionRegistry> contention_;
 
-  mutable std::mutex template_mutex_;
+  // readers: SELECT; writers: DML/DDL
+  mutable obs::TimedSharedMutex db_mutex_;
+
+  mutable obs::TimedMutex template_mutex_;
   cache::LruMap<std::string, sql::ParsedQuery> template_cache_;
 
-  mutable std::shared_mutex registry_mutex_;
+  mutable obs::TimedSharedMutex registry_mutex_;
   core::TemplateRegistry registry_;
 
-  mutable std::mutex versions_mutex_;
+  mutable obs::TimedMutex versions_mutex_;
   core::SessionManager versions_;
 
-  mutable std::mutex sessions_mutex_;
+  mutable obs::TimedMutex sessions_mutex_;
+  /// Resolved once at construction: SessionFor creates sessions while
+  /// holding sessions_mutex_, and calling ContentionRegistry::Site there
+  /// would nest the registry mutex inside it — inverting the order the
+  /// metrics snapshot path takes (registry -> gauge callback ->
+  /// sessions_mutex_).
+  obs::LockSite* session_site_ = nullptr;
   std::unordered_map<ClientId, std::unique_ptr<SessionState>> sessions_;
 
   ShardedCache cache_;
@@ -472,7 +497,7 @@ class ChronoServer {
     std::shared_future<Result<FlightPayload>> result;
     uint64_t waiters = 0;  // followers parked on this fetch so far
   };
-  std::mutex inflight_mutex_;
+  obs::TimedMutex inflight_mutex_;
   std::unordered_map<std::string, std::shared_ptr<InflightFetch>> inflight_;
 
   /// Test-only back door (runtime_singleflight_test.cc): advances session
@@ -500,12 +525,11 @@ class ChronoServer {
   std::atomic<uint64_t> jitter_ordinal_{0};  // deterministic backoff jitter
   std::atomic<uint64_t> last_stale_us_{0};   // NowMicros of last stale serve
 
-  // Observability: one registry for the whole node. Stage histograms are
-  // raw pointers into the registry (stable for its lifetime); the trace
-  // ring is owned here. Worker threads touch these only through lock-free
-  // Record()/Push() calls.
-  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
-  obs::MetricsRegistry* metrics_registry_ = nullptr;
+  // Observability: the node's registry + contention pair is declared at
+  // the top of the member list (it must outlive the instrumented locks).
+  // Stage histograms are raw pointers into the registry (stable for its
+  // lifetime); the trace ring is owned here. Worker threads touch these
+  // only through lock-free Record()/Push() calls.
   std::unique_ptr<obs::TraceRing> traces_;
   std::unique_ptr<obs::TailReservoir> tail_;
   std::unique_ptr<obs::TimeSeriesRing> timeseries_;

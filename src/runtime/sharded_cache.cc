@@ -5,7 +5,8 @@
 
 namespace chrono::runtime {
 
-ShardedCache::ShardedCache(size_t capacity_bytes, size_t shards) {
+ShardedCache::ShardedCache(size_t capacity_bytes, size_t shards,
+                           obs::LockSite* stripe_site) {
   size_t n = std::max<size_t>(shards, 1);
   // Split the budget evenly; distribute the remainder so the shard sum is
   // exactly the requested capacity (the byte-accounting tests check this).
@@ -13,13 +14,14 @@ ShardedCache::ShardedCache(size_t capacity_bytes, size_t shards) {
   size_t extra = capacity_bytes % n;
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    shards_.push_back(std::make_unique<Shard>(base + (i < extra ? 1 : 0)));
+    shards_.push_back(std::make_unique<Shard>(base + (i < extra ? 1 : 0),
+                                              stripe_site));
   }
 }
 
 void ShardedCache::SetEvictionCallback(cache::EvictionCallback callback) {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    std::lock_guard<obs::TimedMutex> lock(shard->mutex);
     shard->cache.SetEvictionCallback(callback);
   }
 }
@@ -41,7 +43,7 @@ std::optional<cache::CachedResult> ShardedCache::Get(const std::string& key) {
   Shard& shard = *shards_[ShardIndex(key)];
   std::optional<cache::CachedResult> out;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::lock_guard<obs::TimedMutex> lock(shard.mutex);
     const cache::CachedResult* hit = shard.cache.Get(key);
     if (hit != nullptr) out = *hit;  // shares the payload, copies metadata
   }
@@ -56,7 +58,7 @@ std::optional<cache::CachedResult> ShardedCache::Get(const std::string& key) {
 std::optional<cache::CachedResult> ShardedCache::Peek(
     const std::string& key) const {
   const Shard& shard = *shards_[ShardIndex(key)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::lock_guard<obs::TimedMutex> lock(shard.mutex);
   const cache::CachedResult* hit = shard.cache.Peek(key);
   if (hit == nullptr) return std::nullopt;
   return *hit;
@@ -64,7 +66,7 @@ std::optional<cache::CachedResult> ShardedCache::Peek(
 
 bool ShardedCache::Contains(const std::string& key) const {
   const Shard& shard = *shards_[ShardIndex(key)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::lock_guard<obs::TimedMutex> lock(shard.mutex);
   return shard.cache.Contains(key);
 }
 
@@ -72,7 +74,7 @@ void ShardedCache::Put(const std::string& key, cache::CachedResult value) {
   Shard& shard = *shards_[ShardIndex(key)];
   Delta delta;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::lock_guard<obs::TimedMutex> lock(shard.mutex);
     size_t entries = shard.cache.entry_count();
     size_t bytes = shard.cache.used_bytes();
     uint64_t evictions = shard.cache.evictions();
@@ -91,7 +93,7 @@ bool ShardedCache::Invalidate(const std::string& key) {
   Delta delta;
   bool erased;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::lock_guard<obs::TimedMutex> lock(shard.mutex);
     size_t bytes = shard.cache.used_bytes();
     erased = shard.cache.Erase(key);
     delta.entries = erased ? -1 : 0;
@@ -106,7 +108,7 @@ void ShardedCache::Clear() {
   for (auto& shard : shards_) {
     Delta delta;
     {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      std::lock_guard<obs::TimedMutex> lock(shard->mutex);
       delta.entries = -static_cast<int64_t>(shard->cache.entry_count());
       delta.bytes = -static_cast<int64_t>(shard->cache.used_bytes());
       shard->cache.Clear();
@@ -146,17 +148,17 @@ uint64_t ShardedCache::evictions() const {
 }
 
 size_t ShardedCache::ShardEntryCount(size_t shard) const {
-  std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+  std::lock_guard<obs::TimedMutex> lock(shards_[shard]->mutex);
   return shards_[shard]->cache.entry_count();
 }
 
 size_t ShardedCache::ShardUsedBytes(size_t shard) const {
-  std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+  std::lock_guard<obs::TimedMutex> lock(shards_[shard]->mutex);
   return shards_[shard]->cache.used_bytes();
 }
 
 uint64_t ShardedCache::ShardEvictions(size_t shard) const {
-  std::lock_guard<std::mutex> lock(shards_[shard]->mutex);
+  std::lock_guard<obs::TimedMutex> lock(shards_[shard]->mutex);
   return shards_[shard]->cache.evictions();
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cache/lru_cache.h"
+#include "obs/contention.h"
 
 namespace chrono::runtime {
 
@@ -42,8 +43,12 @@ namespace chrono::runtime {
 class ShardedCache {
  public:
   /// `capacity_bytes` is the total budget, split evenly; `shards` is
-  /// rounded up to at least 1.
-  ShardedCache(size_t capacity_bytes, size_t shards);
+  /// rounded up to at least 1. `stripe_site` (may be null) attributes
+  /// shard-mutex wait/hold telemetry to one shared "cache.shard" lock
+  /// site — per-stripe attribution would multiply metric families without
+  /// adding signal, since stripes are interchangeable by construction.
+  ShardedCache(size_t capacity_bytes, size_t shards,
+               obs::LockSite* stripe_site = nullptr);
 
   /// Installs one removal observer on every shard (replacing any previous
   /// one). The callback fires *under the owning shard's mutex* — a leaf
@@ -93,9 +98,9 @@ class ShardedCache {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
+    mutable obs::TimedMutex mutex;
     cache::LruCache cache;
-    explicit Shard(size_t bytes) : cache(bytes) {}
+    Shard(size_t bytes, obs::LockSite* site) : mutex(site), cache(bytes) {}
   };
 
   /// Occupancy movement one mutating call produced, measured inside the

@@ -1,8 +1,10 @@
 #include "runtime/thread_pool.h"
 
 #include <algorithm>
+#include <string>
 
 #include "obs/metrics.h"
+#include "obs/threads.h"
 
 namespace chrono::runtime {
 
@@ -17,13 +19,14 @@ uint64_t ElapsedNs(std::chrono::steady_clock::time_point from,
 }  // namespace
 
 ThreadPool::ThreadPool(int workers, size_t queue_capacity,
-                       size_t background_headroom)
+                       size_t background_headroom, obs::LockSite* queue_site)
     : capacity_(std::max<size_t>(queue_capacity, 1)),
-      headroom_(std::min(background_headroom, capacity_ - 1)) {
+      headroom_(std::min(background_headroom, capacity_ - 1)),
+      mutex_(queue_site) {
   int n = std::max(workers, 1);
   threads_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -31,13 +34,13 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::AttachMetrics(obs::Histogram* queue_wait_ns,
                                obs::Histogram* run_ns) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<obs::TimedMutex> lock(mutex_);
   queue_wait_ns_ = queue_wait_ns;
   run_ns_ = run_ns;
 }
 
 bool ThreadPool::Submit(std::function<void()> task) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<obs::TimedMutex> lock(mutex_);
   not_full_.wait(lock,
                  [this] { return shutdown_ || queue_.size() < capacity_; });
   if (shutdown_) return false;
@@ -50,7 +53,7 @@ bool ThreadPool::Submit(std::function<void()> task) {
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<obs::TimedMutex> lock(mutex_);
     if (shutdown_) return false;
     if (queue_.size() + headroom_ >= capacity_) {
       shed_.fetch_add(1, std::memory_order_relaxed);
@@ -65,7 +68,7 @@ bool ThreadPool::TrySubmit(std::function<void()> task) {
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<obs::TimedMutex> lock(mutex_);
     shutdown_ = true;
   }
   not_empty_.notify_all();
@@ -79,22 +82,24 @@ void ThreadPool::Shutdown() {
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<obs::TimedMutex> lock(mutex_);
   return queue_.size();
 }
 
 size_t ThreadPool::peak_queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<obs::TimedMutex> lock(mutex_);
   return peak_depth_;
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int index) {
+  obs::ThreadLease lease(obs::ThreadRole::kWorker,
+                         "chrono-worker-" + std::to_string(index));
   for (;;) {
     Task task;
     obs::Histogram* wait_hist = nullptr;
     obs::Histogram* run_hist = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<obs::TimedMutex> lock(mutex_);
       not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());

@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/contention.h"
+
 namespace chrono::obs {
 class Histogram;
 }  // namespace chrono::obs
@@ -32,8 +34,12 @@ class ThreadPool {
   /// TrySubmit starts shedding once depth reaches
   /// capacity - headroom, so under saturation best-effort prefetch is
   /// dropped before demand ever has to wait. Clamped to capacity - 1.
+  /// `queue_site` (may be null) attributes queue-mutex contention to a
+  /// "pool.queue" lock site. Workers register in the ThreadRegistry as
+  /// chrono-worker-N with role `worker`.
   explicit ThreadPool(int workers, size_t queue_capacity = 1024,
-                      size_t background_headroom = 0);
+                      size_t background_headroom = 0,
+                      obs::LockSite* queue_site = nullptr);
 
   /// Drains and joins. Equivalent to Shutdown().
   ~ThreadPool();
@@ -88,14 +94,19 @@ class ThreadPool {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  void WorkerLoop();
+  void WorkerLoop(int index);
 
   const size_t capacity_;
   const size_t headroom_;  // queue slots TrySubmit may not use
-  mutable std::mutex mutex_;
+  /// The queue mutex is a TimedMutex so contention on the pool's one
+  /// shared lock shows up in /contention; the condition variables must be
+  /// _any because std::condition_variable works only with std::mutex.
+  /// Waiting still goes through the wrapper's lock()/unlock(), so wakeup
+  /// re-acquisition under load is captured as wait time too.
+  mutable obs::TimedMutex mutex_;
   std::mutex join_mutex_;
-  std::condition_variable not_empty_;  // workers wait here
-  std::condition_variable not_full_;   // producers wait here
+  std::condition_variable_any not_empty_;  // workers wait here
+  std::condition_variable_any not_full_;   // producers wait here
   std::deque<Task> queue_;
   bool shutdown_ = false;
   size_t peak_depth_ = 0;

@@ -12,6 +12,7 @@
 
 #include "net/socket_util.h"
 #include "obs/journal.h"
+#include "obs/threads.h"
 
 namespace chrono::wire {
 
@@ -36,7 +37,11 @@ uint64_t RelSince(uint64_t now_us, const obs::RequestTrace& trace) {
 }  // namespace
 
 WireServer::WireServer(runtime::ChronoServer* server, Options options)
-    : server_(server), options_(std::move(options)) {
+    : server_(server),
+      options_(std::move(options)),
+      completions_mutex_(server_->contention() != nullptr
+                             ? server_->contention()->Site("wire.completions")
+                             : nullptr) {
   obs::MetricsRegistry* registry = server_->registry();
   if (registry != nullptr) {
     active_gauge_ = registry->GetGauge(
@@ -118,7 +123,7 @@ Status WireServer::Start() {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
   {
-    std::lock_guard<std::mutex> lock(completions_mutex_);
+    std::lock_guard<obs::TimedMutex> lock(completions_mutex_);
     completions_open_ = true;
   }
   stop_.store(false, std::memory_order_release);
@@ -134,7 +139,7 @@ void WireServer::Stop() {
   [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
   if (thread_.joinable()) thread_.join();
   {
-    std::lock_guard<std::mutex> lock(completions_mutex_);
+    std::lock_guard<obs::TimedMutex> lock(completions_mutex_);
     completions_open_ = false;
     completions_.clear();
   }
@@ -145,6 +150,7 @@ void WireServer::Stop() {
 }
 
 void WireServer::Loop() {
+  obs::ThreadLease lease(obs::ThreadRole::kIo, "chrono-wire-io");
   constexpr int kMaxEvents = 256;
   epoll_event events[kMaxEvents];
   // Wake up at least this often to run idle-timeout sweeps.
@@ -388,7 +394,7 @@ void WireServer::DispatchQuery(const std::shared_ptr<Conn>& conn,
           event.flags = ok_flag;
           journal->Record(event);
         }
-        std::lock_guard<std::mutex> lock(completions_mutex_);
+        std::lock_guard<obs::TimedMutex> lock(completions_mutex_);
         if (!completions_open_) return;  // server already stopped
         completions_.push_back(
             Completion{conn, std::move(frame), std::move(trace)});
@@ -403,7 +409,7 @@ void WireServer::DispatchQuery(const std::shared_ptr<Conn>& conn,
 void WireServer::DrainCompletions() {
   std::vector<Completion> batch;
   {
-    std::lock_guard<std::mutex> lock(completions_mutex_);
+    std::lock_guard<obs::TimedMutex> lock(completions_mutex_);
     batch.swap(completions_);
   }
   for (Completion& completion : batch) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/contention.h"
 #include "obs/metrics.h"
 #include "runtime/server.h"
 #include "wire/protocol.h"
@@ -181,7 +182,9 @@ class WireServer {
   /// IO-thread-only connection table (fd -> state).
   std::unordered_map<int, std::shared_ptr<Conn>> conns_;
 
-  std::mutex completions_mutex_;
+  /// Instrumented ("wire.completions") — worker callbacks and the IO
+  /// thread meet here, so contention shows up in /contention under load.
+  obs::TimedMutex completions_mutex_;
   std::vector<Completion> completions_;
   /// Guarded by completions_mutex_: false once Stop() has joined the IO
   /// thread, so a straggling worker callback never writes to a wake_fd_

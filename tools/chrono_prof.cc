@@ -1,0 +1,171 @@
+// chrono_prof — inspects CPU profiles captured by the in-process sampler
+// (DESIGN.md §16): the collapsed-stack text from serve_bench
+// --profile-out or GET /profile, and the JSON document from
+// GET /profile?format=json.
+//
+//   chrono_prof report profile.collapsed     # per-role totals + hot leaves
+//   chrono_prof --validate profile.json      # strict check, exit 0/1
+//
+// A collapsed line is "role;thread;frame;...;frame COUNT" — root-first,
+// one line per unique stack, directly consumable by flamegraph.pl. The
+// report folds those lines into the two questions a first look needs
+// answered: which thread roles burn the CPU, and which leaf frames they
+// burn it in.
+//
+// --validate checks the JSON profile document the way CI consumes it:
+// well-formed per RFC 8259 and carrying the "samples" and "stacks" keys
+// the smoke job asserts on. Exit 0 when valid, 1 when not.
+//
+// Usage errors (unknown flags, missing files) exit 2.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+using namespace chrono;
+
+namespace {
+
+void Usage() {
+  std::printf(
+      "chrono_prof — CPU-profile inspector\n\n"
+      "  chrono_prof report FILE      collapsed-stack summary: samples per\n"
+      "                               thread role, hottest leaf frames\n"
+      "  chrono_prof --validate FILE  strict JSON + schema check of a\n"
+      "                               /profile?format=json document\n"
+      "                               (exit 0 valid, 1 invalid)\n");
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int Validate(const std::string& path) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  Status valid = ValidateJson(text);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s: invalid JSON: %s\n", path.c_str(),
+                 valid.message().c_str());
+    return 1;
+  }
+  for (const char* key : {"\"samples\"", "\"stacks\"", "\"threads\""}) {
+    if (text.find(key) == std::string::npos) {
+      std::fprintf(stderr, "%s: missing %s — not a /profile document\n",
+                   path.c_str(), key);
+      return 1;
+    }
+  }
+  std::printf("%s: valid profile document (%zu bytes)\n", path.c_str(),
+              text.size());
+  return 0;
+}
+
+int Report(const std::string& path) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  uint64_t total = 0;
+  uint64_t malformed = 0;
+  std::map<std::string, uint64_t> by_role;
+  std::map<std::string, uint64_t> by_leaf;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    // "path;to;frame COUNT": the count follows the last space.
+    size_t space = line.rfind(' ');
+    uint64_t count = 0;
+    if (space == std::string::npos || space + 1 >= line.size()) {
+      ++malformed;
+      continue;
+    }
+    char* end = nullptr;
+    count = std::strtoull(line.c_str() + space + 1, &end, 10);
+    if (end == line.c_str() + space + 1 || *end != '\0') {
+      ++malformed;
+      continue;
+    }
+    std::string stack = line.substr(0, space);
+    size_t first_semi = stack.find(';');
+    std::string role =
+        first_semi == std::string::npos ? stack : stack.substr(0, first_semi);
+    size_t last_semi = stack.rfind(';');
+    std::string leaf =
+        last_semi == std::string::npos ? stack : stack.substr(last_semi + 1);
+    total += count;
+    by_role[role] += count;
+    by_leaf[leaf] += count;
+  }
+  if (malformed > 0) {
+    std::fprintf(stderr,
+                 "warning: %llu malformed lines skipped (not collapsed-"
+                 "stack text?)\n",
+                 static_cast<unsigned long long>(malformed));
+  }
+  std::printf("samples: %llu\n", static_cast<unsigned long long>(total));
+  std::printf("\nby role:\n");
+  std::vector<std::pair<std::string, uint64_t>> roles(by_role.begin(),
+                                                      by_role.end());
+  std::sort(roles.begin(), roles.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [role, count] : roles) {
+    std::printf("  %-10s %8llu  %5.1f%%\n", role.c_str(),
+                static_cast<unsigned long long>(count),
+                total > 0 ? 100.0 * static_cast<double>(count) /
+                                static_cast<double>(total)
+                          : 0.0);
+  }
+  std::printf("\nhottest leaf frames:\n");
+  std::vector<std::pair<std::string, uint64_t>> leaves(by_leaf.begin(),
+                                                       by_leaf.end());
+  std::sort(leaves.begin(), leaves.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  size_t shown = 0;
+  for (const auto& [leaf, count] : leaves) {
+    if (++shown > 20) break;
+    std::printf("  %8llu  %5.1f%%  %s\n",
+                static_cast<unsigned long long>(count),
+                total > 0 ? 100.0 * static_cast<double>(count) /
+                                static_cast<double>(total)
+                          : 0.0,
+                leaf.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 &&
+      (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0)) {
+    Usage();
+    return 0;
+  }
+  if (argc != 3) {
+    Usage();
+    return 2;
+  }
+  if (std::strcmp(argv[1], "--validate") == 0) return Validate(argv[2]);
+  if (std::strcmp(argv[1], "report") == 0) return Report(argv[2]);
+  std::fprintf(stderr, "unknown command: %s\n", argv[1]);
+  Usage();
+  return 2;
+}

@@ -42,7 +42,9 @@
 #include "obs/export.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/stats_server.h"
+#include "obs/threads.h"
 #include "runtime/server.h"
 #include "wire/wire_client.h"
 #include "wire/wire_server.h"
@@ -74,6 +76,9 @@ struct BenchOptions {
   std::string trace_path;    // --trace-out: final trace ring JSON (last run)
   bool journal = true;       // --no-journal: A/B the journal overhead
   bool telemetry = true;     // --no-telemetry: A/B tracing + time series
+  bool lock_telemetry = true;  // --no-lock-telemetry: A/B the lock layer
+  std::string profile_path;  // --profile-out: whole-run collapsed stacks
+  int profile_hz = 99;       // --profile-hz: sampling rate for the above
   int chain_pct = 0;         // flight lookup -> flight_avail follow-up %
   bool progress = true;      // per-second qps/hit-rate/queue-depth line
 
@@ -170,6 +175,15 @@ void Usage() {
       "  --no-journal      disable the event journal (A/B its overhead)\n"
       "  --no-telemetry    disable tracing, tail reservoir and the\n"
       "                    time-series sampler (A/B their overhead)\n"
+      "  --no-lock-telemetry  disarm the instrumented lock layer (A/B\n"
+      "                    its overhead; /contention then reports armed\n"
+      "                    false and records nothing)\n"
+      "  --profile-out F   run the CPU sampling profiler for the whole\n"
+      "                    measurement window and write collapsed stacks\n"
+      "                    (flamegraph.pl-ready) to F (last run when\n"
+      "                    sweeping)\n"
+      "  --profile-hz N    sampling rate for --profile-out in Hz\n"
+      "                    (1..1000, default 99)\n"
       "  --no-progress     suppress the per-second progress line\n"
       "\nfault tolerance (DESIGN.md §11; faults off by default):\n"
       "  --fault-error-pct X      fail X%% of backend calls\n"
@@ -295,6 +309,7 @@ runtime::ServerConfig MakeServerConfig(const BenchOptions& opt, int workers,
     config.trace_capacity = 0;
     config.timeseries_capacity = 0;
   }
+  config.lock_telemetry = opt.lock_telemetry;
   config.fault = opt.fault;
   config.retry.max_attempts = opt.retries;
   config.enable_retries = opt.enable_retries;
@@ -314,6 +329,23 @@ runtime::ServerConfig MakeServerConfig(const BenchOptions& opt, int workers,
     config.attempt_timeout_us = 25'000;
   }
   return config;
+}
+
+/// --profile-out: collapsed stacks captured over the whole measurement
+/// window, ready for flamegraph.pl (or chrono_prof report).
+void WriteProfile(const std::string& path, const obs::CpuProfiler& profiler) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::string collapsed = profiler.CollapsedStacks();
+  std::fwrite(collapsed.data(), 1, collapsed.size(), f);
+  std::fclose(f);
+  std::printf(
+      "wrote %s (%llu samples, %llu dropped)\n", path.c_str(),
+      static_cast<unsigned long long>(profiler.samples_captured()),
+      static_cast<unsigned long long>(profiler.samples_dropped()));
 }
 
 RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
@@ -336,12 +368,16 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
     server.journal()->AddSink(journal_sink.get());
   }
 
+  obs::CpuProfiler profiler;
   obs::StatsServer stats(server.registry(), server.traces(), server.audit(),
                          server.tail(), server.timeseries());
   stats.SetHealthCallback([&server] {
     runtime::ChronoServer::HealthStatus h = server.Health();
     return obs::StatsServer::Health{h.ok, h.reason};
   });
+  stats.SetContentionCallback(
+      [&server] { return server.contention()->ContentionJson(); });
+  stats.SetProfiler(&profiler);
   if (opt.stats_port >= 0) {
     Status started = stats.Start(opt.stats_port);
     if (!started.ok()) {
@@ -350,6 +386,12 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
     } else {
       std::printf("stats: http://127.0.0.1:%d/metrics (and /traces)\n",
                   stats.port());
+    }
+  }
+  if (!opt.profile_path.empty()) {
+    Status prof = profiler.Start(opt.profile_hz);
+    if (!prof.ok()) {
+      std::fprintf(stderr, "profiler: %s\n", prof.message().c_str());
     }
   }
 
@@ -366,6 +408,8 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
   clients.reserve(static_cast<size_t>(opt.clients));
   for (int c = 0; c < opt.clients; ++c) {
     clients.emplace_back([&, c] {
+      obs::ThreadLease lease(obs::ThreadRole::kClient,
+                             "chrono-client-" + std::to_string(c));
       Rng rng(opt.seed + 1000 * static_cast<uint64_t>(workers) +
               static_cast<uint64_t>(c));
       SampleStats& lat = per_client[static_cast<size_t>(c)];
@@ -440,6 +484,10 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
   double elapsed = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - started)
                        .count();
+  if (profiler.running()) {
+    profiler.Stop();
+    WriteProfile(opt.profile_path, profiler);
+  }
 
   SampleStats all;
   for (const SampleStats& s : per_client) all.Merge(s);
@@ -519,6 +567,8 @@ struct FleetResult {
 void WireClientLoop(const std::string& host, int port,
                     const BenchOptions& opt, int index, double per_conn_qps,
                     const std::atomic<bool>& stop, FleetResult* out) {
+  obs::ThreadLease lease(obs::ThreadRole::kClient,
+                         "chrono-client-" + std::to_string(index));
   Rng rng(opt.seed + 7'000'000 + static_cast<uint64_t>(index));
   wire::WireClient client;
   Status connected =
@@ -678,6 +728,7 @@ RunResult RunOnceWire(db::Database* db, const BenchOptions& opt, int workers,
                  std::string(started.message()).c_str());
     std::exit(1);
   }
+  obs::CpuProfiler profiler;
   obs::StatsServer stats(server.registry(), server.traces(), server.audit(),
                          server.tail(), server.timeseries());
   stats.SetHealthCallback([&server] {
@@ -685,11 +736,20 @@ RunResult RunOnceWire(db::Database* db, const BenchOptions& opt, int workers,
     return obs::StatsServer::Health{h.ok, h.reason};
   });
   stats.SetWireCallback([&wire_server] { return wire_server.StatsJson(); });
+  stats.SetContentionCallback(
+      [&server] { return server.contention()->ContentionJson(); });
+  stats.SetProfiler(&profiler);
   if (opt.stats_port >= 0) {
     Status stats_started = stats.Start(opt.stats_port);
     if (stats_started.ok()) {
       std::printf("stats: http://127.0.0.1:%d/metrics (and /wire)\n",
                   stats.port());
+    }
+  }
+  if (!opt.profile_path.empty()) {
+    Status prof = profiler.Start(opt.profile_hz);
+    if (!prof.ok()) {
+      std::fprintf(stderr, "profiler: %s\n", prof.message().c_str());
     }
   }
 
@@ -699,6 +759,10 @@ RunResult RunOnceWire(db::Database* db, const BenchOptions& opt, int workers,
   double elapsed = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - t_start)
                        .count();
+  if (profiler.running()) {
+    profiler.Stop();
+    WriteProfile(opt.profile_path, profiler);
+  }
 
   RunResult out;
   out.socket_mode = true;
@@ -777,6 +841,7 @@ int RunServe(db::Database* db, const BenchOptions& opt, int workers) {
                  std::string(started.message()).c_str());
     return 1;
   }
+  obs::CpuProfiler profiler;
   obs::StatsServer stats(server.registry(), server.traces(), server.audit(),
                          server.tail(), server.timeseries());
   stats.SetHealthCallback([&server] {
@@ -784,11 +849,20 @@ int RunServe(db::Database* db, const BenchOptions& opt, int workers) {
     return obs::StatsServer::Health{h.ok, h.reason};
   });
   stats.SetWireCallback([&wire_server] { return wire_server.StatsJson(); });
+  stats.SetContentionCallback(
+      [&server] { return server.contention()->ContentionJson(); });
+  stats.SetProfiler(&profiler);
   if (opt.stats_port >= 0) {
     Status stats_started = stats.Start(opt.stats_port);
     if (stats_started.ok()) {
       std::printf("stats: http://127.0.0.1:%d/metrics (and /wire)\n",
                   stats.port());
+    }
+  }
+  if (!opt.profile_path.empty()) {
+    Status prof = profiler.Start(opt.profile_hz);
+    if (!prof.ok()) {
+      std::fprintf(stderr, "profiler: %s\n", prof.message().c_str());
     }
   }
   std::printf("serving on 127.0.0.1:%d for %.1f s\n", wire_server.port(),
@@ -816,6 +890,10 @@ int RunServe(db::Database* db, const BenchOptions& opt, int workers) {
   }
   wire_server.Stop();
   wire::WireServer::Stats ws = wire_server.stats();
+  if (profiler.running()) {
+    profiler.Stop();
+    WriteProfile(opt.profile_path, profiler);
+  }
   stats.Stop();
   server.Shutdown();
   if (server.journal() != nullptr) server.journal()->Stop();
@@ -972,6 +1050,7 @@ std::vector<int> ParseSweep(const std::string& list) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::ThreadLease main_lease(obs::ThreadRole::kMain, "chrono-main");
   BenchOptions opt;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -1047,6 +1126,12 @@ int main(int argc, char** argv) {
       opt.journal = false;
     } else if (arg == "--no-telemetry") {
       opt.telemetry = false;
+    } else if (arg == "--no-lock-telemetry") {
+      opt.lock_telemetry = false;
+    } else if (arg == "--profile-out") {
+      opt.profile_path = next();
+    } else if (arg == "--profile-hz") {
+      opt.profile_hz = static_cast<int>(IntFlag(arg, next()));
     } else if (arg == "--chain-pct") {
       opt.chain_pct = static_cast<int>(IntFlag(arg, next()));
     } else if (arg == "--no-progress") {
@@ -1101,6 +1186,9 @@ int main(int argc, char** argv) {
     reject("--fault-spike", "multiplier must be >= 1");
   }
   if (opt.retries < 1) reject("--retries", "must be >= 1");
+  if (opt.profile_hz < 1 || opt.profile_hz > 1000) {
+    reject("--profile-hz", "must be in [1, 1000]");
+  }
   if (opt.pipeline < 1) reject("--pipeline", "must be >= 1");
   if (opt.arrival_qps < 0) reject("--arrival-qps", "must be >= 0");
   if (opt.port < 0 || opt.port > 65535) reject("--port", "not a TCP port");
