@@ -44,6 +44,17 @@ class Deadline {
   uint64_t start_us_ = 0;
 };
 
+/// Combines two deadline budgets where 0 means "unlimited" on both sides:
+/// the result is the tighter of the two, and unlimited only when both
+/// are. Used to clamp the server's configured retry budget (§11) by the
+/// client's propagated wire deadline (§17) — the ladder never spends time
+/// a client no longer has.
+inline uint64_t ClampBudgetUs(uint64_t budget_us, uint64_t cap_us) {
+  if (budget_us == 0) return cap_us;
+  if (cap_us == 0) return budget_us;
+  return budget_us < cap_us ? budget_us : cap_us;
+}
+
 /// Knobs for the exponential-backoff retry schedule applied to idempotent
 /// demand reads. Writes never consult this policy — they are not safely
 /// retryable without dedup tokens the backend does not have.

@@ -107,16 +107,68 @@ Result<int> ConnectTcp(const std::string& host, int port, int timeout_ms) {
   int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return Errno("socket");
   if (timeout_ms > 0) {
-    // SO_SNDTIMEO bounds a blocking connect() on Linux, and the timeouts
-    // stay installed for subsequent I/O on the connection.
-    Status status = SetSendTimeoutMs(fd, timeout_ms);
-    if (status.ok()) status = SetRecvTimeoutMs(fd, timeout_ms);
+    // Non-blocking connect + poll: SO_SNDTIMEO does not reliably bound
+    // connect() itself — against a blackholed host the SYN retries run to
+    // the kernel default (minutes) regardless — so the handshake is timed
+    // explicitly with poll(POLLOUT) and SO_ERROR.
+    Status status = SetNonBlocking(fd);
     if (!status.ok()) {
       ::close(fd);
       return status;
     }
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      if (errno != EINPROGRESS) {
+        std::string err = std::strerror(errno);
+        ::close(fd);
+        return Status::Unavailable("connect " + host + ":" +
+                                   std::to_string(port) + ": " + err);
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      int n;
+      do {
+        n = ::poll(&pfd, 1, timeout_ms);
+      } while (n < 0 && errno == EINTR);
+      if (n == 0) {
+        ::close(fd);
+        return Status::DeadlineExceeded(
+            "connect " + host + ":" + std::to_string(port) +
+            " timed out after " + std::to_string(timeout_ms) + "ms");
+      }
+      if (n < 0) {
+        Status poll_error = Errno("poll(connect)");
+        ::close(fd);
+        return poll_error;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+          so_error != 0) {
+        std::string err = std::strerror(so_error != 0 ? so_error : errno);
+        ::close(fd);
+        return Status::Unavailable("connect " + host + ":" +
+                                   std::to_string(port) + ": " + err);
+      }
+    }
+    // Connected: back to blocking mode, with the timeout installed for
+    // subsequent I/O on the connection.
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 ||
+        ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) < 0) {
+      Status fcntl_error = Errno("fcntl(clear O_NONBLOCK)");
+      ::close(fd);
+      return fcntl_error;
+    }
+    Status status_io = SetSendTimeoutMs(fd, timeout_ms);
+    if (status_io.ok()) status_io = SetRecvTimeoutMs(fd, timeout_ms);
+    if (!status_io.ok()) {
+      ::close(fd);
+      return status_io;
+    }
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
     std::string err = std::strerror(errno);
     ::close(fd);
     return Status::Unavailable("connect " + host + ":" +

@@ -290,6 +290,52 @@ void PrefetchAudit::Fold(const JournalEvent& event) {
                 "backend fetch instead of issuing their own.");
       break;
     }
+    case JournalEventType::kShedQueue: {
+      const char* reason;
+      switch (event.a) {
+        case kOverloadShedPipeline:
+          ++overload_.shed_pipeline;
+          reason = "pipeline";
+          break;
+        case kOverloadShedAdmission:
+          ++overload_.shed_admission;
+          reason = "admission";
+          break;
+        default:
+          ++overload_.shed_prefetch;
+          reason = "prefetch";
+          break;
+      }
+      if (registry_ != nullptr) {
+        CounterFor("chrono_overload_shed_total",
+                   "Work refused by the brownout ladder, by shed reason.",
+                   "reason", reason)
+            ->Increment(1);
+      }
+      break;
+    }
+    case JournalEventType::kDeadlineExpired: {
+      ++overload_.deadline_expired;
+      overload_.expired_lateness_us += event.a;
+      if (event.flags & kJournalFlagDrain) ++overload_.expired_in_drain;
+      BumpPlain("chrono_overload_deadline_expired_total",
+                "Requests whose client deadline expired while queued; "
+                "rejected at dequeue without executing.");
+      break;
+    }
+    case JournalEventType::kBrownoutTransition: {
+      ++overload_.brownout_transitions;
+      overload_.max_level = std::max(overload_.max_level, event.a);
+      static const char* kLevelNames[] = {"normal", "shed_prefetch",
+                                          "shed_pipeline", "reject_query"};
+      const char* to = event.a < 4 ? kLevelNames[event.a] : "unknown";
+      if (registry_ != nullptr) {
+        CounterFor("chrono_overload_brownout_transitions_total",
+                   "Brownout ladder transitions by target level.", "to", to)
+            ->Increment(1);
+      }
+      break;
+    }
     case JournalEventType::kWireRequest: {
       // The WireServer drives its own chrono_wire_* registry metrics at
       // record time; folding here only feeds the offline report and the
@@ -304,6 +350,12 @@ void PrefetchAudit::Fold(const JournalEvent& event) {
       ++requests_;
       int outcome = std::min<int>(event.flags & 0x0f, kTraceOutcomeCount - 1);
       ++outcome_counts_[outcome];
+      if (event.flags & kJournalFlagLate) {
+        ++overload_.late_executions;
+        BumpPlain("chrono_overload_late_executions_total",
+                  "Requests executed after their client deadline had "
+                  "already expired (SS17 violation; must stay zero).");
+      }
       bool has_latency = (event.flags & kJournalFlagNoLatency) == 0;
       uint64_t total_us = UnpackHi(event.c);
       if (has_latency) {
@@ -396,6 +448,7 @@ PrefetchAudit::Snapshot PrefetchAudit::snapshot() const {
   out.events_folded = events_folded_;
   out.requests = requests_;
   out.availability = availability_;
+  out.overload = overload_;
   out.wire.requests = wire_requests_;
   out.wire.failed = wire_failed_;
   out.wire.response_bytes = wire_bytes_;
@@ -565,6 +618,23 @@ std::string PrefetchAuditJson(const PrefetchAudit::Snapshot& snapshot) {
       .append(std::to_string(av.breaker_closed));
   out.append(",\"backend_coalesced\":")
       .append(std::to_string(av.backend_coalesced));
+  const PrefetchAudit::Overload& ov = snapshot.overload;
+  out.append("},\"overload\":{\"shed_prefetch\":")
+      .append(std::to_string(ov.shed_prefetch));
+  out.append(",\"shed_pipeline\":").append(std::to_string(ov.shed_pipeline));
+  out.append(",\"shed_admission\":")
+      .append(std::to_string(ov.shed_admission));
+  out.append(",\"deadline_expired\":")
+      .append(std::to_string(ov.deadline_expired));
+  out.append(",\"expired_in_drain\":")
+      .append(std::to_string(ov.expired_in_drain));
+  out.append(",\"expired_lateness_us\":")
+      .append(std::to_string(ov.expired_lateness_us));
+  out.append(",\"brownout_transitions\":")
+      .append(std::to_string(ov.brownout_transitions));
+  out.append(",\"max_level\":").append(std::to_string(ov.max_level));
+  out.append(",\"late_executions\":")
+      .append(std::to_string(ov.late_executions));
   const PrefetchAudit::Wire& wire = snapshot.wire;
   out.append("},\"wire\":{\"requests\":")
       .append(std::to_string(wire.requests));

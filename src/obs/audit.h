@@ -113,6 +113,36 @@ class PrefetchAudit : public JournalSink {
     }
   };
 
+  /// Overload-control board folded from the §17 events (kShedQueue,
+  /// kDeadlineExpired, kBrownoutTransition, and the kJournalFlagLate bit
+  /// on kRequest). The same fold drives
+  /// chrono_overload_shed_total{reason}, chrono_overload_deadline_expired_total,
+  /// chrono_overload_brownout_transitions_total{to} and
+  /// chrono_overload_late_executions_total, so the scraped counters and
+  /// an offline chrono_audit run reconcile event-for-event.
+  struct Overload {
+    uint64_t shed_prefetch = 0;    // brownout level >= 1 dropped prefetches
+    uint64_t shed_pipeline = 0;    // level >= 2 refused pipelined Querys
+    uint64_t shed_admission = 0;   // level >= 3 refused new Querys
+    uint64_t deadline_expired = 0; // expired in queue; rejected unexecuted
+    uint64_t expired_in_drain = 0; // subset rejected during shutdown drain
+    uint64_t expired_lateness_us = 0;  // summed µs past deadline at dequeue
+    uint64_t brownout_transitions = 0;
+    uint64_t max_level = 0;        // highest brownout level ever entered
+    /// §17 invariant violation: requests that started executing after
+    /// their client deadline had already passed. Must stay zero — expired
+    /// work is rejected at dequeue, never run.
+    uint64_t late_executions = 0;
+
+    uint64_t TotalShed() const {
+      return shed_prefetch + shed_pipeline + shed_admission;
+    }
+    bool Any() const {
+      return shed_prefetch | shed_pipeline | shed_admission |
+             deadline_expired | brownout_transitions | late_executions;
+    }
+  };
+
   /// Wire-frontend board folded from kWireRequest events: the network-hop
   /// view of the served requests, so an offline chrono_audit run over a
   /// journal recorded behind TCP (§13) still reconciles with the node's
@@ -135,6 +165,7 @@ class PrefetchAudit : public JournalSink {
     uint64_t requests = 0;
     uint64_t outcome_counts[kTraceOutcomeCount] = {};
     Availability availability;
+    Overload overload;
     Wire wire;
     /// Summed µs per pipeline stage across all requests with latency:
     /// analyze, cache-lookup, learn/combine, db-execute, split/decode,
@@ -210,6 +241,7 @@ class PrefetchAudit : public JournalSink {
   uint64_t requests_ = 0;
   uint64_t outcome_counts_[kTraceOutcomeCount] = {};
   Availability availability_;
+  Overload overload_;
   uint64_t wire_requests_ = 0;
   uint64_t wire_failed_ = 0;
   uint64_t wire_bytes_ = 0;

@@ -46,6 +46,9 @@ const char* JournalEventTypeName(JournalEventType type) {
     case JournalEventType::kShed: return "shed";
     case JournalEventType::kBackendCoalesced: return "backend_coalesced";
     case JournalEventType::kWireRequest: return "wire_request";
+    case JournalEventType::kShedQueue: return "shed_queue";
+    case JournalEventType::kDeadlineExpired: return "deadline_expired";
+    case JournalEventType::kBrownoutTransition: return "brownout_transition";
   }
   return "?";
 }

@@ -39,6 +39,9 @@ enum class JournalEventType : uint8_t {
   kShed,              // best-effort work shed (a = shed kind)
   kBackendCoalesced,  // demand miss joined another thread's in-flight fetch
   kWireRequest,       // one request answered over the TCP wire frontend
+  kShedQueue,         // overload control dropped work (a = shed reason)
+  kDeadlineExpired,   // request expired in queue; rejected unexecuted
+  kBrownoutTransition, // brownout ladder stepped (a = to, b = from)
 };
 
 const char* JournalEventTypeName(JournalEventType type);
@@ -59,6 +62,19 @@ inline constexpr uint8_t kJournalFlagWrite = 1u << 1;
 /// kShed payload `a`: why best-effort work was dropped.
 inline constexpr uint64_t kShedQueueFull = 0;       // pool queue saturated
 inline constexpr uint64_t kShedBreakerUnhealthy = 1; // breaker not closed
+
+/// kShedQueue payload `a`: what the overload ladder dropped (§17).
+inline constexpr uint64_t kOverloadShedPrefetch = 0;  // brownout ≥ 1
+inline constexpr uint64_t kOverloadShedPipeline = 1;  // brownout ≥ 2
+inline constexpr uint64_t kOverloadShedAdmission = 2; // brownout ≥ 3
+/// kDeadlineExpired flags bit1: the rejection happened during shutdown
+/// drain rather than live serving.
+inline constexpr uint8_t kJournalFlagDrain = 1u << 1;
+/// kRequest flags bit5: the request carried a client deadline that had
+/// already expired when execution started — the §17 invariant is that
+/// this never happens (expired work is rejected at dequeue), so the audit
+/// reports it as a violation counter that must stay zero.
+inline constexpr uint8_t kJournalFlagLate = 1u << 5;
 
 /// \brief One fixed-size binary journal record. Payload fields `a`/`b`/`c`
 /// are typed per event (see DESIGN.md §10 for the full schema):
@@ -85,6 +101,13 @@ inline constexpr uint64_t kShedBreakerUnhealthy = 1; // breaker not closed
 ///   kWireRequest     a = wire latency µs (frame decoded -> response
 ///                    queued), b = response frame bytes
 ///                    (flags bit0 = request succeeded)
+///   kShedQueue       a = shed reason (kOverloadShed*), b = brownout
+///                    level at the time, c = retry-after hint ms (0 none)
+///   kDeadlineExpired a = µs past the deadline at dequeue, b = deadline
+///                    budget ms the client sent
+///                    (flags bit1 = rejected during shutdown drain)
+///   kBrownoutTransition a = new level, b = old level, c = queue-wait
+///                    p99 µs that drove the step
 ///
 /// `plan`/`src`/`tmpl` carry prefetch attribution: the combined-plan id,
 /// the transition-graph edge source template (0 = plan root), and the

@@ -48,6 +48,10 @@ const char* AnnotationKindName(AnnotationKind kind) {
       return "stale_serve";
     case AnnotationKind::kFault:
       return "fault";
+    case AnnotationKind::kDeadlineClamp:
+      return "deadline_clamp";
+    case AnnotationKind::kBrownout:
+      return "brownout";
   }
   return "unknown";
 }

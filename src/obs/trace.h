@@ -76,6 +76,10 @@ enum class AnnotationKind {
   kCoalesced,        // parked behind another thread's in-flight fetch
   kStaleServe,       // answered from a version-stale cache entry
   kFault,            // injected fault fired on a backend attempt
+  kDeadlineClamp,    // client deadline tightened the retry budget (§17);
+                     //   value = remaining client budget µs at clamp time
+  kBrownout,         // request served while the brownout ladder was
+                     //   elevated; value = the level
 };
 
 const char* AnnotationKindName(AnnotationKind kind);

@@ -114,10 +114,14 @@ ChronoServer::ChronoServer(db::Database* db, ServerConfig config)
       fault_(config.fault),
       retry_(config.retry),
       breaker_(config.breaker, [this] { return NowMicros(); }),
+      brownout_(BrownoutController::Options{
+          config.queue_target_us, config.brownout_sample_ms,
+          config.brownout_up_samples, config.brownout_down_samples,
+          /*clear_ratio=*/0.5}),
       pool_(config.workers, config.queue_capacity,
-            config.queue_background_headroom == SIZE_MAX
-                ? config.queue_capacity / 8
-                : config.queue_background_headroom,
+            config.prefetch_queue_capacity == SIZE_MAX
+                ? std::max<size_t>(config.queue_capacity / 8, 1)
+                : config.prefetch_queue_capacity,
             contention_->Site("pool.queue")) {
   // Reader-locked execution must never trigger a lazy index build.
   db_->WarmIndexes();
@@ -154,7 +158,25 @@ ChronoServer::ChronoServer(db::Database* db, ServerConfig config)
         event.b = static_cast<uint64_t>(from);
         Journal(event);
       });
+  // Brownout ladder steps flow into the journal the same way (the listener
+  // runs on the sampler thread; journal Record is a leaf). The audit fold
+  // turns these into chrono_overload_brownout_transitions_total.
+  brownout_.SetTransitionListener(
+      [this](BrownoutController::Level to, BrownoutController::Level from,
+             uint64_t p99_us) {
+        obs::JournalEvent event;
+        event.type = obs::JournalEventType::kBrownoutTransition;
+        event.a = static_cast<uint64_t>(to);
+        event.b = static_cast<uint64_t>(from);
+        event.c = p99_us;
+        Journal(event);
+      });
   RegisterMetrics();
+  // The sampler diffs the demand-lane wait histogram RegisterMetrics just
+  // attached; start it only once that signal exists.
+  if (brownout_.enabled()) {
+    brownout_thread_ = std::thread([this] { BrownoutLoop(); });
+  }
   // The sampler reads the registry whose callbacks capture `this`; start
   // it last (everything it observes exists) and stop it first in Shutdown.
   if (config_.timeseries_capacity > 0) {
@@ -176,7 +198,43 @@ ChronoServer::~ChronoServer() {
 
 void ChronoServer::Shutdown() {
   if (timeseries_ != nullptr) timeseries_->Stop();  // idempotent
+  {
+    std::lock_guard<std::mutex> lock(brownout_stop_mutex_);
+    brownout_stop_ = true;
+  }
+  brownout_stop_cv_.notify_all();
+  if (brownout_thread_.joinable()) brownout_thread_.join();
   pool_.Shutdown();
+}
+
+void ChronoServer::BrownoutLoop() {
+  obs::HistogramSnapshot prev = pool_wait_hist_[0]->Snapshot();
+  std::unique_lock<std::mutex> lock(brownout_stop_mutex_);
+  while (!brownout_stop_) {
+    if (brownout_stop_cv_.wait_for(
+            lock, std::chrono::milliseconds(config_.brownout_sample_ms),
+            [this] { return brownout_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    obs::HistogramSnapshot cur = pool_wait_hist_[0]->Snapshot();
+    // The wait histograms record nanoseconds; the ladder thinks in µs.
+    brownout_.OnSample(WindowedPercentile(prev, cur, 0.99) / 1000);
+    prev = std::move(cur);
+    lock.lock();
+  }
+}
+
+void ChronoServer::RecordOverloadShed(uint64_t reason, ClientId client,
+                                      uint32_t retry_after_ms) {
+  metrics_.brownout_sheds.fetch_add(1, std::memory_order_relaxed);
+  obs::JournalEvent event;
+  event.type = obs::JournalEventType::kShedQueue;
+  event.a = reason;
+  event.b = static_cast<uint64_t>(brownout_.level());
+  event.c = retry_after_ms;
+  event.client = static_cast<uint32_t>(client);
+  Journal(event);
 }
 
 void ChronoServer::RegisterMetrics() {
@@ -203,15 +261,39 @@ void ChronoServer::RegisterMetrics() {
       "End-to-end request latency inside the server in nanoseconds",
       {{"op", "write"}});
 
-  // Pool histograms + pull-mode pool stats.
-  pool_.AttachMetrics(
+  // Pool histograms + pull-mode pool stats. The demand-lane wait histogram
+  // doubles as the brownout controller's input signal (§17).
+  pool_wait_hist_[static_cast<int>(ThreadPool::Lane::kDemand)] =
       r->GetHistogram("chrono_pool_queue_wait_ns",
-                      "Time tasks spend queued before a worker runs them"),
-      r->GetHistogram("chrono_pool_run_ns",
-                      "Time tasks spend executing on a worker"));
+                      "Time tasks spend queued before a worker runs them",
+                      {{"lane", "demand"}});
+  pool_wait_hist_[static_cast<int>(ThreadPool::Lane::kPrefetch)] =
+      r->GetHistogram("chrono_pool_queue_wait_ns",
+                      "Time tasks spend queued before a worker runs them",
+                      {{"lane", "prefetch"}});
+  pool_run_hist_ = r->GetHistogram(
+      "chrono_pool_run_ns", "Time tasks spend executing on a worker");
+  pool_.AttachMetrics(pool_wait_hist_[0], pool_wait_hist_[1],
+                      pool_run_hist_);
   r->RegisterCallbackGauge(
       "chrono_pool_queue_depth", "Tasks queued and not yet running", {},
       [this] { return static_cast<double>(pool_.queue_depth()); }, owner);
+  r->RegisterCallbackGauge(
+      "chrono_pool_lane_depth", "Tasks queued per admission lane",
+      {{"lane", "demand"}},
+      [this] {
+        return static_cast<double>(
+            pool_.lane_depth(ThreadPool::Lane::kDemand));
+      },
+      owner);
+  r->RegisterCallbackGauge(
+      "chrono_pool_lane_depth", "Tasks queued per admission lane",
+      {{"lane", "prefetch"}},
+      [this] {
+        return static_cast<double>(
+            pool_.lane_depth(ThreadPool::Lane::kPrefetch));
+      },
+      owner);
   r->RegisterCallbackGauge(
       "chrono_pool_queue_depth_peak",
       "High-water mark of the pool queue depth", {},
@@ -223,6 +305,19 @@ void ChronoServer::RegisterMetrics() {
       "chrono_pool_tasks_failed_total",
       "Tasks that exited via an exception", {},
       [this] { return static_cast<double>(pool_.tasks_failed()); }, owner);
+  r->RegisterCallbackCounter(
+      "chrono_pool_tasks_expired_total",
+      "Tasks rejected unexecuted at dequeue: deadline already passed", {},
+      [this] { return static_cast<double>(pool_.tasks_expired()); }, owner);
+  r->RegisterCallbackGauge(
+      "chrono_overload_brownout_level",
+      "Brownout ladder level (0=normal 1=shed-prefetch 2=shed-pipeline "
+      "3=reject-query)",
+      {},
+      [this] {
+        return static_cast<double>(static_cast<int>(brownout_.level()));
+      },
+      owner);
 
   // ServerMetrics mirrored as counters so dashboards see live values.
   auto server_counter = [&](const char* name, const char* help,
@@ -462,6 +557,14 @@ void ChronoServer::FinishRequest(ReqCtx* ctx, ClientId client, bool read_only,
     event.plan = ctx->prefetch_plan;
     event.src = ctx->prefetch_src;
     event.flags = static_cast<uint8_t>(ctx->outcome);
+    // §17 invariant violation marker: a request whose client deadline had
+    // already passed when the pipeline started should have been rejected
+    // at dequeue, never executed. The audit counts these; the count must
+    // stay zero.
+    if (ctx->wire != nullptr && ctx->wire->deadline_us != 0 &&
+        ctx->start_us > ctx->wire->deadline_us) {
+      event.flags |= obs::kJournalFlagLate;
+    }
     uint64_t stage_us[static_cast<int>(obs::Stage::kCount)] = {};
     for (const obs::TraceSpan& span : ctx->spans) {
       stage_us[static_cast<int>(span.stage)] += span.dur_us;
@@ -585,8 +688,24 @@ ChronoServer::HealthStatus ChronoServer::Health() const {
 Result<db::ExecOutcome> ChronoServer::CallBackend(
     const BackendCall& call,
     const std::function<Result<db::ExecOutcome>()>& exec) {
-  net::Deadline deadline(config_.request_deadline_us,
-                         [this] { return NowMicros(); });
+  // The §11 retry budget, clamped by whatever is left of the client's
+  // propagated wire deadline (§17): the ladder never spends time the
+  // client no longer has. An already-expired deadline degrades to a 1 µs
+  // budget — the first attempt fails fast rather than sleeping.
+  uint64_t budget_us = config_.request_deadline_us;
+  if (call.ctx != nullptr && call.ctx->wire != nullptr &&
+      call.ctx->wire->deadline_us != 0) {
+    uint64_t now = NowMicros();
+    uint64_t left = call.ctx->wire->deadline_us > now
+                        ? call.ctx->wire->deadline_us - now
+                        : 1;
+    uint64_t clamped = net::ClampBudgetUs(budget_us, left);
+    if (clamped != budget_us) {
+      call.ctx->Note(obs::AnnotationKind::kDeadlineClamp, left);
+    }
+    budget_us = clamped;
+  }
+  net::Deadline deadline(budget_us, [this] { return NowMicros(); });
 
   // Breaker admission, once per call. Prefetch admission happens at the
   // caller (ExecuteCombined sheds before the plan is issued). The breaker
@@ -784,6 +903,9 @@ ServerMetrics ChronoServer::metrics() const {
       metrics_.prefetches_shed_breaker.load(std::memory_order_relaxed);
   m.breaker_rejects = metrics_.breaker_rejects.load(std::memory_order_relaxed);
   m.faults_injected = fault_.faults_injected();
+  m.deadline_expired =
+      metrics_.deadline_expired.load(std::memory_order_relaxed);
+  m.brownout_sheds = metrics_.brownout_sheds.load(std::memory_order_relaxed);
   return m;
 }
 
@@ -848,13 +970,43 @@ void ChronoServer::SubmitAsync(
   auto callback = std::make_shared<std::function<void(
       Result<SharedResult>, std::shared_ptr<obs::RequestTrace>)>>(
       std::move(done));
-  bool accepted = pool_.Submit(
+  auto work =
       [this, callback, client, security_group, wire, sql = std::move(sql)]() {
         std::shared_ptr<obs::RequestTrace> pending;
         Result<SharedResult> result =
             ExecuteInternal(client, sql, security_group, &wire, &pending);
         (*callback)(std::move(result), std::move(pending));
-      });
+      };
+  bool accepted;
+  if (wire.deadline_us != 0) {
+    // Arm expiry-at-dequeue (§17): if the client's deadline passes while
+    // the task is still queued, the worker rejects it in O(1) — the
+    // backend never sees it — and the completion is delivered with
+    // DeadlineExceeded so the frontend can stamp the kFlagExpired Error.
+    uint64_t deadline_us = wire.deadline_us;
+    uint64_t budget_ms = wire.deadline_us > wire.decode_start_us
+                             ? (wire.deadline_us - wire.decode_start_us) /
+                                   1000
+                             : 0;
+    accepted = pool_.Submit(
+        std::move(work),
+        start_ + std::chrono::microseconds(deadline_us),
+        [this, callback, client, deadline_us, budget_ms]() {
+          metrics_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+          uint64_t now = NowMicros();
+          obs::JournalEvent event;
+          event.type = obs::JournalEventType::kDeadlineExpired;
+          event.client = static_cast<uint32_t>(client);
+          event.a = now > deadline_us ? now - deadline_us : 0;
+          event.b = budget_ms;
+          if (pool_.shutting_down()) event.flags = obs::kJournalFlagDrain;
+          Journal(event);
+          (*callback)(Status::DeadlineExceeded(kExpiredInQueueMessage),
+                      nullptr);
+        });
+  } else {
+    accepted = pool_.Submit(std::move(work));
+  }
   if (!accepted) {
     (*callback)(
         Status::Internal("ChronoServer is shut down; submission rejected"),
@@ -876,6 +1028,11 @@ Result<SharedResult> ChronoServer::ExecuteInternal(
   ctx.t0 = std::chrono::steady_clock::now();
   ctx.start_us = NowMicros();
   ctx.wire = wire;
+  BrownoutController::Level level = brownout_.level();
+  if (level != BrownoutController::Level::kNormal) {
+    ctx.Note(obs::AnnotationKind::kBrownout,
+             static_cast<uint64_t>(level));
+  }
 
   Result<sql::ParsedQuery> parsed = Status::OK();
   {
@@ -1042,11 +1199,21 @@ Result<SharedResult> ChronoServer::DoRead(ClientId client,
       primary = &p;
       continue;
     }
-    bool queued = pool_.TrySubmit([this, client, security_group, session,
-                                   plan = p.plan, plan_id = p.plan_id]() {
-      ExecuteCombined(client, security_group, session, *plan, plan_id,
-                      /*ctx=*/nullptr);
-    });
+    // First rung of the brownout ladder (§17): under pressure speculation
+    // is dropped before it is even queued. Plans are still learned — only
+    // the background execution is shed.
+    if (brownout_.level() >= BrownoutController::Level::kShedPrefetch) {
+      RecordOverloadShed(obs::kOverloadShedPrefetch, client,
+                         /*retry_after_ms=*/0);
+      continue;
+    }
+    bool queued = pool_.TrySubmit(
+        ThreadPool::Lane::kPrefetch,
+        [this, client, security_group, session, plan = p.plan,
+         plan_id = p.plan_id]() {
+          ExecuteCombined(client, security_group, session, *plan, plan_id,
+                          /*ctx=*/nullptr);
+        });
     if (!queued) {
       ShedPrefetch(obs::kShedQueueFull, p.plan_id, client);
     }

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -11,6 +12,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -33,6 +35,7 @@
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "runtime/brownout.h"
 #include "runtime/sharded_cache.h"
 #include "runtime/thread_pool.h"
 #include "sql/result_set.h"
@@ -127,9 +130,21 @@ struct ServerConfig {
   /// Serve version-stale cached entries (age-bounded) when a demand fetch
   /// fails at the transport level; 0 disables (--stale-serve-ms).
   uint64_t stale_serve_us = 0;
-  /// Queue slots reserved for demand work: prefetch TrySubmit sheds once
-  /// depth reaches queue_capacity - headroom (default: capacity / 8).
-  size_t queue_background_headroom = SIZE_MAX;
+
+  // --- Overload control (DESIGN.md §17) ---
+
+  /// Prefetch-lane capacity of the worker pool (the demand lane uses
+  /// queue_capacity). Strict demand priority replaces the old headroom
+  /// heuristic: speculation queues separately and only runs on an empty
+  /// demand lane. SIZE_MAX = default (queue_capacity / 8, minimum 1).
+  size_t prefetch_queue_capacity = SIZE_MAX;
+  /// Demand queue-wait p99 target the brownout controller holds
+  /// (--queue-target-ms); 0 disables adaptive brownout entirely.
+  uint64_t queue_target_us = 0;
+  /// Brownout sampler cadence and hysteresis (see BrownoutController).
+  uint64_t brownout_sample_ms = 100;
+  int brownout_up_samples = 2;
+  int brownout_down_samples = 5;
 
   /// Arms per-site lock telemetry (DESIGN.md §16): wait/hold histograms
   /// on the hot locks, exported at /metrics and ranked at /contention.
@@ -159,6 +174,8 @@ struct ServerMetrics {
   uint64_t prefetches_shed_breaker = 0;  // prefetch shed: breaker unhealthy
   uint64_t breaker_rejects = 0;     // demand rejected while breaker open
   uint64_t faults_injected = 0;     // injected transport failures
+  uint64_t deadline_expired = 0;    // rejected unexecuted at dequeue (§17)
+  uint64_t brownout_sheds = 0;      // work dropped by the brownout ladder
 
   double CacheHitRate() const {
     return reads == 0 ? 0 : static_cast<double>(cache_hits) /
@@ -222,6 +239,10 @@ class ChronoServer {
     uint64_t decode_start_us = 0;
     uint64_t dispatch_us = 0;
     bool traced = false;
+    /// Absolute server-clock µs the client's propagated deadline lands
+    /// (wire deadline_ms anchored at decode start); 0 = none. Clamps the
+    /// §11 retry budget and arms expiry-at-dequeue rejection (§17).
+    uint64_t deadline_us = 0;
   };
 
   /// Wire-path variant of SubmitAsync: the finished request's trace is
@@ -269,6 +290,30 @@ class ChronoServer {
   const ShardedCache& cache() const { return cache_; }
   const ThreadPool& pool() const { return pool_; }
   const ServerConfig& config() const { return config_; }
+
+  /// §17 overload surface for the wire frontend: the current brownout
+  /// level (lock-free) and the Retry-After hint to attach to rejections.
+  BrownoutController::Level brownout_level() const {
+    return brownout_.level();
+  }
+  uint32_t brownout_retry_after_ms() const {
+    return brownout_.RetryAfterMs();
+  }
+  /// Journals + counts one overload shed (kOverloadShed* reason). The
+  /// wire frontend calls this for pipeline/admission rejections; the
+  /// server itself for brownout-shed prefetches.
+  void RecordOverloadShed(uint64_t reason, ClientId client,
+                          uint32_t retry_after_ms);
+  /// The exact status delivered when a queued request's deadline expired
+  /// before any worker dequeued it (§17): rejected in O(1), never
+  /// executed. The wire frontend uses this to stamp kFlagExpired on the
+  /// Error frame it answers with.
+  static constexpr const char* kExpiredInQueueMessage =
+      "deadline expired while queued; not executed";
+  static bool IsExpiredInQueue(const Status& status) {
+    return status.code() == Status::Code::kDeadlineExceeded &&
+           status.message() == kExpiredInQueueMessage;
+  }
   /// Lock-free reads: CacheCounters fields are atomic.
   const CacheCounters& template_cache_counters() const {
     return template_cache_.counters();
@@ -512,7 +557,8 @@ class ChronoServer {
         predictions_cached{0}, prediction_hits{0}, prediction_fallbacks{0},
         prefetched_hits{0}, prefetches_dropped{0}, errors{0},
         backend_retries{0}, backend_timeouts{0}, stale_serves{0},
-        prefetches_shed_breaker{0}, breaker_rejects{0};
+        prefetches_shed_breaker{0}, breaker_rejects{0}, deadline_expired{0},
+        brownout_sheds{0};
   } metrics_;
 
   // Fault-tolerance layer (DESIGN.md §11). The breaker mutex and the
@@ -545,6 +591,19 @@ class ChronoServer {
   // pool_, so workers are joined before the journal goes away.
   std::unique_ptr<obs::PrefetchAudit> audit_;
   std::unique_ptr<obs::EventJournal> journal_;
+
+  // Overload control (§17). The controller's level is read lock-free on
+  // the hot path; the sampler thread diffing the demand-lane wait
+  // histogram is started only when queue_target_us > 0 and joined in
+  // Shutdown before the pool drains.
+  BrownoutController brownout_;
+  obs::Histogram* pool_wait_hist_[ThreadPool::kLaneCount] = {};
+  obs::Histogram* pool_run_hist_ = nullptr;
+  std::mutex brownout_stop_mutex_;
+  std::condition_variable brownout_stop_cv_;
+  bool brownout_stop_ = false;
+  std::thread brownout_thread_;
+  void BrownoutLoop();
 
   // Declared last: destroyed first, so worker threads are joined before
   // any state they touch goes away.

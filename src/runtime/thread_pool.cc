@@ -19,9 +19,10 @@ uint64_t ElapsedNs(std::chrono::steady_clock::time_point from,
 }  // namespace
 
 ThreadPool::ThreadPool(int workers, size_t queue_capacity,
-                       size_t background_headroom, obs::LockSite* queue_site)
+                       size_t prefetch_capacity, obs::LockSite* queue_site)
     : capacity_(std::max<size_t>(queue_capacity, 1)),
-      headroom_(std::min(background_headroom, capacity_ - 1)),
+      prefetch_capacity_(prefetch_capacity == 0 ? capacity_
+                                                : prefetch_capacity),
       mutex_(queue_site) {
   int n = std::max(workers, 1);
   threads_.reserve(static_cast<size_t>(n));
@@ -32,35 +33,50 @@ ThreadPool::ThreadPool(int workers, size_t queue_capacity,
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-void ThreadPool::AttachMetrics(obs::Histogram* queue_wait_ns,
+void ThreadPool::AttachMetrics(obs::Histogram* demand_wait_ns,
+                               obs::Histogram* prefetch_wait_ns,
                                obs::Histogram* run_ns) {
   std::lock_guard<obs::TimedMutex> lock(mutex_);
-  queue_wait_ns_ = queue_wait_ns;
+  wait_ns_[static_cast<int>(Lane::kDemand)] = demand_wait_ns;
+  wait_ns_[static_cast<int>(Lane::kPrefetch)] = prefetch_wait_ns;
   run_ns_ = run_ns;
 }
 
 bool ThreadPool::Submit(std::function<void()> task) {
+  return Submit(std::move(task), {}, nullptr);
+}
+
+bool ThreadPool::Submit(std::function<void()> task,
+                        std::chrono::steady_clock::time_point deadline,
+                        std::function<void()> expired_fn) {
+  std::deque<Task>& lane = lanes_[static_cast<int>(Lane::kDemand)];
   std::unique_lock<obs::TimedMutex> lock(mutex_);
   not_full_.wait(lock,
-                 [this] { return shutdown_ || queue_.size() < capacity_; });
+                 [this, &lane] { return shutdown_ || lane.size() < capacity_; });
   if (shutdown_) return false;
-  queue_.push_back({std::move(task), std::chrono::steady_clock::now()});
-  peak_depth_ = std::max(peak_depth_, queue_.size());
+  lane.push_back({std::move(task), std::move(expired_fn),
+                  std::chrono::steady_clock::now(), deadline});
+  peak_depth_ = std::max(
+      peak_depth_, lanes_[0].size() + lanes_[1].size());
   lock.unlock();
   not_empty_.notify_one();
   return true;
 }
 
-bool ThreadPool::TrySubmit(std::function<void()> task) {
+bool ThreadPool::TrySubmit(Lane which, std::function<void()> task) {
+  std::deque<Task>& lane = lanes_[static_cast<int>(which)];
+  size_t bound = which == Lane::kDemand ? capacity_ : prefetch_capacity_;
   {
     std::lock_guard<obs::TimedMutex> lock(mutex_);
     if (shutdown_) return false;
-    if (queue_.size() + headroom_ >= capacity_) {
+    if (lane.size() >= bound) {
       shed_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    queue_.push_back({std::move(task), std::chrono::steady_clock::now()});
-    peak_depth_ = std::max(peak_depth_, queue_.size());
+    lane.push_back({std::move(task), nullptr,
+                    std::chrono::steady_clock::now(), {}});
+    peak_depth_ = std::max(
+        peak_depth_, lanes_[0].size() + lanes_[1].size());
   }
   not_empty_.notify_one();
   return true;
@@ -70,6 +86,13 @@ void ThreadPool::Shutdown() {
   {
     std::lock_guard<obs::TimedMutex> lock(mutex_);
     shutdown_ = true;
+    // Deterministic drain-or-reject: prefetch tasks carry no waiting
+    // completions, so discarding them (counted as shed) is safe and
+    // bounds shutdown latency. Demand tasks are left for the workers,
+    // which run fn or expired_fn for every one of them.
+    std::deque<Task>& prefetch = lanes_[static_cast<int>(Lane::kPrefetch)];
+    shed_.fetch_add(prefetch.size(), std::memory_order_relaxed);
+    prefetch.clear();
   }
   not_empty_.notify_all();
   not_full_.notify_all();
@@ -81,9 +104,19 @@ void ThreadPool::Shutdown() {
   }
 }
 
+bool ThreadPool::shutting_down() const {
+  std::lock_guard<obs::TimedMutex> lock(mutex_);
+  return shutdown_;
+}
+
 size_t ThreadPool::queue_depth() const {
   std::lock_guard<obs::TimedMutex> lock(mutex_);
-  return queue_.size();
+  return lanes_[0].size() + lanes_[1].size();
+}
+
+size_t ThreadPool::lane_depth(Lane lane) const {
+  std::lock_guard<obs::TimedMutex> lock(mutex_);
+  return lanes_[static_cast<int>(lane)].size();
 }
 
 size_t ThreadPool::peak_queue_depth() const {
@@ -96,24 +129,49 @@ void ThreadPool::WorkerLoop(int index) {
                          "chrono-worker-" + std::to_string(index));
   for (;;) {
     Task task;
+    Lane lane = Lane::kDemand;
     obs::Histogram* wait_hist = nullptr;
     obs::Histogram* run_hist = nullptr;
     {
       std::unique_lock<obs::TimedMutex> lock(mutex_);
-      not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown with a drained queue
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      not_empty_.wait(lock, [this] {
+        return shutdown_ || !lanes_[0].empty() || !lanes_[1].empty();
+      });
+      // Strict demand priority: speculation only runs on an empty demand
+      // lane, so prefetch pressure can never starve a waiting client.
+      if (!lanes_[0].empty()) {
+        lane = Lane::kDemand;
+      } else if (!lanes_[1].empty()) {
+        lane = Lane::kPrefetch;
+      } else {
+        return;  // shutdown with drained lanes
+      }
+      std::deque<Task>& q = lanes_[static_cast<int>(lane)];
+      task = std::move(q.front());
+      q.pop_front();
       // Histogram pointers are copied out under the same lock that
       // AttachMetrics writes them under, so attachment mid-traffic is
       // race-free.
-      wait_hist = queue_wait_ns_;
+      wait_hist = wait_ns_[static_cast<int>(lane)];
       run_hist = run_ns_;
     }
-    not_full_.notify_one();
+    if (lane == Lane::kDemand) not_full_.notify_one();
     auto started = std::chrono::steady_clock::now();
     if (wait_hist != nullptr) {
       wait_hist->Record(ElapsedNs(task.enqueued, started));
+    }
+    // Expiry check at dequeue: O(1), before any execution. The rejection
+    // callback still runs (delivering the completion) but the task never
+    // touches the backend.
+    if (task.expired_fn != nullptr && task.deadline <= started &&
+        task.deadline.time_since_epoch().count() != 0) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      try {
+        task.expired_fn();
+      } catch (...) {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
     }
     try {
       task.fn();

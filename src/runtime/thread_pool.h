@@ -20,25 +20,36 @@ class Histogram;
 
 namespace chrono::runtime {
 
-/// \brief Fixed-size worker pool over a bounded MPMC task queue — the
+/// \brief Fixed-size worker pool over two bounded task lanes — the
 /// wall-clock counterpart of the simulator's `Resource` middleware pool.
-/// Producers block when the queue is full (closed-loop backpressure, the
-/// same discipline serve_bench's clients run under); workers drain tasks
-/// until Shutdown(). Tasks that throw are swallowed and counted — one bad
-/// query must never take a serving thread down.
+///
+/// Admission is split by intent (§17): the **demand** lane carries work a
+/// client is waiting on (blocking Submit, closed-loop backpressure), the
+/// **prefetch** lane carries best-effort speculation (non-blocking
+/// TrySubmit, shed when its lane is full). Workers drain with strict
+/// demand priority — a prefetch task runs only when the demand lane is
+/// empty — so under saturation speculation can never delay a waiting
+/// client (this replaces the old single-queue headroom heuristic, which
+/// still let already-queued prefetches run ahead of newly-arrived demand).
+///
+/// Tasks may carry a deadline plus an `expired_fn`: a task whose deadline
+/// passed while it sat in the queue is rejected in O(1) at dequeue —
+/// `expired_fn` runs instead of `fn`, so its completion is still
+/// delivered but no backend budget is burned on a client that already
+/// gave up. Tasks that throw are swallowed and counted — one bad query
+/// must never take a serving thread down.
 class ThreadPool {
  public:
+  enum class Lane { kDemand = 0, kPrefetch = 1 };
+  static constexpr int kLaneCount = 2;
+
   /// Spawns `workers` threads (minimum 1). `queue_capacity` bounds the
-  /// number of queued-but-not-yet-running tasks. `background_headroom`
-  /// reserves that many queue slots for blocking Submit (demand work):
-  /// TrySubmit starts shedding once depth reaches
-  /// capacity - headroom, so under saturation best-effort prefetch is
-  /// dropped before demand ever has to wait. Clamped to capacity - 1.
-  /// `queue_site` (may be null) attributes queue-mutex contention to a
-  /// "pool.queue" lock site. Workers register in the ThreadRegistry as
-  /// chrono-worker-N with role `worker`.
+  /// demand lane; `prefetch_capacity` bounds the prefetch lane (0 means
+  /// "same as queue_capacity"). `queue_site` (may be null) attributes
+  /// queue-mutex contention to a "pool.queue" lock site. Workers register
+  /// in the ThreadRegistry as chrono-worker-N with role `worker`.
   explicit ThreadPool(int workers, size_t queue_capacity = 1024,
-                      size_t background_headroom = 0,
+                      size_t prefetch_capacity = 0,
                       obs::LockSite* queue_site = nullptr);
 
   /// Drains and joins. Equivalent to Shutdown().
@@ -47,25 +58,51 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task, blocking while the queue is full. Returns false —
-  /// without running or retaining the task — if the pool is shut down
-  /// (before or while waiting for space).
+  /// Enqueues a demand task, blocking while the demand lane is full.
+  /// Returns false — without running or retaining the task — if the pool
+  /// is shut down (before or while waiting for space).
   bool Submit(std::function<void()> task);
 
-  /// Non-blocking enqueue for best-effort work: false — shedding the task
-  /// — if the queue has fewer than background_headroom free slots or the
-  /// pool is shut down. Sheds are counted (tasks_shed).
-  bool TrySubmit(std::function<void()> task);
+  /// Demand submit with an expiry: if `deadline` passes before a worker
+  /// dequeues the task, `expired_fn` runs (on the worker) instead of the
+  /// task — O(1), no execution, completion still delivered. Exactly one
+  /// of the two callbacks runs for every accepted task, including during
+  /// shutdown drain.
+  bool Submit(std::function<void()> task,
+              std::chrono::steady_clock::time_point deadline,
+              std::function<void()> expired_fn);
 
-  /// Stops accepting tasks, lets workers finish everything already
-  /// queued, and joins them. Idempotent; safe to call concurrently with
+  /// Non-blocking lane-aware enqueue: false — shedding the task — if the
+  /// lane is full or the pool is shut down. Sheds are counted
+  /// (tasks_shed).
+  bool TrySubmit(Lane lane, std::function<void()> task);
+
+  /// Back-compat alias: best-effort prefetch submit.
+  bool TrySubmit(std::function<void()> task) {
+    return TrySubmit(Lane::kPrefetch, std::move(task));
+  }
+
+  /// Stops accepting tasks and joins the workers. Deterministic
+  /// drain-or-reject (§17): queued demand tasks all run (`fn`, or
+  /// `expired_fn` if their deadline passed — never silently dropped, so
+  /// every pending completion is delivered and journal recorded==drained
+  /// stays exact even when the queue is full at drain time); queued
+  /// prefetch tasks are discarded and counted as shed (they have no
+  /// waiting completions). Idempotent; safe to call concurrently with
   /// Submit (submitters past the shutdown point get `false`).
   void Shutdown();
 
   int workers() const { return static_cast<int>(threads_.size()); }
 
-  /// Tasks currently queued (not yet picked up by a worker).
+  /// True once Shutdown() has begun (drain in progress or complete).
+  /// Expiry callbacks use this to tell a live rejection from one that
+  /// happened while the shutdown drain emptied the demand lane.
+  bool shutting_down() const;
+
+  /// Tasks currently queued across both lanes (not yet picked up).
   size_t queue_depth() const;
+  /// Tasks currently queued in one lane.
+  size_t lane_depth(Lane lane) const;
   /// High-water mark of queue_depth over the pool's lifetime.
   size_t peak_queue_depth() const;
   /// Tasks that finished running (including ones that threw).
@@ -76,28 +113,40 @@ class ThreadPool {
   uint64_t tasks_failed() const {
     return failed_.load(std::memory_order_relaxed);
   }
-  /// TrySubmit calls rejected because the queue lacked headroom.
+  /// TrySubmit calls rejected because their lane was full, plus prefetch
+  /// tasks discarded at Shutdown.
   uint64_t tasks_shed() const {
     return shed_.load(std::memory_order_relaxed);
   }
-  size_t background_headroom() const { return headroom_; }
+  /// Tasks rejected at dequeue because their deadline had already passed
+  /// (expired_fn ran instead of the task).
+  uint64_t tasks_expired() const {
+    return expired_.load(std::memory_order_relaxed);
+  }
+  size_t prefetch_capacity() const { return prefetch_capacity_; }
 
-  /// Attaches queue-wait and run-time histograms (wall-clock nanoseconds).
-  /// Either may be null to leave that dimension uninstrumented. Takes the
-  /// queue lock, so attaching mid-traffic is safe; the histograms must
-  /// outlive the pool. Recording is lock-free (obs::Histogram contract).
-  void AttachMetrics(obs::Histogram* queue_wait_ns, obs::Histogram* run_ns);
+  /// Attaches per-lane queue-wait and run-time histograms (wall-clock
+  /// nanoseconds). Any may be null to leave that dimension
+  /// uninstrumented. Takes the queue lock, so attaching mid-traffic is
+  /// safe; the histograms must outlive the pool. Recording is lock-free
+  /// (obs::Histogram contract). The demand-lane wait histogram is the
+  /// brownout controller's input signal (§17).
+  void AttachMetrics(obs::Histogram* demand_wait_ns,
+                     obs::Histogram* prefetch_wait_ns,
+                     obs::Histogram* run_ns);
 
  private:
   struct Task {
     std::function<void()> fn;
+    std::function<void()> expired_fn;  // may be empty: no expiry
     std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;  // valid iff expired_fn
   };
 
   void WorkerLoop(int index);
 
-  const size_t capacity_;
-  const size_t headroom_;  // queue slots TrySubmit may not use
+  const size_t capacity_;           // demand lane bound
+  const size_t prefetch_capacity_;  // prefetch lane bound
   /// The queue mutex is a TimedMutex so contention on the pool's one
   /// shared lock shows up in /contention; the condition variables must be
   /// _any because std::condition_variable works only with std::mutex.
@@ -106,15 +155,16 @@ class ThreadPool {
   mutable obs::TimedMutex mutex_;
   std::mutex join_mutex_;
   std::condition_variable_any not_empty_;  // workers wait here
-  std::condition_variable_any not_full_;   // producers wait here
-  std::deque<Task> queue_;
+  std::condition_variable_any not_full_;   // demand producers wait here
+  std::deque<Task> lanes_[kLaneCount];
   bool shutdown_ = false;
   size_t peak_depth_ = 0;
-  obs::Histogram* queue_wait_ns_ = nullptr;  // guarded by mutex_
-  obs::Histogram* run_ns_ = nullptr;         // guarded by mutex_
+  obs::Histogram* wait_ns_[kLaneCount] = {nullptr, nullptr};  // by mutex_
+  obs::Histogram* run_ns_ = nullptr;                          // by mutex_
   std::atomic<uint64_t> executed_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> expired_{0};
   std::vector<std::thread> threads_;
 };
 

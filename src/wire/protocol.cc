@@ -137,11 +137,12 @@ class Reader {
 };
 
 std::string EncodeFrame(MessageType type, uint16_t flags, uint64_t request_id,
-                        std::string_view payload) {
+                        std::string_view payload,
+                        uint8_t version = kProtocolVersion) {
   std::string out;
   out.reserve(kHeaderBytes + payload.size());
   PutU32(&out, kMagic);
-  PutU8(&out, kProtocolVersion);
+  PutU8(&out, version);
   PutU8(&out, static_cast<uint8_t>(type));
   PutU16(&out, flags);
   PutU64(&out, request_id);
@@ -168,24 +169,33 @@ const char* MessageTypeName(MessageType type) {
   return "?";
 }
 
-std::string EncodeHello(uint64_t request_id, const HelloBody& body) {
+std::string EncodeHello(uint64_t request_id, const HelloBody& body,
+                        uint8_t version) {
   std::string payload;
   payload.reserve(12);
   PutU64(&payload, body.client_id);
   PutU32(&payload, static_cast<uint32_t>(body.security_group));
-  return EncodeFrame(MessageType::kHello, 0, request_id, payload);
+  return EncodeFrame(MessageType::kHello, 0, request_id, payload, version);
 }
 
 std::string EncodeQuery(uint64_t request_id, std::string_view sql,
-                        uint16_t flags) {
+                        uint16_t flags, uint32_t deadline_ms,
+                        uint8_t version) {
   std::string payload;
-  payload.reserve(4 + sql.size());
+  payload.reserve(8 + sql.size());
   PutString(&payload, sql);
-  return EncodeFrame(MessageType::kQuery, flags, request_id, payload);
+  if (deadline_ms > 0 && version >= 2) {
+    flags |= kFlagDeadline;
+    PutU32(&payload, deadline_ms);
+  } else {
+    flags = static_cast<uint16_t>(flags & ~kFlagDeadline);
+  }
+  return EncodeFrame(MessageType::kQuery, flags, request_id, payload,
+                     version);
 }
 
 std::string EncodeResult(uint64_t request_id, const sql::ResultSet& rows,
-                         uint16_t flags) {
+                         uint16_t flags, uint8_t version) {
   std::string payload;
   payload.reserve(64 + rows.ByteSize());
   PutU32(&payload, static_cast<uint32_t>(rows.column_count()));
@@ -196,23 +206,34 @@ std::string EncodeResult(uint64_t request_id, const sql::ResultSet& rows,
   for (const sql::Row& row : rows.rows()) {
     for (const sql::Value& v : row) PutValue(&payload, v);
   }
-  return EncodeFrame(MessageType::kResult, flags, request_id, payload);
+  return EncodeFrame(MessageType::kResult, flags, request_id, payload,
+                     version);
 }
 
-std::string EncodeError(uint64_t request_id, const Status& status) {
+std::string EncodeError(uint64_t request_id, const Status& status,
+                        uint16_t flags, uint32_t retry_after_ms,
+                        uint8_t version) {
   std::string payload;
-  payload.reserve(5 + status.message().size());
+  payload.reserve(9 + status.message().size());
   PutU8(&payload, StatusCodeToWire(status.code()));
   PutString(&payload, status.message());
-  return EncodeFrame(MessageType::kError, 0, request_id, payload);
+  if (retry_after_ms > 0 && version >= 2) {
+    flags |= kFlagRetryAfter;
+    PutU32(&payload, retry_after_ms);
+  } else {
+    flags = static_cast<uint16_t>(flags & ~kFlagRetryAfter);
+  }
+  if (version < 2) flags = static_cast<uint16_t>(flags & ~kFlagExpired);
+  return EncodeFrame(MessageType::kError, flags, request_id, payload,
+                     version);
 }
 
-std::string EncodePing(uint64_t request_id) {
-  return EncodeFrame(MessageType::kPing, 0, request_id, {});
+std::string EncodePing(uint64_t request_id, uint8_t version) {
+  return EncodeFrame(MessageType::kPing, 0, request_id, {}, version);
 }
 
-std::string EncodeGoodbye(uint64_t request_id) {
-  return EncodeFrame(MessageType::kGoodbye, 0, request_id, {});
+std::string EncodeGoodbye(uint64_t request_id, uint8_t version) {
+  return EncodeFrame(MessageType::kGoodbye, 0, request_id, {}, version);
 }
 
 DecodeStatus DecodeFrame(const char* data, size_t size,
@@ -239,7 +260,7 @@ DecodeStatus DecodeFrame(const char* data, size_t size,
     *error = Status::InvalidArgument("bad frame magic");
     return DecodeStatus::kError;
   }
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     *error = Status::Unsupported("unsupported protocol version " +
                                  std::to_string(version));
     return DecodeStatus::kError;
@@ -278,12 +299,19 @@ Result<HelloBody> DecodeHello(std::string_view payload) {
   return body;
 }
 
-Result<std::string> DecodeQuery(std::string_view payload) {
+Result<QueryBody> DecodeQuery(std::string_view payload, uint16_t flags) {
   Reader reader(payload);
-  std::string sql;
-  if (!reader.ReadString(&sql)) return Malformed("query string truncated");
+  QueryBody body;
+  if (!reader.ReadString(&body.sql)) {
+    return Malformed("query string truncated");
+  }
+  if (flags & kFlagDeadline) {
+    if (!reader.ReadU32(&body.deadline_ms)) {
+      return Malformed("query deadline truncated");
+    }
+  }
   if (!reader.AtEnd()) return Malformed("query has trailing bytes");
-  return sql;
+  return body;
 }
 
 Result<sql::ResultSet> DecodeResult(std::string_view payload) {
@@ -316,40 +344,48 @@ Result<sql::ResultSet> DecodeResult(std::string_view payload) {
   return rows;
 }
 
-Status DecodeError(std::string_view payload, Status* decoded) {
+Status DecodeError(std::string_view payload, uint16_t flags,
+                   ErrorBody* decoded) {
   Reader reader(payload);
   uint8_t code = 0;
   std::string message;
   if (!reader.ReadU8(&code) || !reader.ReadString(&message)) {
     return Malformed("error frame truncated");
   }
+  decoded->retry_after_ms = 0;
+  if (flags & kFlagRetryAfter) {
+    if (!reader.ReadU32(&decoded->retry_after_ms)) {
+      return Malformed("error retry-after truncated");
+    }
+  }
+  decoded->expired = (flags & kFlagExpired) != 0;
   if (!reader.AtEnd()) return Malformed("error frame has trailing bytes");
   switch (WireToStatusCode(code)) {
     case Status::Code::kOk:
       return Malformed("error frame carrying OK");
     case Status::Code::kInvalidArgument:
-      *decoded = Status::InvalidArgument(std::move(message));
+      decoded->status = Status::InvalidArgument(std::move(message));
       break;
     case Status::Code::kNotFound:
-      *decoded = Status::NotFound(std::move(message));
+      decoded->status = Status::NotFound(std::move(message));
       break;
     case Status::Code::kParseError:
-      *decoded = Status::ParseError(std::move(message));
+      decoded->status = Status::ParseError(std::move(message));
       break;
     case Status::Code::kExecutionError:
-      *decoded = Status::ExecutionError(std::move(message));
+      decoded->status = Status::ExecutionError(std::move(message));
       break;
     case Status::Code::kUnsupported:
-      *decoded = Status::Unsupported(std::move(message));
+      decoded->status = Status::Unsupported(std::move(message));
       break;
     case Status::Code::kInternal:
-      *decoded = Status::Internal(std::move(message));
+      decoded->status = Status::Internal(std::move(message));
       break;
     case Status::Code::kUnavailable:
-      *decoded = Status::Unavailable(std::move(message));
+      decoded->status = Status::Unavailable(std::move(message));
       break;
     case Status::Code::kDeadlineExceeded:
-      *decoded = Status::DeadlineExceeded(std::move(message));
+      decoded->status = Status::DeadlineExceeded(std::move(message));
       break;
   }
   return Status::OK();

@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <utility>
 
@@ -22,7 +23,10 @@ Status WireClient::Connect(const std::string& host, int port,
   net::SetNoDelay(fd_);
   inbuf_.clear();
   next_request_id_ = 1;
+  version_ = kProtocolVersion;
 
+  // The Hello advertises our highest version; the server echoes the Hello
+  // stamped with the negotiated one: min(ours, its own).
   HelloBody hello;
   hello.client_id = client_id;
   hello.security_group = security_group;
@@ -38,10 +42,10 @@ Status WireClient::Connect(const std::string& host, int port,
     return ack.status();
   }
   if (ack->header.type == MessageType::kError) {
-    Status server_error;
-    Status parsed = DecodeError(ack->payload, &server_error);
+    ErrorBody err;
+    Status parsed = DecodeError(ack->payload, ack->header.flags, &err);
     Close();
-    return parsed.ok() ? server_error
+    return parsed.ok() ? err.status
                        : Status::Internal("wire: malformed Error ack");
   }
   if (ack->header.type != MessageType::kHello ||
@@ -49,13 +53,14 @@ Status WireClient::Connect(const std::string& host, int port,
     Close();
     return Status::Internal("wire: handshake expected a Hello ack");
   }
+  version_ = std::min(ack->header.version, kProtocolVersion);
   return Status::OK();
 }
 
 void WireClient::Close() {
   if (fd_ < 0) return;
   // Best-effort clean shutdown; the server counts this as closed_by_client.
-  std::string bye = EncodeGoodbye(0);
+  std::string bye = EncodeGoodbye(0, version_);
   net::SendAll(fd_, bye.data(), bye.size());
   ::close(fd_);
   fd_ = -1;
@@ -114,9 +119,9 @@ Result<Frame> WireClient::ReadFrame(int timeout_ms) {
 }
 
 Status WireClient::SendQuery(const std::string& sql, uint64_t* request_id,
-                             uint16_t flags) {
+                             uint16_t flags, uint32_t deadline_ms) {
   uint64_t id = next_request_id_++;
-  Status sent = SendFrame(EncodeQuery(id, sql, flags));
+  Status sent = SendFrame(EncodeQuery(id, sql, flags, deadline_ms, version_));
   if (!sent.ok()) return sent;
   if (request_id != nullptr) *request_id = id;
   return Status::OK();
@@ -135,11 +140,15 @@ Result<WireClient::Response> WireClient::ReadResponse(int timeout_ms) {
         return response;
       }
       case MessageType::kError: {
-        Status server_error;
-        Status parsed = DecodeError(frame->payload, &server_error);
-        response.result =
-            parsed.ok() ? server_error
-                        : Status::Internal("wire: malformed Error frame");
+        ErrorBody err;
+        Status parsed = DecodeError(frame->payload, frame->header.flags, &err);
+        if (parsed.ok()) {
+          response.result = err.status;
+          response.retry_after_ms = err.retry_after_ms;
+          response.expired = err.expired;
+        } else {
+          response.result = Status::Internal("wire: malformed Error frame");
+        }
         return response;
       }
       case MessageType::kGoodbye: {
@@ -157,9 +166,10 @@ Result<WireClient::Response> WireClient::ReadResponse(int timeout_ms) {
 }
 
 Result<sql::ResultSet> WireClient::Query(const std::string& sql,
-                                         int timeout_ms, uint16_t flags) {
+                                         int timeout_ms, uint16_t flags,
+                                         uint32_t deadline_ms) {
   uint64_t id = 0;
-  Status sent = SendQuery(sql, &id, flags);
+  Status sent = SendQuery(sql, &id, flags, deadline_ms);
   if (!sent.ok()) return sent;
   Result<Response> response = ReadResponse(timeout_ms);
   if (!response.ok()) return response.status();
@@ -172,7 +182,7 @@ Result<sql::ResultSet> WireClient::Query(const std::string& sql,
 
 Status WireClient::Ping(int timeout_ms) {
   uint64_t id = next_request_id_++;
-  Status sent = SendFrame(EncodePing(id));
+  Status sent = SendFrame(EncodePing(id, version_));
   if (!sent.ok()) return sent;
   Result<Frame> frame = ReadFrame(timeout_ms);
   if (!frame.ok()) return frame.status();

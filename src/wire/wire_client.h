@@ -43,19 +43,28 @@ class WireClient {
     /// kResult decodes into rows; kError carries the server's Status.
     Result<sql::ResultSet> result = Status::OK();
     bool goodbye = false;  // server said Goodbye: connection is draining
+    /// kError extras (§17): the server's Retry-After hint when the
+    /// brownout ladder refused admission, and whether a
+    /// kDeadlineExceeded error means "expired while queued, never
+    /// executed" (kFlagExpired) rather than mid-flight timeout.
+    uint32_t retry_after_ms = 0;
+    bool expired = false;
   };
 
   /// Simple mode: send one Query and block for its response (responses
   /// for other request ids are a protocol violation in this mode).
   /// `flags` are Query-frame bits (kFlagTraced forces tail retention of
-  /// this request's server-side timeline).
+  /// this request's server-side timeline). A nonzero `deadline_ms`
+  /// propagates the client's remaining budget to the server (§17) —
+  /// silently dropped when the negotiated protocol version is v1.
   Result<sql::ResultSet> Query(const std::string& sql,
-                               int timeout_ms = 10'000, uint16_t flags = 0);
+                               int timeout_ms = 10'000, uint16_t flags = 0,
+                               uint32_t deadline_ms = 0);
 
   /// Pipelined mode: enqueue a Query without waiting. Returns the
   /// request id that the matching Response will carry.
   Status SendQuery(const std::string& sql, uint64_t* request_id,
-                   uint16_t flags = 0);
+                   uint16_t flags = 0, uint32_t deadline_ms = 0);
 
   /// Blocks for the next response frame (any request id). Pings from the
   /// liveness probe are consumed transparently.
@@ -69,6 +78,11 @@ class WireClient {
   Status SendRaw(const void* data, size_t size);
   int fd() const { return fd_; }
 
+  /// Protocol version negotiated at Connect: min(ours, server's). Frames
+  /// sent after the handshake are stamped with it, and v2-only fields
+  /// (deadline_ms) are dropped when it is 1.
+  uint8_t negotiated_version() const { return version_; }
+
  private:
   /// Reads until one complete frame is decoded from inbuf_ + socket.
   Result<Frame> ReadFrame(int timeout_ms);
@@ -76,6 +90,7 @@ class WireClient {
 
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
+  uint8_t version_ = kProtocolVersion;
   std::string inbuf_;
   uint32_t max_frame_bytes_ = kDefaultMaxFrameBytes;
 };

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -219,6 +220,7 @@ void WireServer::AcceptAll() {
     auto conn = std::make_shared<Conn>();
     conn->fd = fd;
     conn->last_activity_us = NowMicros();
+    conn->connected_us = conn->last_activity_us;
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLET;
     ev.data.fd = fd;
@@ -276,7 +278,19 @@ bool WireServer::DrainInbuf(const std::shared_ptr<Conn>& conn) {
     DecodeStatus status =
         DecodeFrame(conn->inbuf.data(), conn->inbuf.size(),
                     options_.max_frame_bytes, &frame, &consumed, &error);
-    if (status == DecodeStatus::kNeedMore) return true;
+    if (status == DecodeStatus::kNeedMore) {
+      // Arm the read deadline while an incomplete frame sits in the
+      // buffer: a slowloris trickling one byte per tick refreshes
+      // last_activity_us but not this anchor (§17).
+      if (!conn->inbuf.empty()) {
+        if (conn->partial_since_us == 0) {
+          conn->partial_since_us = NowMicros();
+        }
+      } else {
+        conn->partial_since_us = 0;
+      }
+      return true;
+    }
     if (status == DecodeStatus::kError) {
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       if (protocol_errors_counter_) protocol_errors_counter_->Increment();
@@ -284,6 +298,7 @@ bool WireServer::DrainInbuf(const std::shared_ptr<Conn>& conn) {
       return false;
     }
     conn->inbuf.erase(0, consumed);
+    conn->partial_since_us = 0;
     frames_in_.fetch_add(1, std::memory_order_relaxed);
     if (frames_in_counter_) frames_in_counter_->Increment();
 
@@ -306,32 +321,81 @@ bool WireServer::DrainInbuf(const std::shared_ptr<Conn>& conn) {
         }
         conn->client_id = hello->client_id;
         conn->security_group = hello->security_group;
+        // Version negotiation: speak min(client, server) for the rest of
+        // the connection. The echoed Hello carries the negotiated version
+        // so the client learns what the server settled on.
+        conn->version = std::min(frame.header.version, kProtocolVersion);
         conn->hello_done = true;
         // Echo the Hello as the acknowledgement; the client waits for it
         // before pipelining queries.
-        SendFrame(conn, EncodeHello(request_id, *hello));
+        SendFrame(conn, EncodeHello(request_id, *hello, conn->version));
         break;
       }
       case MessageType::kQuery: {
-        Result<std::string> sql = DecodeQuery(frame.payload);
-        if (!sql.ok()) {
+        Result<QueryBody> query =
+            DecodeQuery(frame.payload, frame.header.flags);
+        if (!query.ok()) {
           protocol_errors_.fetch_add(1, std::memory_order_relaxed);
           if (protocol_errors_counter_) protocol_errors_counter_->Increment();
-          ProtocolError(conn, request_id, sql.status());
+          ProtocolError(conn, request_id, query.status());
           return false;
         }
-        DispatchQuery(conn, request_id, *std::move(sql), decode_start_us,
-                      (frame.header.flags & kFlagTraced) != 0);
+        // Brownout admission (§17): the deepest two rungs reject work at
+        // the frontend, before it can occupy a pool slot. The connection
+        // stays open — the Error carries a Retry-After hint (v2 peers) so
+        // the client backs off instead of hammering.
+        const auto level = server_->brownout_level();
+        uint64_t shed_reason = 0;
+        bool shed = false;
+        if (level >= runtime::BrownoutController::Level::kRejectQuery) {
+          // Work-conserving admission: the deepest rung turns away new
+          // Querys only while a demand backlog actually exists. Once the
+          // drain catches up, requests trickle in at service rate with
+          // near-zero queue wait instead of bouncing off a closed door
+          // until the ladder walks back down — the reject rung caps the
+          // backlog rather than gating on the (lagging) sampled level.
+          const runtime::ThreadPool& pool = server_->pool();
+          if (pool.lane_depth(runtime::ThreadPool::Lane::kDemand) >=
+              static_cast<size_t>(pool.workers())) {
+            shed = true;
+            shed_reason = obs::kOverloadShedAdmission;
+          }
+        }
+        if (!shed &&
+            level >= runtime::BrownoutController::Level::kShedPipeline &&
+            conn->inflight >= 1) {
+          // Pipelined frames beyond the one in flight are over-limit.
+          shed = true;
+          shed_reason = obs::kOverloadShedPipeline;
+        }
+        if (shed) {
+          const uint32_t retry_after = server_->brownout_retry_after_ms();
+          overload_rejects_.fetch_add(1, std::memory_order_relaxed);
+          server_->RecordOverloadShed(
+              shed_reason, static_cast<runtime::ClientId>(conn->client_id),
+              retry_after);
+          SendFrame(conn,
+                    EncodeError(request_id,
+                                Status::Unavailable(
+                                    "server overloaded; retry later"),
+                                kFlagRetryAfter, retry_after,
+                                conn->version));
+          break;
+        }
+        DispatchQuery(conn, request_id, std::move(query->sql),
+                      decode_start_us,
+                      (frame.header.flags & kFlagTraced) != 0,
+                      query->deadline_ms);
         break;
       }
       case MessageType::kPing: {
-        SendFrame(conn, EncodePing(request_id));
+        SendFrame(conn, EncodePing(request_id, conn->version));
         break;
       }
       case MessageType::kGoodbye: {
         // Clean shutdown: stop reading, flush what is queued, close.
         conn->draining = true;
-        SendFrame(conn, EncodeGoodbye(request_id));
+        SendFrame(conn, EncodeGoodbye(request_id, conn->version));
         if (conn->inflight == 0 && conn->out_offset >= conn->outbuf.size()) {
           CloseConn(conn, CloseReason::kClient);
         }
@@ -355,15 +419,23 @@ bool WireServer::DrainInbuf(const std::shared_ptr<Conn>& conn) {
 
 void WireServer::DispatchQuery(const std::shared_ptr<Conn>& conn,
                                uint64_t request_id, std::string sql,
-                               uint64_t decode_start_us, bool traced) {
+                               uint64_t decode_start_us, bool traced,
+                               uint32_t deadline_ms) {
   ++conn->inflight;
   const uint64_t t0 = NowMicros();
   const auto client = static_cast<runtime::ClientId>(conn->client_id);
   const int group = conn->security_group;
+  const uint8_t version = conn->version;
   runtime::ChronoServer::WireTiming timing;
   timing.decode_start_us = decode_start_us;
   timing.dispatch_us = server_->NowMicros();
   timing.traced = traced;
+  if (deadline_ms > 0) {
+    // The client's patience is measured from frame decode: everything the
+    // server spends — queueing, retries, the backend — counts against it.
+    timing.deadline_us =
+        decode_start_us + static_cast<uint64_t>(deadline_ms) * 1000;
+  }
   // ChronoServer::SubmitAsync blocks while the pool queue is full — that
   // (plus the per-conn pipeline cap) is the dispatch-side backpressure.
   // The callback runs on a worker thread: it encodes the response frame
@@ -372,15 +444,24 @@ void WireServer::DispatchQuery(const std::shared_ptr<Conn>& conn,
   // completion-wait and response-flush spans before PublishTrace.
   server_->SubmitAsync(
       client, std::move(sql), group, timing,
-      [this, conn, request_id, t0](Result<runtime::SharedResult> result,
-                                   std::shared_ptr<obs::RequestTrace> trace) {
+      [this, conn, request_id, t0,
+       version](Result<runtime::SharedResult> result,
+                std::shared_ptr<obs::RequestTrace> trace) {
         std::string frame;
         uint8_t ok_flag = 0;
         if (result.ok()) {
-          frame = EncodeResult(request_id, **result);
+          frame = EncodeResult(request_id, **result, 0, version);
           ok_flag = obs::kJournalFlagOk;
         } else {
-          frame = EncodeError(request_id, result.status());
+          // Expired-in-queue rejections carry kFlagExpired (v2): the
+          // request never executed, as opposed to running out of time
+          // mid-flight. v1 peers just see kDeadlineExceeded.
+          uint16_t flags =
+              runtime::ChronoServer::IsExpiredInQueue(result.status())
+                  ? kFlagExpired
+                  : 0;
+          frame = EncodeError(request_id, result.status(), flags,
+                              /*retry_after_ms=*/0, version);
         }
         const uint64_t latency_us = NowMicros() - t0;
         requests_.fetch_add(1, std::memory_order_relaxed);
@@ -564,7 +645,8 @@ void WireServer::ProtocolError(const std::shared_ptr<Conn>& conn,
   // Best-effort: queue the Error frame, try to flush it, then close. A
   // peer that already vanished just skips to the close.
   if (!conn->dead.load(std::memory_order_relaxed)) {
-    std::string frame = EncodeError(request_id, status);
+    std::string frame =
+        EncodeError(request_id, status, 0, 0, conn->version);
     conn->enqueued_total += frame.size();
     conn->outbuf += frame;
     frames_out_.fetch_add(1, std::memory_order_relaxed);
@@ -612,18 +694,36 @@ void WireServer::CloseConn(const std::shared_ptr<Conn>& conn,
 }
 
 void WireServer::CloseIdleConns() {
-  if (options_.idle_timeout_ms <= 0) return;
   const uint64_t now = NowMicros();
-  const uint64_t limit =
+  const uint64_t idle_limit =
       static_cast<uint64_t>(options_.idle_timeout_ms) * 1000;
-  // Collect first: CloseConn mutates conns_.
-  std::vector<std::shared_ptr<Conn>> idle;
+  const uint64_t hello_limit =
+      static_cast<uint64_t>(options_.handshake_timeout_ms) * 1000;
+  const uint64_t read_limit =
+      static_cast<uint64_t>(options_.read_timeout_ms) * 1000;
+  if (idle_limit == 0 && hello_limit == 0 && read_limit == 0) return;
+  // Collect first: CloseConn mutates conns_. Slowloris peers — stuck
+  // before Hello or dribbling a frame one byte at a time — are reaped
+  // like idle ones (§17): activity refreshes last_activity_us but not
+  // the handshake/partial-frame anchors.
+  std::vector<std::shared_ptr<Conn>> doomed;
   for (const auto& [fd, conn] : conns_) {
-    if (conn->inflight == 0 && now - conn->last_activity_us > limit) {
-      idle.push_back(conn);
+    if (idle_limit > 0 && conn->inflight == 0 &&
+        now - conn->last_activity_us > idle_limit) {
+      doomed.push_back(conn);
+      continue;
+    }
+    if (hello_limit > 0 && !conn->hello_done &&
+        now - conn->connected_us > hello_limit) {
+      doomed.push_back(conn);
+      continue;
+    }
+    if (read_limit > 0 && conn->partial_since_us != 0 &&
+        now - conn->partial_since_us > read_limit) {
+      doomed.push_back(conn);
     }
   }
-  for (const auto& conn : idle) CloseConn(conn, CloseReason::kIdle);
+  for (const auto& conn : doomed) CloseConn(conn, CloseReason::kIdle);
 }
 
 void WireServer::GracefulDrain() {
@@ -671,7 +771,7 @@ void WireServer::GracefulDrain() {
   for (const auto& [fd, conn] : conns_) remaining.push_back(conn);
   for (const auto& conn : remaining) {
     if (!conn->dead.load(std::memory_order_relaxed)) {
-      std::string bye = EncodeGoodbye(0);
+      std::string bye = EncodeGoodbye(0, conn->version);
       net::SendAll(conn->fd, bye.data(), bye.size());
       frames_out_.fetch_add(1, std::memory_order_relaxed);
       if (frames_out_counter_) frames_out_counter_->Increment();
@@ -699,6 +799,7 @@ WireServer::Stats WireServer::stats() const {
   out.frames_out = frames_out_.load(std::memory_order_relaxed);
   out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   out.requests = requests_.load(std::memory_order_relaxed);
+  out.overload_rejects = overload_rejects_.load(std::memory_order_relaxed);
   if (latency_hist_ != nullptr) {
     obs::HistogramSnapshot hist = latency_hist_->Snapshot();
     out.p50_latency_us = hist.Percentile(0.5);
@@ -727,6 +828,8 @@ std::string WireServer::StatsJson() const {
   out.append("},\"protocol_errors\":")
       .append(std::to_string(s.protocol_errors));
   out.append(",\"requests\":").append(std::to_string(s.requests));
+  out.append(",\"overload_rejects\":")
+      .append(std::to_string(s.overload_rejects));
   out.append(",\"p50_latency_us\":").append(JsonDouble(s.p50_latency_us));
   out.append(",\"p99_latency_us\":").append(JsonDouble(s.p99_latency_us));
   out.push_back('}');

@@ -52,6 +52,13 @@ class WireServer {
     size_t write_buffer_limit_bytes = 4u << 20;  // stop reading above this
     int idle_timeout_ms = 60'000;   // 0 disables idle closes
     int drain_timeout_ms = 10'000;  // graceful-stop bound
+    /// Slowloris reaping (§17): a connection that has not completed its
+    /// Hello within handshake_timeout_ms, or that has held a partial
+    /// frame in its input buffer longer than read_timeout_ms, is closed
+    /// like an idle one — trickling bytes refreshes last_activity_us but
+    /// not these deadlines. 0 disables each.
+    int handshake_timeout_ms = 5'000;
+    int read_timeout_ms = 10'000;
   };
 
   /// `server` must outlive the WireServer; its registry receives the
@@ -86,6 +93,7 @@ class WireServer {
     uint64_t frames_out = 0;
     uint64_t protocol_errors = 0;
     uint64_t requests = 0;           // queries answered
+    uint64_t overload_rejects = 0;   // Querys refused by the brownout ladder
     double p50_latency_us = 0;       // wire request latency
     double p99_latency_us = 0;
   };
@@ -102,6 +110,10 @@ class WireServer {
     int fd = -1;
     uint64_t client_id = 0;
     int32_t security_group = 0;
+    /// Negotiated protocol version: min(client Hello, kProtocolVersion).
+    /// Every frame sent on this connection is stamped with it — a v1
+    /// client's strict decoder rejects v2 headers (see protocol.h).
+    uint8_t version = kMinProtocolVersion;
     bool hello_done = false;
     bool stopped_reading = false;  // EPOLLIN currently dropped
     bool want_write = false;       // EPOLLOUT currently armed
@@ -111,6 +123,10 @@ class WireServer {
     size_t out_offset = 0;         // sent prefix of outbuf
     int inflight = 0;              // dispatched, response not yet queued
     uint64_t last_activity_us = 0;
+    uint64_t connected_us = 0;     // accept time: handshake deadline anchor
+    /// Set when a drain left a partial frame in inbuf (the read-deadline
+    /// anchor); 0 while the buffer holds no incomplete frame.
+    uint64_t partial_since_us = 0;
     std::atomic<bool> dead{false};  // set by IO thread; read by completions
 
     /// Cumulative bytes ever appended to / flushed from outbuf. A traced
@@ -144,7 +160,8 @@ class WireServer {
   /// false if the connection was closed.
   bool DrainInbuf(const std::shared_ptr<Conn>& conn);
   void DispatchQuery(const std::shared_ptr<Conn>& conn, uint64_t request_id,
-                     std::string sql, uint64_t decode_start_us, bool traced);
+                     std::string sql, uint64_t decode_start_us, bool traced,
+                     uint32_t deadline_ms);
   void DrainCompletions();
   /// Publishes every pending trace whose response bytes the kernel has
   /// accepted (sent_total crossed the watermark).
@@ -205,6 +222,7 @@ class WireServer {
   std::atomic<uint64_t> frames_out_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> overload_rejects_{0};
 
   // Registry instruments (owned by the server's registry).
   obs::Gauge* active_gauge_ = nullptr;

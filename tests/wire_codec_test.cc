@@ -77,7 +77,8 @@ TEST(WireCodec, QueryRoundTrip) {
   EXPECT_EQ(frame.header.request_id, 99u);
   auto decoded = DecodeQuery(frame.payload);
   ASSERT_TRUE(decoded.ok());
-  EXPECT_EQ(*decoded, sql);
+  EXPECT_EQ(decoded->sql, sql);
+  EXPECT_EQ(decoded->deadline_ms, 0u);
 }
 
 TEST(WireCodec, QueryWithEmbeddedNulAndUtf8) {
@@ -85,7 +86,36 @@ TEST(WireCodec, QueryWithEmbeddedNulAndUtf8) {
   sql += "é漢";
   auto decoded = DecodeQuery(MustDecode(EncodeQuery(1, sql)).payload);
   ASSERT_TRUE(decoded.ok());
-  EXPECT_EQ(*decoded, sql);
+  EXPECT_EQ(decoded->sql, sql);
+}
+
+TEST(WireCodec, QueryDeadlineRoundTrip) {
+  Frame frame = MustDecode(EncodeQuery(4, "SELECT 1", 0, /*deadline_ms=*/250));
+  EXPECT_TRUE(frame.header.flags & kFlagDeadline);
+  auto decoded = DecodeQuery(frame.payload, frame.header.flags);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->sql, "SELECT 1");
+  EXPECT_EQ(decoded->deadline_ms, 250u);
+}
+
+TEST(WireCodec, QueryDeadlineDroppedOnV1Frames) {
+  // A v1 frame must never carry the v2 trailing field: the encoder drops
+  // the deadline (and the flag) so a strict v1 peer decodes it cleanly.
+  Frame frame = MustDecode(
+      EncodeQuery(4, "SELECT 1", 0, /*deadline_ms=*/250, /*version=*/1));
+  EXPECT_EQ(frame.header.version, 1);
+  EXPECT_FALSE(frame.header.flags & kFlagDeadline);
+  auto decoded = DecodeQuery(frame.payload, frame.header.flags);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->sql, "SELECT 1");
+  EXPECT_EQ(decoded->deadline_ms, 0u);
+}
+
+TEST(WireCodec, QueryDeadlineFlagWithoutPayloadFails) {
+  // kFlagDeadline promises a trailing u32; a payload without one is a
+  // protocol violation, not a silent zero.
+  Frame frame = MustDecode(EncodeQuery(4, "SELECT 1"));
+  EXPECT_FALSE(DecodeQuery(frame.payload, kFlagDeadline).ok());
 }
 
 TEST(WireCodec, ResultRoundTripAllValueTypes) {
@@ -126,11 +156,48 @@ TEST(WireCodec, ErrorRoundTripEveryCode) {
   for (const Status& status : statuses) {
     Frame frame = MustDecode(EncodeError(123, status));
     EXPECT_EQ(frame.header.type, MessageType::kError);
-    Status decoded;
-    ASSERT_TRUE(DecodeError(frame.payload, &decoded).ok());
-    EXPECT_EQ(decoded.code(), status.code());
-    EXPECT_EQ(decoded.message(), status.message());
+    ErrorBody decoded;
+    ASSERT_TRUE(
+        DecodeError(frame.payload, frame.header.flags, &decoded).ok());
+    EXPECT_EQ(decoded.status.code(), status.code());
+    EXPECT_EQ(decoded.status.message(), status.message());
+    EXPECT_EQ(decoded.retry_after_ms, 0u);
+    EXPECT_FALSE(decoded.expired);
   }
+}
+
+TEST(WireCodec, ErrorRetryAfterAndExpiredRoundTrip) {
+  Status status = Status::Unavailable("server overloaded; retry later");
+  Frame frame = MustDecode(
+      EncodeError(9, status, kFlagRetryAfter | kFlagExpired,
+                  /*retry_after_ms=*/400));
+  EXPECT_TRUE(frame.header.flags & kFlagRetryAfter);
+  EXPECT_TRUE(frame.header.flags & kFlagExpired);
+  ErrorBody decoded;
+  ASSERT_TRUE(DecodeError(frame.payload, frame.header.flags, &decoded).ok());
+  EXPECT_EQ(decoded.status.code(), status.code());
+  EXPECT_EQ(decoded.retry_after_ms, 400u);
+  EXPECT_TRUE(decoded.expired);
+}
+
+TEST(WireCodec, ErrorRetryAfterDroppedOnV1Frames) {
+  Frame frame = MustDecode(EncodeError(9, Status::Unavailable("busy"),
+                                       kFlagRetryAfter | kFlagExpired,
+                                       /*retry_after_ms=*/400,
+                                       /*version=*/1));
+  EXPECT_EQ(frame.header.version, 1);
+  EXPECT_FALSE(frame.header.flags & kFlagRetryAfter);
+  EXPECT_FALSE(frame.header.flags & kFlagExpired);
+  ErrorBody decoded;
+  ASSERT_TRUE(DecodeError(frame.payload, frame.header.flags, &decoded).ok());
+  EXPECT_EQ(decoded.retry_after_ms, 0u);
+  EXPECT_FALSE(decoded.expired);
+}
+
+TEST(WireCodec, ErrorRetryAfterFlagWithoutPayloadFails) {
+  Frame frame = MustDecode(EncodeError(9, Status::Unavailable("busy")));
+  ErrorBody decoded;
+  EXPECT_FALSE(DecodeError(frame.payload, kFlagRetryAfter, &decoded).ok());
 }
 
 TEST(WireCodec, PingAndGoodbyeAreEmpty) {
@@ -253,8 +320,9 @@ TEST(WireCodec, GarbagePayloadsFailCleanly) {
     EXPECT_FALSE(DecodeHello(payload).ok());
     EXPECT_FALSE(DecodeQuery(payload).ok());
     EXPECT_FALSE(DecodeResult(payload).ok());
-    Status decoded;
-    EXPECT_FALSE(DecodeError(payload, &decoded).ok());
+    ErrorBody decoded;
+    EXPECT_FALSE(DecodeError(payload, 0, &decoded).ok());
+    EXPECT_FALSE(DecodeError(payload, kFlagRetryAfter, &decoded).ok());
   }
 }
 

@@ -185,6 +185,36 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(av.backend_coalesced));
   }
 
+  // Overload control (§17): what the brownout ladder refused, deadlines
+  // that expired while queued, and the must-stay-zero late-execution
+  // violation count.
+  if (snap.overload.Any()) {
+    const obs::PrefetchAudit::Overload& ov = snap.overload;
+    std::printf("\noverload control\n");
+    std::printf("  shed             : %llu prefetch, %llu pipeline, "
+                "%llu admission\n",
+                static_cast<unsigned long long>(ov.shed_prefetch),
+                static_cast<unsigned long long>(ov.shed_pipeline),
+                static_cast<unsigned long long>(ov.shed_admission));
+    std::printf("  expired in queue : %llu rejected unexecuted "
+                "(%llu during drain)",
+                static_cast<unsigned long long>(ov.deadline_expired),
+                static_cast<unsigned long long>(ov.expired_in_drain));
+    if (ov.deadline_expired > 0) {
+      std::printf("  (mean %.1f ms past deadline)",
+                  static_cast<double>(ov.expired_lateness_us) /
+                      static_cast<double>(ov.deadline_expired) / 1e3);
+    }
+    std::printf("\n");
+    std::printf("  brownout steps   : %llu transitions, peak level %llu\n",
+                static_cast<unsigned long long>(ov.brownout_transitions),
+                static_cast<unsigned long long>(ov.max_level));
+    std::printf("  late executions  : %llu%s\n",
+                static_cast<unsigned long long>(ov.late_executions),
+                ov.late_executions == 0 ? " (invariant holds)"
+                                        : "  ** VIOLATION **");
+  }
+
   // Wire frontend (present only when the journal was recorded behind TCP).
   if (snap.wire.Any()) {
     const obs::PrefetchAudit::Wire& wire = snap.wire;

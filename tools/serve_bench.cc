@@ -91,6 +91,10 @@ struct BenchOptions {
   int retries = 3;                  // max demand-read attempts
   bool enable_retries = true;       // --no-retries
 
+  // Overload control (DESIGN.md §17).
+  uint64_t queue_target_ms = 0;     // --queue-target-ms: 0 = brownout off
+  uint64_t brownout_sample_ms = 100;  // --brownout-sample-ms
+
   // Socket modes (DESIGN.md §13).
   bool wire = false;            // --wire: in-process WireServer + TCP clients
   bool serve = false;           // --serve: server only, wait out --seconds
@@ -128,6 +132,14 @@ struct RunResult {
   uint64_t prefetch_used = 0;
   uint64_t prefetch_wasted_bytes = 0;
   double prefetch_precision = 0;
+
+  // Overload accounting (§17). Goodput counts only completions that came
+  // back within the client's deadline — the number that matters under
+  // overload, where raw qps can stay high while every response is late.
+  uint64_t on_time = 0;
+  double goodput = 0;              // on-time completions / s
+  uint64_t expired_rejections = 0;    // kFlagExpired: never executed
+  uint64_t overload_rejections = 0;   // brownout Retry-After refusals
 
   // Socket-mode extras (zero for in-process runs).
   bool socket_mode = false;
@@ -200,6 +212,16 @@ void Usage() {
       "  --stale-serve-ms N       serve cached-but-stale results up to N ms\n"
       "                           old when a demand fetch fails (default\n"
       "                           off)\n"
+      "\noverload control (DESIGN.md §17; brownout off by default):\n"
+      "  --queue-target-ms N      demand queue-wait p99 target for the\n"
+      "                           adaptive brownout ladder (0 = off).\n"
+      "                           Under pressure the server sheds prefetch,\n"
+      "                           then pipelined frames, then rejects new\n"
+      "                           Querys with a Retry-After hint\n"
+      "  --brownout-sample-ms N   brownout sampler cadence (default 100)\n"
+      "  In socket modes --deadline-ms also rides each Query frame, so the\n"
+      "  server rejects requests that expired while queued without\n"
+      "  executing them; reported goodput counts only on-time completions\n"
       "\nsocket modes (DESIGN.md §13; in-process by default):\n"
       "  --wire                   start a WireServer in-process and drive\n"
       "                           it with real TCP client connections\n"
@@ -314,6 +336,8 @@ runtime::ServerConfig MakeServerConfig(const BenchOptions& opt, int workers,
   config.retry.max_attempts = opt.retries;
   config.enable_retries = opt.enable_retries;
   config.stale_serve_us = opt.stale_serve_ms * 1000;
+  config.queue_target_us = opt.queue_target_ms * 1000;
+  config.brownout_sample_ms = opt.brownout_sample_ms;
   const bool faults_on = net::FaultInjector(opt.fault).enabled();
   // A fault schedule without a deadline would let blackout calls hang for
   // the whole window; default to a bounded budget when faults are on.
@@ -397,6 +421,7 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> total_ops{0};
+  std::atomic<uint64_t> on_time{0};
   std::atomic<uint64_t> reads_ok{0}, reads_failed{0};
   std::atomic<uint64_t> writes_ok{0}, writes_failed{0};
   // SampleStats external-locking contract: one private instance per
@@ -440,8 +465,14 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
                         : (is_write ? writes_failed : reads_failed);
         bucket.fetch_add(1, std::memory_order_relaxed);
         if (result.ok()) {
-          lat.Add(std::chrono::duration<double, std::milli>(t1 - t0).count());
+          double ms =
+              std::chrono::duration<double, std::milli>(t1 - t0).count();
+          lat.Add(ms);
           ++ops;
+          if (opt.deadline_ms <= 0 ||
+              ms <= static_cast<double>(opt.deadline_ms)) {
+            on_time.fetch_add(1, std::memory_order_relaxed);
+          }
         }
       }
       total_ops.fetch_add(ops, std::memory_order_relaxed);
@@ -504,6 +535,9 @@ RunResult RunOnce(db::Database* db, const BenchOptions& opt, int workers) {
   out.reads_failed = reads_failed.load();
   out.writes_ok = writes_ok.load();
   out.writes_failed = writes_failed.load();
+  out.on_time = on_time.load();
+  out.goodput =
+      elapsed > 0 ? static_cast<double>(out.on_time) / elapsed : 0;
   out.metrics = server.metrics();
 
   // Snapshot before the server tears down its registry callbacks.
@@ -558,6 +592,9 @@ struct FleetResult {
   uint64_t reads_ok = 0, reads_failed = 0;
   uint64_t writes_ok = 0, writes_failed = 0;
   uint64_t connect_failures = 0;
+  uint64_t on_time = 0;             // completed within --deadline-ms
+  uint64_t expired_rejections = 0;  // kFlagExpired Errors (never executed)
+  uint64_t overload_rejections = 0; // brownout Retry-After refusals
   SampleStats latency;  // ms
 };
 
@@ -581,19 +618,34 @@ void WireClientLoop(const std::string& host, int port,
   // request id -> (scheduled send time, is_write)
   std::map<uint64_t, std::pair<Clock::time_point, bool>> inflight;
 
+  // §17: the per-request budget rides the Query frame, and a completion
+  // only counts toward goodput when it came back inside that budget,
+  // measured from the *scheduled* send time (open loop included).
+  const uint32_t wire_deadline_ms =
+      opt.deadline_ms > 0 ? static_cast<uint32_t>(opt.deadline_ms) : 0;
+
   auto account = [&](const wire::WireClient::Response& response,
                      Clock::time_point now) {
     auto it = inflight.find(response.request_id);
     if (it == inflight.end()) return;
     const bool is_write = it->second.second;
     if (response.result.ok()) {
-      out->latency.Add(std::chrono::duration<double, std::milli>(
-                           now - it->second.first)
-                           .count());
+      double ms = std::chrono::duration<double, std::milli>(
+                      now - it->second.first)
+                      .count();
+      out->latency.Add(ms);
       ++(is_write ? out->writes_ok : out->reads_ok);
       ++out->ops;
+      if (wire_deadline_ms == 0 || ms <= static_cast<double>(wire_deadline_ms)) {
+        ++out->on_time;
+      }
     } else {
       ++(is_write ? out->writes_failed : out->reads_failed);
+      if (response.expired) {
+        ++out->expired_rejections;
+      } else if (response.retry_after_ms > 0) {
+        ++out->overload_rejections;
+      }
     }
     inflight.erase(it);
   };
@@ -601,7 +653,7 @@ void WireClientLoop(const std::string& host, int port,
     std::string sql = NextQuery(&rng, opt);
     const bool is_write = sql.rfind("UPDATE", 0) == 0;
     uint64_t id = 0;
-    if (!client.SendQuery(sql, &id).ok()) return false;
+    if (!client.SendQuery(sql, &id, 0, wire_deadline_ms).ok()) return false;
     inflight.emplace(id, std::make_pair(scheduled, is_write));
     return true;
   };
@@ -697,6 +749,9 @@ FleetResult RunWireFleet(const std::string& host, int port,
     all.writes_ok += f.writes_ok;
     all.writes_failed += f.writes_failed;
     all.connect_failures += f.connect_failures;
+    all.on_time += f.on_time;
+    all.expired_rejections += f.expired_rejections;
+    all.overload_rejections += f.overload_rejections;
     all.latency.Merge(f.latency);
   }
   return all;
@@ -780,6 +835,10 @@ RunResult RunOnceWire(db::Database* db, const BenchOptions& opt, int workers,
   out.reads_failed = fleet.reads_failed;
   out.writes_ok = fleet.writes_ok;
   out.writes_failed = fleet.writes_failed;
+  out.on_time = fleet.on_time;
+  out.goodput = elapsed > 0 ? static_cast<double>(fleet.on_time) / elapsed : 0;
+  out.expired_rejections = fleet.expired_rejections;
+  out.overload_rejections = fleet.overload_rejections;
   out.metrics = server.metrics();
   if (fleet.connect_failures > 0) {
     std::fprintf(stderr, "warning: %llu connections failed to connect\n",
@@ -906,10 +965,12 @@ int RunServe(db::Database* db, const BenchOptions& opt, int workers) {
     dropped = server.journal()->events_dropped();
   }
   std::printf(
-      "wire: accepted %llu  requests %llu  protocol-errors %llu  "
+      "wire: accepted %llu  requests %llu  overload-rejects %llu  "
+      "protocol-errors %llu  "
       "closed client/idle/error %llu/%llu/%llu  bytes in/out %llu/%llu\n",
       static_cast<unsigned long long>(ws.accepted),
       static_cast<unsigned long long>(ws.requests),
+      static_cast<unsigned long long>(ws.overload_rejects),
       static_cast<unsigned long long>(ws.protocol_errors),
       static_cast<unsigned long long>(ws.closed_by_client),
       static_cast<unsigned long long>(ws.closed_by_idle),
@@ -950,6 +1011,10 @@ RunResult RunConnect(const BenchOptions& opt, const std::string& host,
   out.reads_failed = fleet.reads_failed;
   out.writes_ok = fleet.writes_ok;
   out.writes_failed = fleet.writes_failed;
+  out.on_time = fleet.on_time;
+  out.goodput = elapsed > 0 ? static_cast<double>(fleet.on_time) / elapsed : 0;
+  out.expired_rejections = fleet.expired_rejections;
+  out.overload_rejections = fleet.overload_rejections;
   if (fleet.connect_failures > 0) {
     std::fprintf(stderr, "warning: %llu connections failed to connect\n",
                  static_cast<unsigned long long>(fleet.connect_failures));
@@ -994,7 +1059,10 @@ void WriteJson(const BenchOptions& opt, const std::vector<RunResult>& runs) {
         "\"backend_retries\": %llu, \"backend_timeouts\": %llu, "
         "\"stale_serves\": %llu, \"breaker_rejects\": %llu, "
         "\"prefetches_shed_queue\": %llu, "
-        "\"prefetches_shed_breaker\": %llu",
+        "\"prefetches_shed_breaker\": %llu, "
+        "\"goodput_qps\": %.1f, \"on_time\": %llu, "
+        "\"expired_rejections\": %llu, \"overload_rejections\": %llu, "
+        "\"deadline_expired\": %llu, \"brownout_sheds\": %llu",
         r.workers, static_cast<unsigned long long>(r.ops), r.throughput,
         r.mean_ms, r.p50_ms, r.p99_ms, r.metrics.CacheHitRate(),
         static_cast<unsigned long long>(r.metrics.remote_plain),
@@ -1012,7 +1080,12 @@ void WriteJson(const BenchOptions& opt, const std::vector<RunResult>& runs) {
         static_cast<unsigned long long>(r.metrics.stale_serves),
         static_cast<unsigned long long>(r.metrics.breaker_rejects),
         static_cast<unsigned long long>(r.metrics.prefetches_dropped),
-        static_cast<unsigned long long>(r.metrics.prefetches_shed_breaker));
+        static_cast<unsigned long long>(r.metrics.prefetches_shed_breaker),
+        r.goodput, static_cast<unsigned long long>(r.on_time),
+        static_cast<unsigned long long>(r.expired_rejections),
+        static_cast<unsigned long long>(r.overload_rejections),
+        static_cast<unsigned long long>(r.metrics.deadline_expired),
+        static_cast<unsigned long long>(r.metrics.brownout_sheds));
     if (r.socket_mode) {
       std::fprintf(
           f,
@@ -1116,6 +1189,10 @@ int main(int argc, char** argv) {
       opt.enable_retries = false;
     } else if (arg == "--stale-serve-ms") {
       opt.stale_serve_ms = UintFlag(arg, next());
+    } else if (arg == "--queue-target-ms") {
+      opt.queue_target_ms = UintFlag(arg, next());
+    } else if (arg == "--brownout-sample-ms") {
+      opt.brownout_sample_ms = UintFlag(arg, next());
     } else if (arg == "--metrics-out") {
       opt.metrics_path = next();
     } else if (arg == "--journal-out") {
@@ -1186,6 +1263,9 @@ int main(int argc, char** argv) {
     reject("--fault-spike", "multiplier must be >= 1");
   }
   if (opt.retries < 1) reject("--retries", "must be >= 1");
+  if (opt.brownout_sample_ms < 1) {
+    reject("--brownout-sample-ms", "must be >= 1");
+  }
   if (opt.profile_hz < 1 || opt.profile_hz > 1000) {
     reject("--profile-hz", "must be in [1, 1000]");
   }
@@ -1218,10 +1298,13 @@ int main(int argc, char** argv) {
           RunConnect(opt, host, static_cast<int>(port64), connections);
       runs.push_back(r);
       std::printf(
-          "connections=%d  pipeline=%d  %.1f qps  mean %.2f ms  "
-          "p50 %.2f ms  p99 %.2f ms  success %.2f%%\n",
-          r.connections, r.pipeline, r.throughput, r.mean_ms, r.p50_ms,
-          r.p99_ms, 100.0 * r.DemandSuccessRate());
+          "connections=%d  pipeline=%d  %.1f qps  goodput %.1f/s  "
+          "mean %.2f ms  p50 %.2f ms  p99 %.2f ms  success %.2f%%  "
+          "(expired %llu, overload-rejected %llu)\n",
+          r.connections, r.pipeline, r.throughput, r.goodput, r.mean_ms,
+          r.p50_ms, r.p99_ms, 100.0 * r.DemandSuccessRate(),
+          static_cast<unsigned long long>(r.expired_rejections),
+          static_cast<unsigned long long>(r.overload_rejections));
     }
     if (!opt.json_path.empty()) WriteJson(opt, runs);
     return 0;
@@ -1251,14 +1334,26 @@ int main(int argc, char** argv) {
           RunOnceWire(&db, opt, opt.worker_counts.front(), connections);
       runs.push_back(r);
       std::printf(
-          "connections=%d  pipeline=%d  workers=%d  %.1f qps  mean %.2f ms  "
+          "connections=%d  pipeline=%d  workers=%d  %.1f qps  "
+          "goodput %.1f/s  mean %.2f ms  "
           "p50 %.2f ms  p99 %.2f ms  hit-rate %.1f%%  "
           "(accepted %llu, protocol-errors %llu, wire-p99 %.0f us)\n",
-          r.connections, r.pipeline, r.workers, r.throughput, r.mean_ms,
-          r.p50_ms, r.p99_ms, 100.0 * r.metrics.CacheHitRate(),
+          r.connections, r.pipeline, r.workers, r.throughput, r.goodput,
+          r.mean_ms, r.p50_ms, r.p99_ms, 100.0 * r.metrics.CacheHitRate(),
           static_cast<unsigned long long>(r.wire_accepted),
           static_cast<unsigned long long>(r.wire_protocol_errors),
           r.wire_p99_us);
+      if (r.expired_rejections + r.overload_rejections +
+              r.metrics.brownout_sheds >
+          0) {
+        std::printf(
+            "  overload: expired %llu  overload-rejected %llu  "
+            "server sheds %llu  expired-in-queue %llu\n",
+            static_cast<unsigned long long>(r.expired_rejections),
+            static_cast<unsigned long long>(r.overload_rejections),
+            static_cast<unsigned long long>(r.metrics.brownout_sheds),
+            static_cast<unsigned long long>(r.metrics.deadline_expired));
+      }
     }
     if (runs.size() > 1) {
       double base = runs.front().throughput;
